@@ -1,0 +1,261 @@
+#include "bench/bench_common.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/compressed_miner.h"
+#include "core/compressor.h"
+#include "core/disk_recycle.h"
+#include "fpm/miner.h"
+#include "fpm/partition.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace gogreen::bench {
+
+namespace {
+
+using core::CompressedDb;
+using core::CompressionStats;
+using core::CompressionStrategy;
+using core::MatcherKind;
+using core::RecycleAlgo;
+using data::DatasetId;
+using data::DatasetSpec;
+using fpm::PatternSet;
+using fpm::TransactionDb;
+
+struct FamilyInfo {
+  const char* baseline_name;
+  const char* mcp_name;
+  const char* mlp_name;
+  fpm::MinerKind baseline;
+  RecycleAlgo recycler;
+};
+
+FamilyInfo InfoOf(AlgoFamily family) {
+  switch (family) {
+    case AlgoFamily::kHMine:
+      return {"H-Mine", "HM-MCP", "HM-MLP", fpm::MinerKind::kHMine,
+              RecycleAlgo::kHMine};
+    case AlgoFamily::kFpGrowth:
+      return {"FP", "FP-MCP", "FP-MLP", fpm::MinerKind::kFpGrowth,
+              RecycleAlgo::kFpGrowth};
+    case AlgoFamily::kTreeProjection:
+      return {"TP", "TP-MCP", "TP-MLP", fpm::MinerKind::kTreeProjection,
+              RecycleAlgo::kTreeProjection};
+  }
+  return {"?", "?", "?", fpm::MinerKind::kHMine, RecycleAlgo::kHMine};
+}
+
+/// Runs a miner and returns (seconds, #patterns); prints and exits on error.
+template <typename Fn>
+std::pair<double, size_t> TimeMine(Fn&& fn) {
+  Timer timer;
+  auto result = fn();
+  const double secs = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return {secs, result.value().size()};
+}
+
+}  // namespace
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.4fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  }
+  return buf;
+}
+
+void PrintHeader(const char* figure, const char* title) {
+  std::printf("== %s: %s ==\n", figure, title);
+}
+
+int RunRuntimeFigure(const char* figure, DatasetId dataset, AlgoFamily family,
+                     bool log_scale_note) {
+  const DatasetSpec& spec = data::GetDatasetSpec(dataset);
+  const FamilyInfo info = InfoOf(family);
+  const BenchScale scale = GetBenchScale();
+
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "%s (%s) — %s family, runtime vs xi_new%s", spec.paper_name,
+                spec.name, info.baseline_name,
+                log_scale_note ? " [paper plots log scale]" : "");
+  PrintHeader(figure, title);
+
+  auto db_result = data::MakeDataset(dataset, scale);
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 db_result.status().ToString().c_str());
+    return 1;
+  }
+  const TransactionDb db = std::move(db_result).value();
+
+  // Phase 0: the earlier mining round whose output we recycle.
+  const uint64_t old_sup =
+      fpm::AbsoluteSupport(spec.xi_old, db.NumTransactions());
+  Timer timer;
+  auto base_miner = fpm::CreateMiner(info.baseline);
+  auto fp_old_result = base_miner->Mine(db, old_sup);
+  if (!fp_old_result.ok()) {
+    std::fprintf(stderr, "xi_old mine: %s\n",
+                 fp_old_result.status().ToString().c_str());
+    return 1;
+  }
+  const PatternSet fp_old = std::move(fp_old_result).value();
+  const double old_mine_secs = timer.ElapsedSeconds();
+
+  // Phase 1: compression with both strategies.
+  CompressionStats mcp_stats;
+  CompressionStats mlp_stats;
+  auto mcp_result = core::CompressDatabase(
+      db, fp_old, {CompressionStrategy::kMcp, MatcherKind::kAuto},
+      &mcp_stats);
+  auto mlp_result = core::CompressDatabase(
+      db, fp_old, {CompressionStrategy::kMlp, MatcherKind::kAuto},
+      &mlp_stats);
+  if (!mcp_result.ok() || !mlp_result.ok()) {
+    std::fprintf(stderr, "compression failed\n");
+    return 1;
+  }
+  const CompressedDb cdb_mcp = std::move(mcp_result).value();
+  const CompressedDb cdb_mlp = std::move(mlp_result).value();
+
+  std::printf(
+      "dataset=%s scale=%s tuples=%zu avg_len=%.1f xi_old=%.4g%% "
+      "(mined in %s, %zu patterns, max len %zu)\n",
+      spec.name, BenchScaleName(scale), db.NumTransactions(), db.AvgLength(),
+      spec.xi_old * 100, FormatSeconds(old_mine_secs).c_str(), fp_old.size(),
+      fp_old.MaxLength());
+  std::printf(
+      "compression: MCP ratio=%.3f time=%s | MLP ratio=%.3f time=%s\n",
+      mcp_stats.Ratio(), FormatSeconds(mcp_stats.elapsed_seconds).c_str(),
+      mlp_stats.Ratio(), FormatSeconds(mlp_stats.elapsed_seconds).c_str());
+  std::printf("%-9s %12s %12s %12s %11s %11s %10s\n", "xi_new",
+              info.baseline_name, info.mcp_name, info.mlp_name,
+              "speedup-MCP", "speedup-MLP", "#patterns");
+
+  bool counts_agree = true;
+  for (const double xi : spec.xi_new_sweep) {
+    const uint64_t sup = fpm::AbsoluteSupport(xi, db.NumTransactions());
+
+    auto [base_secs, base_count] = TimeMine([&] {
+      auto miner = fpm::CreateMiner(info.baseline);
+      return miner->Mine(db, sup);
+    });
+    auto [mcp_secs, mcp_count] = TimeMine([&] {
+      auto miner = core::CreateCompressedMiner(info.recycler);
+      return miner->MineCompressed(cdb_mcp, sup);
+    });
+    auto [mlp_secs, mlp_count] = TimeMine([&] {
+      auto miner = core::CreateCompressedMiner(info.recycler);
+      return miner->MineCompressed(cdb_mlp, sup);
+    });
+
+    if (base_count != mcp_count || base_count != mlp_count) {
+      counts_agree = false;
+    }
+    std::printf("%-8.4g%% %12s %12s %12s %10.1fx %10.1fx %10zu\n", xi * 100,
+                FormatSeconds(base_secs).c_str(),
+                FormatSeconds(mcp_secs).c_str(),
+                FormatSeconds(mlp_secs).c_str(),
+                mcp_secs > 0 ? base_secs / mcp_secs : 0.0,
+                mlp_secs > 0 ? base_secs / mlp_secs : 0.0, base_count);
+    std::fflush(stdout);
+  }
+  std::printf("result check: %s\n\n",
+              counts_agree ? "pattern counts agree across all variants"
+                           : "MISMATCH in pattern counts (BUG)");
+  return counts_agree ? 0 : 2;
+}
+
+int RunMemoryLimitFigure(const char* figure, DatasetId dataset,
+                         bool log_scale_note) {
+  const DatasetSpec& spec = data::GetDatasetSpec(dataset);
+  const BenchScale scale = GetBenchScale();
+
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "%s (%s) — memory-limited H-Mine vs HM-MCP%s",
+                spec.paper_name, spec.name,
+                log_scale_note ? " [paper plots log scale]" : "");
+  PrintHeader(figure, title);
+
+  auto db_result = data::MakeDataset(dataset, scale);
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 db_result.status().ToString().c_str());
+    return 1;
+  }
+  const TransactionDb db = std::move(db_result).value();
+
+  // The paper limits memory to 4MB / 8MB against full-size datasets; scale
+  // the budgets with the dataset so the limit still bites.
+  const double fraction =
+      static_cast<double>(data::DatasetTransactions(dataset, scale)) /
+      static_cast<double>(
+          data::DatasetTransactions(dataset, BenchScale::kFull));
+  const size_t limit_lo = static_cast<size_t>(4.0 * (1 << 20) * fraction);
+  const size_t limit_hi = static_cast<size_t>(8.0 * (1 << 20) * fraction);
+
+  const uint64_t old_sup =
+      fpm::AbsoluteSupport(spec.xi_old, db.NumTransactions());
+  auto fp_miner = fpm::CreateMiner(fpm::MinerKind::kHMine);
+  auto fp_old = fp_miner->Mine(db, old_sup);
+  if (!fp_old.ok()) {
+    std::fprintf(stderr, "xi_old mine failed\n");
+    return 1;
+  }
+  auto cdb_result = core::CompressDatabase(
+      db, fp_old.value(), {CompressionStrategy::kMcp, MatcherKind::kAuto});
+  if (!cdb_result.ok()) {
+    std::fprintf(stderr, "compression failed\n");
+    return 1;
+  }
+  const CompressedDb cdb = std::move(cdb_result).value();
+
+  std::printf(
+      "dataset=%s scale=%s tuples=%zu xi_old=%.4g%% limits=%.2fMB/%.2fMB "
+      "(paper: 4MB/8MB at full scale)\n",
+      spec.name, BenchScaleName(scale), db.NumTransactions(),
+      spec.xi_old * 100, static_cast<double>(limit_lo) / (1 << 20),
+      static_cast<double>(limit_hi) / (1 << 20));
+  std::printf("%-9s %14s %14s %14s %14s %10s\n", "xi_new", "H-Mine(loM)",
+              "HM-MCP(loM)", "H-Mine(hiM)", "HM-MCP(hiM)", "#patterns");
+
+  const std::string tmp = TempDir();
+  bool counts_agree = true;
+  for (const double xi : spec.xi_new_sweep) {
+    const uint64_t sup = fpm::AbsoluteSupport(xi, db.NumTransactions());
+    auto [hm_lo, c1] = TimeMine(
+        [&] { return fpm::MineHMineMemoryLimited(db, sup, limit_lo, tmp); });
+    auto [rc_lo, c2] = TimeMine([&] {
+      return core::MineRecycleHMMemoryLimited(cdb, sup, limit_lo, tmp);
+    });
+    auto [hm_hi, c3] = TimeMine(
+        [&] { return fpm::MineHMineMemoryLimited(db, sup, limit_hi, tmp); });
+    auto [rc_hi, c4] = TimeMine([&] {
+      return core::MineRecycleHMMemoryLimited(cdb, sup, limit_hi, tmp);
+    });
+    if (c1 != c2 || c1 != c3 || c1 != c4) counts_agree = false;
+    std::printf("%-8.4g%% %14s %14s %14s %14s %10zu\n", xi * 100,
+                FormatSeconds(hm_lo).c_str(), FormatSeconds(rc_lo).c_str(),
+                FormatSeconds(hm_hi).c_str(), FormatSeconds(rc_hi).c_str(),
+                c1);
+    std::fflush(stdout);
+  }
+  std::printf("result check: %s\n\n",
+              counts_agree ? "pattern counts agree across all variants"
+                           : "MISMATCH in pattern counts (BUG)");
+  return counts_agree ? 0 : 2;
+}
+
+}  // namespace gogreen::bench

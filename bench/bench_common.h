@@ -1,0 +1,45 @@
+// Shared harness for the per-figure benchmark binaries. Each binary
+// reproduces one table or figure of the paper; the functions here implement
+// the common experiment shapes (runtime-vs-support sweeps, memory-limited
+// sweeps) and the report formatting.
+
+#ifndef GOGREEN_BENCH_BENCH_COMMON_H_
+#define GOGREEN_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/datasets.h"
+#include "util/status.h"
+
+namespace gogreen::bench {
+
+/// Which algorithm family a runtime figure compares.
+enum class AlgoFamily {
+  kHMine,           ///< H-Mine vs HM-MCP vs HM-MLP (Figs. 9/12/15/18).
+  kFpGrowth,        ///< FP vs FP-MCP vs FP-MLP (Figs. 10/13/16/19).
+  kTreeProjection,  ///< TP vs TP-MCP vs TP-MLP (Figs. 11/14/17/20).
+};
+
+/// Reproduces one runtime-vs-xi_new figure: mines FP at the dataset's
+/// xi_old, compresses with MCP and MLP, then for each xi_new in the sweep
+/// runs the family's non-recycling baseline and both recycling variants,
+/// printing one row per support level. Returns non-zero on error.
+int RunRuntimeFigure(const char* figure, data::DatasetId dataset,
+                     AlgoFamily family, bool log_scale_note);
+
+/// Reproduces one memory-limited figure (Figs. 21-24): H-Mine vs HM-MCP,
+/// both under the two memory budgets of Section 5.3 (4MB / 8MB at paper
+/// scale, proportionally smaller at reduced bench scales).
+int RunMemoryLimitFigure(const char* figure, data::DatasetId dataset,
+                         bool log_scale_note);
+
+/// Formats seconds with appropriate precision ("0.123s").
+std::string FormatSeconds(double seconds);
+
+/// Prints the standard report header for a figure binary.
+void PrintHeader(const char* figure, const char* title);
+
+}  // namespace gogreen::bench
+
+#endif  // GOGREEN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,9 @@
+// Figure 9 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 9", gogreen::data::DatasetId::kWeatherSub,
+      gogreen::bench::AlgoFamily::kHMine, false);
+}

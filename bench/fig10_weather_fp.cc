@@ -1,0 +1,9 @@
+// Figure 10 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 10", gogreen::data::DatasetId::kWeatherSub,
+      gogreen::bench::AlgoFamily::kFpGrowth, false);
+}

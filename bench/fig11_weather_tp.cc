@@ -1,0 +1,9 @@
+// Figure 11 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 11", gogreen::data::DatasetId::kWeatherSub,
+      gogreen::bench::AlgoFamily::kTreeProjection, false);
+}

@@ -1,0 +1,9 @@
+// Figure 12 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 12", gogreen::data::DatasetId::kForestSub,
+      gogreen::bench::AlgoFamily::kHMine, false);
+}

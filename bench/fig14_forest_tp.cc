@@ -1,0 +1,9 @@
+// Figure 14 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 14", gogreen::data::DatasetId::kForestSub,
+      gogreen::bench::AlgoFamily::kTreeProjection, false);
+}

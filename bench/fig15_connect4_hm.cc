@@ -1,0 +1,9 @@
+// Figure 15 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 15", gogreen::data::DatasetId::kConnect4Sub,
+      gogreen::bench::AlgoFamily::kHMine, true);
+}

@@ -1,0 +1,9 @@
+// Figure 17 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 17", gogreen::data::DatasetId::kConnect4Sub,
+      gogreen::bench::AlgoFamily::kTreeProjection, true);
+}

@@ -1,0 +1,9 @@
+// Figure 18 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 18", gogreen::data::DatasetId::kPumsbSub,
+      gogreen::bench::AlgoFamily::kHMine, true);
+}

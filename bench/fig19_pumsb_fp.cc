@@ -1,0 +1,9 @@
+// Figure 19 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 19", gogreen::data::DatasetId::kPumsbSub,
+      gogreen::bench::AlgoFamily::kFpGrowth, false);
+}

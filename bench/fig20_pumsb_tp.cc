@@ -1,0 +1,9 @@
+// Figure 20 of the paper: see DESIGN.md experiment index.
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunRuntimeFigure(
+      "Figure 20", gogreen::data::DatasetId::kPumsbSub,
+      gogreen::bench::AlgoFamily::kTreeProjection, true);
+}

@@ -1,0 +1,8 @@
+// Figure 21 of the paper (memory-limited mining, Section 5.3).
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunMemoryLimitFigure(
+      "Figure 21", gogreen::data::DatasetId::kWeatherSub, false);
+}

@@ -1,0 +1,8 @@
+// Figure 22 of the paper (memory-limited mining, Section 5.3).
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunMemoryLimitFigure(
+      "Figure 22", gogreen::data::DatasetId::kForestSub, false);
+}

@@ -1,0 +1,8 @@
+// Figure 23 of the paper (memory-limited mining, Section 5.3).
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunMemoryLimitFigure(
+      "Figure 23", gogreen::data::DatasetId::kConnect4Sub, true);
+}

@@ -1,0 +1,8 @@
+// Figure 24 of the paper (memory-limited mining, Section 5.3).
+
+#include "bench/bench_common.h"
+
+int main() {
+  return gogreen::bench::RunMemoryLimitFigure(
+      "Figure 24", gogreen::data::DatasetId::kPumsbSub, true);
+}

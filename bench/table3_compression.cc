@@ -1,0 +1,126 @@
+// Table 3 of the paper: dataset properties and compression statistics.
+// For each dataset: tuple count, average tuple length, item count, xi_old,
+// the number and maximal length of the recycled patterns, and per strategy
+// (MCP / MLP) the compression run time with I/O, the pipeline (in-memory)
+// run time, and the compression ratio R = Sc / So.
+//
+// "Run time (I/O)" reproduces the paper's full-pipeline measurement:
+// read the dataset from a .dat file, compress it, and write the compressed
+// image to disk. "Run time (pipeline)" is the in-memory compression only
+// (the paper's column that deducts I/O, since compression can be fused into
+// the mining projection pass).
+
+#include <cstdio>
+#include <string>
+
+#include "core/compressor.h"
+#include "data/dat_io.h"
+#include "data/datasets.h"
+#include "fpm/miner.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace {
+
+using gogreen::BenchScale;
+using gogreen::Timer;
+using gogreen::core::CompressionStats;
+using gogreen::core::CompressionStrategy;
+using gogreen::core::MatcherKind;
+
+struct StrategyResult {
+  double io_seconds = 0;
+  double pipeline_seconds = 0;
+  double ratio = 1;
+};
+
+StrategyResult RunStrategy(const gogreen::fpm::TransactionDb& db,
+                           const gogreen::fpm::PatternSet& fp,
+                           CompressionStrategy strategy,
+                           const std::string& dat_path,
+                           const std::string& cdb_path) {
+  StrategyResult out;
+
+  // Pipeline time: in-memory compression only.
+  CompressionStats stats;
+  auto cdb = gogreen::core::CompressDatabase(
+      db, fp, {strategy, MatcherKind::kAuto}, &stats);
+  if (!cdb.ok()) {
+    std::fprintf(stderr, "compress failed: %s\n",
+                 cdb.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.pipeline_seconds = stats.elapsed_seconds;
+  out.ratio = stats.Ratio();
+
+  // I/O time: read the raw data from disk, compress, write the image.
+  Timer timer;
+  auto loaded = gogreen::data::ReadDatFile(dat_path);
+  if (!loaded.ok()) std::exit(1);
+  CompressionStats io_stats;
+  auto cdb2 = gogreen::core::CompressDatabase(
+      *loaded, fp, {strategy, MatcherKind::kAuto}, &io_stats);
+  if (!cdb2.ok()) std::exit(1);
+  if (!cdb2->WriteTo(cdb_path).ok()) std::exit(1);
+  out.io_seconds = timer.ElapsedSeconds();
+  std::remove(cdb_path.c_str());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = gogreen::GetBenchScale();
+  std::printf("== Table 3: dataset properties and compression statistics "
+              "(scale=%s) ==\n",
+              gogreen::BenchScaleName(scale));
+  std::printf("%-13s %9s %8s %7s %7s %9s %7s | %9s %9s %6s | %9s %9s %6s\n",
+              "dataset", "#tuples", "avg.len", "#items", "xi_old", "#pattern",
+              "max.len", "MCP-io", "MCP-pipe", "R-MCP", "MLP-io", "MLP-pipe",
+              "R-MLP");
+
+  for (gogreen::data::DatasetId id : gogreen::data::kAllDatasets) {
+    const auto& spec = gogreen::data::GetDatasetSpec(id);
+    auto db_result = gogreen::data::MakeDataset(id, scale);
+    if (!db_result.ok()) {
+      std::fprintf(stderr, "dataset %s: %s\n", spec.name,
+                   db_result.status().ToString().c_str());
+      return 1;
+    }
+    const gogreen::fpm::TransactionDb db = std::move(db_result).value();
+
+    const uint64_t old_sup =
+        gogreen::fpm::AbsoluteSupport(spec.xi_old, db.NumTransactions());
+    auto miner = gogreen::fpm::CreateMiner(gogreen::fpm::MinerKind::kFpGrowth);
+    auto fp = miner->Mine(db, old_sup);
+    if (!fp.ok()) return 1;
+
+    // Stage the raw dataset on disk for the I/O measurement.
+    const std::string dat_path =
+        gogreen::TempDir() + "/gogreen_t3_" + spec.name + ".dat";
+    const std::string cdb_path =
+        gogreen::TempDir() + "/gogreen_t3_" + spec.name + ".cdb";
+    if (!gogreen::data::WriteDatFile(db, dat_path).ok()) return 1;
+
+    const StrategyResult mcp =
+        RunStrategy(db, fp.value(), CompressionStrategy::kMcp, dat_path,
+                    cdb_path);
+    const StrategyResult mlp =
+        RunStrategy(db, fp.value(), CompressionStrategy::kMlp, dat_path,
+                    cdb_path);
+    std::remove(dat_path.c_str());
+
+    std::printf(
+        "%-13s %9zu %8.1f %7zu %6.4g%% %9zu %7zu | %8.2fs %8.2fs %6.3f | "
+        "%8.2fs %8.2fs %6.3f\n",
+        spec.name, db.NumTransactions(), db.AvgLength(),
+        db.NumDistinctItems(), spec.xi_old * 100, fp->size(),
+        fp->MaxLength(), mcp.io_seconds, mcp.pipeline_seconds, mcp.ratio,
+        mlp.io_seconds, mlp.pipeline_seconds, mlp.ratio);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpectations from the paper: pipeline << mining time; "
+              "R(MLP) <= R(MCP); dense sets compress far better than "
+              "sparse.\n");
+  return 0;
+}

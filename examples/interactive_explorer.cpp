@@ -1,0 +1,98 @@
+// Interactive exploration scenario (the introduction's motivating use
+// case): an analyst working over a synthetic market-basket dataset keeps
+// refining the mining constraints — lowering the support when results are
+// too sparse, raising it or adding constraints when they are too noisy.
+// The RecyclingSession transparently picks the cheapest correct path per
+// round (filter / recycle / initial) and this example prints what it did.
+//
+// Build & run:  ./build/examples/interactive_explorer
+
+#include <cstdio>
+
+#include "core/recycler.h"
+#include "data/quest_gen.h"
+#include "fpm/miner.h"
+
+namespace {
+
+void Report(const char* request, const gogreen::core::RecyclingSession& s,
+            size_t returned) {
+  const auto& st = s.last_stats();
+  std::printf("%-44s -> %6zu patterns | path=%-8s mine=%.3fs", request,
+              returned, gogreen::core::MiningPathName(st.path),
+              st.mine_seconds);
+  if (st.path == gogreen::core::MiningPath::kRecycled) {
+    std::printf(" compress=%.3fs ratio=%.2f", st.compress_seconds,
+                st.compression_ratio);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using gogreen::core::ConstraintSet;
+  using gogreen::core::RecyclingSession;
+
+  // A synthetic "retail basket" dataset: 100k baskets over 5k products.
+  gogreen::data::QuestConfig cfg;
+  cfg.num_transactions = 100000;
+  cfg.avg_transaction_len = 12.0;
+  cfg.num_items = 5000;
+  cfg.num_patterns = 200;
+  cfg.avg_pattern_len = 5.0;
+  cfg.max_pattern_len = 9;
+  cfg.weight_skew = 2.0;
+  cfg.corruption_mean = 0.2;
+  cfg.seed = 7;
+  auto db = gogreen::data::GenerateQuest(cfg);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset: %zu baskets, avg %.1f items\n\n",
+              db->NumTransactions(), db->AvgLength());
+
+  RecyclingSession session(std::move(db).value());
+  const size_t n = session.db().NumTransactions();
+
+  // Round 1: a first look at 5% support.
+  auto r1 = session.MineFraction(0.05);
+  if (!r1.ok()) return 1;
+  Report("mine at support 5%", session, r1->size());
+
+  // Round 2: too few results -> relax to 2%. (Recycled!)
+  auto r2 = session.MineFraction(0.02);
+  if (!r2.ok()) return 1;
+  Report("relax support to 2%", session, r2->size());
+
+  // Round 3: too many -> tighten back to 3%. (Pure cache filter.)
+  auto r3 = session.MineFraction(0.03);
+  if (!r3.ok()) return 1;
+  Report("tighten support to 3%", session, r3->size());
+
+  // Round 4: only long associations, at least 3 items. (Filter again.)
+  ConstraintSet c4(gogreen::fpm::AbsoluteSupport(0.03, n));
+  c4.Add(gogreen::core::MakeMinLength(3));
+  auto r4 = session.Mine(c4);
+  if (!r4.ok()) return 1;
+  Report("add constraint |X| >= 3", session, r4->size());
+
+  // Round 5: relax support once more with the constraint kept. (Recycled.)
+  ConstraintSet c5(gogreen::fpm::AbsoluteSupport(0.01, n));
+  c5.Add(gogreen::core::MakeMinLength(3));
+  auto r5 = session.Mine(c5);
+  if (!r5.ok()) return 1;
+  Report("relax support to 1%, keep |X| >= 3", session, r5->size());
+
+  // Show a few of the final long patterns.
+  std::printf("\nsample results:\n");
+  size_t shown = 0;
+  for (const auto& p : *r5) {
+    if (p.size() >= 4 && shown < 5) {
+      std::printf("  %s\n", p.ToString().c_str());
+      ++shown;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include "core/compressed_db.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "fpm/pattern.h"
+#include "util/logging.h"
+
+namespace gogreen::core {
+
+GroupId CompressedDb::AddGroup(fpm::ItemSpan pattern) {
+#ifndef NDEBUG
+  // Finish any previous group implicitly; verify pattern canonical.
+  for (size_t i = 1; i < pattern.size(); ++i) {
+    GOGREEN_DCHECK(pattern[i - 1] < pattern[i]);
+  }
+#endif
+  pattern_items_.insert(pattern_items_.end(), pattern.begin(), pattern.end());
+  pattern_offsets_.push_back(pattern_items_.size());
+  group_offsets_.push_back(member_tids_.size());
+  if (!pattern.empty()) {
+    item_universe_ = std::max(item_universe_,
+                              static_cast<size_t>(pattern.back()) + 1);
+  }
+  return static_cast<GroupId>(NumGroups() - 1);
+}
+
+void CompressedDb::AddMember(fpm::Tid original_tid, fpm::ItemSpan outlying) {
+  GOGREEN_DCHECK(NumGroups() > 0);
+#ifndef NDEBUG
+  for (size_t i = 1; i < outlying.size(); ++i) {
+    GOGREEN_DCHECK(outlying[i - 1] < outlying[i]);
+  }
+#endif
+  member_tids_.push_back(original_tid);
+  outlying_items_.insert(outlying_items_.end(), outlying.begin(),
+                         outlying.end());
+  outlying_offsets_.push_back(outlying_items_.size());
+  group_offsets_.back() = member_tids_.size();
+  if (!outlying.empty()) {
+    item_universe_ = std::max(item_universe_,
+                              static_cast<size_t>(outlying.back()) + 1);
+  }
+}
+
+std::vector<uint64_t> CompressedDb::CountItemSupports(
+    size_t item_universe) const {
+  std::vector<uint64_t> counts(std::max(item_universe, item_universe_), 0);
+  for (GroupId g = 0; g < NumGroups(); ++g) {
+    const GroupView view = Group(g);
+    for (fpm::ItemId it : view.pattern) counts[it] += view.count;
+  }
+  for (fpm::ItemId it : outlying_items_) ++counts[it];
+  return counts;
+}
+
+fpm::TransactionDb CompressedDb::Decompress() const {
+  fpm::TransactionDb db;
+  db.Reserve(NumTuples(), StoredItems());
+  std::vector<fpm::ItemId> row;
+  for (GroupId g = 0; g < NumGroups(); ++g) {
+    const fpm::ItemSpan pattern = PatternOf(g);
+    for (uint64_t m = MemberBegin(g); m < MemberEnd(g); ++m) {
+      const fpm::ItemSpan out = Outlying(m);
+      row.clear();
+      row.reserve(pattern.size() + out.size());
+      std::merge(pattern.begin(), pattern.end(), out.begin(), out.end(),
+                 std::back_inserter(row));
+      db.AddCanonicalTransaction(row);
+    }
+  }
+  return db;
+}
+
+size_t CompressedDb::MemoryUsage() const {
+  return pattern_items_.capacity() * sizeof(fpm::ItemId) +
+         pattern_offsets_.capacity() * sizeof(uint64_t) +
+         group_offsets_.capacity() * sizeof(uint64_t) +
+         member_tids_.capacity() * sizeof(fpm::Tid) +
+         outlying_items_.capacity() * sizeof(fpm::ItemId) +
+         outlying_offsets_.capacity() * sizeof(uint64_t);
+}
+
+namespace {
+
+constexpr uint64_t kMagic = 0x4742444347474F47ULL;  // "GOGGCDBG"
+
+template <typename T>
+void WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  const uint64_t n = v.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>* v) {
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in.good()) return false;
+  // Sanity cap: refuse absurd sizes rather than bad_alloc on corrupt input.
+  if (n > (uint64_t{1} << 40) / sizeof(T)) return false;
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return in.good() || (n == 0 && in.eof());
+}
+
+}  // namespace
+
+Result<uint64_t> CompressedDb::WriteTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const uint64_t universe = item_universe_;
+  out.write(reinterpret_cast<const char*>(&universe), sizeof(universe));
+  WriteVec(out, pattern_items_);
+  WriteVec(out, pattern_offsets_);
+  WriteVec(out, group_offsets_);
+  WriteVec(out, member_tids_);
+  WriteVec(out, outlying_items_);
+  WriteVec(out, outlying_offsets_);
+  out.flush();
+  if (!out.good()) return Status::IOError("write error on " + path);
+  return static_cast<uint64_t>(out.tellp());
+}
+
+Result<CompressedDb> CompressedDb::ReadFrom(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in.good() || magic != kMagic) {
+    return Status::IOError("not a CompressedDb image: " + path);
+  }
+  CompressedDb db;
+  uint64_t universe = 0;
+  in.read(reinterpret_cast<char*>(&universe), sizeof(universe));
+  db.item_universe_ = universe;
+  if (!ReadVec(in, &db.pattern_items_) ||
+      !ReadVec(in, &db.pattern_offsets_) ||
+      !ReadVec(in, &db.group_offsets_) || !ReadVec(in, &db.member_tids_) ||
+      !ReadVec(in, &db.outlying_items_) ||
+      !ReadVec(in, &db.outlying_offsets_)) {
+    return Status::IOError("truncated CompressedDb image: " + path);
+  }
+  // Structural validation so downstream code can trust offsets.
+  if (db.pattern_offsets_.empty() || db.group_offsets_.empty() ||
+      db.outlying_offsets_.empty() ||
+      db.pattern_offsets_.front() != 0 || db.group_offsets_.front() != 0 ||
+      db.outlying_offsets_.front() != 0 ||
+      db.pattern_offsets_.back() != db.pattern_items_.size() ||
+      db.group_offsets_.back() != db.member_tids_.size() ||
+      db.outlying_offsets_.back() != db.outlying_items_.size() ||
+      db.pattern_offsets_.size() != db.group_offsets_.size() ||
+      db.outlying_offsets_.size() != db.member_tids_.size() + 1) {
+    return Status::IOError("inconsistent CompressedDb image: " + path);
+  }
+  return db;
+}
+
+}  // namespace gogreen::core

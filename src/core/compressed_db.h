@@ -1,0 +1,123 @@
+// The compressed database (Table 2 of the paper): tuples are partitioned
+// into groups, each group sharing one covering pattern; a tuple stores only
+// its *outlying items* (the items not in its group's pattern). Tuples
+// matched by no pattern live in the trailing "ungrouped" section, modeled as
+// a group with an empty pattern.
+//
+// Compression is lossless: tuple = group.pattern ∪ outlying. The outlying
+// items are stored raw (including items that are infrequent at any
+// threshold); the "(ordered) frequent outlying items" view of Table 2 is
+// derived at mining time from the current F-list (see slice_db.h).
+
+#ifndef GOGREEN_CORE_COMPRESSED_DB_H_
+#define GOGREEN_CORE_COMPRESSED_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpm/item.h"
+#include "fpm/transaction_db.h"
+#include "util/status.h"
+
+namespace gogreen::core {
+
+/// Index of a group within a CompressedDb.
+using GroupId = uint32_t;
+
+/// One group: a shared pattern plus its member tuples' outlying items.
+struct GroupView {
+  fpm::ItemSpan pattern;  ///< Canonical (ascending) items; empty = ungrouped.
+  uint64_t count;         ///< Number of member tuples.
+};
+
+/// Builder + read-only access for a compressed database. Construction
+/// happens group-by-group through the Compressor; miners and tests read it.
+class CompressedDb {
+ public:
+  CompressedDb() = default;
+
+  // -- Construction (used by the Compressor and the deserializer) --
+
+  /// Starts a new group with the given canonical pattern (possibly empty for
+  /// the ungrouped section). Returns its id. Groups with equal patterns are
+  /// not merged; the compressor never emits duplicates.
+  GroupId AddGroup(fpm::ItemSpan pattern);
+
+  /// Appends a member tuple to the most recently added group. `outlying`
+  /// must be canonical and disjoint from the group pattern.
+  void AddMember(fpm::Tid original_tid, fpm::ItemSpan outlying);
+
+  // -- Read access --
+
+  size_t NumGroups() const { return group_offsets_.size() - 1; }
+  size_t NumTuples() const { return member_tids_.size(); }
+
+  GroupView Group(GroupId g) const {
+    return {PatternOf(g), MemberEnd(g) - MemberBegin(g)};
+  }
+
+  fpm::ItemSpan PatternOf(GroupId g) const {
+    return {pattern_items_.data() + pattern_offsets_[g],
+            pattern_offsets_[g + 1] - pattern_offsets_[g]};
+  }
+
+  /// Member index range [begin, end) of group g; pass indices in that range
+  /// to MemberTid / Outlying.
+  uint64_t MemberBegin(GroupId g) const { return group_offsets_[g]; }
+  uint64_t MemberEnd(GroupId g) const { return group_offsets_[g + 1]; }
+
+  fpm::Tid MemberTid(uint64_t member) const { return member_tids_[member]; }
+  fpm::ItemSpan Outlying(uint64_t member) const {
+    return {outlying_items_.data() + outlying_offsets_[member],
+            outlying_offsets_[member + 1] - outlying_offsets_[member]};
+  }
+
+  /// Per-item support counts over the *reconstructed* database — each
+  /// group's pattern counts once per member; outlying items count per tuple.
+  /// This is the cheap F-list construction the paper describes (one pattern
+  /// scan per group instead of per tuple).
+  std::vector<uint64_t> CountItemSupports(size_t item_universe) const;
+
+  /// One-past-the-largest item id stored anywhere (patterns or outlying).
+  size_t ItemUniverseSize() const { return item_universe_; }
+
+  /// Reconstructs the original database (tuples in *group* order, which
+  /// generally differs from the original tid order; MemberTid gives the
+  /// original ids). For tests and for migrating away from recycling.
+  fpm::TransactionDb Decompress() const;
+
+  /// Size in stored item occurrences: each group pattern once + all
+  /// outlying items. Compression ratio (Table 3) = StoredItems(CDB) /
+  /// TotalItems(DB).
+  uint64_t StoredItems() const {
+    return pattern_items_.size() + outlying_items_.size();
+  }
+
+  /// Approximate heap footprint.
+  size_t MemoryUsage() const;
+
+  // -- Serialization (for the "run time (I/O)" column of Table 3) --
+
+  /// Writes a compact binary image; returns bytes written.
+  Result<uint64_t> WriteTo(const std::string& path) const;
+
+  /// Reads an image produced by WriteTo.
+  static Result<CompressedDb> ReadFrom(const std::string& path);
+
+ private:
+  // Group patterns in CSR layout.
+  std::vector<fpm::ItemId> pattern_items_;
+  std::vector<uint64_t> pattern_offsets_{0};
+  // Member range per group (indices into the member arrays).
+  std::vector<uint64_t> group_offsets_{0};
+  // Per member: original tid + outlying items (CSR).
+  std::vector<fpm::Tid> member_tids_;
+  std::vector<fpm::ItemId> outlying_items_;
+  std::vector<uint64_t> outlying_offsets_{0};
+  size_t item_universe_ = 0;
+};
+
+}  // namespace gogreen::core
+
+#endif  // GOGREEN_CORE_COMPRESSED_DB_H_

@@ -1,0 +1,69 @@
+// The compression algorithm of Figure 1: rank recycled patterns by utility,
+// then cover every tuple with the highest-utility pattern it contains.
+
+#ifndef GOGREEN_CORE_COMPRESSOR_H_
+#define GOGREEN_CORE_COMPRESSOR_H_
+
+#include <cstdint>
+
+#include "core/compressed_db.h"
+#include "core/utility.h"
+#include "fpm/pattern_set.h"
+#include "fpm/transaction_db.h"
+#include "util/status.h"
+
+namespace gogreen::core {
+
+/// How tuple-vs-pattern containment is evaluated.
+enum class MatcherKind {
+  /// Scan patterns in utility order per tuple, subset-testing against a
+  /// per-tuple membership bitmap; stop at the first hit. Best on dense data,
+  /// where the first few patterns cover almost everything.
+  kLinear,
+  /// Index patterns by their globally rarest item ("anchor"); a tuple only
+  /// probes patterns anchored on one of its own items, merged across its
+  /// items in utility order. Best on sparse data, where most tuples share
+  /// no item with most patterns.
+  kInvertedIndex,
+  /// Choose per database: inverted for sparse, linear for dense.
+  kAuto,
+};
+
+const char* MatcherKindName(MatcherKind kind);
+
+struct CompressorOptions {
+  CompressionStrategy strategy = CompressionStrategy::kMcp;
+  MatcherKind matcher = MatcherKind::kAuto;
+};
+
+/// Outcome counters of one compression run.
+struct CompressionStats {
+  uint64_t covered_tuples = 0;    ///< Tuples assigned to a real group.
+  uint64_t uncovered_tuples = 0;  ///< Tuples left as-is (no matching pattern).
+  uint64_t groups = 0;            ///< Non-empty groups (excl. ungrouped).
+  uint64_t original_items = 0;    ///< So, in item occurrences.
+  uint64_t stored_items = 0;      ///< Sc, in item occurrences.
+  double elapsed_seconds = 0.0;   ///< In-memory ("pipeline") time.
+
+  /// R = Sc / So; < 1 means the CDB is smaller than the original.
+  double Ratio() const {
+    return original_items == 0
+               ? 1.0
+               : static_cast<double>(stored_items) /
+                     static_cast<double>(original_items);
+  }
+};
+
+/// Compresses `db` with the recycled pattern set `fp`. Patterns with empty
+/// item lists are rejected. The group order of the result follows the
+/// utility ranking (highest-utility group first), with the ungrouped tuples
+/// in a trailing empty-pattern group; within a group, members keep their
+/// original tid order.
+Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
+                                      const fpm::PatternSet& fp,
+                                      const CompressorOptions& options,
+                                      CompressionStats* stats = nullptr);
+
+}  // namespace gogreen::core
+
+#endif  // GOGREEN_CORE_COMPRESSOR_H_

@@ -1,0 +1,386 @@
+#include "core/constraints.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fpm/pattern.h"
+
+namespace gogreen::core {
+
+const char* ConstraintCategoryName(ConstraintCategory category) {
+  switch (category) {
+    case ConstraintCategory::kAntiMonotone:
+      return "anti-monotone";
+    case ConstraintCategory::kMonotone:
+      return "monotone";
+    case ConstraintCategory::kSuccinct:
+      return "succinct";
+    case ConstraintCategory::kConvertible:
+      return "convertible";
+  }
+  return "?";
+}
+
+const char* ConstraintDeltaName(ConstraintDelta delta) {
+  switch (delta) {
+    case ConstraintDelta::kUnchanged:
+      return "unchanged";
+    case ConstraintDelta::kTightened:
+      return "tightened";
+    case ConstraintDelta::kRelaxed:
+      return "relaxed";
+    case ConstraintDelta::kIncomparable:
+      return "incomparable";
+  }
+  return "?";
+}
+
+namespace {
+
+ConstraintDelta DeltaFromBounds(double new_bound, double old_bound,
+                                bool larger_is_relaxed) {
+  if (new_bound == old_bound) return ConstraintDelta::kUnchanged;
+  const bool relaxed = larger_is_relaxed ? new_bound > old_bound
+                                         : new_bound < old_bound;
+  return relaxed ? ConstraintDelta::kRelaxed : ConstraintDelta::kTightened;
+}
+
+class MaxLengthConstraint : public Constraint {
+ public:
+  explicit MaxLengthConstraint(size_t max_len) : max_len_(max_len) {}
+
+  ConstraintCategory category() const override {
+    return ConstraintCategory::kAntiMonotone;
+  }
+  std::string kind() const override { return "max-length"; }
+  std::string Describe() const override {
+    return "|X| <= " + std::to_string(max_len_);
+  }
+  bool Satisfies(const fpm::Pattern& p) const override {
+    return p.size() <= max_len_;
+  }
+  ConstraintDelta CompareTo(const Constraint& old) const override {
+    const auto& o = static_cast<const MaxLengthConstraint&>(old);
+    return DeltaFromBounds(static_cast<double>(max_len_),
+                           static_cast<double>(o.max_len_),
+                           /*larger_is_relaxed=*/true);
+  }
+  std::unique_ptr<Constraint> Clone() const override {
+    return std::make_unique<MaxLengthConstraint>(max_len_);
+  }
+
+ private:
+  size_t max_len_;
+};
+
+class MinLengthConstraint : public Constraint {
+ public:
+  explicit MinLengthConstraint(size_t min_len) : min_len_(min_len) {}
+
+  ConstraintCategory category() const override {
+    return ConstraintCategory::kMonotone;
+  }
+  std::string kind() const override { return "min-length"; }
+  std::string Describe() const override {
+    return "|X| >= " + std::to_string(min_len_);
+  }
+  bool Satisfies(const fpm::Pattern& p) const override {
+    return p.size() >= min_len_;
+  }
+  ConstraintDelta CompareTo(const Constraint& old) const override {
+    const auto& o = static_cast<const MinLengthConstraint&>(old);
+    return DeltaFromBounds(static_cast<double>(min_len_),
+                           static_cast<double>(o.min_len_),
+                           /*larger_is_relaxed=*/false);
+  }
+  std::unique_ptr<Constraint> Clone() const override {
+    return std::make_unique<MinLengthConstraint>(min_len_);
+  }
+
+ private:
+  size_t min_len_;
+};
+
+class ItemSubsetConstraint : public Constraint {
+ public:
+  explicit ItemSubsetConstraint(std::vector<fpm::ItemId> allowed)
+      : allowed_(std::move(allowed)) {
+    fpm::CanonicalizeItems(&allowed_);
+  }
+
+  ConstraintCategory category() const override {
+    return ConstraintCategory::kSuccinct;
+  }
+  std::string kind() const override { return "item-subset"; }
+  std::string Describe() const override {
+    return "X subset-of S (|S|=" + std::to_string(allowed_.size()) + ")";
+  }
+  bool Satisfies(const fpm::Pattern& p) const override {
+    return fpm::IsSubsetSorted(fpm::ItemSpan(p.items),
+                               fpm::ItemSpan(allowed_));
+  }
+  ConstraintDelta CompareTo(const Constraint& old) const override {
+    const auto& o = static_cast<const ItemSubsetConstraint&>(old);
+    if (allowed_ == o.allowed_) return ConstraintDelta::kUnchanged;
+    const bool new_in_old = fpm::IsSubsetSorted(fpm::ItemSpan(allowed_),
+                                                fpm::ItemSpan(o.allowed_));
+    const bool old_in_new = fpm::IsSubsetSorted(fpm::ItemSpan(o.allowed_),
+                                                fpm::ItemSpan(allowed_));
+    if (new_in_old) return ConstraintDelta::kTightened;
+    if (old_in_new) return ConstraintDelta::kRelaxed;
+    return ConstraintDelta::kIncomparable;
+  }
+  std::unique_ptr<Constraint> Clone() const override {
+    return std::make_unique<ItemSubsetConstraint>(allowed_);
+  }
+
+ private:
+  std::vector<fpm::ItemId> allowed_;
+};
+
+class RequiresAnyConstraint : public Constraint {
+ public:
+  explicit RequiresAnyConstraint(std::vector<fpm::ItemId> required)
+      : required_(std::move(required)) {
+    fpm::CanonicalizeItems(&required_);
+  }
+
+  ConstraintCategory category() const override {
+    return ConstraintCategory::kSuccinct;
+  }
+  std::string kind() const override { return "requires-any"; }
+  std::string Describe() const override {
+    return "X intersects R (|R|=" + std::to_string(required_.size()) + ")";
+  }
+  bool Satisfies(const fpm::Pattern& p) const override {
+    // Both sorted: any common element?
+    size_t i = 0;
+    size_t j = 0;
+    while (i < p.items.size() && j < required_.size()) {
+      if (p.items[i] < required_[j]) {
+        ++i;
+      } else if (p.items[i] > required_[j]) {
+        ++j;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+  ConstraintDelta CompareTo(const Constraint& old) const override {
+    const auto& o = static_cast<const RequiresAnyConstraint&>(old);
+    if (required_ == o.required_) return ConstraintDelta::kUnchanged;
+    // A larger required set accepts more patterns.
+    const bool new_in_old = fpm::IsSubsetSorted(fpm::ItemSpan(required_),
+                                                fpm::ItemSpan(o.required_));
+    const bool old_in_new = fpm::IsSubsetSorted(fpm::ItemSpan(o.required_),
+                                                fpm::ItemSpan(required_));
+    if (new_in_old) return ConstraintDelta::kTightened;
+    if (old_in_new) return ConstraintDelta::kRelaxed;
+    return ConstraintDelta::kIncomparable;
+  }
+  std::unique_ptr<Constraint> Clone() const override {
+    return std::make_unique<RequiresAnyConstraint>(required_);
+  }
+
+ private:
+  std::vector<fpm::ItemId> required_;
+};
+
+class MaxSumConstraint : public Constraint {
+ public:
+  MaxSumConstraint(std::vector<double> values, double max_sum)
+      : values_(std::move(values)), max_sum_(max_sum) {}
+
+  ConstraintCategory category() const override {
+    return ConstraintCategory::kAntiMonotone;
+  }
+  std::string kind() const override { return "max-sum"; }
+  std::string Describe() const override {
+    return "sum(v[X]) <= " + std::to_string(max_sum_);
+  }
+  bool Satisfies(const fpm::Pattern& p) const override {
+    double sum = 0;
+    for (fpm::ItemId it : p.items) {
+      if (it < values_.size()) sum += values_[it];
+    }
+    return sum <= max_sum_;
+  }
+  ConstraintDelta CompareTo(const Constraint& old) const override {
+    const auto& o = static_cast<const MaxSumConstraint&>(old);
+    if (values_ != o.values_) return ConstraintDelta::kIncomparable;
+    return DeltaFromBounds(max_sum_, o.max_sum_, /*larger_is_relaxed=*/true);
+  }
+  std::unique_ptr<Constraint> Clone() const override {
+    return std::make_unique<MaxSumConstraint>(values_, max_sum_);
+  }
+
+ private:
+  std::vector<double> values_;
+  double max_sum_;
+};
+
+class MinAvgConstraint : public Constraint {
+ public:
+  MinAvgConstraint(std::vector<double> values, double min_avg)
+      : values_(std::move(values)), min_avg_(min_avg) {}
+
+  ConstraintCategory category() const override {
+    return ConstraintCategory::kConvertible;
+  }
+  std::string kind() const override { return "min-avg"; }
+  std::string Describe() const override {
+    return "avg(v[X]) >= " + std::to_string(min_avg_);
+  }
+  bool Satisfies(const fpm::Pattern& p) const override {
+    if (p.items.empty()) return false;
+    double sum = 0;
+    for (fpm::ItemId it : p.items) {
+      if (it < values_.size()) sum += values_[it];
+    }
+    return sum / static_cast<double>(p.size()) >= min_avg_;
+  }
+  ConstraintDelta CompareTo(const Constraint& old) const override {
+    const auto& o = static_cast<const MinAvgConstraint&>(old);
+    if (values_ != o.values_) return ConstraintDelta::kIncomparable;
+    return DeltaFromBounds(min_avg_, o.min_avg_, /*larger_is_relaxed=*/false);
+  }
+  std::unique_ptr<Constraint> Clone() const override {
+    return std::make_unique<MinAvgConstraint>(values_, min_avg_);
+  }
+
+ private:
+  std::vector<double> values_;
+  double min_avg_;
+};
+
+}  // namespace
+
+std::unique_ptr<Constraint> MakeMaxLength(size_t max_len) {
+  return std::make_unique<MaxLengthConstraint>(max_len);
+}
+
+std::unique_ptr<Constraint> MakeMinLength(size_t min_len) {
+  return std::make_unique<MinLengthConstraint>(min_len);
+}
+
+std::unique_ptr<Constraint> MakeItemSubset(std::vector<fpm::ItemId> allowed) {
+  return std::make_unique<ItemSubsetConstraint>(std::move(allowed));
+}
+
+std::unique_ptr<Constraint> MakeRequiresAny(
+    std::vector<fpm::ItemId> required) {
+  return std::make_unique<RequiresAnyConstraint>(std::move(required));
+}
+
+std::unique_ptr<Constraint> MakeMaxSum(std::vector<double> values,
+                                       double max_sum) {
+  return std::make_unique<MaxSumConstraint>(std::move(values), max_sum);
+}
+
+std::unique_ptr<Constraint> MakeMinAvg(std::vector<double> values,
+                                       double min_avg) {
+  return std::make_unique<MinAvgConstraint>(std::move(values), min_avg);
+}
+
+ConstraintSet::ConstraintSet(const ConstraintSet& other)
+    : min_support_(other.min_support_) {
+  constraints_.reserve(other.constraints_.size());
+  for (const auto& c : other.constraints_) constraints_.push_back(c->Clone());
+}
+
+ConstraintSet& ConstraintSet::operator=(const ConstraintSet& other) {
+  if (this == &other) return *this;
+  min_support_ = other.min_support_;
+  constraints_.clear();
+  constraints_.reserve(other.constraints_.size());
+  for (const auto& c : other.constraints_) constraints_.push_back(c->Clone());
+  return *this;
+}
+
+ConstraintSet& ConstraintSet::Add(std::unique_ptr<Constraint> constraint) {
+  constraints_.push_back(std::move(constraint));
+  return *this;
+}
+
+bool ConstraintSet::Satisfies(const fpm::Pattern& pattern) const {
+  for (const auto& c : constraints_) {
+    if (!c->Satisfies(pattern)) return false;
+  }
+  return true;
+}
+
+fpm::PatternSet ConstraintSet::Filter(const fpm::PatternSet& fp) const {
+  fpm::PatternSet out;
+  for (const fpm::Pattern& p : fp) {
+    if (p.support >= min_support_ && Satisfies(p)) out.Add(p);
+  }
+  return out;
+}
+
+ConstraintDelta ConstraintSet::CompareTo(const ConstraintSet& old) const {
+  bool any_tightened = false;
+  bool any_relaxed = false;
+  bool any_incomparable = false;
+
+  const auto note = [&](ConstraintDelta d) {
+    switch (d) {
+      case ConstraintDelta::kTightened:
+        any_tightened = true;
+        break;
+      case ConstraintDelta::kRelaxed:
+        any_relaxed = true;
+        break;
+      case ConstraintDelta::kIncomparable:
+        any_incomparable = true;
+        break;
+      case ConstraintDelta::kUnchanged:
+        break;
+    }
+  };
+
+  // Support: a higher threshold shrinks the solution space.
+  if (min_support_ > old.min_support_) {
+    note(ConstraintDelta::kTightened);
+  } else if (min_support_ < old.min_support_) {
+    note(ConstraintDelta::kRelaxed);
+  }
+
+  // Match constraints by kind; first match wins (one constraint per kind is
+  // the expected usage).
+  std::vector<bool> old_matched(old.constraints_.size(), false);
+  for (const auto& mine : constraints_) {
+    bool found = false;
+    for (size_t j = 0; j < old.constraints_.size(); ++j) {
+      if (!old_matched[j] && old.constraints_[j]->kind() == mine->kind()) {
+        old_matched[j] = true;
+        note(mine->CompareTo(*old.constraints_[j]));
+        found = true;
+        break;
+      }
+    }
+    if (!found) note(ConstraintDelta::kTightened);  // Newly added constraint.
+  }
+  for (size_t j = 0; j < old.constraints_.size(); ++j) {
+    if (!old_matched[j]) note(ConstraintDelta::kRelaxed);  // Dropped.
+  }
+
+  if (any_incomparable || (any_tightened && any_relaxed)) {
+    return ConstraintDelta::kIncomparable;
+  }
+  if (any_tightened) return ConstraintDelta::kTightened;
+  if (any_relaxed) return ConstraintDelta::kRelaxed;
+  return ConstraintDelta::kUnchanged;
+}
+
+std::string ConstraintSet::Describe() const {
+  std::ostringstream out;
+  out << "support >= " << min_support_;
+  for (const auto& c : constraints_) {
+    out << " AND " << c->Describe() << " [" <<
+        ConstraintCategoryName(c->category()) << "]";
+  }
+  return out.str();
+}
+
+}  // namespace gogreen::core

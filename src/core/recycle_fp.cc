@@ -1,0 +1,71 @@
+#include "core/recycle_fp.h"
+
+#include <algorithm>
+
+#include "core/slice_db.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gogreen::core {
+
+namespace {
+
+using fpm::Rank;
+
+class RecycleFpContext {
+ public:
+  explicit RecycleFpContext(SliceMiningContext* base) : base_(base) {}
+
+  void Mine(const std::vector<WeightedSlice>& slices,
+            std::vector<Rank>* prefix) {
+    std::vector<uint64_t> freq_counts;
+    const std::vector<Rank> frequent =
+        base_->CountFrequentWeighted(slices, &freq_counts);
+    if (frequent.empty()) return;
+
+    if (base_->TrySingleGroupWeighted(slices, frequent, freq_counts,
+                                      prefix)) {
+      return;
+    }
+
+    for (size_t i = 0; i < frequent.size(); ++i) {
+      prefix->push_back(frequent[i]);
+      base_->EmitPattern(*prefix, freq_counts[i]);
+      const std::vector<WeightedSlice> projected =
+          ProjectWeightedSlices(slices, frequent[i]);
+      ++base_->stats()->projections_built;
+      if (!projected.empty()) Mine(projected, prefix);
+      prefix->pop_back();
+    }
+  }
+
+ private:
+  SliceMiningContext* base_;
+};
+
+}  // namespace
+
+Result<fpm::PatternSet> RecycleFpMiner::MineCompressed(
+    const CompressedDb& cdb, uint64_t min_support) {
+  GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
+  stats_.Reset();
+  Timer timer;
+  fpm::PatternSet out;
+
+  const fpm::FList flist = fpm::FList::FromCounts(
+      cdb.CountItemSupports(cdb.ItemUniverseSize()), min_support);
+  if (!flist.empty()) {
+    const SliceDb sdb = SliceDb::Build(cdb, flist);
+    SliceMiningContext base(flist, min_support, &out, &stats_);
+    RecycleFpContext ctx(&base);
+    std::vector<Rank> prefix;
+    const std::vector<WeightedSlice> root = BuildWeightedSlices(sdb);
+    ctx.Mine(root, &prefix);
+  }
+
+  stats_.patterns_emitted = out.size();
+  stats_.elapsed_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace gogreen::core

@@ -1,0 +1,146 @@
+#include "core/recycler.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gogreen::core {
+
+const char* MiningPathName(MiningPath path) {
+  switch (path) {
+    case MiningPath::kInitial:
+      return "initial";
+    case MiningPath::kFiltered:
+      return "filtered";
+    case MiningPath::kRecycled:
+      return "recycled";
+    case MiningPath::kScratch:
+      return "scratch";
+  }
+  return "?";
+}
+
+RecyclingSession::RecyclingSession(fpm::TransactionDb db,
+                                   RecyclerOptions options)
+    : db_(std::move(db)), options_(options) {}
+
+Result<fpm::PatternSet> RecyclingSession::Mine(uint64_t min_support) {
+  if (min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  last_constraints_.reset();
+  return MineSupport(min_support);
+}
+
+Result<fpm::PatternSet> RecyclingSession::MineFraction(double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("support fraction must be in (0, 1]");
+  }
+  return Mine(fpm::AbsoluteSupport(fraction, db_.NumTransactions()));
+}
+
+Result<fpm::PatternSet> RecyclingSession::Mine(
+    const ConstraintSet& constraints) {
+  if (constraints.min_support() == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  const ConstraintDelta delta =
+      last_constraints_.has_value()
+          ? constraints.CompareTo(*last_constraints_)
+          : ConstraintDelta::kUnchanged;
+  GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet raw,
+                           MineSupport(constraints.min_support()));
+  Timer timer;
+  fpm::PatternSet filtered = constraints.Filter(raw);
+  last_stats_.mine_seconds += timer.ElapsedSeconds();
+  last_stats_.delta = delta;
+  last_stats_.patterns_returned = filtered.size();
+  last_constraints_ = constraints;
+  return filtered;
+}
+
+void RecyclingSession::SeedCache(fpm::PatternSet fp, uint64_t min_support) {
+  GOGREEN_CHECK(min_support > 0);
+  cached_fp_ = std::move(fp);
+  cached_minsup_ = min_support;
+  cdb_.reset();
+}
+
+void RecyclingSession::InvalidateCache() {
+  cached_fp_ = fpm::PatternSet();
+  cached_minsup_ = 0;
+  cdb_.reset();
+}
+
+Result<fpm::PatternSet> RecyclingSession::MineSupport(uint64_t min_support) {
+  last_stats_ = SessionStats();
+
+  if (!options_.enable_recycling || cached_minsup_ == 0) {
+    GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp, MineScratch(min_support));
+    last_stats_.path = cached_minsup_ == 0 && options_.enable_recycling
+                           ? MiningPath::kInitial
+                           : MiningPath::kScratch;
+    if (options_.enable_recycling) {
+      cached_fp_ = fp;
+      cached_minsup_ = min_support;
+      cdb_.reset();
+    }
+    last_stats_.patterns_returned = fp.size();
+    last_stats_.cached_patterns = cached_fp_.size();
+    return fp;
+  }
+
+  if (min_support >= cached_minsup_) {
+    // Tightened (or unchanged): the answer is a filter of the cache.
+    Timer timer;
+    fpm::PatternSet fp = cached_fp_.FilterBySupport(min_support);
+    last_stats_.mine_seconds = timer.ElapsedSeconds();
+    last_stats_.path = MiningPath::kFiltered;
+    last_stats_.delta = min_support == cached_minsup_
+                            ? ConstraintDelta::kUnchanged
+                            : ConstraintDelta::kTightened;
+    last_stats_.patterns_returned = fp.size();
+    last_stats_.cached_patterns = cached_fp_.size();
+    return fp;
+  }
+
+  // Relaxed: recycle.
+  GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp, MineRecycled(min_support));
+  last_stats_.path = MiningPath::kRecycled;
+  last_stats_.delta = ConstraintDelta::kRelaxed;
+  cached_fp_ = fp;
+  cached_minsup_ = min_support;
+  last_stats_.patterns_returned = fp.size();
+  last_stats_.cached_patterns = cached_fp_.size();
+  return fp;
+}
+
+Result<fpm::PatternSet> RecyclingSession::MineScratch(uint64_t min_support) {
+  Timer timer;
+  auto miner = fpm::CreateMiner(options_.base_miner);
+  GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp,
+                           miner->Mine(db_, min_support));
+  last_stats_.mine_seconds = timer.ElapsedSeconds();
+  return fp;
+}
+
+Result<fpm::PatternSet> RecyclingSession::MineRecycled(uint64_t min_support) {
+  if (!cdb_.has_value() || options_.recompress_each_round) {
+    Timer timer;
+    CompressionStats cstats;
+    GOGREEN_ASSIGN_OR_RETURN(
+        CompressedDb cdb,
+        CompressDatabase(db_, cached_fp_,
+                         {options_.strategy, options_.matcher}, &cstats));
+    cdb_ = std::move(cdb);
+    last_stats_.compress_seconds = timer.ElapsedSeconds();
+    last_stats_.compression_ratio = cstats.Ratio();
+  }
+  Timer timer;
+  auto miner = CreateCompressedMiner(options_.algo);
+  GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp,
+                           miner->MineCompressed(*cdb_, min_support));
+  last_stats_.mine_seconds = timer.ElapsedSeconds();
+  return fp;
+}
+
+}  // namespace gogreen::core

@@ -1,0 +1,124 @@
+// The top-level recycling API: an interactive mining session over one
+// database. The session caches the most recent complete pattern set and, on
+// each query, chooses the cheapest correct path:
+//
+//   - first query            -> mine the raw database (any base algorithm);
+//   - tightened constraints  -> filter the cached set (no database access);
+//   - relaxed constraints    -> compress the database with the cached
+//                               patterns (Figure 1) and mine the compressed
+//                               database with an adapted algorithm
+//                               (Sections 3.3 / 4) — the paper's
+//                               contribution;
+//   - incomparable change    -> relaxed-support handling if the support
+//                               dropped, else a fresh mine, then post-filter.
+
+#ifndef GOGREEN_CORE_RECYCLER_H_
+#define GOGREEN_CORE_RECYCLER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/compressed_db.h"
+#include "core/compressed_miner.h"
+#include "core/compressor.h"
+#include "core/constraints.h"
+#include "core/utility.h"
+#include "fpm/miner.h"
+#include "fpm/pattern_set.h"
+#include "fpm/transaction_db.h"
+#include "util/status.h"
+
+namespace gogreen::core {
+
+struct RecyclerOptions {
+  /// Compression strategy for the recycle path (MCP wins in the paper).
+  CompressionStrategy strategy = CompressionStrategy::kMcp;
+  MatcherKind matcher = MatcherKind::kAuto;
+  /// Adapted algorithm used on compressed databases.
+  RecycleAlgo algo = RecycleAlgo::kHMine;
+  /// Algorithm for the initial (non-recycled) mining round.
+  fpm::MinerKind base_miner = fpm::MinerKind::kHMine;
+  /// Re-compress with the latest cached pattern set on every relaxation
+  /// (compression is cheap — Table 3 — and fresher patterns compress
+  /// better). When false, the first compressed image is reused.
+  bool recompress_each_round = true;
+  /// Disables recycling entirely (every round mines from scratch); used by
+  /// benchmarks as the non-recycling baseline.
+  bool enable_recycling = true;
+};
+
+/// Which path answered the last query.
+enum class MiningPath {
+  kInitial,   ///< First round: mined the raw database.
+  kFiltered,  ///< Tightened: filtered the cached set.
+  kRecycled,  ///< Relaxed: compressed + mined the compressed database.
+  kScratch,   ///< Recycling disabled or unusable: mined the raw database.
+};
+
+const char* MiningPathName(MiningPath path);
+
+/// Timings and context of the last Mine call.
+struct SessionStats {
+  MiningPath path = MiningPath::kInitial;
+  ConstraintDelta delta = ConstraintDelta::kUnchanged;
+  double mine_seconds = 0.0;      ///< Mining (or filtering) time.
+  double compress_seconds = 0.0;  ///< Compression time (recycle path only).
+  double compression_ratio = 1.0;
+  uint64_t patterns_returned = 0;
+  uint64_t cached_patterns = 0;  ///< Size of the cache after the call.
+};
+
+/// An interactive mining session. Not thread-safe; one user at a time.
+class RecyclingSession {
+ public:
+  explicit RecyclingSession(fpm::TransactionDb db,
+                            RecyclerOptions options = {});
+
+  /// Mines the complete set at an absolute support threshold.
+  Result<fpm::PatternSet> Mine(uint64_t min_support);
+
+  /// Mines at a relative threshold (fraction of |DB|).
+  Result<fpm::PatternSet> MineFraction(double fraction);
+
+  /// Constrained mining: support + additional constraints. The session's
+  /// cache always holds the support-complete set; other constraints are
+  /// applied as a final filter (their tightening/relaxation only affects
+  /// the reported delta, not correctness).
+  Result<fpm::PatternSet> Mine(const ConstraintSet& constraints);
+
+  /// Seeds the cache with a pattern set mined elsewhere — e.g. by another
+  /// user of the same database (the paper's multi-user motivation). The set
+  /// must be the complete set of `db()` at `min_support`.
+  void SeedCache(fpm::PatternSet fp, uint64_t min_support);
+
+  /// Drops the cached patterns and compressed image.
+  void InvalidateCache();
+
+  const fpm::TransactionDb& db() const { return db_; }
+  const SessionStats& last_stats() const { return last_stats_; }
+  const RecyclerOptions& options() const { return options_; }
+  bool has_cache() const { return cached_minsup_ != 0; }
+  uint64_t cached_min_support() const { return cached_minsup_; }
+
+ private:
+  /// Support-only mining with path selection; the cache is updated to the
+  /// returned set when it is complete at `min_support`.
+  Result<fpm::PatternSet> MineSupport(uint64_t min_support);
+
+  Result<fpm::PatternSet> MineScratch(uint64_t min_support);
+  Result<fpm::PatternSet> MineRecycled(uint64_t min_support);
+
+  fpm::TransactionDb db_;
+  RecyclerOptions options_;
+
+  fpm::PatternSet cached_fp_;
+  uint64_t cached_minsup_ = 0;  ///< 0 = no cache.
+  std::optional<CompressedDb> cdb_;
+  std::optional<ConstraintSet> last_constraints_;
+  SessionStats last_stats_;
+};
+
+}  // namespace gogreen::core
+
+#endif  // GOGREEN_CORE_RECYCLER_H_

@@ -1,0 +1,53 @@
+#include "core/rp_mine.h"
+
+#include "core/slice_db.h"
+#include "util/timer.h"
+
+namespace gogreen::core {
+
+namespace {
+
+using fpm::Rank;
+
+void MineRec(SliceMiningContext* ctx, const std::vector<Slice>& slices,
+             std::vector<Rank>* prefix) {
+  std::vector<uint64_t> counts;
+  const std::vector<Rank> frequent = ctx->CountFrequent(slices, &counts);
+  if (frequent.empty()) return;
+
+  if (ctx->TrySingleGroup(slices, frequent, counts, prefix)) return;
+
+  for (size_t i = 0; i < frequent.size(); ++i) {
+    prefix->push_back(frequent[i]);
+    ctx->EmitPattern(*prefix, counts[i]);
+    const std::vector<Slice> projected = ProjectSlices(slices, frequent[i]);
+    ++ctx->stats()->projections_built;
+    if (!projected.empty()) MineRec(ctx, projected, prefix);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+Result<fpm::PatternSet> RpMineMiner::MineCompressed(const CompressedDb& cdb,
+                                                    uint64_t min_support) {
+  GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
+  stats_.Reset();
+  Timer timer;
+  fpm::PatternSet out;
+
+  const fpm::FList flist = fpm::FList::FromCounts(
+      cdb.CountItemSupports(cdb.ItemUniverseSize()), min_support);
+  if (!flist.empty()) {
+    const SliceDb sdb = SliceDb::Build(cdb, flist);
+    SliceMiningContext ctx(flist, min_support, &out, &stats_);
+    std::vector<Rank> prefix;
+    MineRec(&ctx, sdb.slices, &prefix);
+  }
+
+  stats_.patterns_emitted = out.size();
+  stats_.elapsed_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace gogreen::core

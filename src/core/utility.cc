@@ -1,0 +1,53 @@
+#include "core/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gogreen::core {
+
+const char* CompressionStrategyName(CompressionStrategy strategy) {
+  switch (strategy) {
+    case CompressionStrategy::kMcp:
+      return "MCP";
+    case CompressionStrategy::kMlp:
+      return "MLP";
+  }
+  return "?";
+}
+
+double PatternUtility(const fpm::Pattern& pattern,
+                      CompressionStrategy strategy, size_t db_size) {
+  const double len = static_cast<double>(pattern.size());
+  const double count = static_cast<double>(pattern.support);
+  switch (strategy) {
+    case CompressionStrategy::kMcp:
+      return (std::ldexp(1.0, static_cast<int>(pattern.size())) - 1.0) *
+             count;
+    case CompressionStrategy::kMlp:
+      return len * static_cast<double>(db_size) + count;
+  }
+  return 0.0;
+}
+
+std::vector<size_t> RankPatternsByUtility(const fpm::PatternSet& fp,
+                                          CompressionStrategy strategy,
+                                          size_t db_size) {
+  std::vector<size_t> order(fp.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> utility(fp.size());
+  for (size_t i = 0; i < fp.size(); ++i) {
+    utility[i] = PatternUtility(fp[i], strategy, db_size);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (utility[a] != utility[b]) return utility[a] > utility[b];
+    if (fp[a].support != fp[b].support) return fp[a].support > fp[b].support;
+    if (fp[a].size() != fp[b].size()) return fp[a].size() < fp[b].size();
+    return std::lexicographical_compare(fp[a].items.begin(),
+                                        fp[a].items.end(),
+                                        fp[b].items.begin(),
+                                        fp[b].items.end());
+  });
+  return order;
+}
+
+}  // namespace gogreen::core

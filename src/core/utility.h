@@ -1,0 +1,44 @@
+// Pattern utility functions (Section 3.2 of the paper): how much is a
+// recycled frequent pattern worth as a compression unit for future mining?
+
+#ifndef GOGREEN_CORE_UTILITY_H_
+#define GOGREEN_CORE_UTILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpm/pattern_set.h"
+
+namespace gogreen::core {
+
+/// The two compression strategies of Section 3.2.
+enum class CompressionStrategy {
+  /// Minimize Cost Principle: U(X) = (2^|X| - 1) * X.C — the estimated cost
+  /// of the search-space visit that discovered X (all 2^|X|-1 subsets, each
+  /// counted at least X.C times). Patterns that were expensive to find save
+  /// the most when recycled.
+  kMcp,
+  /// Maximal Length Principle: U(X) = |X| * |DB| + X.C — longest pattern
+  /// first, support as tie-break. Maximizes storage compression.
+  kMlp,
+};
+
+const char* CompressionStrategyName(CompressionStrategy strategy);
+
+/// U(X) under `strategy` for a database of `db_size` tuples. Computed in
+/// double precision: only the ordering matters, and 2^|X| overflows uint64
+/// for patterns longer than 63 items.
+double PatternUtility(const fpm::Pattern& pattern,
+                      CompressionStrategy strategy, size_t db_size);
+
+/// Indices of `fp`'s patterns sorted by descending utility (step 1-2 of the
+/// compression algorithm, Figure 1). Deterministic: ties are broken by
+/// higher support, then shorter length, then lexicographic items.
+std::vector<size_t> RankPatternsByUtility(const fpm::PatternSet& fp,
+                                          CompressionStrategy strategy,
+                                          size_t db_size);
+
+}  // namespace gogreen::core
+
+#endif  // GOGREEN_CORE_UTILITY_H_

@@ -1,0 +1,66 @@
+#include "data/dat_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gogreen::data {
+
+Result<fpm::TransactionDb> ReadDatFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  fpm::TransactionDb db;
+  std::string line;
+  std::vector<fpm::ItemId> row;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    row.clear();
+    const char* p = line.data();
+    const char* end = p + line.size();
+    while (p < end) {
+      while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+      if (p == end) break;
+      uint32_t value = 0;
+      auto [next, ec] = std::from_chars(p, end, value);
+      if (ec != std::errc()) {
+        return Status::IOError("malformed item at " + path + ":" +
+                               std::to_string(line_no));
+      }
+      row.push_back(value);
+      p = next;
+    }
+    db.AddTransaction(row);
+  }
+  if (in.bad()) return Status::IOError("read error on " + path);
+  return db;
+}
+
+Result<uint64_t> WriteDatFile(const fpm::TransactionDb& db,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  uint64_t bytes = 0;
+  std::string buf;
+  for (fpm::Tid t = 0; t < db.NumTransactions(); ++t) {
+    buf.clear();
+    const fpm::ItemSpan row = db.Transaction(t);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) buf += ' ';
+      buf += std::to_string(row[i]);
+    }
+    buf += '\n';
+    out << buf;
+    bytes += buf.size();
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write error on " + path);
+  return bytes;
+}
+
+}  // namespace gogreen::data

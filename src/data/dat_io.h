@@ -1,0 +1,25 @@
+// Reader/writer for the FIMI transaction file format: one transaction per
+// line, whitespace-separated non-negative item ids.
+
+#ifndef GOGREEN_DATA_DAT_IO_H_
+#define GOGREEN_DATA_DAT_IO_H_
+
+#include <string>
+
+#include "fpm/transaction_db.h"
+#include "util/status.h"
+
+namespace gogreen::data {
+
+/// Parses a `.dat` transaction file. Blank lines become empty transactions;
+/// malformed tokens produce an IOError naming the line.
+Result<fpm::TransactionDb> ReadDatFile(const std::string& path);
+
+/// Writes `db` in `.dat` format. Returns the number of bytes written, which
+/// the compression-ratio bookkeeping (Table 3) uses as the on-disk size.
+Result<uint64_t> WriteDatFile(const fpm::TransactionDb& db,
+                              const std::string& path);
+
+}  // namespace gogreen::data
+
+#endif  // GOGREEN_DATA_DAT_IO_H_

@@ -1,0 +1,169 @@
+#include "data/datasets.h"
+
+#include "data/dense_gen.h"
+#include "data/quest_gen.h"
+#include "util/logging.h"
+
+namespace gogreen::data {
+
+namespace {
+
+const DatasetSpec kSpecs[] = {
+    {DatasetId::kWeatherSub,
+     "weather-sub",
+     "Weather",
+     /*dense=*/false,
+     /*xi_old=*/0.05,
+     {0.04, 0.03, 0.02, 0.015, 0.01}},
+    {DatasetId::kForestSub,
+     "forest-sub",
+     "Forest",
+     /*dense=*/false,
+     /*xi_old=*/0.01,
+     {0.008, 0.006, 0.004, 0.003, 0.002}},
+    {DatasetId::kConnect4Sub,
+     "connect4-sub",
+     "Connect-4",
+     /*dense=*/true,
+     /*xi_old=*/0.95,
+     {0.93, 0.92, 0.91, 0.90, 0.88, 0.85}},
+    {DatasetId::kPumsbSub,
+     "pumsb-sub",
+     "Pumsb",
+     /*dense=*/true,
+     /*xi_old=*/0.90,
+     {0.88, 0.87, 0.86, 0.85, 0.84, 0.82}},
+};
+
+/// Pumsb-like attribute cardinalities: 74 attributes totalling ~7117 items —
+/// half low-cardinality census-style codes, half high-cardinality ones.
+std::vector<uint32_t> PumsbCardinalities() {
+  std::vector<uint32_t> card;
+  card.reserve(74);
+  uint32_t total = 0;
+  for (size_t a = 0; a < 37; ++a) {
+    const uint32_t c = 2 + static_cast<uint32_t>(a % 10);  // 2..11
+    card.push_back(c);
+    total += c;
+  }
+  const uint32_t remaining = 7117 - total;
+  for (size_t a = 0; a < 37; ++a) {
+    uint32_t c = remaining / 37;
+    if (a < remaining % 37) ++c;
+    card.push_back(c);
+  }
+  return card;
+}
+
+size_t ScaleTransactions(BenchScale scale, size_t smoke, size_t dflt,
+                         size_t full) {
+  switch (scale) {
+    case BenchScale::kSmoke:
+      return smoke;
+    case BenchScale::kDefault:
+      return dflt;
+    case BenchScale::kFull:
+      return full;
+  }
+  return dflt;
+}
+
+}  // namespace
+
+const DatasetSpec& GetDatasetSpec(DatasetId id) {
+  for (const DatasetSpec& spec : kSpecs) {
+    if (spec.id == id) return spec;
+  }
+  GOGREEN_CHECK(false) << "unknown DatasetId";
+  return kSpecs[0];
+}
+
+size_t DatasetTransactions(DatasetId id, BenchScale scale) {
+  switch (id) {
+    case DatasetId::kWeatherSub:
+      return ScaleTransactions(scale, 5000, 100000, 1015367);
+    case DatasetId::kForestSub:
+      return ScaleTransactions(scale, 5000, 80000, 581012);
+    case DatasetId::kConnect4Sub:
+      return ScaleTransactions(scale, 3000, 10000, 67557);
+    case DatasetId::kPumsbSub:
+      return ScaleTransactions(scale, 2000, 8000, 49446);
+  }
+  return 0;
+}
+
+Result<fpm::TransactionDb> MakeDataset(DatasetId id, BenchScale scale) {
+  const size_t n = DatasetTransactions(id, scale);
+  switch (id) {
+    case DatasetId::kWeatherSub: {
+      QuestConfig cfg;
+      cfg.num_transactions = n;
+      cfg.avg_transaction_len = 15.0;
+      cfg.num_items = 7959;
+      cfg.num_patterns = 100;
+      cfg.avg_pattern_len = 9.0;
+      cfg.max_pattern_len = 10;
+      cfg.correlation = 0.5;
+      cfg.corruption_mean = 0.10;
+      cfg.weight_skew = 2.5;
+      cfg.noise_mean = 1.0;
+      cfg.seed = 20040301;
+      return GenerateQuest(cfg);
+    }
+    case DatasetId::kForestSub: {
+      QuestConfig cfg;
+      cfg.num_transactions = n;
+      cfg.avg_transaction_len = 13.0;
+      cfg.num_items = 15970;
+      cfg.num_patterns = 900;
+      cfg.avg_pattern_len = 3.5;
+      cfg.max_pattern_len = 8;
+      cfg.correlation = 0.4;
+      cfg.corruption_mean = 0.35;
+      cfg.weight_skew = 1.6;
+      cfg.noise_mean = 2.0;
+      cfg.seed = 20040302;
+      return GenerateQuest(cfg);
+    }
+    case DatasetId::kConnect4Sub: {
+      // A core of near-deterministic attributes (mirroring Connect-4's
+      // mostly-blank cells) plus mid- and low-frequency tiers.
+      DenseConfig cfg = DenseConfig::Uniform(n, 43, 3, 20040303);
+      cfg.dominant_probs.resize(43);
+      for (size_t a = 0; a < 43; ++a) {
+        if (a % 4 == 0 || a == 1) {  // 12 core attributes.
+          cfg.dominant_probs[a] = 0.9965;
+        } else if (a % 4 == 1) {
+          cfg.dominant_probs[a] = 0.93;  // 11 mid attributes.
+        } else if (a % 4 == 2) {
+          cfg.dominant_probs[a] = 0.80;
+        } else {
+          cfg.dominant_probs[a] = 0.55;
+        }
+      }
+      cfg.run_boost = 0.0;
+      return GenerateDense(cfg);
+    }
+    case DatasetId::kPumsbSub: {
+      DenseConfig cfg;
+      cfg.num_transactions = n;
+      cfg.cardinalities = PumsbCardinalities();
+      cfg.dominant_probs.resize(cfg.cardinalities.size());
+      for (size_t a = 0; a < cfg.dominant_probs.size(); ++a) {
+        if (a % 7 == 0) {
+          cfg.dominant_probs[a] = 0.9915;  // 11 core attributes.
+        } else if (a % 7 <= 2) {
+          cfg.dominant_probs[a] = 0.915;
+        } else {
+          cfg.dominant_probs[a] = 0.55;
+        }
+      }
+      cfg.run_boost = 0.0;
+      cfg.seed = 20040304;
+      return GenerateDense(cfg);
+    }
+  }
+  return Status::InvalidArgument("unknown dataset id");
+}
+
+}  // namespace gogreen::data

@@ -1,0 +1,53 @@
+// Named benchmark datasets: deterministic synthetic substitutes for the four
+// datasets of the paper's evaluation (Table 3). See DESIGN.md §3 for the
+// substitution rationale.
+
+#ifndef GOGREEN_DATA_DATASETS_H_
+#define GOGREEN_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "fpm/transaction_db.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace gogreen::data {
+
+enum class DatasetId {
+  kWeatherSub,   ///< Sparse; stands in for Weather (1M x 15, 7959 items).
+  kForestSub,    ///< Sparse; stands in for Forest/CoverType (581K x 13).
+  kConnect4Sub,  ///< Dense; stands in for Connect-4 (67K x 43, 130 items).
+  kPumsbSub,     ///< Dense; stands in for Pumsb (49K x 74, 7117 items).
+};
+
+inline constexpr DatasetId kAllDatasets[] = {
+    DatasetId::kWeatherSub, DatasetId::kForestSub, DatasetId::kConnect4Sub,
+    DatasetId::kPumsbSub};
+
+/// Static description of a dataset: its identity and the support thresholds
+/// the paper's experiments use on it.
+struct DatasetSpec {
+  DatasetId id;
+  const char* name;        ///< e.g. "weather-sub"
+  const char* paper_name;  ///< e.g. "Weather"
+  bool dense;
+  /// xi_old: the initial support (fraction) whose patterns are recycled.
+  double xi_old;
+  /// xi_new sweep for the runtime figures, descending (relaxation).
+  std::vector<double> xi_new_sweep;
+};
+
+/// Spec for a dataset id.
+const DatasetSpec& GetDatasetSpec(DatasetId id);
+
+/// Generates the dataset at the given bench scale (smoke/default/full;
+/// full reproduces the paper's tuple counts). Deterministic.
+Result<fpm::TransactionDb> MakeDataset(DatasetId id, BenchScale scale);
+
+/// Number of transactions the dataset has at a scale (without generating).
+size_t DatasetTransactions(DatasetId id, BenchScale scale);
+
+}  // namespace gogreen::data
+
+#endif  // GOGREEN_DATA_DATASETS_H_

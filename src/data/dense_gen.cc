@@ -1,0 +1,72 @@
+#include "data/dense_gen.h"
+
+#include <numeric>
+
+#include "util/random.h"
+
+namespace gogreen::data {
+
+DenseConfig DenseConfig::Uniform(size_t num_transactions, size_t num_attrs,
+                                 uint32_t values_per_attr, uint64_t seed) {
+  DenseConfig cfg;
+  cfg.num_transactions = num_transactions;
+  cfg.cardinalities.assign(num_attrs, values_per_attr);
+  cfg.seed = seed;
+  return cfg;
+}
+
+Result<fpm::TransactionDb> GenerateDense(const DenseConfig& cfg) {
+  if (cfg.cardinalities.empty()) {
+    return Status::InvalidArgument("cardinalities must be non-empty");
+  }
+  for (uint32_t c : cfg.cardinalities) {
+    if (c == 0) return Status::InvalidArgument("attribute cardinality 0");
+  }
+  if (!cfg.dominant_probs.empty() &&
+      cfg.dominant_probs.size() != cfg.cardinalities.size()) {
+    return Status::InvalidArgument(
+        "dominant_probs must match cardinalities in size");
+  }
+
+  // Attribute-major item id layout.
+  const size_t num_attrs = cfg.cardinalities.size();
+  std::vector<fpm::ItemId> offsets(num_attrs);
+  fpm::ItemId next = 0;
+  for (size_t a = 0; a < num_attrs; ++a) {
+    offsets[a] = next;
+    next += cfg.cardinalities[a];
+  }
+
+  Random rng(cfg.seed);
+  fpm::TransactionDb db;
+  db.Reserve(cfg.num_transactions, cfg.num_transactions * num_attrs);
+
+  std::vector<fpm::ItemId> row(num_attrs);
+  for (size_t t = 0; t < cfg.num_transactions; ++t) {
+    bool in_run = rng.Bernoulli(cfg.run_start_prob);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const uint32_t card = cfg.cardinalities[a];
+      double p_dom;
+      if (!cfg.dominant_probs.empty()) {
+        p_dom = cfg.dominant_probs[a] + (in_run ? cfg.run_boost : 0.0);
+        if (p_dom > 1.0) p_dom = 1.0;
+      } else {
+        p_dom = in_run ? cfg.dominant_prob : cfg.background_dominant_prob;
+      }
+      uint32_t value;
+      if (card == 1 || rng.Bernoulli(p_dom)) {
+        value = 0;  // Value 0 is each attribute's dominant value.
+      } else {
+        value = 1 + static_cast<uint32_t>(rng.Uniform(card - 1));
+      }
+      row[a] = offsets[a] + value;
+      // Advance the Markov chain for the next attribute.
+      in_run = rng.Bernoulli(in_run ? cfg.run_continue_prob
+                                    : cfg.run_start_prob);
+    }
+    db.AddCanonicalTransaction(row);  // Attribute-major => already sorted.
+  }
+  return db;
+}
+
+}  // namespace gogreen::data

@@ -1,0 +1,145 @@
+#include "data/quest_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fpm/pattern.h"
+#include "util/random.h"
+
+namespace gogreen::data {
+
+namespace {
+
+/// The hidden table of potentially frequent itemsets with sampling weights.
+struct PatternTable {
+  std::vector<std::vector<fpm::ItemId>> itemsets;
+  std::vector<double> corruption;  // Per-pattern drop probability.
+  std::vector<double> cum_weight;  // Cumulative, normalized to [0,1].
+};
+
+PatternTable BuildPatternTable(const QuestConfig& cfg, Random* rng) {
+  PatternTable table;
+  table.itemsets.reserve(cfg.num_patterns);
+  table.corruption.reserve(cfg.num_patterns);
+  std::vector<double> weights;
+  weights.reserve(cfg.num_patterns);
+
+  const std::vector<fpm::ItemId>* prev = nullptr;
+  for (size_t p = 0; p < cfg.num_patterns; ++p) {
+    size_t len = static_cast<size_t>(
+        std::max(1.0, std::round(rng->Exponential(cfg.avg_pattern_len))));
+    len = std::min(len, cfg.num_items);
+    if (cfg.max_pattern_len > 0) len = std::min(len, cfg.max_pattern_len);
+
+    std::vector<fpm::ItemId> items;
+    items.reserve(len);
+    // A fraction of the items come from the previous itemset (correlation);
+    // the rest are fresh uniform draws.
+    if (prev != nullptr && !prev->empty()) {
+      for (fpm::ItemId it : *prev) {
+        if (items.size() < len && rng->Bernoulli(cfg.correlation)) {
+          items.push_back(it);
+        }
+      }
+    }
+    while (items.size() < len) {
+      items.push_back(static_cast<fpm::ItemId>(rng->Uniform(cfg.num_items)));
+    }
+    fpm::CanonicalizeItems(&items);
+    table.itemsets.push_back(std::move(items));
+    prev = &table.itemsets.back();
+
+    // Corruption level: clamped normal around the mean, as in Quest.
+    double corr = cfg.corruption_mean + 0.1 * rng->Gaussian();
+    table.corruption.push_back(std::clamp(corr, 0.0, 0.95));
+
+    // Exponential weights raised to weight_skew concentrate mass.
+    weights.push_back(std::pow(rng->Exponential(1.0), cfg.weight_skew));
+  }
+
+  double total = 0;
+  for (double w : weights) total += w;
+  table.cum_weight.reserve(weights.size());
+  double acc = 0;
+  for (double w : weights) {
+    acc += w / total;
+    table.cum_weight.push_back(acc);
+  }
+  if (!table.cum_weight.empty()) table.cum_weight.back() = 1.0;
+  return table;
+}
+
+size_t SamplePattern(const PatternTable& table, Random* rng) {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(table.cum_weight.begin(),
+                                   table.cum_weight.end(), u);
+  return static_cast<size_t>(it - table.cum_weight.begin());
+}
+
+}  // namespace
+
+Result<fpm::TransactionDb> GenerateQuest(const QuestConfig& cfg) {
+  if (cfg.num_items == 0) {
+    return Status::InvalidArgument("num_items must be positive");
+  }
+  if (cfg.num_patterns == 0) {
+    return Status::InvalidArgument("num_patterns must be positive");
+  }
+  if (cfg.avg_transaction_len < 1.0) {
+    return Status::InvalidArgument("avg_transaction_len must be >= 1");
+  }
+
+  Random rng(cfg.seed);
+  const PatternTable table = [&] {
+    if (cfg.table_seed == 0) return BuildPatternTable(cfg, &rng);
+    Random table_rng(cfg.table_seed);
+    return BuildPatternTable(cfg, &table_rng);
+  }();
+
+  fpm::TransactionDb db;
+  db.Reserve(cfg.num_transactions,
+             static_cast<size_t>(static_cast<double>(cfg.num_transactions) *
+                                 cfg.avg_transaction_len));
+
+  std::vector<fpm::ItemId> row;
+  for (size_t t = 0; t < cfg.num_transactions; ++t) {
+    const uint32_t noise = rng.Poisson(cfg.noise_mean);
+    const size_t full_target =
+        std::max<uint32_t>(1, rng.Poisson(cfg.avg_transaction_len));
+    const size_t target = full_target > noise ? full_target - noise : 1;
+    row.clear();
+    // Fill with corrupted potential itemsets until the target is reached.
+    // Quest allows one overshooting pattern half the time; we keep a pattern
+    // that overshoots with probability 0.5, otherwise discard it and stop.
+    size_t guard = 0;
+    while (row.size() < target && ++guard < 50) {
+      const size_t pi = SamplePattern(table, &rng);
+      const auto& pattern = table.itemsets[pi];
+      const double drop = table.corruption[pi];
+      std::vector<fpm::ItemId> kept;
+      kept.reserve(pattern.size());
+      for (fpm::ItemId it : pattern) {
+        if (!rng.Bernoulli(drop)) kept.push_back(it);
+      }
+      if (kept.empty()) continue;
+      if (row.size() + kept.size() > target + 1 && !row.empty()) {
+        if (rng.Bernoulli(0.5)) {
+          row.insert(row.end(), kept.begin(), kept.end());
+        }
+        break;
+      }
+      row.insert(row.end(), kept.begin(), kept.end());
+    }
+    for (uint32_t k = 0; k < noise; ++k) {
+      row.push_back(static_cast<fpm::ItemId>(rng.Uniform(cfg.num_items)));
+    }
+    if (row.empty()) {
+      row.push_back(static_cast<fpm::ItemId>(rng.Uniform(cfg.num_items)));
+    }
+    db.AddTransaction(row);
+  }
+  return db;
+}
+
+}  // namespace gogreen::data

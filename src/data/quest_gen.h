@@ -1,0 +1,59 @@
+// IBM Quest-style synthetic market-basket generator (Agrawal & Srikant,
+// VLDB'94, Section 4.1). Produces sparse transaction data whose frequent
+// patterns come from a hidden table of "potentially frequent itemsets".
+// Stands in for the paper's Weather and Forest datasets (see DESIGN.md §3).
+
+#ifndef GOGREEN_DATA_QUEST_GEN_H_
+#define GOGREEN_DATA_QUEST_GEN_H_
+
+#include <cstdint>
+
+#include "fpm/transaction_db.h"
+#include "util/status.h"
+
+namespace gogreen::data {
+
+/// Parameters mirroring the original generator's knobs.
+struct QuestConfig {
+  /// |D|: number of transactions.
+  size_t num_transactions = 100000;
+  /// |T|: average transaction length (Poisson-distributed).
+  double avg_transaction_len = 10.0;
+  /// N: size of the item universe.
+  size_t num_items = 1000;
+  /// |L|: number of potentially frequent itemsets in the hidden table.
+  size_t num_patterns = 500;
+  /// |I|: average size of a potential itemset (exponential, >= 1).
+  double avg_pattern_len = 4.0;
+  /// Hard cap on a potential itemset's size (0 = only capped by num_items).
+  /// Exponential lengths have a long tail; very long near-uncorrupted
+  /// patterns make the frequent-pattern count blow up combinatorially.
+  size_t max_pattern_len = 0;
+  /// Fraction of a new potential itemset's items drawn from its predecessor
+  /// (drives cross-pattern correlation).
+  double correlation = 0.5;
+  /// Mean corruption level: the per-pattern probability that items are
+  /// dropped when the pattern is placed in a transaction.
+  double corruption_mean = 0.5;
+  /// Pattern weights are Exp(1) with this skew exponent applied; larger
+  /// values concentrate probability mass on few patterns, producing more
+  /// high-support patterns.
+  double weight_skew = 1.0;
+  /// Mean number of uniform background-noise items appended per transaction
+  /// (Poisson). Noise widens the distinct-item footprint towards the full
+  /// universe without creating frequent patterns.
+  double noise_mean = 0.0;
+  uint64_t seed = 1;
+  /// When non-zero, the hidden pattern table is drawn from this separate
+  /// seed so several databases (e.g. daily batches) can share one table
+  /// while their transactions differ (vary `seed`, fix `table_seed`).
+  /// 0 keeps the single-stream behaviour (table and data from `seed`).
+  uint64_t table_seed = 0;
+};
+
+/// Generates a database according to `config`. Deterministic per seed.
+Result<fpm::TransactionDb> GenerateQuest(const QuestConfig& config);
+
+}  // namespace gogreen::data
+
+#endif  // GOGREEN_DATA_QUEST_GEN_H_

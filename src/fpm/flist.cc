@@ -1,0 +1,78 @@
+#include "fpm/flist.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace gogreen::fpm {
+
+FList FList::Build(const TransactionDb& db, uint64_t min_support) {
+  return FromCounts(db.CountItemSupports(), min_support);
+}
+
+FList FList::FromCounts(const std::vector<uint64_t>& counts,
+                        uint64_t min_support) {
+  FList out;
+  // A threshold of 0 would classify never-seen items as frequent; clamp to 1
+  // so "frequent" always means "occurs at least once".
+  const uint64_t threshold = std::max<uint64_t>(min_support, 1);
+  for (size_t it = 0; it < counts.size(); ++it) {
+    if (counts[it] >= threshold) {
+      out.items_.push_back(static_cast<ItemId>(it));
+    }
+  }
+  // Support ascending; ties by item id ascending (push order is id-ascending,
+  // stable_sort preserves it).
+  std::stable_sort(out.items_.begin(), out.items_.end(),
+                   [&counts](ItemId a, ItemId b) {
+                     return counts[a] < counts[b];
+                   });
+  out.supports_.reserve(out.items_.size());
+  for (ItemId it : out.items_) out.supports_.push_back(counts[it]);
+  out.ranks_.assign(counts.size(), kNoRank);
+  for (Rank r = 0; r < out.items_.size(); ++r) {
+    out.ranks_[out.items_[r]] = r;
+  }
+  return out;
+}
+
+std::vector<Rank> FList::EncodeTransaction(ItemSpan items) const {
+  std::vector<Rank> out;
+  AppendEncoded(items, &out);
+  return out;
+}
+
+size_t FList::AppendEncoded(ItemSpan items, std::vector<Rank>* out) const {
+  const size_t before = out->size();
+  for (ItemId it : items) {
+    const Rank r = rank(it);
+    if (r != kNoRank) out->push_back(r);
+  }
+  std::sort(out->begin() + static_cast<ptrdiff_t>(before), out->end());
+  return out->size() - before;
+}
+
+std::vector<ItemId> FList::DecodeRanks(const std::vector<Rank>& ranks) const {
+  std::vector<ItemId> out;
+  out.reserve(ranks.size());
+  for (Rank r : ranks) {
+    GOGREEN_DCHECK(r < items_.size());
+    out.push_back(items_[r]);
+  }
+  return out;
+}
+
+RankedDb RankedDb::Build(const TransactionDb& db, const FList& flist) {
+  RankedDb out;
+  const size_t n = db.NumTransactions();
+  out.offsets_.reserve(n + 1);
+  out.ranks_.reserve(db.TotalItems());
+  for (Tid t = 0; t < n; ++t) {
+    flist.AppendEncoded(db.Transaction(t), &out.ranks_);
+    out.offsets_.push_back(out.ranks_.size());
+  }
+  return out;
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,228 @@
+#include "fpm/fpgrowth.h"
+
+#include <algorithm>
+
+#include "fpm/flist.h"
+#include "util/arena.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gogreen::fpm {
+
+namespace {
+
+/// One FP-tree node. Children form a singly linked sibling list; `next`
+/// threads all nodes of the same rank for the header table.
+struct FpNode {
+  Rank rank;
+  uint64_t count;
+  FpNode* parent;
+  FpNode* first_child;
+  FpNode* next_sibling;
+  FpNode* next;  // Header chain.
+};
+
+/// An FP-tree over a *local* rank space 0..num_ranks-1 (each conditional tree
+/// compacts its alphabet so header arrays stay small). Local rank order is
+/// consistent with global F-list order, and paths store ranks in *descending*
+/// order from the root (most frequent item first), so the conditional pattern
+/// base of a rank consists of strictly larger local ranks.
+class FpTree {
+ public:
+  explicit FpTree(size_t num_ranks)
+      : header_heads_(num_ranks, nullptr), header_counts_(num_ranks, 0) {
+    root_ = arena_.New<FpNode>(
+        FpNode{kNoRank, 0, nullptr, nullptr, nullptr, nullptr});
+  }
+
+  /// Inserts a path of local ranks sorted descending, adding `weight` to
+  /// every node along it.
+  void InsertPath(std::span<const Rank> desc_ranks, uint64_t weight) {
+    FpNode* node = root_;
+    for (Rank r : desc_ranks) {
+      FpNode* child = FindChild(node, r);
+      if (child == nullptr) {
+        child = arena_.New<FpNode>(
+            FpNode{r, 0, node, nullptr, node->first_child, header_heads_[r]});
+        node->first_child = child;
+        header_heads_[r] = child;
+      }
+      child->count += weight;
+      header_counts_[r] += weight;
+      node = child;
+    }
+  }
+
+  uint64_t HeaderCount(Rank r) const { return header_counts_[r]; }
+  FpNode* HeaderHead(Rank r) const { return header_heads_[r]; }
+  size_t num_ranks() const { return header_heads_.size(); }
+
+  /// If the tree consists of a single downward path, returns its nodes
+  /// root-side first; otherwise returns an empty vector.
+  std::vector<const FpNode*> SinglePath() const {
+    std::vector<const FpNode*> path;
+    const FpNode* node = root_;
+    while (node->first_child != nullptr) {
+      if (node->first_child->next_sibling != nullptr) return {};
+      node = node->first_child;
+      path.push_back(node);
+    }
+    return path;
+  }
+
+  bool empty() const { return root_->first_child == nullptr; }
+
+  size_t MemoryUsage() const { return arena_.allocated_bytes(); }
+
+ private:
+  static FpNode* FindChild(FpNode* node, Rank r) {
+    for (FpNode* c = node->first_child; c != nullptr; c = c->next_sibling) {
+      if (c->rank == r) return c;
+    }
+    return nullptr;
+  }
+
+  Arena arena_;
+  FpNode* root_;
+  std::vector<FpNode*> header_heads_;
+  std::vector<uint64_t> header_counts_;
+};
+
+class FpGrowthContext {
+ public:
+  FpGrowthContext(const FList& flist, uint64_t min_support, PatternSet* out,
+                  MiningStats* stats)
+      : flist_(flist), min_support_(min_support), out_(out), stats_(stats) {}
+
+  /// Mines `tree` under `prefix`. `to_global[local]` maps the tree's local
+  /// rank space back to global F-list ranks (increasing in local rank).
+  void Mine(const FpTree& tree, const std::vector<Rank>& to_global,
+            std::vector<Rank>* prefix) {
+    if (tree.empty()) return;
+
+    const std::vector<const FpNode*> path = tree.SinglePath();
+    if (!path.empty()) {
+      EmitSinglePathCombinations(path, to_global, prefix);
+      return;
+    }
+
+    // Header processed in ascending local-rank order (lowest support first),
+    // as in the original algorithm.
+    for (Rank r = 0; r < tree.num_ranks(); ++r) {
+      if (tree.HeaderCount(r) < min_support_) continue;
+      prefix->push_back(to_global[r]);
+      EmitPattern(*prefix, tree.HeaderCount(r));
+
+      // Conditional pattern base of r: the prefix paths of every node in
+      // r's chain, weighted by that node's count.
+      std::vector<uint64_t> cond_counts(tree.num_ranks(), 0);
+      for (const FpNode* n = tree.HeaderHead(r); n != nullptr; n = n->next) {
+        for (const FpNode* p = n->parent; p->rank != kNoRank; p = p->parent) {
+          cond_counts[p->rank] += n->count;
+          ++stats_->items_scanned;
+        }
+      }
+
+      // Compact the locally frequent items into a fresh local rank space.
+      std::vector<Rank> remap(tree.num_ranks(), kNoRank);
+      std::vector<Rank> cond_to_global;
+      for (Rank r2 = 0; r2 < tree.num_ranks(); ++r2) {
+        if (cond_counts[r2] >= min_support_) {
+          remap[r2] = static_cast<Rank>(cond_to_global.size());
+          cond_to_global.push_back(to_global[r2]);
+        }
+      }
+
+      if (!cond_to_global.empty()) {
+        FpTree cond_tree(cond_to_global.size());
+        std::vector<Rank> desc;
+        for (const FpNode* n = tree.HeaderHead(r); n != nullptr; n = n->next) {
+          desc.clear();
+          for (const FpNode* p = n->parent; p->rank != kNoRank;
+               p = p->parent) {
+            if (remap[p->rank] != kNoRank) desc.push_back(remap[p->rank]);
+          }
+          // Walking up yields ascending-from-leaf order; the insert wants
+          // descending-from-root, which is the reverse.
+          std::reverse(desc.begin(), desc.end());
+          cond_tree.InsertPath(desc, n->count);
+        }
+        ++stats_->projections_built;
+        Mine(cond_tree, cond_to_global, prefix);
+      }
+      prefix->pop_back();
+    }
+  }
+
+ private:
+  /// A single-path tree of k nodes encodes 2^k - 1 patterns: any non-empty
+  /// subset of the path, supported by the count of its deepest node.
+  void EmitSinglePathCombinations(const std::vector<const FpNode*>& path,
+                                  const std::vector<Rank>& to_global,
+                                  std::vector<Rank>* prefix) {
+    const size_t k = path.size();
+    GOGREEN_CHECK_LT(k, size_t{40});  // Combination explosion guard.
+    for (uint64_t mask = 1; mask < (uint64_t{1} << k); ++mask) {
+      uint64_t support = 0;
+      size_t added = 0;
+      for (size_t i = 0; i < k; ++i) {
+        if ((mask >> i) & 1) {
+          prefix->push_back(to_global[path[i]->rank]);
+          support = path[i]->count;  // Deepest selected node's count.
+          ++added;
+        }
+      }
+      if (support >= min_support_) EmitPattern(*prefix, support);
+      for (size_t i = 0; i < added; ++i) prefix->pop_back();
+    }
+  }
+
+  void EmitPattern(const std::vector<Rank>& ranks, uint64_t support) {
+    std::vector<ItemId> items = flist_.DecodeRanks(ranks);
+    std::sort(items.begin(), items.end());
+    out_->Add(std::move(items), support);
+  }
+
+  const FList& flist_;
+  const uint64_t min_support_;
+  PatternSet* out_;
+  MiningStats* stats_;
+};
+
+}  // namespace
+
+Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
+                                       uint64_t min_support) {
+  GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
+  stats_.Reset();
+  Timer timer;
+  PatternSet out;
+
+  const FList flist = FList::Build(db, min_support);
+  if (!flist.empty()) {
+    FpTree tree(flist.size());
+    std::vector<Rank> desc;
+    for (Tid t = 0; t < db.NumTransactions(); ++t) {
+      desc.clear();
+      flist.AppendEncoded(db.Transaction(t), &desc);
+      // Encoded rows are rank-ascending; tree paths want rank-descending
+      // (most frequent first).
+      std::reverse(desc.begin(), desc.end());
+      tree.InsertPath(desc, 1);
+    }
+
+    // Initial tree: local rank space == global rank space.
+    std::vector<Rank> identity(flist.size());
+    for (Rank r = 0; r < flist.size(); ++r) identity[r] = r;
+
+    std::vector<Rank> prefix;
+    FpGrowthContext ctx(flist, min_support, &out, &stats_);
+    ctx.Mine(tree, identity, &prefix);
+  }
+
+  stats_.patterns_emitted = out.size();
+  stats_.elapsed_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,22 @@
+// FP-growth (Han, Pei, Yin — SIGMOD'00): mining without candidate generation
+// over a frequent-pattern tree (prefix tree + header table), with the
+// single-path shortcut for conditional trees that degenerate to one branch.
+
+#ifndef GOGREEN_FPM_FPGROWTH_H_
+#define GOGREEN_FPM_FPGROWTH_H_
+
+#include "fpm/miner.h"
+
+namespace gogreen::fpm {
+
+class FpGrowthMiner : public FrequentPatternMiner {
+ public:
+  std::string name() const override { return "fp-growth"; }
+
+  Result<PatternSet> Mine(const TransactionDb& db,
+                          uint64_t min_support) override;
+};
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_FPGROWTH_H_

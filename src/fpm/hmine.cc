@@ -1,0 +1,160 @@
+#include "fpm/hmine.h"
+
+#include <algorithm>
+
+#include "fpm/flist.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gogreen::fpm {
+
+namespace {
+
+/// A suffix of one ranked transaction: the projection of that transaction
+/// into the current prefix's projected database.
+struct Suffix {
+  Tid tid;
+  uint32_t pos;  // First item of the suffix within the ranked transaction.
+};
+
+/// RowSource concept: Transaction(Tid) -> span of ranks, ascending.
+template <typename RowSource>
+class HMineContext {
+ public:
+  HMineContext(const RowSource& ranked, const FList& flist,
+               uint64_t min_support, PatternSet* out, MiningStats* stats)
+      : ranked_(ranked),
+        flist_(flist),
+        min_support_(min_support),
+        out_(out),
+        stats_(stats),
+        counts_(flist.size(), 0),
+        bucket_of_(flist.size(), SIZE_MAX) {}
+
+  /// Mines the projected database `projs` under `prefix` (prefix given in
+  /// ranks). Two passes per call, as in H-Mine: one to count candidate
+  /// extensions, one to thread the suffix links of the frequent ones.
+  void Mine(const std::vector<Suffix>& projs, std::vector<Rank>* prefix) {
+    // Pass 1: count candidate extensions.
+    std::vector<Rank> touched;
+    for (const Suffix& s : projs) {
+      const auto row = ranked_.Transaction(s.tid);
+      for (size_t i = s.pos; i < row.size(); ++i) {
+        if (counts_[row[i]]++ == 0) touched.push_back(row[i]);
+        ++stats_->items_scanned;
+      }
+    }
+
+    std::vector<Rank> frequent;
+    for (Rank r : touched) {
+      if (counts_[r] >= min_support_) frequent.push_back(r);
+    }
+    std::sort(frequent.begin(), frequent.end());
+
+    // Emit prefix+r for each frequent extension before recursing.
+    std::vector<uint64_t> freq_counts(frequent.size());
+    for (size_t i = 0; i < frequent.size(); ++i) {
+      freq_counts[i] = counts_[frequent[i]];
+    }
+    // Reset scratch counters before recursion (recursive calls reuse them).
+    for (Rank r : touched) counts_[r] = 0;
+
+    if (frequent.empty()) return;
+
+    // Pass 2: build the per-extension suffix queues (the hyperlinks).
+    std::vector<std::vector<Suffix>> buckets(frequent.size());
+    for (size_t i = 0; i < frequent.size(); ++i) {
+      bucket_of_[frequent[i]] = i;
+      buckets[i].reserve(freq_counts[i]);
+    }
+    for (const Suffix& s : projs) {
+      const auto row = ranked_.Transaction(s.tid);
+      for (size_t i = s.pos; i < row.size(); ++i) {
+        const size_t b = bucket_of_[row[i]];
+        if (b != SIZE_MAX) {
+          buckets[b].push_back({s.tid, static_cast<uint32_t>(i + 1)});
+        }
+      }
+    }
+    // Release the scratch map before recursing (recursive calls reuse it).
+    for (Rank r : frequent) bucket_of_[r] = SIZE_MAX;
+    stats_->projections_built += frequent.size();
+
+    for (size_t i = 0; i < frequent.size(); ++i) {
+      prefix->push_back(frequent[i]);
+      EmitPattern(*prefix, freq_counts[i]);
+      Mine(buckets[i], prefix);
+      prefix->pop_back();
+      buckets[i].clear();
+      buckets[i].shrink_to_fit();  // Release level memory eagerly.
+    }
+  }
+
+ private:
+  void EmitPattern(const std::vector<Rank>& ranks, uint64_t support) {
+    std::vector<ItemId> items = flist_.DecodeRanks(ranks);
+    std::sort(items.begin(), items.end());
+    out_->Add(std::move(items), support);
+  }
+
+  const RowSource& ranked_;
+  const FList& flist_;
+  const uint64_t min_support_;
+  PatternSet* out_;
+  MiningStats* stats_;
+  std::vector<uint64_t> counts_;    // Scratch, zero between calls.
+  std::vector<size_t> bucket_of_;   // Scratch, SIZE_MAX between calls.
+};
+
+}  // namespace
+
+Result<PatternSet> HMineMiner::Mine(const TransactionDb& db,
+                                    uint64_t min_support) {
+  GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
+  stats_.Reset();
+  Timer timer;
+  PatternSet out;
+
+  const FList flist = FList::Build(db, min_support);
+  if (!flist.empty()) {
+    const RankedDb ranked = RankedDb::Build(db, flist);
+
+    std::vector<Suffix> all;
+    all.reserve(ranked.NumTransactions());
+    for (Tid t = 0; t < ranked.NumTransactions(); ++t) {
+      if (!ranked.Transaction(t).empty()) all.push_back({t, 0});
+    }
+
+    std::vector<Rank> prefix;
+    HMineContext<RankedDb> ctx(ranked, flist, min_support, &out, &stats_);
+    ctx.Mine(all, &prefix);
+  }
+
+  stats_.patterns_emitted = out.size();
+  stats_.elapsed_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+void MineRankedRowsHM(const std::vector<std::vector<Rank>>& rows,
+                      const FList& flist, uint64_t min_support,
+                      const std::vector<Rank>& prefix_ranks, PatternSet* out,
+                      MiningStats* stats) {
+  struct VecRows {
+    const std::vector<std::vector<Rank>>& rows;
+    size_t NumTransactions() const { return rows.size(); }
+    std::span<const Rank> Transaction(Tid t) const {
+      return {rows[t].data(), rows[t].size()};
+    }
+  };
+  const VecRows source{rows};
+  std::vector<Suffix> all;
+  all.reserve(rows.size());
+  for (Tid t = 0; t < rows.size(); ++t) {
+    if (!rows[t].empty()) all.push_back({t, 0});
+  }
+  std::vector<Rank> prefix = prefix_ranks;
+  HMineContext<VecRows> ctx(source, flist, min_support, out, stats);
+  ctx.Mine(all, &prefix);
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,36 @@
+// H-Mine (Pei, Han, Lu, Nishio, Tang, Yang — ICDM'01): frequent-pattern
+// mining over an in-memory hyper-structure. Transactions are re-encoded onto
+// the F-list; every projected database is a set of (transaction, offset)
+// references into the original arrays — no data is copied during projection,
+// matching H-Mine's header-table-with-hyperlinks design.
+
+#ifndef GOGREEN_FPM_HMINE_H_
+#define GOGREEN_FPM_HMINE_H_
+
+#include <vector>
+
+#include "fpm/flist.h"
+#include "fpm/miner.h"
+
+namespace gogreen::fpm {
+
+class HMineMiner : public FrequentPatternMiner {
+ public:
+  std::string name() const override { return "h-mine"; }
+
+  Result<PatternSet> Mine(const TransactionDb& db,
+                          uint64_t min_support) override;
+};
+
+/// Mines a projected database given as rank-encoded rows (each ascending in
+/// F-list rank). Every emitted pattern is prefixed with `prefix_ranks`.
+/// This is the H-Mine core exposed for the memory-limited driver, which
+/// mines disk partitions one at a time (Section 5.3).
+void MineRankedRowsHM(const std::vector<std::vector<Rank>>& rows,
+                      const FList& flist, uint64_t min_support,
+                      const std::vector<Rank>& prefix_ranks, PatternSet* out,
+                      MiningStats* stats);
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_HMINE_H_

@@ -1,0 +1,29 @@
+// Basic item vocabulary shared by the whole library.
+
+#ifndef GOGREEN_FPM_ITEM_H_
+#define GOGREEN_FPM_ITEM_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace gogreen::fpm {
+
+/// An item (attribute value) is identified by a dense non-negative id.
+using ItemId = uint32_t;
+
+/// Sentinel for "no item" / "not frequent".
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+
+/// Read-only view over a run of items.
+using ItemSpan = std::span<const ItemId>;
+
+/// Rank of an item inside an F-list (position, 0 = lowest support).
+using Rank = uint32_t;
+
+/// Sentinel rank for items that are not frequent.
+inline constexpr Rank kNoRank = std::numeric_limits<Rank>::max();
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_ITEM_H_

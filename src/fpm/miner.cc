@@ -1,0 +1,56 @@
+#include "fpm/miner.h"
+
+#include <cmath>
+
+#include "fpm/apriori.h"
+#include "fpm/eclat.h"
+#include "fpm/fpgrowth.h"
+#include "fpm/hmine.h"
+#include "fpm/tree_projection.h"
+#include "util/logging.h"
+
+namespace gogreen::fpm {
+
+std::unique_ptr<FrequentPatternMiner> CreateMiner(MinerKind kind) {
+  switch (kind) {
+    case MinerKind::kApriori:
+      return std::make_unique<AprioriMiner>();
+    case MinerKind::kEclat:
+      return std::make_unique<EclatMiner>();
+    case MinerKind::kHMine:
+      return std::make_unique<HMineMiner>();
+    case MinerKind::kFpGrowth:
+      return std::make_unique<FpGrowthMiner>();
+    case MinerKind::kTreeProjection:
+      return std::make_unique<TreeProjectionMiner>();
+  }
+  GOGREEN_CHECK(false) << "unknown MinerKind";
+  return nullptr;
+}
+
+const char* MinerKindName(MinerKind kind) {
+  switch (kind) {
+    case MinerKind::kApriori:
+      return "apriori";
+    case MinerKind::kEclat:
+      return "eclat";
+    case MinerKind::kHMine:
+      return "h-mine";
+    case MinerKind::kFpGrowth:
+      return "fp-growth";
+    case MinerKind::kTreeProjection:
+      return "tree-projection";
+  }
+  return "?";
+}
+
+uint64_t AbsoluteSupport(double fraction, size_t num_transactions) {
+  GOGREEN_CHECK(fraction > 0.0 && fraction <= 1.0)
+      << "support fraction out of (0,1]: " << fraction;
+  const double raw = fraction * static_cast<double>(num_transactions);
+  uint64_t abs = static_cast<uint64_t>(std::ceil(raw - 1e-9));
+  if (abs == 0) abs = 1;
+  return abs;
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,81 @@
+// Common interface for frequent-pattern miners plus a factory.
+
+#ifndef GOGREEN_FPM_MINER_H_
+#define GOGREEN_FPM_MINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fpm/pattern_set.h"
+#include "fpm/transaction_db.h"
+#include "util/status.h"
+
+namespace gogreen::fpm {
+
+/// Counters describing the work a mining run performed. Used by tests and by
+/// the experiment harness to demonstrate where the recycling savings come
+/// from (support counting and projection construction, Section 3.1).
+struct MiningStats {
+  uint64_t patterns_emitted = 0;
+  uint64_t projections_built = 0;  ///< Projected databases / conditional trees
+  uint64_t items_scanned = 0;      ///< Item occurrences touched while counting
+  double elapsed_seconds = 0.0;
+
+  void Reset() { *this = MiningStats(); }
+};
+
+/// Interface implemented by every complete-set frequent-pattern miner.
+/// Implementations are stateful only through `stats()`, which reflects the
+/// most recent Mine() call; a single miner instance may be reused serially.
+class FrequentPatternMiner {
+ public:
+  virtual ~FrequentPatternMiner() = default;
+
+  /// Algorithm name for reports ("apriori", "h-mine", ...).
+  virtual std::string name() const = 0;
+
+  /// Mines the complete set of patterns with support >= min_support
+  /// (absolute count, must be >= 1). Singletons are included; the empty
+  /// pattern is not. Patterns are returned in canonical item order but the
+  /// set itself is in algorithm order — call SortCanonical() to compare.
+  virtual Result<PatternSet> Mine(const TransactionDb& db,
+                                  uint64_t min_support) = 0;
+
+  /// Counters of the most recent Mine() call.
+  const MiningStats& stats() const { return stats_; }
+
+ protected:
+  /// Shared argument validation; implementations call this first.
+  static Status ValidateArgs(uint64_t min_support) {
+    if (min_support == 0) {
+      return Status::InvalidArgument("min_support must be >= 1");
+    }
+    return Status::OK();
+  }
+
+  MiningStats stats_;
+};
+
+/// The non-recycling algorithms available in the substrate library.
+enum class MinerKind {
+  kApriori,
+  kEclat,
+  kHMine,
+  kFpGrowth,
+  kTreeProjection,
+};
+
+/// Instantiates a miner of the given kind.
+std::unique_ptr<FrequentPatternMiner> CreateMiner(MinerKind kind);
+
+/// Name of a miner kind without instantiating it.
+const char* MinerKindName(MinerKind kind);
+
+/// Converts a relative support fraction (0 < frac <= 1) to the absolute count
+/// used by the miners, rounding up and clamping to at least 1.
+uint64_t AbsoluteSupport(double fraction, size_t num_transactions);
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_MINER_H_

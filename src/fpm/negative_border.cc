@@ -1,0 +1,219 @@
+#include "fpm/negative_border.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fpm/pattern.h"
+#include "fpm/pattern_trie.h"
+#include "util/logging.h"
+
+namespace gogreen::fpm {
+
+namespace {
+
+/// Apriori join + prune over the lexicographically sorted size-k frequent
+/// itemsets; `is_frequent` answers subset queries.
+std::vector<std::vector<ItemId>> GenerateCandidates(
+    const std::vector<const Pattern*>& level,
+    const std::function<bool(ItemSpan)>& is_frequent) {
+  std::vector<std::vector<ItemId>> out;
+  for (size_t i = 0; i < level.size(); ++i) {
+    for (size_t j = i + 1; j < level.size(); ++j) {
+      const auto& a = level[i]->items;
+      const auto& b = level[j]->items;
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+      std::vector<ItemId> cand = a;
+      cand.push_back(b.back());
+      bool ok = true;
+      std::vector<ItemId> sub(cand.size() - 1);
+      for (size_t omit = 0; ok && omit + 2 < cand.size(); ++omit) {
+        sub.clear();
+        for (size_t x = 0; x < cand.size(); ++x) {
+          if (x != omit) sub.push_back(cand[x]);
+        }
+        ok = is_frequent(ItemSpan(sub));
+      }
+      if (ok) out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+NegativeBorderMiner::NegativeBorderMiner(double min_fraction)
+    : min_fraction_(min_fraction) {
+  GOGREEN_CHECK(min_fraction > 0.0 && min_fraction <= 1.0)
+      << "min_fraction out of (0,1]";
+}
+
+uint64_t NegativeBorderMiner::Threshold() const {
+  uint64_t t = static_cast<uint64_t>(
+      min_fraction_ * static_cast<double>(db_.NumTransactions()) +
+      (1.0 - 1e-9));
+  return std::max<uint64_t>(t, 1);
+}
+
+Status NegativeBorderMiner::Initialize(const TransactionDb& db) {
+  if (initialized_) {
+    return Status::InvalidArgument("Initialize called twice");
+  }
+  db_ = db;
+  initialized_ = true;
+
+  // Level 1: every occurring item is counted; the infrequent ones are the
+  // first border entries.
+  const std::vector<uint64_t> counts = db_.CountItemSupports();
+  const uint64_t threshold = Threshold();
+  frequent_ = PatternSet();
+  border_ = PatternSet();
+  for (size_t it = 0; it < counts.size(); ++it) {
+    if (counts[it] == 0) continue;
+    Pattern p({static_cast<ItemId>(it)}, counts[it]);
+    (counts[it] >= threshold ? frequent_ : border_).Add(std::move(p));
+  }
+  frequent_.SortCanonical();
+  return Expand();
+}
+
+Status NegativeBorderMiner::Insert(const TransactionDb& batch) {
+  if (!initialized_) {
+    return Status::InvalidArgument("Insert before Initialize");
+  }
+
+  // Absorb the batch and re-count every tracked itemset against it.
+  PatternTrie trie;
+  for (size_t i = 0; i < frequent_.size(); ++i) {
+    trie.Insert(ItemSpan(frequent_[i].items), static_cast<int64_t>(i));
+  }
+  const int64_t border_base = static_cast<int64_t>(frequent_.size());
+  for (size_t i = 0; i < border_.size(); ++i) {
+    trie.Insert(ItemSpan(border_[i].items),
+                border_base + static_cast<int64_t>(i));
+  }
+  for (Tid t = 0; t < batch.NumTransactions(); ++t) {
+    const ItemSpan row = batch.Transaction(t);
+    trie.AddSupportForTransaction(row);
+    db_.AddCanonicalTransaction(row);
+  }
+  // New items never seen before start at their batch support.
+  std::map<ItemId, uint64_t> new_items;
+  for (Tid t = 0; t < batch.NumTransactions(); ++t) {
+    for (ItemId it : batch.Transaction(t)) {
+      if (trie.Find(std::vector<ItemId>{it}) == PatternTrie::kNoNode) {
+        ++new_items[it];
+      }
+    }
+  }
+
+  trie.ForEachPattern([&](const std::vector<ItemId>&, uint64_t count,
+                          int64_t tag) {
+    if (tag < border_base) {
+      frequent_.mutable_patterns()[static_cast<size_t>(tag)].support +=
+          count;
+    } else {
+      border_.mutable_patterns()[static_cast<size_t>(tag - border_base)]
+          .support += count;
+    }
+  });
+
+  // Re-split under the new (grown) threshold. Demotions cascade correctly
+  // through the support filter (anti-monotonicity); promotions require the
+  // expensive expansion over the full accumulated database.
+  const uint64_t threshold = Threshold();
+  PatternSet next_frequent;
+  PatternSet next_border;
+  bool promoted = false;
+  for (const Pattern& p : frequent_) {
+    (p.support >= threshold ? next_frequent : next_border).Add(p);
+  }
+  for (const Pattern& p : border_) {
+    if (p.support >= threshold) {
+      promoted = true;
+      next_frequent.Add(p);
+    } else {
+      next_border.Add(p);
+    }
+  }
+  for (const auto& [item, support] : new_items) {
+    Pattern p({item}, support);
+    if (support >= threshold) {
+      promoted = true;
+      next_frequent.Add(std::move(p));
+    } else {
+      next_border.Add(std::move(p));
+    }
+  }
+  frequent_ = std::move(next_frequent);
+  border_ = std::move(next_border);
+  frequent_.SortCanonical();
+
+  if (!promoted) return Status::OK();  // The cheap path.
+  ++stats_.full_db_expansions;
+  return Expand();
+}
+
+Status NegativeBorderMiner::Expand() {
+  const uint64_t threshold = Threshold();
+
+  // Lookup over everything already counted.
+  PatternTrie known;
+  for (size_t i = 0; i < frequent_.size(); ++i) {
+    known.Insert(ItemSpan(frequent_[i].items), 1);  // Tag 1 = frequent.
+  }
+  for (size_t i = 0; i < border_.size(); ++i) {
+    known.Insert(ItemSpan(border_[i].items), 0);
+  }
+  const auto is_frequent = [&](ItemSpan items) {
+    const auto node = known.Find(items);
+    return node != PatternTrie::kNoNode && known.tag(node) == 1;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Group the frequent set by length, lexicographically sorted.
+    std::map<size_t, std::vector<const Pattern*>> by_len;
+    for (const Pattern& p : frequent_) by_len[p.size()].push_back(&p);
+
+    PatternTrie to_count;
+    size_t num_new = 0;
+    for (auto& [len, level] : by_len) {
+      std::sort(level.begin(), level.end(),
+                [](const Pattern* a, const Pattern* b) {
+                  return a->items < b->items;
+                });
+      for (auto& cand : GenerateCandidates(level, is_frequent)) {
+        if (known.Find(ItemSpan(cand)) == PatternTrie::kNoNode &&
+            to_count.Find(ItemSpan(cand)) == PatternTrie::kNoNode) {
+          to_count.Insert(ItemSpan(cand));
+          ++num_new;
+        }
+      }
+    }
+    if (num_new == 0) break;
+
+    // The expensive step the paper criticizes: counting fresh candidates
+    // over the whole accumulated database.
+    stats_.candidates_counted += num_new;
+    for (Tid t = 0; t < db_.NumTransactions(); ++t) {
+      to_count.AddSupportForTransaction(db_.Transaction(t));
+    }
+    to_count.ForEachPattern([&](const std::vector<ItemId>& items,
+                                uint64_t count, int64_t) {
+      Pattern p(items, count);
+      if (count >= threshold) {
+        frequent_.Add(std::move(p));
+        known.Insert(ItemSpan(items), 1);
+        changed = true;
+      } else {
+        border_.Add(std::move(p));
+        known.Insert(ItemSpan(items), 0);
+      }
+    });
+    frequent_.SortCanonical();
+  }
+  return Status::OK();
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,45 @@
+#include "fpm/pattern.h"
+
+#include <algorithm>
+
+namespace gogreen::fpm {
+
+bool Pattern::ContainsItems(ItemSpan sub) const {
+  return IsSubsetSorted(sub, ItemSpan(items));
+}
+
+std::string Pattern::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(items[i]);
+  }
+  out += "}:";
+  out += std::to_string(support);
+  return out;
+}
+
+void CanonicalizeItems(std::vector<ItemId>* items) {
+  std::sort(items->begin(), items->end());
+  items->erase(std::unique(items->begin(), items->end()), items->end());
+}
+
+bool IsSubsetSorted(ItemSpan needle, ItemSpan haystack) {
+  size_t j = 0;
+  for (ItemId x : needle) {
+    while (j < haystack.size() && haystack[j] < x) ++j;
+    if (j == haystack.size() || haystack[j] != x) return false;
+    ++j;
+  }
+  return true;
+}
+
+bool PatternLess(const Pattern& a, const Pattern& b) {
+  if (a.items != b.items) {
+    return std::lexicographical_compare(a.items.begin(), a.items.end(),
+                                        b.items.begin(), b.items.end());
+  }
+  return a.support < b.support;
+}
+
+}  // namespace gogreen::fpm

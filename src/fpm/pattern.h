@@ -1,0 +1,59 @@
+// Pattern (itemset) value type.
+
+#ifndef GOGREEN_FPM_PATTERN_H_
+#define GOGREEN_FPM_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpm/item.h"
+
+namespace gogreen::fpm {
+
+/// A frequent pattern: a non-empty set of items together with its support
+/// (number of transactions containing all of the items).
+///
+/// Canonical form: `items` sorted ascending by ItemId with no duplicates.
+/// All library code produces and expects canonical patterns.
+struct Pattern {
+  std::vector<ItemId> items;
+  uint64_t support = 0;
+
+  Pattern() = default;
+  Pattern(std::vector<ItemId> its, uint64_t sup)
+      : items(std::move(its)), support(sup) {}
+
+  size_t size() const { return items.size(); }
+
+  /// True if every item of `other` occurs in this pattern. Both must be in
+  /// canonical (sorted) form.
+  bool Contains(const Pattern& other) const {
+    return ContainsItems(other.items);
+  }
+
+  /// True if every item of the sorted span `sub` occurs in `items`.
+  bool ContainsItems(ItemSpan sub) const;
+
+  /// "{a,b,c}:support" rendering for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.support == b.support && a.items == b.items;
+  }
+};
+
+/// Sorts `items` ascending and removes duplicates (canonicalization).
+void CanonicalizeItems(std::vector<ItemId>* items);
+
+/// True if sorted span `needle` is a subset of sorted span `haystack`
+/// (linear merge).
+bool IsSubsetSorted(ItemSpan needle, ItemSpan haystack);
+
+/// Lexicographic ordering on (items, support); gives PatternSet a canonical
+/// sort order so complete sets can be compared for equality.
+bool PatternLess(const Pattern& a, const Pattern& b);
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_PATTERN_H_

@@ -1,0 +1,168 @@
+#include "fpm/pattern_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+
+#include "fpm/pattern.h"
+
+namespace gogreen::fpm {
+
+namespace {
+constexpr uint64_t kMagic = 0x544150474F474F47ULL;  // "GOGOGPAT"
+}  // namespace
+
+Result<uint64_t> WritePatternFile(const PatternSet& fp,
+                                  const PatternSetHeader& header,
+                                  const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  const auto put = [&out](const void* p, size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  put(&kMagic, sizeof(kMagic));
+  put(&header.min_support, sizeof(header.min_support));
+  put(&header.num_transactions, sizeof(header.num_transactions));
+  const uint64_t source_len = header.source.size();
+  put(&source_len, sizeof(source_len));
+  put(header.source.data(), header.source.size());
+
+  const uint64_t count = fp.size();
+  put(&count, sizeof(count));
+  for (const Pattern& p : fp) {
+    const uint32_t len = static_cast<uint32_t>(p.items.size());
+    put(&len, sizeof(len));
+    put(p.items.data(), len * sizeof(ItemId));
+    put(&p.support, sizeof(p.support));
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write error on " + path);
+  return static_cast<uint64_t>(out.tellp());
+}
+
+Result<std::pair<PatternSet, PatternSetHeader>> ReadPatternFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  const auto get = [&in](void* p, size_t n) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    return in.good();
+  };
+  uint64_t magic = 0;
+  if (!get(&magic, sizeof(magic)) || magic != kMagic) {
+    return Status::IOError("not a pattern file: " + path);
+  }
+  PatternSetHeader header;
+  uint64_t source_len = 0;
+  if (!get(&header.min_support, sizeof(header.min_support)) ||
+      !get(&header.num_transactions, sizeof(header.num_transactions)) ||
+      !get(&source_len, sizeof(source_len)) ||
+      source_len > (1u << 20)) {
+    return Status::IOError("corrupt pattern file header: " + path);
+  }
+  header.source.resize(source_len);
+  if (source_len > 0 && !get(header.source.data(), source_len)) {
+    return Status::IOError("corrupt pattern file header: " + path);
+  }
+
+  uint64_t count = 0;
+  if (!get(&count, sizeof(count)) || count > (uint64_t{1} << 32)) {
+    return Status::IOError("corrupt pattern count: " + path);
+  }
+  PatternSet fp;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!get(&len, sizeof(len)) || len > (1u << 24)) {
+      return Status::IOError("corrupt pattern record: " + path);
+    }
+    std::vector<ItemId> items(len);
+    uint64_t support = 0;
+    if ((len > 0 && !get(items.data(), len * sizeof(ItemId))) ||
+        !get(&support, sizeof(support))) {
+      return Status::IOError("truncated pattern file: " + path);
+    }
+    fp.Add(std::move(items), support);
+  }
+  return std::make_pair(std::move(fp), std::move(header));
+}
+
+Result<uint64_t> WritePatternText(const PatternSet& fp,
+                                  const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  uint64_t bytes = 0;
+  std::string line;
+  for (const Pattern& p : fp) {
+    line.clear();
+    for (size_t i = 0; i < p.items.size(); ++i) {
+      if (i > 0) line += ' ';
+      line += std::to_string(p.items[i]);
+    }
+    line += " (";
+    line += std::to_string(p.support);
+    line += ")\n";
+    out << line;
+    bytes += line.size();
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write error on " + path);
+  return bytes;
+}
+
+Result<PatternSet> ReadPatternText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  PatternSet fp;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<ItemId> items;
+    const char* p = line.data();
+    const char* end = p + line.size();
+    uint64_t support = 0;
+    bool have_support = false;
+    while (p < end) {
+      while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+      if (p == end) break;
+      if (*p == '(') {
+        ++p;
+        auto [next, ec] = std::from_chars(p, end, support);
+        if (ec != std::errc() || next == end || *next != ')') {
+          return Status::IOError("malformed support at " + path + ":" +
+                                 std::to_string(line_no));
+        }
+        have_support = true;
+        p = next + 1;
+        continue;
+      }
+      uint32_t value = 0;
+      auto [next, ec] = std::from_chars(p, end, value);
+      if (ec != std::errc()) {
+        return Status::IOError("malformed item at " + path + ":" +
+                               std::to_string(line_no));
+      }
+      items.push_back(value);
+      p = next;
+    }
+    if (items.empty() || !have_support) {
+      return Status::IOError("malformed pattern at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    CanonicalizeItems(&items);
+    fp.Add(std::move(items), support);
+  }
+  if (in.bad()) return Status::IOError("read error on " + path);
+  return fp;
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,42 @@
+// Persistence for pattern sets: the multi-user recycling story (Section 2)
+// needs discovered patterns to outlive the process that mined them.
+
+#ifndef GOGREEN_FPM_PATTERN_IO_H_
+#define GOGREEN_FPM_PATTERN_IO_H_
+
+#include <string>
+
+#include "fpm/pattern_set.h"
+#include "util/status.h"
+
+namespace gogreen::fpm {
+
+/// Metadata stored alongside a pattern set so a consumer can judge whether
+/// the set is recyclable for its own query.
+struct PatternSetHeader {
+  uint64_t min_support = 0;      ///< Threshold the set is complete at.
+  uint64_t num_transactions = 0; ///< |DB| the supports refer to.
+  std::string source;            ///< Free-form provenance tag.
+};
+
+/// Writes `fp` with its header in a compact binary format; returns bytes
+/// written.
+Result<uint64_t> WritePatternFile(const PatternSet& fp,
+                                  const PatternSetHeader& header,
+                                  const std::string& path);
+
+/// Reads a file produced by WritePatternFile.
+Result<std::pair<PatternSet, PatternSetHeader>> ReadPatternFile(
+    const std::string& path);
+
+/// Writes `fp` as text, one pattern per line: "item item ... (support)".
+/// The format FIM implementations conventionally exchange.
+Result<uint64_t> WritePatternText(const PatternSet& fp,
+                                  const std::string& path);
+
+/// Reads the text format (header-less; returns only the patterns).
+Result<PatternSet> ReadPatternText(const std::string& path);
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_PATTERN_IO_H_

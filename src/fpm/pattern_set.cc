@@ -1,0 +1,68 @@
+#include "fpm/pattern_set.h"
+
+#include <algorithm>
+
+namespace gogreen::fpm {
+
+void PatternSet::SortCanonical() {
+  std::sort(patterns_.begin(), patterns_.end(), PatternLess);
+}
+
+bool PatternSet::Equal(PatternSet* a, PatternSet* b) {
+  a->SortCanonical();
+  b->SortCanonical();
+  return a->patterns_ == b->patterns_;
+}
+
+std::vector<Pattern> PatternSet::Difference(PatternSet* a, PatternSet* b) {
+  a->SortCanonical();
+  b->SortCanonical();
+  std::vector<Pattern> out;
+  std::set_difference(a->patterns_.begin(), a->patterns_.end(),
+                      b->patterns_.begin(), b->patterns_.end(),
+                      std::back_inserter(out), PatternLess);
+  return out;
+}
+
+PatternSet PatternSet::FilterBySupport(uint64_t min_support) const {
+  PatternSet out;
+  for (const Pattern& p : patterns_) {
+    if (p.support >= min_support) out.Add(p);
+  }
+  return out;
+}
+
+PatternSet PatternSet::FilterByMinLength(size_t min_len) const {
+  PatternSet out;
+  for (const Pattern& p : patterns_) {
+    if (p.size() >= min_len) out.Add(p);
+  }
+  return out;
+}
+
+size_t PatternSet::MaxLength() const {
+  size_t max_len = 0;
+  for (const Pattern& p : patterns_) max_len = std::max(max_len, p.size());
+  return max_len;
+}
+
+uint64_t PatternSet::SupportOf(ItemSpan items) const {
+  for (const Pattern& p : patterns_) {
+    if (p.items.size() == items.size() &&
+        std::equal(items.begin(), items.end(), p.items.begin())) {
+      return p.support;
+    }
+  }
+  return 0;
+}
+
+std::string PatternSet::ToString() const {
+  std::string out;
+  for (const Pattern& p : patterns_) {
+    out += p.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,72 @@
+// Container for complete sets of frequent patterns.
+
+#ifndef GOGREEN_FPM_PATTERN_SET_H_
+#define GOGREEN_FPM_PATTERN_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpm/pattern.h"
+
+namespace gogreen::fpm {
+
+/// The result of a mining run: a set of canonical patterns. Supports the
+/// operations the recycling framework needs — filtering under tightened
+/// constraints, canonical comparison for correctness tests, and simple stats.
+class PatternSet {
+ public:
+  PatternSet() = default;
+
+  void Add(Pattern p) { patterns_.push_back(std::move(p)); }
+  void Add(std::vector<ItemId> items, uint64_t support) {
+    patterns_.emplace_back(std::move(items), support);
+  }
+
+  size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+
+  const Pattern& operator[](size_t i) const { return patterns_[i]; }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+  std::vector<Pattern>& mutable_patterns() { return patterns_; }
+
+  auto begin() const { return patterns_.begin(); }
+  auto end() const { return patterns_.end(); }
+
+  /// Sorts into the canonical (lexicographic) order. Mining algorithms emit
+  /// patterns in algorithm-specific orders; canonicalize before comparing.
+  void SortCanonical();
+
+  /// True if both sets, after canonical sorting, contain exactly the same
+  /// (items, support) pairs. Both arguments are sorted in place.
+  static bool Equal(PatternSet* a, PatternSet* b);
+
+  /// Returns patterns present in `a` but not `b` (by items+support), after
+  /// canonical sorting of both. For test diagnostics.
+  static std::vector<Pattern> Difference(PatternSet* a, PatternSet* b);
+
+  /// Patterns whose support is >= min_support. This is the paper's
+  /// *tightened constraint* path: when the support threshold increases, the
+  /// new answer is a filter of the old one (Section 2).
+  PatternSet FilterBySupport(uint64_t min_support) const;
+
+  /// Patterns with at least min_len items.
+  PatternSet FilterByMinLength(size_t min_len) const;
+
+  /// Length of the longest pattern (0 if empty).
+  size_t MaxLength() const;
+
+  /// Looks up the support of an exact itemset; returns 0 if absent.
+  /// Linear scan — intended for tests.
+  uint64_t SupportOf(ItemSpan items) const;
+
+  /// Multi-line rendering, for debugging small sets.
+  std::string ToString() const;
+
+ private:
+  std::vector<Pattern> patterns_;
+};
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_PATTERN_SET_H_

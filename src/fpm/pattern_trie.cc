@@ -1,0 +1,107 @@
+#include "fpm/pattern_trie.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gogreen::fpm {
+
+PatternTrie::PatternTrie() { nodes_.emplace_back(); }
+
+PatternTrie::NodeId PatternTrie::ChildOf(NodeId n, ItemId item) const {
+  const Node& node = nodes_[n];
+  auto it = std::lower_bound(node.child_items.begin(), node.child_items.end(),
+                             item);
+  if (it == node.child_items.end() || *it != item) return kNoNode;
+  return node.child_nodes[static_cast<size_t>(it - node.child_items.begin())];
+}
+
+PatternTrie::NodeId PatternTrie::ChildOrAdd(NodeId n, ItemId item) {
+  const NodeId existing = ChildOf(n, item);
+  if (existing != kNoNode) return existing;
+  const NodeId child = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().item = item;
+  Node& node = nodes_[n];  // Re-fetch: emplace_back may have reallocated.
+  auto it = std::lower_bound(node.child_items.begin(), node.child_items.end(),
+                             item);
+  const size_t pos = static_cast<size_t>(it - node.child_items.begin());
+  node.child_items.insert(node.child_items.begin() +
+                              static_cast<ptrdiff_t>(pos), item);
+  node.child_nodes.insert(node.child_nodes.begin() +
+                              static_cast<ptrdiff_t>(pos), child);
+  return child;
+}
+
+PatternTrie::NodeId PatternTrie::Insert(ItemSpan items, int64_t tag) {
+  GOGREEN_DCHECK(!items.empty());
+  NodeId n = 0;
+  for (ItemId it : items) n = ChildOrAdd(n, it);
+  if (!nodes_[n].terminal) {
+    nodes_[n].terminal = true;
+    nodes_[n].tag = tag;
+    ++num_terminals_;
+  }
+  return n;
+}
+
+PatternTrie::NodeId PatternTrie::Find(ItemSpan items) const {
+  NodeId n = 0;
+  for (ItemId it : items) {
+    n = ChildOf(n, it);
+    if (n == kNoNode) return kNoNode;
+  }
+  return nodes_[n].terminal ? n : kNoNode;
+}
+
+void PatternTrie::AddSupportForTransaction(ItemSpan t, uint64_t weight) {
+  CountRec(0, t, weight);
+}
+
+void PatternTrie::CountRec(NodeId n, ItemSpan t, uint64_t weight) {
+  if (nodes_[n].terminal) nodes_[n].count += weight;
+  const Node& node = nodes_[n];
+  if (node.child_items.empty() || t.empty()) return;
+  // Merge walk: children and transaction are both item-sorted.
+  size_t ci = 0;
+  size_t ti = 0;
+  while (ci < node.child_items.size() && ti < t.size()) {
+    if (node.child_items[ci] < t[ti]) {
+      ++ci;
+    } else if (node.child_items[ci] > t[ti]) {
+      ++ti;
+    } else {
+      CountRec(node.child_nodes[ci], t.subspan(ti + 1), weight);
+      ++ci;
+      ++ti;
+    }
+  }
+}
+
+void PatternTrie::ForEachPattern(
+    const std::function<void(const std::vector<ItemId>&, uint64_t, int64_t)>&
+        fn) const {
+  std::vector<ItemId> stack;
+  ForEachRec(0, &stack, fn);
+}
+
+void PatternTrie::ForEachRec(
+    NodeId n, std::vector<ItemId>* stack,
+    const std::function<void(const std::vector<ItemId>&, uint64_t, int64_t)>&
+        fn) const {
+  const Node& node = nodes_[n];
+  if (node.terminal) fn(*stack, node.count, node.tag);
+  for (size_t i = 0; i < node.child_items.size(); ++i) {
+    stack->push_back(node.child_items[i]);
+    ForEachRec(node.child_nodes[i], stack, fn);
+    stack->pop_back();
+  }
+}
+
+void PatternTrie::Clear() {
+  nodes_.clear();
+  nodes_.emplace_back();
+  num_terminals_ = 0;
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,79 @@
+// Trie over canonical itemsets. Supports exact lookup, subset-of-transaction
+// enumeration (the Apriori counting step), and DFS export.
+
+#ifndef GOGREEN_FPM_PATTERN_TRIE_H_
+#define GOGREEN_FPM_PATTERN_TRIE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fpm/item.h"
+#include "fpm/pattern_set.h"
+
+namespace gogreen::fpm {
+
+/// A trie keyed by ascending item id. Each inserted itemset terminates at a
+/// node carrying a support counter and an optional caller-supplied tag.
+class PatternTrie {
+ public:
+  using NodeId = int32_t;
+  static constexpr NodeId kNoNode = -1;
+
+  PatternTrie();
+
+  /// Inserts a canonical itemset (ascending, no duplicates); returns the
+  /// terminal node. Re-inserting an existing itemset returns the same node.
+  /// `tag` is stored on first insertion (callers use it to map back to their
+  /// own pattern arrays).
+  NodeId Insert(ItemSpan items, int64_t tag = -1);
+
+  /// Exact lookup; kNoNode if the itemset was never inserted as a terminal.
+  NodeId Find(ItemSpan items) const;
+
+  /// Adds `weight` to the counter of every inserted itemset that is a subset
+  /// of the canonical transaction `t` (the Apriori counting step).
+  void AddSupportForTransaction(ItemSpan t, uint64_t weight = 1);
+
+  /// Calls `fn(items, count, tag)` for every inserted itemset, in
+  /// lexicographic order.
+  void ForEachPattern(
+      const std::function<void(const std::vector<ItemId>&, uint64_t, int64_t)>&
+          fn) const;
+
+  uint64_t count(NodeId n) const { return nodes_[n].count; }
+  int64_t tag(NodeId n) const { return nodes_[n].tag; }
+
+  size_t NumPatterns() const { return num_terminals_; }
+  size_t NumNodes() const { return nodes_.size(); }
+
+  /// Removes all inserted itemsets.
+  void Clear();
+
+ private:
+  struct Node {
+    ItemId item = kInvalidItem;
+    bool terminal = false;
+    uint64_t count = 0;
+    int64_t tag = -1;
+    // Children sorted by item id; parallel arrays of item and node id.
+    std::vector<ItemId> child_items;
+    std::vector<NodeId> child_nodes;
+  };
+
+  NodeId ChildOf(NodeId n, ItemId item) const;
+  NodeId ChildOrAdd(NodeId n, ItemId item);
+
+  void CountRec(NodeId n, ItemSpan t, uint64_t weight);
+  void ForEachRec(
+      NodeId n, std::vector<ItemId>* stack,
+      const std::function<void(const std::vector<ItemId>&, uint64_t, int64_t)>&
+          fn) const;
+
+  std::vector<Node> nodes_;
+  size_t num_terminals_ = 0;
+};
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_PATTERN_TRIE_H_

@@ -1,0 +1,109 @@
+#include "fpm/rules.h"
+
+#include <algorithm>
+
+#include "fpm/pattern.h"
+#include "fpm/pattern_trie.h"
+#include "util/logging.h"
+
+namespace gogreen::fpm {
+
+std::string Rule::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < antecedent.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(antecedent[i]);
+  }
+  out += "} => {";
+  for (size_t i = 0; i < consequent.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(consequent[i]);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "} sup=%llu conf=%.3f lift=%.3f",
+                static_cast<unsigned long long>(support), confidence, lift);
+  out += buf;
+  return out;
+}
+
+Result<std::vector<Rule>> GenerateRules(const PatternSet& fp,
+                                        size_t num_transactions,
+                                        const RuleOptions& options) {
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+  if (options.min_confidence < 0.0 || options.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in [0,1]");
+  }
+  if (options.max_consequent == 0) {
+    return Status::InvalidArgument("max_consequent must be >= 1");
+  }
+
+  // Index all supports for O(|X|) subset lookups.
+  PatternTrie index;
+  for (size_t i = 0; i < fp.size(); ++i) {
+    index.Insert(ItemSpan(fp[i].items), static_cast<int64_t>(i));
+  }
+  const auto support_of = [&](ItemSpan items) -> int64_t {
+    const auto node = index.Find(items);
+    if (node == PatternTrie::kNoNode) return -1;
+    return static_cast<int64_t>(fp[index.tag(node)].support);
+  };
+
+  std::vector<Rule> rules;
+  std::vector<ItemId> antecedent;
+  std::vector<ItemId> consequent;
+  for (const Pattern& p : fp) {
+    const size_t n = p.items.size();
+    if (n < 2) continue;
+    if (n > 24) {
+      return Status::InvalidArgument(
+          "pattern too long for exhaustive rule generation: " +
+          std::to_string(n));
+    }
+    // Every non-trivial bipartition (antecedent = items where mask bit set).
+    for (uint32_t mask = 1; mask + 1 < (1u << n); ++mask) {
+      const size_t cons_size =
+          n - static_cast<size_t>(__builtin_popcount(mask));
+      if (cons_size > options.max_consequent) continue;
+      if (n - cons_size < options.min_antecedent) continue;
+
+      antecedent.clear();
+      consequent.clear();
+      for (size_t i = 0; i < n; ++i) {
+        ((mask >> i) & 1 ? antecedent : consequent).push_back(p.items[i]);
+      }
+
+      const int64_t ante_sup = support_of(ItemSpan(antecedent));
+      const int64_t cons_sup = support_of(ItemSpan(consequent));
+      if (ante_sup < 0 || cons_sup < 0) {
+        return Status::InvalidArgument(
+            "pattern set is not downward closed; mine the complete set "
+            "before generating rules");
+      }
+      const double confidence = static_cast<double>(p.support) /
+                                static_cast<double>(ante_sup);
+      if (confidence < options.min_confidence) continue;
+      const double cons_prob = static_cast<double>(cons_sup) /
+                               static_cast<double>(num_transactions);
+      Rule rule;
+      rule.antecedent = antecedent;
+      rule.consequent = consequent;
+      rule.support = p.support;
+      rule.confidence = confidence;
+      rule.lift = cons_prob > 0 ? confidence / cons_prob : 0.0;
+      rules.push_back(std::move(rule));
+    }
+  }
+
+  // Highest-confidence first; ties by support then lexicographic.
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    if (a.support != b.support) return a.support > b.support;
+    if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+    return a.consequent < b.consequent;
+  });
+  return rules;
+}
+
+}  // namespace gogreen::fpm

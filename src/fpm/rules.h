@@ -1,0 +1,48 @@
+// Association-rule generation from a complete frequent-pattern set — the
+// classic downstream consumer of frequent patterns (Agrawal et al.), and
+// the reason a user iterates on the mining constraints in the first place.
+
+#ifndef GOGREEN_FPM_RULES_H_
+#define GOGREEN_FPM_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpm/pattern_set.h"
+#include "util/status.h"
+
+namespace gogreen::fpm {
+
+/// An association rule antecedent -> consequent with its quality measures.
+struct Rule {
+  std::vector<ItemId> antecedent;  ///< Canonical, non-empty.
+  std::vector<ItemId> consequent;  ///< Canonical, non-empty, disjoint.
+  uint64_t support = 0;    ///< Joint support count (of the union).
+  double confidence = 0;   ///< support(union) / support(antecedent).
+  double lift = 0;         ///< confidence / P(consequent).
+
+  std::string ToString() const;
+};
+
+struct RuleOptions {
+  double min_confidence = 0.5;
+  /// If >= 0, rules with fewer antecedent items are pruned.
+  size_t min_antecedent = 1;
+  /// Consequents larger than this are not generated (1 = classic
+  /// single-consequent rules).
+  size_t max_consequent = 1;
+};
+
+/// Generates all rules meeting `options` from the *complete* set `fp`
+/// (supports of all subsets must be present — the complete output of any
+/// miner in this library qualifies). `num_transactions` is |DB| for the
+/// lift computation. Returns InvalidArgument if a needed subset support is
+/// missing (i.e. `fp` is not downward closed).
+Result<std::vector<Rule>> GenerateRules(const PatternSet& fp,
+                                        size_t num_transactions,
+                                        const RuleOptions& options);
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_RULES_H_

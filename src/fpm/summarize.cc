@@ -1,0 +1,115 @@
+#include "fpm/summarize.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fpm/pattern.h"
+
+namespace gogreen::fpm {
+
+namespace {
+
+/// Inverted index item -> indices of patterns containing it. Superset
+/// queries probe the pattern's rarest item's list.
+class SupersetIndex {
+ public:
+  explicit SupersetIndex(const PatternSet& fp) : fp_(fp) {
+    for (size_t i = 0; i < fp.size(); ++i) {
+      for (ItemId it : fp[i].items) lists_[it].push_back(i);
+    }
+  }
+
+  /// True if some pattern in the set is a proper superset of fp_[i]
+  /// satisfying `pred`.
+  template <typename Pred>
+  bool HasProperSuperset(size_t i, Pred&& pred) const {
+    const Pattern& p = fp_[i];
+    // Probe the shortest list among the pattern's items.
+    const std::vector<size_t>* best = nullptr;
+    for (ItemId it : p.items) {
+      const auto found = lists_.find(it);
+      if (found == lists_.end()) return false;  // Cannot happen for members.
+      if (best == nullptr || found->second.size() < best->size()) {
+        best = &found->second;
+      }
+    }
+    if (best == nullptr) return false;
+    for (size_t c : *best) {
+      if (c == i || fp_[c].size() <= p.size()) continue;
+      if (!pred(fp_[c])) continue;
+      if (IsSubsetSorted(ItemSpan(p.items), ItemSpan(fp_[c].items))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const PatternSet& fp_;
+  std::unordered_map<ItemId, std::vector<size_t>> lists_;
+};
+
+}  // namespace
+
+PatternSet ClosedPatterns(const PatternSet& fp) {
+  const SupersetIndex index(fp);
+  PatternSet out;
+  for (size_t i = 0; i < fp.size(); ++i) {
+    const uint64_t support = fp[i].support;
+    if (!index.HasProperSuperset(i, [support](const Pattern& cand) {
+          return cand.support == support;
+        })) {
+      out.Add(fp[i]);
+    }
+  }
+  return out;
+}
+
+PatternSet MaximalPatterns(const PatternSet& fp) {
+  const SupersetIndex index(fp);
+  PatternSet out;
+  for (size_t i = 0; i < fp.size(); ++i) {
+    if (!index.HasProperSuperset(i, [](const Pattern&) { return true; })) {
+      out.Add(fp[i]);
+    }
+  }
+  return out;
+}
+
+PatternSetSummary Summarize(const PatternSet& fp) {
+  PatternSetSummary s;
+  s.count = fp.size();
+  if (fp.empty()) return s;
+  s.min_support = UINT64_MAX;
+  uint64_t total_len = 0;
+  for (const Pattern& p : fp) {
+    s.max_length = std::max(s.max_length, p.size());
+    s.max_support = std::max(s.max_support, p.support);
+    s.min_support = std::min(s.min_support, p.support);
+    total_len += p.size();
+  }
+  s.avg_length = static_cast<double>(total_len) / static_cast<double>(s.count);
+  s.length_histogram.assign(s.max_length + 1, 0);
+  for (const Pattern& p : fp) ++s.length_histogram[p.size()];
+  return s;
+}
+
+std::string PatternSetSummary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%llu patterns, len avg %.2f max %zu, support [%llu, %llu]",
+                static_cast<unsigned long long>(count), avg_length,
+                max_length, static_cast<unsigned long long>(min_support),
+                static_cast<unsigned long long>(max_support));
+  std::string out = buf;
+  if (!length_histogram.empty()) {
+    out += ", by length:";
+    for (size_t k = 1; k < length_histogram.size(); ++k) {
+      out += " " + std::to_string(k) + ":" +
+             std::to_string(length_histogram[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace gogreen::fpm

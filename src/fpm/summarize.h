@@ -1,0 +1,44 @@
+// Condensed pattern representations: closed and maximal pattern extraction
+// plus summary statistics over a complete frequent-pattern set. Interactive
+// sessions (the paper's motivating scenario) typically inspect these
+// condensed views between refinement rounds.
+
+#ifndef GOGREEN_FPM_SUMMARIZE_H_
+#define GOGREEN_FPM_SUMMARIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpm/pattern_set.h"
+
+namespace gogreen::fpm {
+
+/// Patterns with no proper superset of equal support in `fp`. For a
+/// complete input this is exactly the set of closed frequent patterns;
+/// it determines every pattern's support losslessly.
+PatternSet ClosedPatterns(const PatternSet& fp);
+
+/// Patterns with no proper superset at all in `fp`. For a complete input
+/// this is the set of maximal frequent patterns (the frequent border).
+PatternSet MaximalPatterns(const PatternSet& fp);
+
+/// Descriptive statistics of a pattern set.
+struct PatternSetSummary {
+  uint64_t count = 0;
+  size_t max_length = 0;
+  double avg_length = 0;
+  uint64_t max_support = 0;
+  uint64_t min_support = 0;
+  /// histogram[k] = number of patterns with exactly k items (index 0
+  /// unused).
+  std::vector<uint64_t> length_histogram;
+
+  std::string ToString() const;
+};
+
+PatternSetSummary Summarize(const PatternSet& fp);
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_SUMMARIZE_H_

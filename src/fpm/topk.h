@@ -1,0 +1,32 @@
+// Top-K frequent pattern mining: the K highest-support patterns without a
+// user-supplied threshold. Interactive sessions often start here ("show me
+// the 50 strongest patterns") before refining constraints — the workflow
+// the recycling framework then accelerates.
+
+#ifndef GOGREEN_FPM_TOPK_H_
+#define GOGREEN_FPM_TOPK_H_
+
+#include "fpm/miner.h"
+
+namespace gogreen::fpm {
+
+struct TopKOptions {
+  size_t k = 100;
+  /// Only patterns with at least this many items compete (1 = all; 2 skips
+  /// the trivially-frequent singletons).
+  size_t min_length = 1;
+  /// Algorithm used for the underlying threshold probes.
+  MinerKind miner = MinerKind::kFpGrowth;
+};
+
+/// Mines the K patterns of highest support (ties broken by canonical
+/// order, so the result is deterministic and exactly min(K, available)
+/// patterns). Implemented by geometric threshold descent: probe a high
+/// threshold, halve until at least K qualifying patterns exist, then cut.
+/// Each probe is cheap because high-threshold mining is cheap.
+Result<PatternSet> MineTopK(const TransactionDb& db,
+                            const TopKOptions& options);
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_TOPK_H_

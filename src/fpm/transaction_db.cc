@@ -1,0 +1,57 @@
+#include "fpm/transaction_db.h"
+
+#include <algorithm>
+
+#include "fpm/pattern.h"
+#include "util/logging.h"
+
+namespace gogreen::fpm {
+
+void TransactionDb::AddTransaction(std::vector<ItemId> items) {
+  CanonicalizeItems(&items);
+  AddCanonicalTransaction(ItemSpan(items));
+}
+
+void TransactionDb::AddCanonicalTransaction(ItemSpan items) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < items.size(); ++i) {
+    GOGREEN_DCHECK(items[i - 1] < items[i]);
+  }
+#endif
+  items_.insert(items_.end(), items.begin(), items.end());
+  offsets_.push_back(items_.size());
+  if (!items.empty()) {
+    item_universe_ = std::max(item_universe_,
+                              static_cast<size_t>(items.back()) + 1);
+  }
+}
+
+std::vector<uint64_t> TransactionDb::CountItemSupports() const {
+  std::vector<uint64_t> counts(item_universe_, 0);
+  for (ItemId it : items_) ++counts[it];
+  return counts;
+}
+
+uint64_t TransactionDb::CountSupport(ItemSpan items) const {
+  uint64_t support = 0;
+  const size_t n = NumTransactions();
+  for (Tid t = 0; t < n; ++t) {
+    if (IsSubsetSorted(items, Transaction(t))) ++support;
+  }
+  return support;
+}
+
+size_t TransactionDb::NumDistinctItems() const {
+  size_t n = 0;
+  for (uint64_t c : CountItemSupports()) {
+    if (c > 0) ++n;
+  }
+  return n;
+}
+
+void TransactionDb::Reserve(size_t num_transactions, size_t num_items) {
+  offsets_.reserve(num_transactions + 1);
+  items_.reserve(num_items);
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,89 @@
+// Horizontal transaction database in CSR (offsets + flat item array) layout.
+
+#ifndef GOGREEN_FPM_TRANSACTION_DB_H_
+#define GOGREEN_FPM_TRANSACTION_DB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fpm/item.h"
+#include "util/status.h"
+
+namespace gogreen::fpm {
+
+/// Identifier of a transaction (its position in the database).
+using Tid = uint32_t;
+
+/// An in-memory transaction database. Each transaction is a set of items
+/// stored in canonical (ascending, deduplicated) order. The flat CSR layout
+/// keeps scans cache-friendly for the projection-heavy miners.
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  TransactionDb(const TransactionDb&) = default;
+  TransactionDb& operator=(const TransactionDb&) = default;
+  TransactionDb(TransactionDb&&) = default;
+  TransactionDb& operator=(TransactionDb&&) = default;
+
+  /// Appends a transaction. Items are canonicalized (sorted, deduplicated);
+  /// an empty transaction is stored as-is (it simply never supports any
+  /// pattern).
+  void AddTransaction(std::vector<ItemId> items);
+
+  /// Appends a transaction whose items are already sorted ascending with no
+  /// duplicates (checked in debug builds). Avoids a sort on bulk loads.
+  void AddCanonicalTransaction(ItemSpan items);
+
+  size_t NumTransactions() const { return offsets_.size() - 1; }
+
+  /// Total number of item occurrences across all transactions.
+  size_t TotalItems() const { return items_.size(); }
+
+  /// Average transaction length (0 for an empty database).
+  double AvgLength() const {
+    return offsets_.size() <= 1
+               ? 0.0
+               : static_cast<double>(items_.size()) /
+                     static_cast<double>(NumTransactions());
+  }
+
+  /// One-past-the-largest item id seen (i.e., a safe dense-array size).
+  /// 0 for an empty database.
+  size_t ItemUniverseSize() const { return item_universe_; }
+
+  /// Number of distinct items that occur at least once.
+  size_t NumDistinctItems() const;
+
+  /// View of transaction `t`'s items.
+  ItemSpan Transaction(Tid t) const {
+    return ItemSpan(items_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]);
+  }
+
+  /// Support count of every item: result[i] = number of transactions
+  /// containing item i; the vector has ItemUniverseSize() entries.
+  std::vector<uint64_t> CountItemSupports() const;
+
+  /// Exact support of an arbitrary (canonical) itemset, by full scan.
+  /// Intended for tests and oracles, not for hot paths.
+  uint64_t CountSupport(ItemSpan items) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const {
+    return items_.capacity() * sizeof(ItemId) +
+           offsets_.capacity() * sizeof(uint64_t);
+  }
+
+  /// Pre-reserves space for `num_transactions` transactions totalling
+  /// `num_items` item occurrences.
+  void Reserve(size_t num_transactions, size_t num_items);
+
+ private:
+  std::vector<ItemId> items_;
+  std::vector<uint64_t> offsets_{0};
+  size_t item_universe_ = 0;
+};
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_TRANSACTION_DB_H_

@@ -1,0 +1,261 @@
+#include "fpm/tree_projection.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "fpm/flist.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gogreen::fpm {
+
+namespace {
+
+// Above this extension count the node's pair matrix would be too large;
+// fall back to project-and-recount for that node only (correctness is
+// unaffected, only the grandchild pruning is lost).
+constexpr size_t kMaxMatrixItems = 4096;
+
+/// Upper-triangular pair-count matrix over n local items.
+class PairMatrix {
+ public:
+  explicit PairMatrix(size_t n) : n_(n), counts_(n * (n - 1) / 2, 0) {}
+
+  void Add(size_t i, size_t j, uint64_t w) { counts_[Index(i, j)] += w; }
+  uint64_t Get(size_t i, size_t j) const { return counts_[Index(i, j)]; }
+
+ private:
+  size_t Index(size_t i, size_t j) const {
+    GOGREEN_DCHECK(i < j && j < n_);
+    // Row-major upper triangle: row i starts after sum of previous rows.
+    return i * (2 * n_ - i - 1) / 2 + (j - i - 1);
+  }
+
+  size_t n_;
+  std::vector<uint64_t> counts_;
+};
+
+/// One distinct projected transaction in a node-local item space, with the
+/// number of identical original transactions it stands for. Collapsing
+/// duplicates is the transaction-bucketing optimization of the original
+/// algorithm; on dense data it shrinks node workloads by orders of magnitude.
+struct WeightedRow {
+  std::vector<uint32_t> items;  // Sorted local indices into the extension set.
+  uint64_t weight = 0;
+};
+
+using LocalRows = std::vector<WeightedRow>;
+
+struct RowHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+/// Merges identical rows, summing weights.
+LocalRows Dedupe(std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw) {
+  std::unordered_map<std::vector<uint32_t>, uint64_t, RowHash> merged;
+  merged.reserve(raw.size());
+  for (auto& [items, weight] : raw) {
+    merged[std::move(items)] += weight;
+  }
+  LocalRows rows;
+  rows.reserve(merged.size());
+  for (auto& [items, weight] : merged) {
+    rows.push_back({items, weight});
+  }
+  return rows;
+}
+
+class TpContext {
+ public:
+  TpContext(const FList& flist, uint64_t min_support, PatternSet* out,
+            MiningStats* stats)
+      : flist_(flist), min_support_(min_support), out_(out), stats_(stats) {}
+
+  /// Processes one lexicographic-tree node.
+  ///  - `ext`: candidate extension items (global ranks, F-list ascending);
+  ///    all are known frequent together with the prefix.
+  ///  - `c1[i]`: support of prefix + ext[i].
+  ///  - `rows`: weighted distinct transactions containing the prefix,
+  ///    reduced to ext items.
+  void Process(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
+               const std::vector<uint64_t>& c1, const LocalRows& rows) {
+    for (size_t i = 0; i < ext.size(); ++i) {
+      prefix->push_back(ext[i]);
+      EmitPattern(*prefix, c1[i]);
+      prefix->pop_back();
+    }
+    if (ext.size() < 2) return;
+
+    if (ext.size() <= kMaxMatrixItems) {
+      ProcessWithMatrix(prefix, ext, rows);
+    } else {
+      ProcessWithRecount(prefix, ext, rows);
+    }
+  }
+
+ private:
+  /// The signature Tree Projection step: one scan fills the pair matrix,
+  /// giving every child its extension supports without recounting.
+  void ProcessWithMatrix(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
+                         const LocalRows& rows) {
+    PairMatrix matrix(ext.size());
+    for (const WeightedRow& row : rows) {
+      stats_->items_scanned += row.items.size();
+      for (size_t a = 0; a < row.items.size(); ++a) {
+        for (size_t b = a + 1; b < row.items.size(); ++b) {
+          matrix.Add(row.items[a], row.items[b], row.weight);
+        }
+      }
+    }
+
+    std::vector<uint32_t> remap(ext.size());
+    for (size_t i = 0; i + 1 < ext.size(); ++i) {
+      // Child node for prefix + ext[i]; its extensions are the j > i with
+      // frequent pairs.
+      std::vector<Rank> child_ext;
+      std::vector<uint64_t> child_c1;
+      for (size_t j = i + 1; j < ext.size(); ++j) {
+        if (matrix.Get(i, j) >= min_support_) {
+          remap[j] = static_cast<uint32_t>(child_ext.size());
+          child_ext.push_back(ext[j]);
+          child_c1.push_back(matrix.Get(i, j));
+        } else {
+          remap[j] = UINT32_MAX;
+        }
+      }
+      if (child_ext.empty()) continue;
+
+      std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw;
+      for (const WeightedRow& row : rows) {
+        // Row is sorted; locate i then keep remapped later items.
+        auto it = std::lower_bound(row.items.begin(), row.items.end(),
+                                   static_cast<uint32_t>(i));
+        if (it == row.items.end() || *it != i) continue;
+        std::vector<uint32_t> child_row;
+        for (++it; it != row.items.end(); ++it) {
+          if (remap[*it] != UINT32_MAX) child_row.push_back(remap[*it]);
+        }
+        if (!child_row.empty()) {
+          raw.emplace_back(std::move(child_row), row.weight);
+        }
+      }
+      ++stats_->projections_built;
+
+      prefix->push_back(ext[i]);
+      const LocalRows child_rows = Dedupe(std::move(raw));
+      Process(prefix, child_ext, child_c1, child_rows);
+      prefix->pop_back();
+    }
+  }
+
+  /// Fallback for nodes whose extension set is too large for a matrix:
+  /// project per child and recount extension supports there.
+  void ProcessWithRecount(std::vector<Rank>* prefix,
+                          const std::vector<Rank>& ext, const LocalRows& rows) {
+    for (size_t i = 0; i + 1 < ext.size(); ++i) {
+      std::vector<uint64_t> raw_counts(ext.size() - i - 1, 0);
+      LocalRows contained;
+      for (const WeightedRow& row : rows) {
+        auto it = std::lower_bound(row.items.begin(), row.items.end(),
+                                   static_cast<uint32_t>(i));
+        if (it == row.items.end() || *it != i) continue;
+        std::vector<uint32_t> tail(it + 1, row.items.end());
+        stats_->items_scanned += tail.size();
+        for (uint32_t x : tail) raw_counts[x - i - 1] += row.weight;
+        contained.push_back({std::move(tail), row.weight});
+      }
+
+      std::vector<uint32_t> remap(ext.size(), UINT32_MAX);
+      std::vector<Rank> child_ext;
+      std::vector<uint64_t> child_c1;
+      for (size_t j = i + 1; j < ext.size(); ++j) {
+        if (raw_counts[j - i - 1] >= min_support_) {
+          remap[j] = static_cast<uint32_t>(child_ext.size());
+          child_ext.push_back(ext[j]);
+          child_c1.push_back(raw_counts[j - i - 1]);
+        }
+      }
+      if (child_ext.empty()) continue;
+
+      std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw;
+      for (const WeightedRow& row : contained) {
+        std::vector<uint32_t> child_row;
+        for (uint32_t x : row.items) {
+          if (remap[x] != UINT32_MAX) child_row.push_back(remap[x]);
+        }
+        if (!child_row.empty()) {
+          raw.emplace_back(std::move(child_row), row.weight);
+        }
+      }
+      ++stats_->projections_built;
+
+      prefix->push_back(ext[i]);
+      const LocalRows child_rows = Dedupe(std::move(raw));
+      Process(prefix, child_ext, child_c1, child_rows);
+      prefix->pop_back();
+    }
+  }
+
+  void EmitPattern(const std::vector<Rank>& ranks, uint64_t support) {
+    std::vector<ItemId> items = flist_.DecodeRanks(ranks);
+    std::sort(items.begin(), items.end());
+    out_->Add(std::move(items), support);
+  }
+
+  const FList& flist_;
+  const uint64_t min_support_;
+  PatternSet* out_;
+  MiningStats* stats_;
+};
+
+}  // namespace
+
+Result<PatternSet> TreeProjectionMiner::Mine(const TransactionDb& db,
+                                             uint64_t min_support) {
+  GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
+  stats_.Reset();
+  Timer timer;
+  PatternSet out;
+
+  const FList flist = FList::Build(db, min_support);
+  if (!flist.empty()) {
+    // Root node: extensions are all frequent items; rows are the ranked
+    // transactions themselves (local index == global rank), bucketed.
+    std::vector<Rank> ext(flist.size());
+    std::vector<uint64_t> c1(flist.size());
+    for (Rank r = 0; r < flist.size(); ++r) {
+      ext[r] = r;
+      c1[r] = flist.support(r);
+    }
+
+    std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw;
+    raw.reserve(db.NumTransactions());
+    std::vector<Rank> encoded;
+    for (Tid t = 0; t < db.NumTransactions(); ++t) {
+      encoded.clear();
+      flist.AppendEncoded(db.Transaction(t), &encoded);
+      if (encoded.size() >= 2) {
+        raw.emplace_back(
+            std::vector<uint32_t>(encoded.begin(), encoded.end()), 1);
+      }
+    }
+    const LocalRows rows = Dedupe(std::move(raw));
+
+    std::vector<Rank> prefix;
+    TpContext ctx(flist, min_support, &out, &stats_);
+    ctx.Process(&prefix, ext, c1, rows);
+  }
+
+  stats_.patterns_emitted = out.size();
+  stats_.elapsed_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,110 @@
+// Bump-pointer arena allocator with byte accounting. Used by the tree-based
+// miners (FP-tree, Tree Projection) so that node allocation is cheap and the
+// memory-limited drivers can observe actual structure sizes.
+
+#ifndef GOGREEN_UTIL_ARENA_H_
+#define GOGREEN_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gogreen {
+
+/// Monotonic allocator: individual objects are never freed; Reset() releases
+/// everything at once. Objects allocated from an Arena must be trivially
+/// destructible or have their destructors managed by the caller.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = kDefaultBlockSize)
+      : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` with the given alignment (power of two).
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t)) {
+    GOGREEN_DCHECK((alignment & (alignment - 1)) == 0);
+    // Align the actual address, not the block offset: operator new[] only
+    // guarantees alignof(max_align_t).
+    size_t pos = AlignedCursor(alignment);
+    if (current_ == nullptr || pos + bytes > current_size_) {
+      NewBlock(bytes + alignment);
+      pos = AlignedCursor(alignment);
+    }
+    void* out = current_ + pos;
+    cursor_ = pos + bytes;
+    allocated_bytes_ += bytes;
+    return out;
+  }
+
+  /// Allocates and default-constructs a T. T must be trivially destructible.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena-allocated types must be trivially destructible");
+    return new (Allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Allocates an uninitialized array of n Ts.
+  template <typename T>
+  T* NewArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena-allocated types must be trivially destructible");
+    return static_cast<T*>(Allocate(sizeof(T) * n, alignof(T)));
+  }
+
+  /// Total bytes handed out to callers (excludes block slack).
+  size_t allocated_bytes() const { return allocated_bytes_; }
+
+  /// Total bytes reserved from the system (includes slack).
+  size_t reserved_bytes() const { return reserved_bytes_; }
+
+  /// Frees all blocks; outstanding pointers become dangling.
+  void Reset() {
+    blocks_.clear();
+    current_ = nullptr;
+    current_size_ = 0;
+    cursor_ = 0;
+    allocated_bytes_ = 0;
+    reserved_bytes_ = 0;
+  }
+
+ private:
+  static constexpr size_t kDefaultBlockSize = 1u << 16;
+
+  /// Smallest cursor position >= cursor_ whose address is aligned.
+  size_t AlignedCursor(size_t alignment) const {
+    if (current_ == nullptr) return cursor_;
+    const uintptr_t addr = reinterpret_cast<uintptr_t>(current_) + cursor_;
+    const uintptr_t aligned = (addr + alignment - 1) & ~(alignment - 1);
+    return cursor_ + static_cast<size_t>(aligned - addr);
+  }
+
+  void NewBlock(size_t min_bytes) {
+    size_t size = block_size_;
+    if (size < min_bytes) size = min_bytes;
+    blocks_.push_back(std::make_unique<char[]>(size));
+    current_ = blocks_.back().get();
+    current_size_ = size;
+    cursor_ = 0;
+    reserved_bytes_ += size;
+  }
+
+  size_t block_size_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* current_ = nullptr;
+  size_t current_size_ = 0;
+  size_t cursor_ = 0;
+  size_t allocated_bytes_ = 0;
+  size_t reserved_bytes_ = 0;
+};
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_ARENA_H_

@@ -1,0 +1,88 @@
+// Dynamic bitset sized at runtime. Used by the compressor's pattern matchers
+// (tuple-membership tests) and by the Eclat miner's tid-bitmaps.
+
+#ifndef GOGREEN_UTIL_BITSET_H_
+#define GOGREEN_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gogreen {
+
+/// Fixed-capacity bitset whose size is chosen at construction.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i) {
+    GOGREEN_DCHECK(i < num_bits_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Clear(size_t i) {
+    GOGREEN_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    GOGREEN_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets every bit to zero without changing capacity.
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// this &= other. Sizes must match.
+  void IntersectWith(const DynamicBitset& other) {
+    GOGREEN_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// Number of set bits in (this & other) without materializing it.
+  size_t IntersectionCount(const DynamicBitset& other) const {
+    GOGREEN_DCHECK(num_bits_ == other.num_bits_);
+    size_t n = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      n += static_cast<size_t>(__builtin_popcountll(words_[i] &
+                                                    other.words_[i]));
+    }
+    return n;
+  }
+
+  /// Calls fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_BITSET_H_

@@ -1,0 +1,39 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include <algorithm>
+#include <cctype>
+
+namespace gogreen {
+
+BenchScale GetBenchScale() {
+  const char* raw = std::getenv("GOGREEN_SCALE");
+  if (raw == nullptr) return BenchScale::kDefault;
+  std::string v(raw);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "smoke") return BenchScale::kSmoke;
+  if (v == "full") return BenchScale::kFull;
+  return BenchScale::kDefault;
+}
+
+const char* BenchScaleName(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke:
+      return "smoke";
+    case BenchScale::kDefault:
+      return "default";
+    case BenchScale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+std::string TempDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  if (tmp != nullptr && tmp[0] != '\0') return tmp;
+  return "/tmp";
+}
+
+}  // namespace gogreen

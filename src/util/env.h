@@ -1,0 +1,26 @@
+// Small environment helpers shared by benchmark harnesses: scale factors,
+// temp-directory selection.
+
+#ifndef GOGREEN_UTIL_ENV_H_
+#define GOGREEN_UTIL_ENV_H_
+
+#include <string>
+
+namespace gogreen {
+
+/// Benchmark dataset scale selected via the GOGREEN_SCALE environment
+/// variable: "smoke" (tiny, CI), "default", or "full" (paper-size datasets).
+enum class BenchScale { kSmoke, kDefault, kFull };
+
+/// Reads GOGREEN_SCALE (case-insensitive); unknown values map to kDefault.
+BenchScale GetBenchScale();
+
+/// Human-readable name of a scale.
+const char* BenchScaleName(BenchScale scale);
+
+/// Directory for spill files (TMPDIR or /tmp).
+std::string TempDir();
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_ENV_H_

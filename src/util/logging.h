@@ -1,0 +1,94 @@
+// Minimal logging and checked assertions. GOGREEN_DCHECK* compile away in
+// NDEBUG builds; GOGREEN_CHECK* always abort with a message on failure (used
+// for invariants whose violation would corrupt results silently).
+
+#ifndef GOGREEN_UTIL_LOGGING_H_
+#define GOGREEN_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gogreen {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level actually emitted. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after flushing.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GOGREEN_LOG(level)                                              \
+  ::gogreen::internal::LogMessage(::gogreen::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)
+
+#define GOGREEN_CHECK(cond)                                             \
+  if (cond) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::gogreen::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define GOGREEN_CHECK_EQ(a, b) GOGREEN_CHECK((a) == (b))
+#define GOGREEN_CHECK_NE(a, b) GOGREEN_CHECK((a) != (b))
+#define GOGREEN_CHECK_LT(a, b) GOGREEN_CHECK((a) < (b))
+#define GOGREEN_CHECK_LE(a, b) GOGREEN_CHECK((a) <= (b))
+#define GOGREEN_CHECK_GT(a, b) GOGREEN_CHECK((a) > (b))
+#define GOGREEN_CHECK_GE(a, b) GOGREEN_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define GOGREEN_DCHECK(cond) \
+  while (false) GOGREEN_CHECK(cond)
+#else
+#define GOGREEN_DCHECK(cond) GOGREEN_CHECK(cond)
+#endif
+
+#define GOGREEN_DCHECK_EQ(a, b) GOGREEN_DCHECK((a) == (b))
+#define GOGREEN_DCHECK_LT(a, b) GOGREEN_DCHECK((a) < (b))
+#define GOGREEN_DCHECK_LE(a, b) GOGREEN_DCHECK((a) <= (b))
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_LOGGING_H_

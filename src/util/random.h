@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests. A small xoshiro256** implementation is used instead of
+// std::mt19937 so that sequences are identical across standard libraries.
+
+#ifndef GOGREEN_UTIL_RANDOM_H_
+#define GOGREEN_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace gogreen {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+/// Deterministic across platforms for a given seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    GOGREEN_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless method would be faster; modulo bias is
+    // negligible for bound << 2^64 and keeps the generator simple.
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    GOGREEN_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Poisson-distributed value with the given mean (Knuth's method for small
+  /// means, normal approximation above 30).
+  uint32_t Poisson(double mean) {
+    GOGREEN_DCHECK(mean >= 0.0);
+    if (mean <= 0.0) return 0;
+    if (mean > 30.0) {
+      double v = mean + std::sqrt(mean) * Gaussian();
+      return v <= 0.0 ? 0u : static_cast<uint32_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    uint32_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= NextDouble();
+    }
+    return n;
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple > fast here).
+  double Gaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_RANDOM_H_

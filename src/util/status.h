@@ -1,0 +1,153 @@
+// Status and Result<T>: exception-free error propagation in the style of
+// Apache Arrow / RocksDB. Library code returns Status (or Result<T>) for any
+// operation that can fail for reasons other than programmer error; programmer
+// errors are checked with assertions (see logging.h).
+
+#ifndef GOGREEN_UTIL_STATUS_H_
+#define GOGREEN_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gogreen {
+
+/// Broad classification of an error. Kept deliberately small: callers almost
+/// always branch only on ok()/!ok(), codes exist for tests and diagnostics.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// An immutable (success | error) outcome. Cheap to copy in the success case:
+/// the OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    assert(code != StatusCode::kOk);
+    rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK; shared so Status copies are cheap and value-semantic.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status: lets functions `return value;`
+  /// or `return Status::...;` directly (the Arrow idiom).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Value access; asserts ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define GOGREEN_RETURN_NOT_OK(expr)           \
+  do {                                        \
+    ::gogreen::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#define GOGREEN_CONCAT_IMPL(x, y) x##y
+#define GOGREEN_CONCAT(x, y) GOGREEN_CONCAT_IMPL(x, y)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define GOGREEN_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto GOGREEN_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!GOGREEN_CONCAT(_res_, __LINE__).ok())                        \
+    return GOGREEN_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(GOGREEN_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_STATUS_H_

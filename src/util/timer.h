@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+
+#ifndef GOGREEN_UTIL_TIMER_H_
+#define GOGREEN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gogreen {
+
+/// Measures elapsed wall-clock time from construction (or the last Restart).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_TIMER_H_

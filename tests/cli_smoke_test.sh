@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the gogreen CLI. Usage: cli_smoke_test.sh <binary>
+set -euo pipefail
+
+BIN="$1"
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/gogreen_cli_test.XXXXXX")"
+trap 'rm -rf "$DIR"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# generate
+"$BIN" generate --kind quest -n 2000 -o "$DIR/data.dat" \
+    --items 200 --patterns 30 --seed 7 | grep -q "generated 2000" \
+    || fail "generate"
+
+# stats
+"$BIN" stats -i "$DIR/data.dat" | grep -q "transactions: 2000" \
+    || fail "stats"
+
+# mine (binary + text outputs)
+"$BIN" mine -i "$DIR/data.dat" -s 0.05 -o "$DIR/p.bin" \
+    | grep -q "patterns at support" || fail "mine"
+"$BIN" mine -i "$DIR/data.dat" -s 0.05 -o "$DIR/p.txt" >/dev/null \
+    || fail "mine txt"
+[ -s "$DIR/p.bin" ] || fail "pattern file missing"
+[ -s "$DIR/p.txt" ] || fail "pattern text missing"
+
+# recycle at a relaxed threshold; both pattern formats must load
+"$BIN" recycle -i "$DIR/data.dat" -p "$DIR/p.bin" -s 0.02 -o "$DIR/p2.bin" \
+    | grep -q "recycled" || fail "recycle bin"
+"$BIN" recycle -i "$DIR/data.dat" -p "$DIR/p.txt" -s 0.02 \
+    | grep -q "recycled" || fail "recycle txt"
+
+# recycled result must have at least as many patterns as the seed set
+SEED_COUNT=$("$BIN" summary -p "$DIR/p.bin" | grep -oE '^all: *[0-9]+' | grep -oE '[0-9]+')
+DEEP_COUNT=$("$BIN" summary -p "$DIR/p2.bin" | grep -oE '^all: *[0-9]+' | grep -oE '[0-9]+')
+[ "$DEEP_COUNT" -ge "$SEED_COUNT" ] || fail "relaxation shrank the set"
+
+# compress
+"$BIN" compress -i "$DIR/data.dat" -p "$DIR/p.bin" -o "$DIR/data.cdb" \
+    --strategy MLP | grep -q "compressed 2000 tuples" || fail "compress"
+[ -s "$DIR/data.cdb" ] || fail "cdb missing"
+
+# rules + summary variants
+"$BIN" rules -i "$DIR/data.dat" -p "$DIR/p2.bin" -c 0.5 -k 5 \
+    | grep -q "rules" || fail "rules"
+"$BIN" summary -p "$DIR/p2.bin" --closed --maximal | grep -q "maximal:" \
+    || fail "summary"
+
+# error handling: bad inputs exit non-zero
+if "$BIN" mine -i /nonexistent.dat -s 0.1 >/dev/null 2>&1; then
+  fail "missing input accepted"
+fi
+if "$BIN" bogus-subcommand >/dev/null 2>&1; then
+  fail "bogus subcommand accepted"
+fi
+
+echo "cli smoke test passed"

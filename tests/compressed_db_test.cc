@@ -1,0 +1,139 @@
+// Tests for the CompressedDb container: construction, counting,
+// decompression, serialization round-trips and corrupt-image handling.
+
+#include "core/compressed_db.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/env.h"
+
+namespace gogreen::core {
+namespace {
+
+using fpm::ItemId;
+
+/// Builds the paper's Table 2 CDB by hand (items a..i as 0..8).
+CompressedDb Table2Cdb() {
+  constexpr ItemId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6, h = 7,
+                   i = 8;
+  CompressedDb cdb;
+  cdb.AddGroup(std::vector<ItemId>{c, f, g});
+  cdb.AddMember(0, std::vector<ItemId>{a, d, e});
+  cdb.AddMember(1, std::vector<ItemId>{b, d});
+  cdb.AddMember(2, std::vector<ItemId>{e});
+  cdb.AddGroup(std::vector<ItemId>{a, e});
+  cdb.AddMember(3, std::vector<ItemId>{c, i});
+  cdb.AddMember(4, std::vector<ItemId>{h});
+  return cdb;
+}
+
+std::string TempPath(const char* name) {
+  return TempDir() + "/" + name + std::to_string(::getpid());
+}
+
+TEST(CompressedDbTest, BasicAccessors) {
+  const CompressedDb cdb = Table2Cdb();
+  EXPECT_EQ(cdb.NumGroups(), 2u);
+  EXPECT_EQ(cdb.NumTuples(), 5u);
+  EXPECT_EQ(cdb.Group(0).count, 3u);
+  EXPECT_EQ(cdb.Group(1).count, 2u);
+  EXPECT_EQ(cdb.MemberBegin(1), 3u);
+  EXPECT_EQ(cdb.MemberEnd(1), 5u);
+  EXPECT_EQ(cdb.StoredItems(), 5u + 9u);
+  EXPECT_EQ(cdb.ItemUniverseSize(), 9u);
+}
+
+TEST(CompressedDbTest, CountItemSupportsMatchesOriginal) {
+  const CompressedDb cdb = Table2Cdb();
+  const std::vector<uint64_t> counts = cdb.CountItemSupports(9);
+  // Original Table 1 supports: a3 b1 c4 d2 e4 f3 g3 h1 i1.
+  EXPECT_EQ(counts, (std::vector<uint64_t>{3, 1, 4, 2, 4, 3, 3, 1, 1}));
+}
+
+TEST(CompressedDbTest, CountItemSupportsExpandsUniverse) {
+  const CompressedDb cdb = Table2Cdb();
+  EXPECT_EQ(cdb.CountItemSupports(20).size(), 20u);
+  EXPECT_EQ(cdb.CountItemSupports(0).size(), 9u);  // Clamped up.
+}
+
+TEST(CompressedDbTest, DecompressMergesPatternAndOutlying) {
+  const CompressedDb cdb = Table2Cdb();
+  const fpm::TransactionDb db = cdb.Decompress();
+  ASSERT_EQ(db.NumTransactions(), 5u);
+  const fpm::ItemSpan t0 = db.Transaction(0);
+  EXPECT_EQ(std::vector<ItemId>(t0.begin(), t0.end()),
+            (std::vector<ItemId>{0, 2, 3, 4, 5, 6}));  // a,c,d,e,f,g
+  const fpm::ItemSpan t4 = db.Transaction(4);
+  EXPECT_EQ(std::vector<ItemId>(t4.begin(), t4.end()),
+            (std::vector<ItemId>{0, 4, 7}));  // a,e,h
+}
+
+TEST(CompressedDbTest, SerializationRoundTrip) {
+  const CompressedDb cdb = Table2Cdb();
+  const std::string path = TempPath("cdb_roundtrip_");
+  auto written = cdb.WriteTo(path);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_GT(written.value(), 0u);
+
+  auto loaded = CompressedDb::ReadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumGroups(), cdb.NumGroups());
+  EXPECT_EQ(loaded->NumTuples(), cdb.NumTuples());
+  EXPECT_EQ(loaded->StoredItems(), cdb.StoredItems());
+  EXPECT_EQ(loaded->CountItemSupports(9), cdb.CountItemSupports(9));
+  for (uint64_t m = 0; m < cdb.NumTuples(); ++m) {
+    EXPECT_EQ(loaded->MemberTid(m), cdb.MemberTid(m));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CompressedDbTest, ReadMissingFileFails) {
+  auto result = CompressedDb::ReadFrom("/nonexistent/path/cdb.bin");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(CompressedDbTest, ReadRejectsGarbage) {
+  const std::string path = TempPath("cdb_garbage_");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a compressed database image";
+  }
+  auto result = CompressedDb::ReadFrom(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CompressedDbTest, ReadRejectsTruncatedImage) {
+  const CompressedDb cdb = Table2Cdb();
+  const std::string full = TempPath("cdb_full_");
+  ASSERT_TRUE(cdb.WriteTo(full).ok());
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string trunc = TempPath("cdb_trunc_");
+  {
+    std::ofstream out(trunc, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  auto result = CompressedDb::ReadFrom(trunc);
+  EXPECT_FALSE(result.ok());
+  std::remove(full.c_str());
+  std::remove(trunc.c_str());
+}
+
+TEST(CompressedDbTest, EmptyDb) {
+  CompressedDb cdb;
+  EXPECT_EQ(cdb.NumGroups(), 0u);
+  EXPECT_EQ(cdb.NumTuples(), 0u);
+  EXPECT_EQ(cdb.StoredItems(), 0u);
+  EXPECT_TRUE(cdb.Decompress().NumTransactions() == 0);
+}
+
+}  // namespace
+}  // namespace gogreen::core

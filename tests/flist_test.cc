@@ -1,0 +1,108 @@
+// Tests for the F-list and the rank-encoded database view.
+
+#include "fpm/flist.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gogreen::fpm {
+namespace {
+
+TEST(FListTest, PaperExampleDefinition31) {
+  // Definition 3.1 example: with xi_new = 2 the F-list of Table 1 is
+  // <d:2, f:3, g:3, a:3, e:4, c:4>.
+  const TransactionDb db = testutil::PaperExampleDb();
+  const FList flist = FList::Build(db, 2);
+  ASSERT_EQ(flist.size(), 6u);
+  constexpr ItemId a = 0, c = 2, d = 3, e = 4, f = 5, g = 6;
+  EXPECT_EQ(flist.item(0), d);
+  EXPECT_EQ(flist.support(0), 2u);
+  // f, g, a all have support 3; ties broken by item id ascending: a < f < g.
+  EXPECT_EQ(flist.item(1), a);
+  EXPECT_EQ(flist.item(2), f);
+  EXPECT_EQ(flist.item(3), g);
+  EXPECT_EQ(flist.support(3), 3u);
+  // c, e both have support 4; c < e.
+  EXPECT_EQ(flist.item(4), c);
+  EXPECT_EQ(flist.item(5), e);
+}
+
+TEST(FListTest, RanksRoundTrip) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  const FList flist = FList::Build(db, 2);
+  for (Rank r = 0; r < flist.size(); ++r) {
+    EXPECT_EQ(flist.rank(flist.item(r)), r);
+  }
+  EXPECT_EQ(flist.rank(1), kNoRank);  // b has support 1.
+  EXPECT_EQ(flist.rank(7), kNoRank);  // h.
+  EXPECT_EQ(flist.rank(1000), kNoRank);  // Out of universe.
+}
+
+TEST(FListTest, IsFrequent) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  const FList flist = FList::Build(db, 3);
+  EXPECT_TRUE(flist.IsFrequent(2));   // c:4
+  EXPECT_FALSE(flist.IsFrequent(3));  // d:2
+}
+
+TEST(FListTest, SupportsAreAscending) {
+  const TransactionDb db = testutil::RandomDb(3, 300, 40, 6.0);
+  const FList flist = FList::Build(db, 5);
+  for (Rank r = 1; r < flist.size(); ++r) {
+    EXPECT_LE(flist.support(r - 1), flist.support(r));
+  }
+}
+
+TEST(FListTest, EncodeDropsInfrequentAndSortsByRank) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  const FList flist = FList::Build(db, 2);
+  // Tuple 100 = {a,c,d,e,f,g}; all frequent. Encoded ranks ascending.
+  const std::vector<Rank> enc = flist.EncodeTransaction(db.Transaction(0));
+  ASSERT_EQ(enc.size(), 6u);
+  for (size_t i = 1; i < enc.size(); ++i) EXPECT_LT(enc[i - 1], enc[i]);
+  // Tuple 500 = {a,e,h}: h infrequent -> 2 ranks.
+  EXPECT_EQ(flist.EncodeTransaction(db.Transaction(4)).size(), 2u);
+}
+
+TEST(FListTest, DecodeRanksInverseOfEncode) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  const FList flist = FList::Build(db, 2);
+  const std::vector<Rank> enc = flist.EncodeTransaction(db.Transaction(1));
+  std::vector<ItemId> items = flist.DecodeRanks(enc);
+  std::sort(items.begin(), items.end());
+  // Tuple 200 = {b,c,d,f,g}, b infrequent.
+  EXPECT_EQ(items, (std::vector<ItemId>{2, 3, 5, 6}));
+}
+
+TEST(FListTest, MinSupportZeroTreatedAsOne) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  const FList flist = FList::Build(db, 0);
+  EXPECT_EQ(flist.size(), 9u);  // Every occurring item.
+}
+
+TEST(FListTest, EmptyWhenNothingFrequent) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  EXPECT_TRUE(FList::Build(db, 10).empty());
+}
+
+TEST(RankedDbTest, PreservesTransactionCountAndStableTids) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  const FList flist = FList::Build(db, 3);
+  const RankedDb ranked = RankedDb::Build(db, flist);
+  EXPECT_EQ(ranked.NumTransactions(), db.NumTransactions());
+  // Tuple 500 = {a,e,h} -> {a,e} at minsup 3.
+  EXPECT_EQ(ranked.Transaction(4).size(), 2u);
+}
+
+TEST(RankedDbTest, TotalItemsOnlyCountsFrequentOccurrences) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  const FList flist = FList::Build(db, 3);
+  const RankedDb ranked = RankedDb::Build(db, flist);
+  // Frequent items: a(3) c(4) e(4) f(3) g(3). Occurrences:
+  // t0: a,c,e,f,g =5; t1: c,f,g =3; t2: c,e,f,g =4; t3: a,c,e =3; t4: a,e =2.
+  EXPECT_EQ(ranked.TotalItems(), 17u);
+}
+
+}  // namespace
+}  // namespace gogreen::fpm

@@ -1,0 +1,120 @@
+// Tests for pattern-set persistence (binary and text formats).
+
+#include "fpm/pattern_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fpm/miner.h"
+#include "tests/test_util.h"
+#include "util/env.h"
+
+namespace gogreen::fpm {
+namespace {
+
+std::string TempPath(const char* name) {
+  return TempDir() + "/" + name + std::to_string(::getpid());
+}
+
+PatternSet SamplePatterns() {
+  PatternSet fp;
+  fp.Add({1, 2, 3}, 10);
+  fp.Add({5}, 42);
+  fp.Add({2, 9}, 7);
+  return fp;
+}
+
+TEST(PatternIoTest, BinaryRoundTrip) {
+  const std::string path = TempPath("patio_bin_");
+  PatternSetHeader header;
+  header.min_support = 7;
+  header.num_transactions = 100;
+  header.source = "unit-test";
+  auto written = WritePatternFile(SamplePatterns(), header, path);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_GT(written.value(), 0u);
+
+  auto loaded = ReadPatternFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  PatternSet expected = SamplePatterns();
+  EXPECT_TRUE(PatternSet::Equal(&expected, &loaded->first));
+  EXPECT_EQ(loaded->second.min_support, 7u);
+  EXPECT_EQ(loaded->second.num_transactions, 100u);
+  EXPECT_EQ(loaded->second.source, "unit-test");
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, BinaryRejectsGarbage) {
+  const std::string path = TempPath("patio_garbage_");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "nope";
+  }
+  EXPECT_FALSE(ReadPatternFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, BinaryRejectsTruncation) {
+  const std::string path = TempPath("patio_trunc_");
+  PatternSetHeader header;
+  ASSERT_TRUE(WritePatternFile(SamplePatterns(), header, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  EXPECT_FALSE(ReadPatternFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, TextRoundTrip) {
+  const std::string path = TempPath("patio_txt_");
+  auto written = WritePatternText(SamplePatterns(), path);
+  ASSERT_TRUE(written.ok());
+  auto loaded = ReadPatternText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  PatternSet expected = SamplePatterns();
+  EXPECT_TRUE(PatternSet::Equal(&expected, &loaded.value()));
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, TextRejectsMissingSupport) {
+  const std::string path = TempPath("patio_badtxt_");
+  {
+    std::ofstream out(path);
+    out << "1 2 3\n";
+  }
+  EXPECT_FALSE(ReadPatternText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, EmptySetRoundTrips) {
+  const std::string path = TempPath("patio_empty_");
+  ASSERT_TRUE(WritePatternFile(PatternSet(), {}, path).ok());
+  auto loaded = ReadPatternFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->first.empty());
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, MinedSetRoundTripsExactly) {
+  const auto db = testutil::RandomDb(55, 300, 40, 6.0);
+  auto fp = CreateMiner(MinerKind::kFpGrowth)->Mine(db, 15);
+  ASSERT_TRUE(fp.ok());
+  const std::string path = TempPath("patio_mined_");
+  PatternSetHeader header{15, db.NumTransactions(), "mined"};
+  ASSERT_TRUE(WritePatternFile(*fp, header, path).ok());
+  auto loaded = ReadPatternFile(path);
+  ASSERT_TRUE(loaded.ok());
+  PatternSet expected = std::move(fp).value();
+  EXPECT_TRUE(PatternSet::Equal(&expected, &loaded->first));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gogreen::fpm

@@ -1,0 +1,115 @@
+// Tests for Pattern, PatternSet and canonical-form helpers.
+
+#include "fpm/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/pattern_set.h"
+
+namespace gogreen::fpm {
+namespace {
+
+TEST(PatternTest, CanonicalizeSortsAndDeduplicates) {
+  std::vector<ItemId> items = {5, 1, 5, 3, 1};
+  CanonicalizeItems(&items);
+  EXPECT_EQ(items, (std::vector<ItemId>{1, 3, 5}));
+}
+
+TEST(PatternTest, IsSubsetSorted) {
+  const std::vector<ItemId> hay = {1, 3, 5, 7, 9};
+  EXPECT_TRUE(IsSubsetSorted(std::vector<ItemId>{}, hay));
+  EXPECT_TRUE(IsSubsetSorted(std::vector<ItemId>{1}, hay));
+  EXPECT_TRUE(IsSubsetSorted(std::vector<ItemId>{3, 7}, hay));
+  EXPECT_TRUE(IsSubsetSorted(std::vector<ItemId>{1, 3, 5, 7, 9}, hay));
+  EXPECT_FALSE(IsSubsetSorted(std::vector<ItemId>{2}, hay));
+  EXPECT_FALSE(IsSubsetSorted(std::vector<ItemId>{9, 10}, hay));
+  EXPECT_FALSE(IsSubsetSorted(std::vector<ItemId>{0, 1}, hay));
+}
+
+TEST(PatternTest, ContainsUsesSetSemantics) {
+  const Pattern p({1, 4, 6}, 3);
+  EXPECT_TRUE(p.Contains(Pattern({4}, 0)));
+  EXPECT_TRUE(p.Contains(Pattern({1, 6}, 0)));
+  EXPECT_FALSE(p.Contains(Pattern({2}, 0)));
+}
+
+TEST(PatternTest, ToString) {
+  EXPECT_EQ(Pattern({1, 2}, 7).ToString(), "{1,2}:7");
+}
+
+TEST(PatternTest, PatternLessIsLexicographicThenSupport) {
+  EXPECT_TRUE(PatternLess(Pattern({1}, 5), Pattern({1, 2}, 5)));
+  EXPECT_TRUE(PatternLess(Pattern({1, 2}, 5), Pattern({1, 3}, 5)));
+  EXPECT_TRUE(PatternLess(Pattern({1}, 4), Pattern({1}, 5)));
+  EXPECT_FALSE(PatternLess(Pattern({1}, 5), Pattern({1}, 5)));
+}
+
+TEST(PatternSetTest, EqualAfterReordering) {
+  PatternSet a;
+  a.Add({1, 2}, 3);
+  a.Add({4}, 5);
+  PatternSet b;
+  b.Add({4}, 5);
+  b.Add({1, 2}, 3);
+  EXPECT_TRUE(PatternSet::Equal(&a, &b));
+}
+
+TEST(PatternSetTest, NotEqualOnSupportMismatch) {
+  PatternSet a;
+  a.Add({1, 2}, 3);
+  PatternSet b;
+  b.Add({1, 2}, 4);
+  EXPECT_FALSE(PatternSet::Equal(&a, &b));
+}
+
+TEST(PatternSetTest, DifferenceReportsMissing) {
+  PatternSet a;
+  a.Add({1}, 2);
+  a.Add({2}, 2);
+  PatternSet b;
+  b.Add({1}, 2);
+  const std::vector<Pattern> diff = PatternSet::Difference(&a, &b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].items, (std::vector<ItemId>{2}));
+}
+
+TEST(PatternSetTest, FilterBySupportImplementsTightenedConstraints) {
+  // Section 2: when the support threshold rises, the new complete set is a
+  // filter of the old one.
+  PatternSet fp;
+  fp.Add({1}, 10);
+  fp.Add({2}, 5);
+  fp.Add({1, 2}, 5);
+  fp.Add({3}, 2);
+  const PatternSet tightened = fp.FilterBySupport(5);
+  EXPECT_EQ(tightened.size(), 3u);
+  EXPECT_EQ(tightened.SupportOf(std::vector<ItemId>{3}), 0u);
+}
+
+TEST(PatternSetTest, FilterByMinLength) {
+  PatternSet fp;
+  fp.Add({1}, 10);
+  fp.Add({1, 2}, 5);
+  fp.Add({1, 2, 3}, 2);
+  EXPECT_EQ(fp.FilterByMinLength(2).size(), 2u);
+  EXPECT_EQ(fp.FilterByMinLength(4).size(), 0u);
+}
+
+TEST(PatternSetTest, MaxLength) {
+  PatternSet fp;
+  EXPECT_EQ(fp.MaxLength(), 0u);
+  fp.Add({1}, 1);
+  fp.Add({1, 2, 3}, 1);
+  EXPECT_EQ(fp.MaxLength(), 3u);
+}
+
+TEST(PatternSetTest, SupportOfExactMatchOnly) {
+  PatternSet fp;
+  fp.Add({1, 2}, 9);
+  EXPECT_EQ(fp.SupportOf(std::vector<ItemId>{1, 2}), 9u);
+  EXPECT_EQ(fp.SupportOf(std::vector<ItemId>{1}), 0u);
+  EXPECT_EQ(fp.SupportOf(std::vector<ItemId>{1, 2, 3}), 0u);
+}
+
+}  // namespace
+}  // namespace gogreen::fpm

@@ -1,0 +1,111 @@
+// Tests for the itemset trie used by Apriori counting and the compressor.
+
+#include "fpm/pattern_trie.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace gogreen::fpm {
+namespace {
+
+TEST(PatternTrieTest, InsertAndFind) {
+  PatternTrie trie;
+  const auto n1 = trie.Insert(std::vector<ItemId>{1, 3}, 42);
+  EXPECT_NE(n1, PatternTrie::kNoNode);
+  EXPECT_EQ(trie.Find(std::vector<ItemId>{1, 3}), n1);
+  EXPECT_EQ(trie.tag(n1), 42);
+  EXPECT_EQ(trie.Find(std::vector<ItemId>{1}), PatternTrie::kNoNode);
+  EXPECT_EQ(trie.Find(std::vector<ItemId>{1, 3, 5}), PatternTrie::kNoNode);
+  EXPECT_EQ(trie.NumPatterns(), 1u);
+}
+
+TEST(PatternTrieTest, ReinsertReturnsSameNodeAndKeepsTag) {
+  PatternTrie trie;
+  const auto n1 = trie.Insert(std::vector<ItemId>{2, 4}, 7);
+  const auto n2 = trie.Insert(std::vector<ItemId>{2, 4}, 9);
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(trie.tag(n1), 7);  // First insertion wins.
+  EXPECT_EQ(trie.NumPatterns(), 1u);
+}
+
+TEST(PatternTrieTest, PrefixBecomesTerminalIndependently) {
+  PatternTrie trie;
+  trie.Insert(std::vector<ItemId>{1, 2, 3});
+  EXPECT_EQ(trie.Find(std::vector<ItemId>{1, 2}), PatternTrie::kNoNode);
+  trie.Insert(std::vector<ItemId>{1, 2});
+  EXPECT_NE(trie.Find(std::vector<ItemId>{1, 2}), PatternTrie::kNoNode);
+  EXPECT_EQ(trie.NumPatterns(), 2u);
+}
+
+TEST(PatternTrieTest, SubsetCountingMatchesDefinition) {
+  PatternTrie trie;
+  const auto fg = trie.Insert(std::vector<ItemId>{5, 6});
+  const auto ce = trie.Insert(std::vector<ItemId>{2, 4});
+  const auto c = trie.Insert(std::vector<ItemId>{2});
+  const TransactionDb db = testutil::PaperExampleDb();
+  for (Tid t = 0; t < db.NumTransactions(); ++t) {
+    trie.AddSupportForTransaction(db.Transaction(t));
+  }
+  EXPECT_EQ(trie.count(fg), 3u);
+  EXPECT_EQ(trie.count(ce), 3u);
+  EXPECT_EQ(trie.count(c), 4u);
+}
+
+TEST(PatternTrieTest, WeightedCounting) {
+  PatternTrie trie;
+  const auto n = trie.Insert(std::vector<ItemId>{1});
+  trie.AddSupportForTransaction(std::vector<ItemId>{1, 2}, 5);
+  trie.AddSupportForTransaction(std::vector<ItemId>{2}, 3);
+  EXPECT_EQ(trie.count(n), 5u);
+}
+
+TEST(PatternTrieTest, ForEachPatternLexicographicOrder) {
+  PatternTrie trie;
+  trie.Insert(std::vector<ItemId>{2});
+  trie.Insert(std::vector<ItemId>{1, 3});
+  trie.Insert(std::vector<ItemId>{1});
+  std::vector<std::vector<ItemId>> seen;
+  trie.ForEachPattern([&](const std::vector<ItemId>& items, uint64_t,
+                          int64_t) { seen.push_back(items); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::vector<ItemId>{1}));
+  EXPECT_EQ(seen[1], (std::vector<ItemId>{1, 3}));
+  EXPECT_EQ(seen[2], (std::vector<ItemId>{2}));
+}
+
+TEST(PatternTrieTest, ClearResets) {
+  PatternTrie trie;
+  trie.Insert(std::vector<ItemId>{1});
+  trie.Clear();
+  EXPECT_EQ(trie.NumPatterns(), 0u);
+  EXPECT_EQ(trie.Find(std::vector<ItemId>{1}), PatternTrie::kNoNode);
+}
+
+TEST(PatternTrieTest, RandomizedCountsAgreeWithFullScan) {
+  Random rng(77);
+  const TransactionDb db = testutil::RandomDb(7, 200, 25, 5.0);
+  // Insert 50 random small itemsets.
+  PatternTrie trie;
+  std::vector<std::pair<PatternTrie::NodeId, std::vector<ItemId>>> queries;
+  for (int q = 0; q < 50; ++q) {
+    std::vector<ItemId> items;
+    const size_t len = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < len; ++i) {
+      items.push_back(static_cast<ItemId>(rng.Uniform(25)));
+    }
+    CanonicalizeItems(&items);
+    queries.emplace_back(trie.Insert(ItemSpan(items)), items);
+  }
+  for (Tid t = 0; t < db.NumTransactions(); ++t) {
+    trie.AddSupportForTransaction(db.Transaction(t));
+  }
+  for (const auto& [node, items] : queries) {
+    EXPECT_EQ(trie.count(node), db.CountSupport(ItemSpan(items)))
+        << Pattern(items, 0).ToString();
+  }
+}
+
+}  // namespace
+}  // namespace gogreen::fpm

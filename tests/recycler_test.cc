@@ -1,0 +1,191 @@
+// Tests for the RecyclingSession: path selection (initial / filtered /
+// recycled / scratch), result correctness on every path, cache seeding
+// (multi-user), and option handling.
+
+#include "core/recycler.h"
+
+#include <gtest/gtest.h>
+
+#include "fpm/miner.h"
+#include "tests/test_util.h"
+
+namespace gogreen::core {
+namespace {
+
+using fpm::PatternSet;
+using fpm::TransactionDb;
+using testutil::PaperExampleDb;
+using testutil::RandomDb;
+
+PatternSet Direct(const TransactionDb& db, uint64_t minsup) {
+  auto miner = fpm::CreateMiner(fpm::MinerKind::kFpGrowth);
+  auto result = miner->Mine(db, minsup);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(RecyclerTest, FirstMineIsInitialPath) {
+  RecyclingSession session(PaperExampleDb());
+  auto result = session.Mine(3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(session.last_stats().path, MiningPath::kInitial);
+  EXPECT_EQ(result->size(), 11u);
+  EXPECT_TRUE(session.has_cache());
+  EXPECT_EQ(session.cached_min_support(), 3u);
+}
+
+TEST(RecyclerTest, TightenedUsesFilterPath) {
+  const TransactionDb db = RandomDb(31, 500, 50, 7.0);
+  RecyclingSession session(db);
+  ASSERT_TRUE(session.Mine(10).ok());
+
+  auto result = session.Mine(25);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(session.last_stats().path, MiningPath::kFiltered);
+  PatternSet expected = Direct(db, 25);
+  PatternSet got = std::move(result).value();
+  EXPECT_TRUE(PatternSet::Equal(&expected, &got));
+  // The cache keeps the richer set for future relaxations.
+  EXPECT_EQ(session.cached_min_support(), 10u);
+}
+
+TEST(RecyclerTest, RelaxedUsesRecycledPathAndIsExact) {
+  const TransactionDb db = RandomDb(32, 500, 50, 7.0);
+  RecyclingSession session(db);
+  ASSERT_TRUE(session.Mine(40).ok());
+
+  auto result = session.Mine(12);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(session.last_stats().path, MiningPath::kRecycled);
+  EXPECT_EQ(session.last_stats().delta, ConstraintDelta::kRelaxed);
+  EXPECT_LE(session.last_stats().compression_ratio, 1.0);
+  PatternSet expected = Direct(db, 12);
+  PatternSet got = std::move(result).value();
+  EXPECT_TRUE(PatternSet::Equal(&expected, &got));
+  EXPECT_EQ(session.cached_min_support(), 12u);
+}
+
+TEST(RecyclerTest, IterativeDrillDownStaysCorrect) {
+  // The canonical workflow from the introduction: 5% -> 3% -> ... with a
+  // tightening thrown in.
+  const TransactionDb db = RandomDb(33, 800, 60, 8.0);
+  RecyclingSession session(db);
+  for (uint64_t minsup : {60u, 35u, 50u, 20u, 10u}) {
+    SCOPED_TRACE(minsup);
+    auto result = session.Mine(minsup);
+    ASSERT_TRUE(result.ok());
+    PatternSet expected = Direct(db, minsup);
+    PatternSet got = std::move(result).value();
+    EXPECT_TRUE(PatternSet::Equal(&expected, &got))
+        << "at minsup " << minsup;
+  }
+}
+
+TEST(RecyclerTest, AllAlgoStrategyCombinationsAgree) {
+  const TransactionDb db = RandomDb(34, 300, 40, 6.0);
+  PatternSet expected = Direct(db, 8);
+  for (RecycleAlgo algo :
+       {RecycleAlgo::kNaive, RecycleAlgo::kHMine, RecycleAlgo::kFpGrowth,
+        RecycleAlgo::kTreeProjection}) {
+    for (CompressionStrategy strategy :
+         {CompressionStrategy::kMcp, CompressionStrategy::kMlp}) {
+      SCOPED_TRACE(testing::Message() << RecycleAlgoName(algo) << "/"
+                                      << CompressionStrategyName(strategy));
+      RecyclerOptions options;
+      options.algo = algo;
+      options.strategy = strategy;
+      RecyclingSession session(db, options);
+      ASSERT_TRUE(session.Mine(30).ok());
+      auto result = session.Mine(8);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(session.last_stats().path, MiningPath::kRecycled);
+      PatternSet got = std::move(result).value();
+      EXPECT_TRUE(PatternSet::Equal(&expected, &got));
+    }
+  }
+}
+
+TEST(RecyclerTest, DisabledRecyclingAlwaysScratch) {
+  RecyclerOptions options;
+  options.enable_recycling = false;
+  RecyclingSession session(PaperExampleDb(), options);
+  ASSERT_TRUE(session.Mine(3).ok());
+  EXPECT_EQ(session.last_stats().path, MiningPath::kScratch);
+  ASSERT_TRUE(session.Mine(2).ok());
+  EXPECT_EQ(session.last_stats().path, MiningPath::kScratch);
+  EXPECT_FALSE(session.has_cache());
+}
+
+TEST(RecyclerTest, SeedCacheEnablesMultiUserRecycling) {
+  // User A mines; user B's session is seeded with A's result and goes
+  // straight to the recycled path.
+  const TransactionDb db = RandomDb(35, 400, 40, 6.0);
+  PatternSet user_a = Direct(db, 30);
+
+  RecyclingSession user_b(db);
+  user_b.SeedCache(user_a, 30);
+  auto result = user_b.Mine(10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(user_b.last_stats().path, MiningPath::kRecycled);
+  PatternSet expected = Direct(db, 10);
+  PatternSet got = std::move(result).value();
+  EXPECT_TRUE(PatternSet::Equal(&expected, &got));
+}
+
+TEST(RecyclerTest, InvalidateCacheForcesInitialMine) {
+  RecyclingSession session(PaperExampleDb());
+  ASSERT_TRUE(session.Mine(3).ok());
+  session.InvalidateCache();
+  EXPECT_FALSE(session.has_cache());
+  ASSERT_TRUE(session.Mine(2).ok());
+  EXPECT_EQ(session.last_stats().path, MiningPath::kInitial);
+}
+
+TEST(RecyclerTest, MineFractionConvertsThreshold) {
+  RecyclingSession session(PaperExampleDb());
+  auto result = session.MineFraction(0.6);  // ceil(0.6 * 5) = 3.
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 11u);
+  EXPECT_FALSE(session.MineFraction(0.0).ok());
+  EXPECT_FALSE(session.MineFraction(1.5).ok());
+}
+
+TEST(RecyclerTest, ZeroSupportRejected) {
+  RecyclingSession session(PaperExampleDb());
+  EXPECT_FALSE(session.Mine(uint64_t{0}).ok());
+}
+
+TEST(RecyclerTest, ConstrainedMiningFiltersAndReportsDelta) {
+  const TransactionDb db = RandomDb(36, 400, 40, 6.0);
+  RecyclingSession session(db);
+
+  ConstraintSet c1(20);
+  c1.Add(MakeMinLength(2));
+  auto r1 = session.Mine(c1);
+  ASSERT_TRUE(r1.ok());
+  for (const auto& p : *r1) EXPECT_GE(p.size(), 2u);
+
+  // Relax the support, keep the length constraint.
+  ConstraintSet c2(8);
+  c2.Add(MakeMinLength(2));
+  auto r2 = session.Mine(c2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(session.last_stats().delta, ConstraintDelta::kRelaxed);
+  EXPECT_EQ(session.last_stats().path, MiningPath::kRecycled);
+
+  // Check against a directly computed answer.
+  PatternSet expected = c2.Filter(Direct(db, 8));
+  PatternSet got = std::move(r2).value();
+  EXPECT_TRUE(PatternSet::Equal(&expected, &got));
+}
+
+TEST(RecyclerTest, StatsReportPatternCounts) {
+  RecyclingSession session(PaperExampleDb());
+  auto r = session.Mine(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(session.last_stats().patterns_returned, 11u);
+  EXPECT_EQ(session.last_stats().cached_patterns, 11u);
+}
+
+}  // namespace
+}  // namespace gogreen::core

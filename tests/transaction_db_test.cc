@@ -1,0 +1,72 @@
+// Tests for the CSR transaction database.
+
+#include "fpm/transaction_db.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace gogreen::fpm {
+namespace {
+
+TEST(TransactionDbTest, EmptyDb) {
+  TransactionDb db;
+  EXPECT_EQ(db.NumTransactions(), 0u);
+  EXPECT_EQ(db.TotalItems(), 0u);
+  EXPECT_EQ(db.AvgLength(), 0.0);
+  EXPECT_EQ(db.ItemUniverseSize(), 0u);
+}
+
+TEST(TransactionDbTest, AddTransactionCanonicalizes) {
+  TransactionDb db;
+  db.AddTransaction({7, 2, 7, 4});
+  ASSERT_EQ(db.NumTransactions(), 1u);
+  const ItemSpan row = db.Transaction(0);
+  EXPECT_EQ(std::vector<ItemId>(row.begin(), row.end()),
+            (std::vector<ItemId>{2, 4, 7}));
+}
+
+TEST(TransactionDbTest, StatsOnPaperExample) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  EXPECT_EQ(db.NumTransactions(), 5u);
+  EXPECT_EQ(db.TotalItems(), 6u + 5 + 4 + 4 + 3);
+  EXPECT_DOUBLE_EQ(db.AvgLength(), 22.0 / 5.0);
+  EXPECT_EQ(db.ItemUniverseSize(), 9u);  // Items 0..8.
+  EXPECT_EQ(db.NumDistinctItems(), 9u);
+}
+
+TEST(TransactionDbTest, CountItemSupports) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  const std::vector<uint64_t> counts = db.CountItemSupports();
+  // a=0:3 b=1:1 c=2:4 d=3:2 e=4:4 f=5:3 g=6:3 h=7:1 i=8:1
+  EXPECT_EQ(counts, (std::vector<uint64_t>{3, 1, 4, 2, 4, 3, 3, 1, 1}));
+}
+
+TEST(TransactionDbTest, CountSupportFullScan) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{5, 6}), 3u);       // fg
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{2, 5, 6}), 3u);    // fgc
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{0, 4}), 3u);       // ae
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{1, 7}), 0u);       // bh
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{}), 5u);  // Empty set: all.
+}
+
+TEST(TransactionDbTest, EmptyTransactionAllowed) {
+  TransactionDb db;
+  db.AddTransaction({});
+  db.AddTransaction({1});
+  EXPECT_EQ(db.NumTransactions(), 2u);
+  EXPECT_TRUE(db.Transaction(0).empty());
+  EXPECT_EQ(db.CountSupport(std::vector<ItemId>{1}), 1u);
+}
+
+TEST(TransactionDbTest, MemoryUsageGrowsWithContent) {
+  TransactionDb small;
+  small.AddTransaction({1});
+  TransactionDb big;
+  for (int i = 0; i < 1000; ++i) big.AddTransaction({1, 2, 3, 4, 5});
+  EXPECT_GT(big.MemoryUsage(), small.MemoryUsage());
+}
+
+}  // namespace
+}  // namespace gogreen::fpm

@@ -1,0 +1,223 @@
+// Tests for the util layer: Status/Result, Arena, DynamicBitset, Random.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdlib>
+
+#include "util/arena.h"
+#include "util/env.h"
+#include "util/bitset.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gogreen {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad support");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad support");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad support");
+}
+
+TEST(StatusTest, CopyPreservesError) {
+  const Status s = Status::IOError("disk");
+  const Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kIOError);
+  EXPECT_EQ(t.message(), "disk");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  GOGREEN_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Caller(1).ok());
+  EXPECT_EQ(Caller(-1).code(), StatusCode::kOutOfRange);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  GOGREEN_ASSIGN_OR_RETURN(const int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, ValueAndError) {
+  EXPECT_EQ(Half(4).value(), 2);
+  EXPECT_FALSE(Half(3).ok());
+  EXPECT_EQ(Half(3).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd.
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndCounted) {
+  Arena arena;
+  void* p1 = arena.Allocate(10);
+  void* p2 = arena.Allocate(100, 64);
+  EXPECT_NE(p1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p2) % 64, 0u);
+  EXPECT_EQ(arena.allocated_bytes(), 110u);
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
+  Arena arena(128);
+  void* p = arena.Allocate(100000);
+  EXPECT_NE(p, nullptr);
+  EXPECT_GE(arena.reserved_bytes(), 100000u);
+}
+
+TEST(ArenaTest, NewConstructsObject) {
+  struct Point {
+    int x, y;
+  };
+  Arena arena;
+  Point* p = arena.New<Point>(Point{1, 2});
+  EXPECT_EQ(p->x, 1);
+  EXPECT_EQ(p->y, 2);
+}
+
+TEST(ArenaTest, ResetReleasesAccounting) {
+  Arena arena;
+  arena.Allocate(1000);
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(arena.reserved_bytes(), 0u);
+}
+
+TEST(BitsetTest, SetTestClear) {
+  DynamicBitset bs(130);
+  EXPECT_FALSE(bs.Test(0));
+  bs.Set(0);
+  bs.Set(64);
+  bs.Set(129);
+  EXPECT_TRUE(bs.Test(0));
+  EXPECT_TRUE(bs.Test(64));
+  EXPECT_TRUE(bs.Test(129));
+  EXPECT_EQ(bs.Count(), 3u);
+  bs.Clear(64);
+  EXPECT_FALSE(bs.Test(64));
+  EXPECT_EQ(bs.Count(), 2u);
+}
+
+TEST(BitsetTest, IntersectionCount) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(99);
+  b.Set(3);
+  EXPECT_EQ(a.IntersectionCount(b), 2u);
+  a.IntersectWith(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_FALSE(a.Test(1));
+}
+
+TEST(BitsetTest, ForEachSetBitAscending) {
+  DynamicBitset bs(200);
+  bs.Set(5);
+  bs.Set(64);
+  bs.Set(199);
+  std::vector<size_t> seen;
+  bs.ForEachSetBit([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{5, 64, 199}));
+}
+
+TEST(EnvTest, BenchScaleParsing) {
+  ::setenv("GOGREEN_SCALE", "smoke", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kSmoke);
+  ::setenv("GOGREEN_SCALE", "FULL", 1);  // Case-insensitive.
+  EXPECT_EQ(GetBenchScale(), BenchScale::kFull);
+  ::setenv("GOGREEN_SCALE", "bogus", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kDefault);
+  ::unsetenv("GOGREEN_SCALE");
+  EXPECT_EQ(GetBenchScale(), BenchScale::kDefault);
+  EXPECT_STREQ(BenchScaleName(BenchScale::kSmoke), "smoke");
+}
+
+TEST(EnvTest, TempDirNonEmpty) {
+  EXPECT_FALSE(TempDir().empty());
+}
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const int64_t v = rng.UniformInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, PoissonMeanApproximatelyCorrect) {
+  Random rng(11);
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Poisson(6.0);
+  EXPECT_NEAR(sum / kTrials, 6.0, 0.15);
+}
+
+TEST(RandomTest, PoissonLargeMeanUsesNormalApprox) {
+  Random rng(13);
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Poisson(60.0);
+  EXPECT_NEAR(sum / kTrials, 60.0, 1.0);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random rng(17);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random rng(19);
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Exponential(2.5);
+  EXPECT_NEAR(sum / kTrials, 2.5, 0.1);
+}
+
+}  // namespace
+}  // namespace gogreen

@@ -1,0 +1,93 @@
+// Tests for the MCP / MLP utility functions (Section 3.2).
+
+#include "core/utility.h"
+
+#include <gtest/gtest.h>
+
+namespace gogreen::core {
+namespace {
+
+using fpm::Pattern;
+using fpm::PatternSet;
+
+TEST(UtilityTest, McpMatchesPaperExample2) {
+  // Example 2: U(fgc:3) = (2^3 - 1) * 3 = 21.
+  EXPECT_DOUBLE_EQ(PatternUtility(Pattern({2, 5, 6}, 3),
+                                  CompressionStrategy::kMcp, 5),
+                   21.0);
+  // 2-item patterns with support 3: (2^2 - 1) * 3 = 9.
+  EXPECT_DOUBLE_EQ(PatternUtility(Pattern({5, 6}, 3),
+                                  CompressionStrategy::kMcp, 5),
+                   9.0);
+  // Singletons: (2^1 - 1) * support.
+  EXPECT_DOUBLE_EQ(PatternUtility(Pattern({4}, 4),
+                                  CompressionStrategy::kMcp, 5),
+                   4.0);
+}
+
+TEST(UtilityTest, MlpDefinition) {
+  // U(X) = |X| * |DB| + X.C.
+  EXPECT_DOUBLE_EQ(PatternUtility(Pattern({2, 5, 6}, 3),
+                                  CompressionStrategy::kMlp, 5),
+                   3 * 5 + 3.0);
+  EXPECT_DOUBLE_EQ(PatternUtility(Pattern({5, 6}, 3),
+                                  CompressionStrategy::kMlp, 5),
+                   2 * 5 + 3.0);
+}
+
+TEST(UtilityTest, MlpLongerAlwaysBeatsShorter) {
+  // The |X|*|DB| term guarantees any longer pattern outranks any shorter
+  // one, since X.C <= |DB|.
+  const size_t db = 1000;
+  const Pattern long_rare({1, 2, 3}, 1);
+  const Pattern short_common({4, 5}, 1000);
+  EXPECT_GT(PatternUtility(long_rare, CompressionStrategy::kMlp, db),
+            PatternUtility(short_common, CompressionStrategy::kMlp, db));
+  // MCP can prefer the frequent short pattern instead.
+  EXPECT_LT(PatternUtility(long_rare, CompressionStrategy::kMcp, db),
+            PatternUtility(short_common, CompressionStrategy::kMcp, db));
+}
+
+TEST(UtilityTest, McpNoOverflowOnLongPatterns) {
+  std::vector<fpm::ItemId> items(70);
+  for (size_t i = 0; i < items.size(); ++i) items[i] = fpm::ItemId(i);
+  const double u = PatternUtility(Pattern(items, 5),
+                                  CompressionStrategy::kMcp, 10);
+  EXPECT_GT(u, 1e20);  // Finite and huge, not wrapped.
+}
+
+TEST(UtilityTest, RankingIsDescendingAndDeterministic) {
+  PatternSet fp;
+  fp.Add({2, 5, 6}, 3);  // fgc -> MCP 21
+  fp.Add({5, 6}, 3);     // fg  -> 9
+  fp.Add({0, 4}, 3);     // ae  -> 9
+  fp.Add({4}, 4);        // e   -> 4
+  fp.Add({2}, 4);        // c   -> 4
+  const std::vector<size_t> order =
+      RankPatternsByUtility(fp, CompressionStrategy::kMcp, 5);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(fp[order[0]].items, (std::vector<fpm::ItemId>{2, 5, 6}));
+  // Tie on 9: lexicographic items -> ae {0,4} before fg {5,6}.
+  EXPECT_EQ(fp[order[1]].items, (std::vector<fpm::ItemId>{0, 4}));
+  EXPECT_EQ(fp[order[2]].items, (std::vector<fpm::ItemId>{5, 6}));
+  // Tie on 4: c {2} before e {4}.
+  EXPECT_EQ(fp[order[3]].items, (std::vector<fpm::ItemId>{2}));
+  EXPECT_EQ(fp[order[4]].items, (std::vector<fpm::ItemId>{4}));
+}
+
+TEST(UtilityTest, TieBreakPrefersHigherSupport) {
+  PatternSet fp;
+  fp.Add({1, 2}, 3);  // MLP: 2*10+3 = 23.
+  fp.Add({3, 4}, 5);  // MLP: 2*10+5 = 25.
+  const std::vector<size_t> order =
+      RankPatternsByUtility(fp, CompressionStrategy::kMlp, 10);
+  EXPECT_EQ(fp[order[0]].items, (std::vector<fpm::ItemId>{3, 4}));
+}
+
+TEST(UtilityTest, StrategyNames) {
+  EXPECT_STREQ(CompressionStrategyName(CompressionStrategy::kMcp), "MCP");
+  EXPECT_STREQ(CompressionStrategyName(CompressionStrategy::kMlp), "MLP");
+}
+
+}  // namespace
+}  // namespace gogreen::core

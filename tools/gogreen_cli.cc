@@ -1,0 +1,338 @@
+// gogreen — command-line front end for the library.
+//
+//   gogreen mine     -i data.dat -s 0.02 [-a h-mine] [-o patterns.bin]
+//   gogreen recycle  -i data.dat -p patterns.bin -s 0.01 [--strategy MCP]
+//   gogreen compress -i data.dat -p patterns.bin -o data.cdb
+//   gogreen rules    -i data.dat -p patterns.bin [-c 0.6]
+//   gogreen summary  -p patterns.bin [--closed|--maximal]
+//   gogreen generate --kind quest|dense -n 100000 -o data.dat [...]
+//   gogreen stats    -i data.dat
+//
+// Patterns files use the binary format of fpm/pattern_io.h (or the FIMI
+// text format when the file name ends in .txt).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compressed_miner.h"
+#include "core/compressor.h"
+#include "core/recycler.h"
+#include "data/dat_io.h"
+#include "data/dense_gen.h"
+#include "data/quest_gen.h"
+#include "fpm/miner.h"
+#include "fpm/pattern_io.h"
+#include "fpm/rules.h"
+#include "fpm/summarize.h"
+#include "util/timer.h"
+
+namespace {
+
+using gogreen::Result;
+using gogreen::Status;
+using gogreen::Timer;
+
+/// Minimal flag parser: --key value / -k value pairs plus bare switches.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind('-', 0) != 0) continue;
+      key = key.substr(key.rfind('-') + 1);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& dflt = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+
+  double GetDouble(const std::string& key, double dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::stod(it->second);
+  }
+
+  uint64_t GetInt(const std::string& key, uint64_t dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gogreen <mine|recycle|compress|rules|summary|"
+               "generate|stats> [flags]\n"
+               "  mine     -i data.dat -s <frac|count> [-a apriori|eclat|"
+               "h-mine|fp-growth|tree-projection] [-o patterns.{bin,txt}]\n"
+               "  recycle  -i data.dat -p patterns.bin -s <frac|count> "
+               "[--strategy MCP|MLP] [-o out.bin]\n"
+               "  compress -i data.dat -p patterns.bin -o data.cdb "
+               "[--strategy MCP|MLP]\n"
+               "  rules    -i data.dat -p patterns.bin [-c 0.6] [-k 20]\n"
+               "  summary  -p patterns.bin [--closed] [--maximal]\n"
+               "  generate --kind quest|dense -n <tuples> -o data.dat\n"
+               "  stats    -i data.dat\n");
+  return 2;
+}
+
+Result<gogreen::fpm::TransactionDb> LoadDb(const Args& args) {
+  const std::string path = args.Get("i");
+  if (path.empty()) {
+    return Status::InvalidArgument("missing -i <data.dat>");
+  }
+  return gogreen::data::ReadDatFile(path);
+}
+
+Result<gogreen::fpm::PatternSet> LoadPatterns(const Args& args) {
+  const std::string path = args.Get("p");
+  if (path.empty()) {
+    return Status::InvalidArgument("missing -p <patterns file>");
+  }
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    return gogreen::fpm::ReadPatternText(path);
+  }
+  auto loaded = gogreen::fpm::ReadPatternFile(path);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded->first);
+}
+
+Status SavePatterns(const gogreen::fpm::PatternSet& fp, uint64_t min_support,
+                    size_t num_transactions, const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    return gogreen::fpm::WritePatternText(fp, path).status();
+  }
+  gogreen::fpm::PatternSetHeader header;
+  header.min_support = min_support;
+  header.num_transactions = num_transactions;
+  header.source = "gogreen-cli";
+  return gogreen::fpm::WritePatternFile(fp, header, path).status();
+}
+
+/// Parses -s as a fraction (< 1.0) or an absolute count.
+uint64_t ParseSupport(const Args& args, size_t num_transactions) {
+  const double raw = args.GetDouble("s", 0.01);
+  if (raw <= 0) return 0;
+  if (raw < 1.0) {
+    return gogreen::fpm::AbsoluteSupport(raw, num_transactions);
+  }
+  return static_cast<uint64_t>(raw);
+}
+
+gogreen::fpm::MinerKind ParseMiner(const std::string& name) {
+  using gogreen::fpm::MinerKind;
+  if (name == "apriori") return MinerKind::kApriori;
+  if (name == "eclat") return MinerKind::kEclat;
+  if (name == "fp-growth") return MinerKind::kFpGrowth;
+  if (name == "tree-projection") return MinerKind::kTreeProjection;
+  return MinerKind::kHMine;
+}
+
+gogreen::core::CompressionStrategy ParseStrategy(const std::string& name) {
+  return name == "MLP" ? gogreen::core::CompressionStrategy::kMlp
+                       : gogreen::core::CompressionStrategy::kMcp;
+}
+
+int CmdMine(const Args& args) {
+  auto db = LoadDb(args);
+  if (!db.ok()) return Fail(db.status());
+  const uint64_t minsup = ParseSupport(args, db->NumTransactions());
+  if (minsup == 0) return Fail(Status::InvalidArgument("bad -s"));
+
+  auto miner = gogreen::fpm::CreateMiner(ParseMiner(args.Get("a", "h-mine")));
+  Timer timer;
+  auto fp = miner->Mine(*db, minsup);
+  if (!fp.ok()) return Fail(fp.status());
+  std::printf("%s: %zu patterns at support %llu in %.3fs\n",
+              miner->name().c_str(), fp->size(),
+              static_cast<unsigned long long>(minsup),
+              timer.ElapsedSeconds());
+  std::printf("%s\n", gogreen::fpm::Summarize(*fp).ToString().c_str());
+
+  const std::string out = args.Get("o");
+  if (!out.empty()) {
+    const Status st = SavePatterns(*fp, minsup, db->NumTransactions(), out);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdRecycle(const Args& args) {
+  auto db = LoadDb(args);
+  if (!db.ok()) return Fail(db.status());
+  auto fp_old = LoadPatterns(args);
+  if (!fp_old.ok()) return Fail(fp_old.status());
+  const uint64_t minsup = ParseSupport(args, db->NumTransactions());
+  if (minsup == 0) return Fail(Status::InvalidArgument("bad -s"));
+
+  Timer timer;
+  gogreen::core::CompressionStats cstats;
+  auto cdb = gogreen::core::CompressDatabase(
+      *db, *fp_old,
+      {ParseStrategy(args.Get("strategy", "MCP")),
+       gogreen::core::MatcherKind::kAuto},
+      &cstats);
+  if (!cdb.ok()) return Fail(cdb.status());
+  const double compress_secs = timer.ElapsedSeconds();
+
+  timer.Restart();
+  auto miner = gogreen::core::CreateCompressedMiner(
+      gogreen::core::RecycleAlgo::kHMine);
+  auto fp = miner->MineCompressed(*cdb, minsup);
+  if (!fp.ok()) return Fail(fp.status());
+  std::printf("recycled %zu patterns -> %zu patterns at support %llu "
+              "(compress %.3fs ratio %.3f, mine %.3fs)\n",
+              fp_old->size(), fp->size(),
+              static_cast<unsigned long long>(minsup), compress_secs,
+              cstats.Ratio(), timer.ElapsedSeconds());
+
+  const std::string out = args.Get("o");
+  if (!out.empty()) {
+    const Status st = SavePatterns(*fp, minsup, db->NumTransactions(), out);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdCompress(const Args& args) {
+  auto db = LoadDb(args);
+  if (!db.ok()) return Fail(db.status());
+  auto fp = LoadPatterns(args);
+  if (!fp.ok()) return Fail(fp.status());
+  const std::string out = args.Get("o");
+  if (out.empty()) return Fail(Status::InvalidArgument("missing -o"));
+
+  gogreen::core::CompressionStats stats;
+  auto cdb = gogreen::core::CompressDatabase(
+      *db, *fp,
+      {ParseStrategy(args.Get("strategy", "MCP")),
+       gogreen::core::MatcherKind::kAuto},
+      &stats);
+  if (!cdb.ok()) return Fail(cdb.status());
+  auto written = cdb->WriteTo(out);
+  if (!written.ok()) return Fail(written.status());
+  std::printf("compressed %zu tuples into %zu groups, ratio %.3f "
+              "(%.3fs); wrote %llu bytes to %s\n",
+              db->NumTransactions(), cdb->NumGroups(), stats.Ratio(),
+              stats.elapsed_seconds,
+              static_cast<unsigned long long>(written.value()), out.c_str());
+  return 0;
+}
+
+int CmdRules(const Args& args) {
+  auto db = LoadDb(args);
+  if (!db.ok()) return Fail(db.status());
+  auto fp = LoadPatterns(args);
+  if (!fp.ok()) return Fail(fp.status());
+
+  gogreen::fpm::RuleOptions options;
+  options.min_confidence = args.GetDouble("c", 0.6);
+  options.max_consequent = args.GetInt("max-consequent", 1);
+  auto rules = gogreen::fpm::GenerateRules(*fp, db->NumTransactions(),
+                                           options);
+  if (!rules.ok()) return Fail(rules.status());
+  const size_t k = args.GetInt("k", 20);
+  std::printf("%zu rules (showing top %zu by confidence):\n", rules->size(),
+              std::min(k, rules->size()));
+  for (size_t i = 0; i < rules->size() && i < k; ++i) {
+    std::printf("  %s\n", (*rules)[i].ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdSummary(const Args& args) {
+  auto fp = LoadPatterns(args);
+  if (!fp.ok()) return Fail(fp.status());
+  std::printf("all:     %s\n", gogreen::fpm::Summarize(*fp).ToString().c_str());
+  if (args.Has("closed")) {
+    const auto closed = gogreen::fpm::ClosedPatterns(*fp);
+    std::printf("closed:  %s\n",
+                gogreen::fpm::Summarize(closed).ToString().c_str());
+  }
+  if (args.Has("maximal")) {
+    const auto maximal = gogreen::fpm::MaximalPatterns(*fp);
+    std::printf("maximal: %s\n",
+                gogreen::fpm::Summarize(maximal).ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string out = args.Get("o");
+  if (out.empty()) return Fail(Status::InvalidArgument("missing -o"));
+  const std::string kind = args.Get("kind", "quest");
+  const size_t n = args.GetInt("n", 100000);
+
+  Result<gogreen::fpm::TransactionDb> db =
+      Status::InvalidArgument("unknown --kind: " + kind);
+  if (kind == "quest") {
+    gogreen::data::QuestConfig cfg;
+    cfg.num_transactions = n;
+    cfg.avg_transaction_len = args.GetDouble("avg-len", 10.0);
+    cfg.num_items = args.GetInt("items", 1000);
+    cfg.num_patterns = args.GetInt("patterns", 500);
+    cfg.avg_pattern_len = args.GetDouble("pattern-len", 4.0);
+    cfg.seed = args.GetInt("seed", 1);
+    db = gogreen::data::GenerateQuest(cfg);
+  } else if (kind == "dense") {
+    gogreen::data::DenseConfig cfg = gogreen::data::DenseConfig::Uniform(
+        n, args.GetInt("attrs", 20), args.GetInt("values", 5),
+        args.GetInt("seed", 1));
+    db = gogreen::data::GenerateDense(cfg);
+  }
+  if (!db.ok()) return Fail(db.status());
+  auto written = gogreen::data::WriteDatFile(*db, out);
+  if (!written.ok()) return Fail(written.status());
+  std::printf("generated %zu transactions (avg len %.1f) -> %s (%llu "
+              "bytes)\n",
+              db->NumTransactions(), db->AvgLength(), out.c_str(),
+              static_cast<unsigned long long>(written.value()));
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto db = LoadDb(args);
+  if (!db.ok()) return Fail(db.status());
+  std::printf("transactions: %zu\n", db->NumTransactions());
+  std::printf("avg length:   %.2f\n", db->AvgLength());
+  std::printf("total items:  %zu\n", db->TotalItems());
+  std::printf("distinct:     %zu (universe %zu)\n", db->NumDistinctItems(),
+              db->ItemUniverseSize());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Args args(argc, argv);
+  const std::string cmd = argv[1];
+  if (cmd == "mine") return CmdMine(args);
+  if (cmd == "recycle") return CmdRecycle(args);
+  if (cmd == "compress") return CmdCompress(args);
+  if (cmd == "rules") return CmdRules(args);
+  if (cmd == "summary") return CmdSummary(args);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "stats") return CmdStats(args);
+  return Usage();
+}
