@@ -1,13 +1,19 @@
 #include "bench/bench_common.h"
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
 
 #include "core/compressed_miner.h"
 #include "core/compressor.h"
 #include "core/disk_recycle.h"
 #include "fpm/miner.h"
 #include "fpm/partition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
 #include "util/timer.h"
 
@@ -48,21 +54,150 @@ FamilyInfo InfoOf(AlgoFamily family) {
   return {"?", "?", "?", fpm::MinerKind::kHMine, RecycleAlgo::kHMine};
 }
 
-/// Runs a miner and returns (seconds, #patterns); prints and exits on error.
+/// Work counters and span seconds observed around one measured run.
+struct RunMeasurement {
+  double wall_seconds = 0.0;
+  double mine_seconds = 0.0;  ///< Span-attributed in-algorithm time.
+  size_t patterns = 0;
+  uint64_t items_scanned = 0;
+  uint64_t projections_built = 0;
+};
+
+/// Sums all `mine.*` span aggregates (seconds).
+double MineSpanSeconds() {
+  double total = 0.0;
+  for (const auto& [name, secs] : obs::Tracer::Global().AggregateSeconds()) {
+    if (name.rfind("mine.", 0) == 0) total += secs;
+  }
+  return total;
+}
+
+uint64_t CounterNow(const char* name) {
+  return obs::MetricRegistry::Global().GetCounter(name)->Value();
+}
+
+/// Runs a miner, measuring wall time plus registry/span deltas; prints and
+/// exits on error.
 template <typename Fn>
-std::pair<double, size_t> TimeMine(Fn&& fn) {
+RunMeasurement Measure(Fn&& fn) {
+  RunMeasurement m;
+  const uint64_t items0 = CounterNow("mine.items_scanned");
+  const uint64_t projs0 = CounterNow("mine.projections_built");
+  const double spans0 = MineSpanSeconds();
   Timer timer;
   auto result = fn();
-  const double secs = timer.ElapsedSeconds();
+  m.wall_seconds = timer.ElapsedSeconds();
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
     std::exit(1);
   }
-  return {secs, result.value().size()};
+  m.patterns = result.value().size();
+  m.items_scanned = CounterNow("mine.items_scanned") - items0;
+  m.projections_built = CounterNow("mine.projections_built") - projs0;
+  m.mine_seconds = MineSpanSeconds() - spans0;
+  return m;
+}
+
+std::string SanitizeFigureTag(const char* figure) {
+  std::string tag;
+  for (const char* p = figure; *p; ++p) {
+    const char c = *p;
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      tag += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!tag.empty() && tag.back() != '_') {
+      tag += '_';
+    }
+  }
+  while (!tag.empty() && tag.back() == '_') tag.pop_back();
+  return tag;
+}
+
+std::string JsonPathFor(const char* figure, const BenchOptions& options) {
+  if (!options.json_path.empty()) return options.json_path;
+  return "BENCH_" + SanitizeFigureTag(figure) + ".json";
+}
+
+/// Accumulates one figure's machine-readable document. Rows are emitted as
+/// a JSON array under "rows"; scalar context fields are set up front.
+class JsonReport {
+ public:
+  void Field(const char* key, const std::string& value) {
+    Raw(key, "\"" + obs::JsonEscape(value) + "\"");
+  }
+  void Field(const char* key, double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    Raw(key, buf);
+  }
+  void Field(const char* key, uint64_t value) {
+    Raw(key, std::to_string(value));
+  }
+
+  void AddRow(const std::string& row_json) { rows_.push_back(row_json); }
+
+  bool WriteTo(const std::string& path, const char* figure) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::ostringstream os;
+    os << "{\"figure\":\"" << obs::JsonEscape(figure) << "\"";
+    for (const auto& [key, value] : fields_) {
+      os << ",\"" << obs::JsonEscape(key) << "\":" << value;
+    }
+    os << ",\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) os << ",";
+      os << rows_[i];
+    }
+    os << "]}";
+    const std::string doc = os.str();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  void Raw(const char* key, const std::string& value) {
+    fields_.emplace_back(key, value);
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<std::string> rows_;
+};
+
+/// One algorithm's cell of a sweep row as a JSON object.
+std::string RunJson(const char* algorithm, double xi_new,
+                    const RunMeasurement& m, double compress_seconds) {
+  char buf[400];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"algorithm\":\"%s\",\"xi_new\":%.9g,\"seconds\":%.9g,"
+      "\"mine_seconds\":%.9g,\"compress_seconds\":%.9g,\"patterns\":%zu,"
+      "\"counters\":{\"mine.items_scanned\":%" PRIu64
+      ",\"mine.projections_built\":%" PRIu64 "}}",
+      algorithm, xi_new, m.wall_seconds, m.mine_seconds, compress_seconds,
+      m.patterns, m.items_scanned, m.projections_built);
+  return buf;
 }
 
 }  // namespace
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      options.json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        options.json_path = argv[++i];
+      }
+    }
+  }
+  return options;
+}
 
 std::string FormatSeconds(double seconds) {
   char buf[32];
@@ -79,10 +214,15 @@ void PrintHeader(const char* figure, const char* title) {
 }
 
 int RunRuntimeFigure(const char* figure, DatasetId dataset, AlgoFamily family,
-                     bool log_scale_note) {
+                     bool log_scale_note, const BenchOptions& options) {
   const DatasetSpec& spec = data::GetDatasetSpec(dataset);
   const FamilyInfo info = InfoOf(family);
   const BenchScale scale = GetBenchScale();
+
+  // Phase attribution (compress vs. mine) comes from the obs spans; the
+  // spans are coarse (one per run), so keeping the tracer on for the whole
+  // figure costs nothing measurable.
+  obs::Tracer::Global().Enable(/*record_events=*/false);
 
   char title[256];
   std::snprintf(title, sizeof(title),
@@ -113,19 +253,25 @@ int RunRuntimeFigure(const char* figure, DatasetId dataset, AlgoFamily family,
   const PatternSet fp_old = std::move(fp_old_result).value();
   const double old_mine_secs = timer.ElapsedSeconds();
 
-  // Phase 1: compression with both strategies.
+  // Phase 1: compression with both strategies, span-timed.
   CompressionStats mcp_stats;
   CompressionStats mlp_stats;
+  const double compress_span0 =
+      obs::Tracer::Global().SecondsFor("compress");
   auto mcp_result = core::CompressDatabase(
       db, fp_old, {CompressionStrategy::kMcp, MatcherKind::kAuto},
       &mcp_stats);
+  const double mcp_span = obs::Tracer::Global().SecondsFor("compress");
   auto mlp_result = core::CompressDatabase(
       db, fp_old, {CompressionStrategy::kMlp, MatcherKind::kAuto},
       &mlp_stats);
+  const double mlp_span = obs::Tracer::Global().SecondsFor("compress");
   if (!mcp_result.ok() || !mlp_result.ok()) {
     std::fprintf(stderr, "compression failed\n");
     return 1;
   }
+  const double compress_mcp_secs = mcp_span - compress_span0;
+  const double compress_mlp_secs = mlp_span - mcp_span;
   const CompressedDb cdb_mcp = std::move(mcp_result).value();
   const CompressedDb cdb_mlp = std::move(mlp_result).value();
 
@@ -136,51 +282,91 @@ int RunRuntimeFigure(const char* figure, DatasetId dataset, AlgoFamily family,
       spec.xi_old * 100, FormatSeconds(old_mine_secs).c_str(), fp_old.size(),
       fp_old.MaxLength());
   std::printf(
-      "compression: MCP ratio=%.3f time=%s | MLP ratio=%.3f time=%s\n",
-      mcp_stats.Ratio(), FormatSeconds(mcp_stats.elapsed_seconds).c_str(),
-      mlp_stats.Ratio(), FormatSeconds(mlp_stats.elapsed_seconds).c_str());
+      "phase I (compress, spans): MCP ratio=%.3f time=%s | MLP ratio=%.3f "
+      "time=%s\n",
+      mcp_stats.Ratio(), FormatSeconds(compress_mcp_secs).c_str(),
+      mlp_stats.Ratio(), FormatSeconds(compress_mlp_secs).c_str());
   std::printf("%-9s %12s %12s %12s %11s %11s %10s\n", "xi_new",
               info.baseline_name, info.mcp_name, info.mlp_name,
               "speedup-MCP", "speedup-MLP", "#patterns");
 
+  JsonReport report;
+  report.Field("dataset", std::string(spec.name));
+  report.Field("scale", std::string(BenchScaleName(scale)));
+  report.Field("tuples", static_cast<uint64_t>(db.NumTransactions()));
+  report.Field("xi_old", spec.xi_old);
+  report.Field("old_mine_seconds", old_mine_secs);
+  report.Field("old_patterns", static_cast<uint64_t>(fp_old.size()));
+  report.Field("compress_mcp_seconds", compress_mcp_secs);
+  report.Field("compress_mlp_seconds", compress_mlp_secs);
+  report.Field("compress_mcp_ratio", mcp_stats.Ratio());
+  report.Field("compress_mlp_ratio", mlp_stats.Ratio());
+
+  double base_total = 0.0;
+  double mcp_total = 0.0;
+  double mlp_total = 0.0;
   bool counts_agree = true;
   for (const double xi : spec.xi_new_sweep) {
     const uint64_t sup = fpm::AbsoluteSupport(xi, db.NumTransactions());
 
-    auto [base_secs, base_count] = TimeMine([&] {
+    const RunMeasurement base = Measure([&] {
       auto miner = fpm::CreateMiner(info.baseline);
       return miner->Mine(db, sup);
     });
-    auto [mcp_secs, mcp_count] = TimeMine([&] {
+    const RunMeasurement mcp = Measure([&] {
       auto miner = core::CreateCompressedMiner(info.recycler);
       return miner->MineCompressed(cdb_mcp, sup);
     });
-    auto [mlp_secs, mlp_count] = TimeMine([&] {
+    const RunMeasurement mlp = Measure([&] {
       auto miner = core::CreateCompressedMiner(info.recycler);
       return miner->MineCompressed(cdb_mlp, sup);
     });
 
-    if (base_count != mcp_count || base_count != mlp_count) {
+    if (base.patterns != mcp.patterns || base.patterns != mlp.patterns) {
       counts_agree = false;
     }
+    base_total += base.mine_seconds;
+    mcp_total += mcp.mine_seconds;
+    mlp_total += mlp.mine_seconds;
     std::printf("%-8.4g%% %12s %12s %12s %10.1fx %10.1fx %10zu\n", xi * 100,
-                FormatSeconds(base_secs).c_str(),
-                FormatSeconds(mcp_secs).c_str(),
-                FormatSeconds(mlp_secs).c_str(),
-                mcp_secs > 0 ? base_secs / mcp_secs : 0.0,
-                mlp_secs > 0 ? base_secs / mlp_secs : 0.0, base_count);
+                FormatSeconds(base.wall_seconds).c_str(),
+                FormatSeconds(mcp.wall_seconds).c_str(),
+                FormatSeconds(mlp.wall_seconds).c_str(),
+                mcp.wall_seconds > 0 ? base.wall_seconds / mcp.wall_seconds
+                                     : 0.0,
+                mlp.wall_seconds > 0 ? base.wall_seconds / mlp.wall_seconds
+                                     : 0.0,
+                base.patterns);
     std::fflush(stdout);
+
+    if (options.json) {
+      report.AddRow(RunJson(info.baseline_name, xi, base, 0.0));
+      report.AddRow(RunJson(info.mcp_name, xi, mcp, compress_mcp_secs));
+      report.AddRow(RunJson(info.mlp_name, xi, mlp, compress_mlp_secs));
+    }
   }
+  std::printf(
+      "phase II (mine, spans): %s %s | %s %s | %s %s\n", info.baseline_name,
+      FormatSeconds(base_total).c_str(), info.mcp_name,
+      FormatSeconds(mcp_total).c_str(), info.mlp_name,
+      FormatSeconds(mlp_total).c_str());
   std::printf("result check: %s\n\n",
               counts_agree ? "pattern counts agree across all variants"
                            : "MISMATCH in pattern counts (BUG)");
+
+  if (options.json &&
+      !report.WriteTo(JsonPathFor(figure, options), figure)) {
+    return 1;
+  }
   return counts_agree ? 0 : 2;
 }
 
 int RunMemoryLimitFigure(const char* figure, DatasetId dataset,
-                         bool log_scale_note) {
+                         bool log_scale_note, const BenchOptions& options) {
   const DatasetSpec& spec = data::GetDatasetSpec(dataset);
   const BenchScale scale = GetBenchScale();
+
+  obs::Tracer::Global().Enable(/*record_events=*/false);
 
   char title[256];
   std::snprintf(title, sizeof(title),
@@ -231,30 +417,55 @@ int RunMemoryLimitFigure(const char* figure, DatasetId dataset,
   std::printf("%-9s %14s %14s %14s %14s %10s\n", "xi_new", "H-Mine(loM)",
               "HM-MCP(loM)", "H-Mine(hiM)", "HM-MCP(hiM)", "#patterns");
 
+  JsonReport report;
+  report.Field("dataset", std::string(spec.name));
+  report.Field("scale", std::string(BenchScaleName(scale)));
+  report.Field("tuples", static_cast<uint64_t>(db.NumTransactions()));
+  report.Field("xi_old", spec.xi_old);
+  report.Field("limit_lo_bytes", static_cast<uint64_t>(limit_lo));
+  report.Field("limit_hi_bytes", static_cast<uint64_t>(limit_hi));
+
   const std::string tmp = TempDir();
   bool counts_agree = true;
   for (const double xi : spec.xi_new_sweep) {
     const uint64_t sup = fpm::AbsoluteSupport(xi, db.NumTransactions());
-    auto [hm_lo, c1] = TimeMine(
+    const RunMeasurement hm_lo = Measure(
         [&] { return fpm::MineHMineMemoryLimited(db, sup, limit_lo, tmp); });
-    auto [rc_lo, c2] = TimeMine([&] {
+    const RunMeasurement rc_lo = Measure([&] {
       return core::MineRecycleHMMemoryLimited(cdb, sup, limit_lo, tmp);
     });
-    auto [hm_hi, c3] = TimeMine(
+    const RunMeasurement hm_hi = Measure(
         [&] { return fpm::MineHMineMemoryLimited(db, sup, limit_hi, tmp); });
-    auto [rc_hi, c4] = TimeMine([&] {
+    const RunMeasurement rc_hi = Measure([&] {
       return core::MineRecycleHMMemoryLimited(cdb, sup, limit_hi, tmp);
     });
-    if (c1 != c2 || c1 != c3 || c1 != c4) counts_agree = false;
+    if (hm_lo.patterns != rc_lo.patterns ||
+        hm_lo.patterns != hm_hi.patterns ||
+        hm_lo.patterns != rc_hi.patterns) {
+      counts_agree = false;
+    }
     std::printf("%-8.4g%% %14s %14s %14s %14s %10zu\n", xi * 100,
-                FormatSeconds(hm_lo).c_str(), FormatSeconds(rc_lo).c_str(),
-                FormatSeconds(hm_hi).c_str(), FormatSeconds(rc_hi).c_str(),
-                c1);
+                FormatSeconds(hm_lo.wall_seconds).c_str(),
+                FormatSeconds(rc_lo.wall_seconds).c_str(),
+                FormatSeconds(hm_hi.wall_seconds).c_str(),
+                FormatSeconds(rc_hi.wall_seconds).c_str(), hm_lo.patterns);
     std::fflush(stdout);
+
+    if (options.json) {
+      report.AddRow(RunJson("H-Mine(loM)", xi, hm_lo, 0.0));
+      report.AddRow(RunJson("HM-MCP(loM)", xi, rc_lo, 0.0));
+      report.AddRow(RunJson("H-Mine(hiM)", xi, hm_hi, 0.0));
+      report.AddRow(RunJson("HM-MCP(hiM)", xi, rc_hi, 0.0));
+    }
   }
   std::printf("result check: %s\n\n",
               counts_agree ? "pattern counts agree across all variants"
                            : "MISMATCH in pattern counts (BUG)");
+
+  if (options.json &&
+      !report.WriteTo(JsonPathFor(figure, options), figure)) {
+    return 1;
+  }
   return counts_agree ? 0 : 2;
 }
 

@@ -2,6 +2,13 @@
 // reproduces one table or figure of the paper; the functions here implement
 // the common experiment shapes (runtime-vs-support sweeps, memory-limited
 // sweeps) and the report formatting.
+//
+// Every figure binary accepts `--json [path]`: in addition to the human
+// table it then writes one machine-readable `BENCH_<figure>.json` document
+// (dataset, xi_old, per-xi_new rows with per-algorithm wall seconds,
+// span-attributed phase seconds, and work counters from the metric
+// registry), so the perf trajectory across PRs can be tracked
+// automatically.
 
 #ifndef GOGREEN_BENCH_BENCH_COMMON_H_
 #define GOGREEN_BENCH_BENCH_COMMON_H_
@@ -21,18 +28,32 @@ enum class AlgoFamily {
   kTreeProjection,  ///< TP vs TP-MCP vs TP-MLP (Figs. 11/14/17/20).
 };
 
+/// Output options shared by the figure binaries.
+struct BenchOptions {
+  bool json = false;      ///< Also write the machine-readable document.
+  std::string json_path;  ///< Empty: "BENCH_<sanitized figure>.json".
+};
+
+/// Parses the common bench flags (`--json [path]`); unknown arguments are
+/// ignored so figure binaries stay forward-compatible.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
 /// Reproduces one runtime-vs-xi_new figure: mines FP at the dataset's
 /// xi_old, compresses with MCP and MLP, then for each xi_new in the sweep
 /// runs the family's non-recycling baseline and both recycling variants,
-/// printing one row per support level. Returns non-zero on error.
+/// printing one row per support level. Phase timings (compress vs. mine)
+/// are attributed from the obs trace spans, matching the paper's
+/// Phase I/II split. Returns non-zero on error.
 int RunRuntimeFigure(const char* figure, data::DatasetId dataset,
-                     AlgoFamily family, bool log_scale_note);
+                     AlgoFamily family, bool log_scale_note,
+                     const BenchOptions& options = {});
 
 /// Reproduces one memory-limited figure (Figs. 21-24): H-Mine vs HM-MCP,
 /// both under the two memory budgets of Section 5.3 (4MB / 8MB at paper
 /// scale, proportionally smaller at reduced bench scales).
 int RunMemoryLimitFigure(const char* figure, data::DatasetId dataset,
-                         bool log_scale_note);
+                         bool log_scale_note,
+                         const BenchOptions& options = {});
 
 /// Formats seconds with appropriate precision ("0.123s").
 std::string FormatSeconds(double seconds);

@@ -2,8 +2,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gogreen::bench::RunRuntimeFigure(
       "Figure 11", gogreen::data::DatasetId::kWeatherSub,
-      gogreen::bench::AlgoFamily::kTreeProjection, false);
+      gogreen::bench::AlgoFamily::kTreeProjection, false,
+      gogreen::bench::ParseBenchOptions(argc, argv));
 }

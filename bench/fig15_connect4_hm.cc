@@ -2,8 +2,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gogreen::bench::RunRuntimeFigure(
       "Figure 15", gogreen::data::DatasetId::kConnect4Sub,
-      gogreen::bench::AlgoFamily::kHMine, true);
+      gogreen::bench::AlgoFamily::kHMine, true,
+      gogreen::bench::ParseBenchOptions(argc, argv));
 }

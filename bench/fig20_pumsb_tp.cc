@@ -2,8 +2,9 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gogreen::bench::RunRuntimeFigure(
       "Figure 20", gogreen::data::DatasetId::kPumsbSub,
-      gogreen::bench::AlgoFamily::kTreeProjection, true);
+      gogreen::bench::AlgoFamily::kTreeProjection, true,
+      gogreen::bench::ParseBenchOptions(argc, argv));
 }

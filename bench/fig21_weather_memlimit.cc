@@ -2,7 +2,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gogreen::bench::RunMemoryLimitFigure(
-      "Figure 21", gogreen::data::DatasetId::kWeatherSub, false);
+      "Figure 21", gogreen::data::DatasetId::kWeatherSub, false,
+      gogreen::bench::ParseBenchOptions(argc, argv));
 }

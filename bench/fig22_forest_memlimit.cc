@@ -2,7 +2,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gogreen::bench::RunMemoryLimitFigure(
-      "Figure 22", gogreen::data::DatasetId::kForestSub, false);
+      "Figure 22", gogreen::data::DatasetId::kForestSub, false,
+      gogreen::bench::ParseBenchOptions(argc, argv));
 }

@@ -2,7 +2,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gogreen::bench::RunMemoryLimitFigure(
-      "Figure 23", gogreen::data::DatasetId::kConnect4Sub, true);
+      "Figure 23", gogreen::data::DatasetId::kConnect4Sub, true,
+      gogreen::bench::ParseBenchOptions(argc, argv));
 }

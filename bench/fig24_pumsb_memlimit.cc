@@ -2,7 +2,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return gogreen::bench::RunMemoryLimitFigure(
-      "Figure 24", gogreen::data::DatasetId::kPumsbSub, true);
+      "Figure 24", gogreen::data::DatasetId::kPumsbSub, true,
+      gogreen::bench::ParseBenchOptions(argc, argv));
 }

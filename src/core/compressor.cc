@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "fpm/pattern.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bitset.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -138,6 +140,33 @@ class InvertedIndexMatcher : public Matcher {
   std::vector<Cursor> heap_;
 };
 
+/// Flushes one finished compression run into the global metric registry,
+/// mirroring what fpm::RecordMiningStats does for miners.
+void RecordCompressionStats(const CompressionStats& stats) {
+  using obs::MetricRegistry;
+  static obs::Counter* runs =
+      MetricRegistry::Global().GetCounter("compress.runs");
+  static obs::Counter* groups =
+      MetricRegistry::Global().GetCounter("compress.groups_formed");
+  static obs::Counter* covered =
+      MetricRegistry::Global().GetCounter("compress.covered_tuples");
+  static obs::Counter* uncovered =
+      MetricRegistry::Global().GetCounter("compress.uncovered_tuples");
+  static obs::Counter* original =
+      MetricRegistry::Global().GetCounter("compress.original_items");
+  static obs::Counter* stored =
+      MetricRegistry::Global().GetCounter("compress.stored_items");
+  static obs::Histogram* seconds =
+      MetricRegistry::Global().GetHistogram("compress.seconds");
+  runs->Add(1);
+  groups->Add(stats.groups);
+  covered->Add(stats.covered_tuples);
+  uncovered->Add(stats.uncovered_tuples);
+  original->Add(stats.original_items);
+  stored->Add(stats.stored_items);
+  seconds->Observe(stats.elapsed_seconds);
+}
+
 MatcherKind ResolveMatcher(MatcherKind requested,
                            const fpm::TransactionDb& db) {
   if (requested != MatcherKind::kAuto) return requested;
@@ -173,11 +202,14 @@ Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
     }
   }
 
+  GOGREEN_TRACE_SPAN("compress");
   Timer timer;
 
   // Steps 1-2 (Figure 1): utility ranking.
-  const std::vector<size_t> order =
-      RankPatternsByUtility(fp, options.strategy, db.NumTransactions());
+  const std::vector<size_t> order = [&] {
+    GOGREEN_TRACE_SPAN("compress.rank");
+    return RankPatternsByUtility(fp, options.strategy, db.NumTransactions());
+  }();
   std::vector<const fpm::Pattern*> ranked(order.size());
   for (size_t pos = 0; pos < order.size(); ++pos) {
     ranked[pos] = &fp[order[pos]];
@@ -196,12 +228,16 @@ Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
   const size_t n = db.NumTransactions();
   std::vector<size_t> assignment(n, kNoMatch);
   std::vector<uint64_t> group_sizes(ranked.size() + 1, 0);  // +1: ungrouped.
-  for (fpm::Tid t = 0; t < n; ++t) {
-    const size_t pos = matcher->Match(db.Transaction(t));
-    assignment[t] = pos;
-    ++group_sizes[pos == kNoMatch ? ranked.size() : pos];
+  {
+    GOGREEN_TRACE_SPAN("compress.cover");
+    for (fpm::Tid t = 0; t < n; ++t) {
+      const size_t pos = matcher->Match(db.Transaction(t));
+      assignment[t] = pos;
+      ++group_sizes[pos == kNoMatch ? ranked.size() : pos];
+    }
   }
 
+  GOGREEN_TRACE_SPAN("compress.materialize");
   // Materialize groups in utility order; members in tid order per group.
   std::vector<std::vector<fpm::Tid>> members(ranked.size() + 1);
   for (size_t g = 0; g <= ranked.size(); ++g) {
@@ -239,6 +275,7 @@ Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
   local.original_items = db.TotalItems();
   local.stored_items = cdb.StoredItems();
   local.elapsed_seconds = timer.ElapsedSeconds();
+  RecordCompressionStats(local);
   if (stats != nullptr) *stats = local;
   return cdb;
 }

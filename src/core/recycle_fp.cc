@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/slice_db.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -49,6 +50,7 @@ Result<fpm::PatternSet> RecycleFpMiner::MineCompressed(
     const CompressedDb& cdb, uint64_t min_support) {
   GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
   stats_.Reset();
+  GOGREEN_TRACE_SPAN("mine.recycle-fp");
   Timer timer;
   fpm::PatternSet out;
 
@@ -65,6 +67,7 @@ Result<fpm::PatternSet> RecycleFpMiner::MineCompressed(
 
   stats_.patterns_emitted = out.size();
   stats_.elapsed_seconds = timer.ElapsedSeconds();
+  fpm::RecordMiningStats(stats_);
   return out;
 }
 

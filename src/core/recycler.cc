@@ -1,9 +1,45 @@
 #include "core/recycler.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace gogreen::core {
+
+namespace {
+
+/// Session path counters: which branch of the recycling decision answered
+/// each query. `recycle.cache_hits` counts answers served from the cached
+/// pattern set (filtered and recycled paths both reuse it);
+/// `recycle.cache_misses` counts full scratch mines.
+void RecordPath(MiningPath path) {
+  using obs::MetricRegistry;
+  static obs::Counter* hits =
+      MetricRegistry::Global().GetCounter("recycle.cache_hits");
+  static obs::Counter* misses =
+      MetricRegistry::Global().GetCounter("recycle.cache_misses");
+  static obs::Counter* filtered =
+      MetricRegistry::Global().GetCounter("recycle.filtered_rounds");
+  static obs::Counter* recycled =
+      MetricRegistry::Global().GetCounter("recycle.recycled_rounds");
+  switch (path) {
+    case MiningPath::kInitial:
+    case MiningPath::kScratch:
+      misses->Add(1);
+      break;
+    case MiningPath::kFiltered:
+      hits->Add(1);
+      filtered->Add(1);
+      break;
+    case MiningPath::kRecycled:
+      hits->Add(1);
+      recycled->Add(1);
+      break;
+  }
+}
+
+}  // namespace
 
 const char* MiningPathName(MiningPath path) {
   switch (path) {
@@ -86,11 +122,13 @@ Result<fpm::PatternSet> RecyclingSession::MineSupport(uint64_t min_support) {
     }
     last_stats_.patterns_returned = fp.size();
     last_stats_.cached_patterns = cached_fp_.size();
+    RecordPath(last_stats_.path);
     return fp;
   }
 
   if (min_support >= cached_minsup_) {
     // Tightened (or unchanged): the answer is a filter of the cache.
+    GOGREEN_TRACE_SPAN("recycle.filter");
     Timer timer;
     fpm::PatternSet fp = cached_fp_.FilterBySupport(min_support);
     last_stats_.mine_seconds = timer.ElapsedSeconds();
@@ -100,6 +138,7 @@ Result<fpm::PatternSet> RecyclingSession::MineSupport(uint64_t min_support) {
                             : ConstraintDelta::kTightened;
     last_stats_.patterns_returned = fp.size();
     last_stats_.cached_patterns = cached_fp_.size();
+    RecordPath(last_stats_.path);
     return fp;
   }
 
@@ -111,10 +150,12 @@ Result<fpm::PatternSet> RecyclingSession::MineSupport(uint64_t min_support) {
   cached_minsup_ = min_support;
   last_stats_.patterns_returned = fp.size();
   last_stats_.cached_patterns = cached_fp_.size();
+  RecordPath(last_stats_.path);
   return fp;
 }
 
 Result<fpm::PatternSet> RecyclingSession::MineScratch(uint64_t min_support) {
+  GOGREEN_TRACE_SPAN("recycle.scratch");
   Timer timer;
   auto miner = fpm::CreateMiner(options_.base_miner);
   GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp,
@@ -125,6 +166,7 @@ Result<fpm::PatternSet> RecyclingSession::MineScratch(uint64_t min_support) {
 
 Result<fpm::PatternSet> RecyclingSession::MineRecycled(uint64_t min_support) {
   if (!cdb_.has_value() || options_.recompress_each_round) {
+    GOGREEN_TRACE_SPAN("recycle.compress");
     Timer timer;
     CompressionStats cstats;
     GOGREEN_ASSIGN_OR_RETURN(
@@ -135,6 +177,7 @@ Result<fpm::PatternSet> RecyclingSession::MineRecycled(uint64_t min_support) {
     last_stats_.compress_seconds = timer.ElapsedSeconds();
     last_stats_.compression_ratio = cstats.Ratio();
   }
+  GOGREEN_TRACE_SPAN("recycle.mine");
   Timer timer;
   auto miner = CreateCompressedMiner(options_.algo);
   GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp,

@@ -1,6 +1,7 @@
 #include "core/rp_mine.h"
 
 #include "core/slice_db.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace gogreen::core {
@@ -33,6 +34,7 @@ Result<fpm::PatternSet> RpMineMiner::MineCompressed(const CompressedDb& cdb,
                                                     uint64_t min_support) {
   GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
   stats_.Reset();
+  GOGREEN_TRACE_SPAN("mine.rp-mine");
   Timer timer;
   fpm::PatternSet out;
 
@@ -47,6 +49,7 @@ Result<fpm::PatternSet> RpMineMiner::MineCompressed(const CompressedDb& cdb,
 
   stats_.patterns_emitted = out.size();
   stats_.elapsed_seconds = timer.ElapsedSeconds();
+  fpm::RecordMiningStats(stats_);
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "fpm/pattern.h"
 #include "fpm/pattern_trie.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace gogreen::fpm {
@@ -49,6 +50,7 @@ Result<PatternSet> AprioriMiner::Mine(const TransactionDb& db,
                                       uint64_t min_support) {
   GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
   stats_.Reset();
+  GOGREEN_TRACE_SPAN("mine.apriori");
   Timer timer;
   PatternSet out;
 
@@ -105,6 +107,7 @@ Result<PatternSet> AprioriMiner::Mine(const TransactionDb& db,
 
   stats_.patterns_emitted = out.size();
   stats_.elapsed_seconds = timer.ElapsedSeconds();
+  RecordMiningStats(stats_);
   return out;
 }
 

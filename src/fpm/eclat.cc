@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fpm/flist.h"
+#include "obs/trace.h"
 #include "util/bitset.h"
 #include "util/timer.h"
 
@@ -134,6 +135,7 @@ Result<PatternSet> EclatMiner::Mine(const TransactionDb& db,
                                     uint64_t min_support) {
   GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
   stats_.Reset();
+  GOGREEN_TRACE_SPAN("mine.eclat");
   Timer timer;
   PatternSet out;
 
@@ -181,6 +183,7 @@ Result<PatternSet> EclatMiner::Mine(const TransactionDb& db,
 
   stats_.patterns_emitted = out.size();
   stats_.elapsed_seconds = timer.ElapsedSeconds();
+  RecordMiningStats(stats_);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fpm/flist.h"
+#include "obs/trace.h"
 #include "util/arena.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -195,6 +196,7 @@ Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
                                        uint64_t min_support) {
   GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
   stats_.Reset();
+  GOGREEN_TRACE_SPAN("mine.fp-growth");
   Timer timer;
   PatternSet out;
 
@@ -222,6 +224,7 @@ Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
 
   stats_.patterns_emitted = out.size();
   stats_.elapsed_seconds = timer.ElapsedSeconds();
+  RecordMiningStats(stats_);
   return out;
 }
 

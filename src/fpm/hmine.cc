@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fpm/flist.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -112,6 +113,7 @@ Result<PatternSet> HMineMiner::Mine(const TransactionDb& db,
                                     uint64_t min_support) {
   GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
   stats_.Reset();
+  GOGREEN_TRACE_SPAN("mine.h-mine");
   Timer timer;
   PatternSet out;
 
@@ -132,6 +134,7 @@ Result<PatternSet> HMineMiner::Mine(const TransactionDb& db,
 
   stats_.patterns_emitted = out.size();
   stats_.elapsed_seconds = timer.ElapsedSeconds();
+  RecordMiningStats(stats_);
   return out;
 }
 

@@ -7,9 +7,29 @@
 #include "fpm/fpgrowth.h"
 #include "fpm/hmine.h"
 #include "fpm/tree_projection.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace gogreen::fpm {
+
+void RecordMiningStats(const MiningStats& stats) {
+  using obs::MetricRegistry;
+  static obs::Counter* runs =
+      MetricRegistry::Global().GetCounter("mine.runs");
+  static obs::Counter* items =
+      MetricRegistry::Global().GetCounter("mine.items_scanned");
+  static obs::Counter* projections =
+      MetricRegistry::Global().GetCounter("mine.projections_built");
+  static obs::Counter* patterns =
+      MetricRegistry::Global().GetCounter("mine.patterns_emitted");
+  static obs::Histogram* seconds =
+      MetricRegistry::Global().GetHistogram("mine.seconds");
+  runs->Add(1);
+  items->Add(stats.items_scanned);
+  projections->Add(stats.projections_built);
+  patterns->Add(stats.patterns_emitted);
+  seconds->Observe(stats.elapsed_seconds);
+}
 
 std::unique_ptr<FrequentPatternMiner> CreateMiner(MinerKind kind) {
   switch (kind) {

@@ -25,6 +25,13 @@ struct MiningStats {
   void Reset() { *this = MiningStats(); }
 };
 
+/// Flushes one finished mining run into the global metric registry
+/// (`mine.runs`, `mine.items_scanned`, `mine.projections_built`,
+/// `mine.patterns_emitted`, and the `mine.seconds` histogram). Miners call
+/// this once per Mine() so hot loops keep their cheap local counters; the
+/// registry view stays consistent with the `stats()` accessors.
+void RecordMiningStats(const MiningStats& stats);
+
 /// Interface implemented by every complete-set frequent-pattern miner.
 /// Implementations are stateful only through `stats()`, which reflects the
 /// most recent Mine() call; a single miner instance may be reused serially.

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "fpm/flist.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -221,6 +222,7 @@ Result<PatternSet> TreeProjectionMiner::Mine(const TransactionDb& db,
                                              uint64_t min_support) {
   GOGREEN_RETURN_NOT_OK(ValidateArgs(min_support));
   stats_.Reset();
+  GOGREEN_TRACE_SPAN("mine.tree-projection");
   Timer timer;
   PatternSet out;
 
@@ -255,6 +257,7 @@ Result<PatternSet> TreeProjectionMiner::Mine(const TransactionDb& db,
 
   stats_.patterns_emitted = out.size();
   stats_.elapsed_seconds = timer.ElapsedSeconds();
+  RecordMiningStats(stats_);
   return out;
 }
 

@@ -1,0 +1,43 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gogreen::obs {
+
+std::string MetricsJson() {
+  UpdateProcessGauges();
+  const std::string base = MetricRegistry::Global().Snapshot().ToJson();
+  // Splice the span aggregates into the registry document, before its
+  // closing brace.
+  std::ostringstream os;
+  os << base.substr(0, base.size() - 1) << ",\"spans\":{";
+  const auto spans = Tracer::Global().AggregateSeconds();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) os << ",";
+    char secs[48];
+    std::snprintf(secs, sizeof(secs), "%.9g", spans[i].second);
+    os << "\"" << JsonEscape(spans[i].first) << "\":" << secs;
+  }
+  os << "}}";
+  return os.str();
+}
+
+Status WriteMetricsJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics file: " + path);
+  }
+  const std::string json = MetricsJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to metrics file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace gogreen::obs

@@ -1,0 +1,25 @@
+// One-call JSON export of the whole observability state: the global metric
+// registry, per-span aggregate timings, and process gauges. This is what
+// `gogreen --metrics-json` and the bench harness write.
+
+#ifndef GOGREEN_OBS_EXPORT_H_
+#define GOGREEN_OBS_EXPORT_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace gogreen::obs {
+
+/// The combined document:
+///   {"counters":{...},"gauges":{...},"histograms":{...},"spans":{...}}
+/// `spans` maps span name -> total seconds (from Tracer aggregates).
+/// Refreshes process gauges (peak RSS) before snapshotting.
+std::string MetricsJson();
+
+/// Writes MetricsJson() to `path`.
+Status WriteMetricsJson(const std::string& path);
+
+}  // namespace gogreen::obs
+
+#endif  // GOGREEN_OBS_EXPORT_H_

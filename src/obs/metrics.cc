@@ -1,0 +1,255 @@
+#include "obs/metrics.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace gogreen::obs {
+
+namespace {
+
+/// Formats a double the way the JSON emitters need it: plain decimal,
+/// enough digits to round-trip timings, no trailing-zero noise control
+/// needed by any consumer.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  double old_value;
+  uint64_t new_bits;
+  do {
+    std::memcpy(&old_value, &old_bits, sizeof(old_value));
+    const double new_value = old_value + delta;
+    std::memcpy(&new_bits, &new_value, sizeof(new_bits));
+  } while (!bits->compare_exchange_weak(old_bits, new_bits,
+                                        std::memory_order_relaxed));
+}
+
+double LoadDouble(const std::atomic<uint64_t>& bits) {
+  const uint64_t raw = bits.load(std::memory_order_relaxed);
+  double value;
+  std::memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  const size_t i =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, value);
+}
+
+uint64_t Histogram::TotalCount() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const { return LoadDouble(sum_bits_); }
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // 1ms .. 100s, half-decade steps: coarse enough to stay cheap, fine
+  // enough to see an order-of-magnitude regression between PRs.
+  return {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0};
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.bounds = h->bounds();
+    data.buckets.reserve(data.bounds.size() + 1);
+    for (size_t i = 0; i <= data.bounds.size(); ++i) {
+      data.buckets.push_back(h->BucketCount(i));
+    }
+    data.count = h->TotalCount();
+    data.sum = h->Sum();
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+void MetricRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name,
+                                       uint64_t dflt) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return dflt;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name,
+                                    int64_t dflt) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return dflt;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(counters[i].first)
+       << "\":" << counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(gauges[i].first) << "\":" << gauges[i].second;
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramData& h = histograms[i];
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(h.name) << "\":{\"bounds\":[";
+    for (size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j > 0) os << ",";
+      os << FormatDouble(h.bounds[j]);
+    }
+    os << "],\"buckets\":[";
+    for (size_t j = 0; j < h.buckets.size(); ++j) {
+      if (j > 0) os << ",";
+      os << h.buckets[j];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << FormatDouble(h.sum)
+       << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+int64_t ReadPeakRssBytes() {
+  // VmHWM from /proc/self/status is the high-water mark in kB.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    int64_t kb = -1;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %" SCNd64 " kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    if (kb >= 0) return kb * 1024;
+  }
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // Linux: kB.
+  }
+  return 0;
+}
+
+void UpdateProcessGauges() {
+  static Gauge* peak_rss =
+      MetricRegistry::Global().GetGauge("process.peak_rss_bytes");
+  peak_rss->UpdateMax(ReadPeakRssBytes());
+}
+
+}  // namespace gogreen::obs

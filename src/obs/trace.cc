@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace gogreen::obs {
+
+namespace {
+
+/// Small dense thread ids for the Chrome export (std::thread::id is opaque).
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Per-thread span nesting depth.
+thread_local uint32_t t_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+double Tracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Enable(bool record_events) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    record_events_ = record_events;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Record(const char* name, double start_us, double dur_us,
+                    uint32_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = aggregate_us_.find(name);
+  if (it == aggregate_us_.end()) {
+    aggregate_us_.emplace(name, dur_us);
+  } else {
+    it->second += dur_us;
+  }
+  if (record_events_) {
+    events_.push_back({name, start_us, dur_us, CurrentThreadId(), depth});
+  }
+}
+
+std::vector<std::pair<std::string, double>> Tracer::AggregateSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(aggregate_us_.size());
+  for (const auto& [name, us] : aggregate_us_) {
+    out.emplace_back(name, us * 1e-6);
+  }
+  return out;
+}
+
+double Tracer::SecondsFor(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = aggregate_us_.find(name);
+  return it == aggregate_us_.end() ? 0.0 : it->second * 1e-6;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i > 0) os << ",";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u}}",
+                  JsonEscape(e.name).c_str(), e.start_us, e.dur_us, e.tid,
+                  e.depth);
+    os << buf;
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file: " + path);
+  }
+  const std::string json = ChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aggregate_us_.clear();
+  events_.clear();
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name), active_(Tracer::Global().enabled()) {
+  if (!active_) return;
+  start_us_ = Tracer::Global().NowMicros();
+  depth_ = t_depth++;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --t_depth;
+  Tracer& tracer = Tracer::Global();
+  tracer.Record(name_, start_us_, tracer.NowMicros() - start_us_, depth_);
+}
+
+}  // namespace gogreen::obs

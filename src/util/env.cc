@@ -36,4 +36,9 @@ std::string TempDir() {
   return "/tmp";
 }
 
+std::string GetEnvOrEmpty(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? std::string() : std::string(raw);
+}
+
 }  // namespace gogreen

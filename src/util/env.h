@@ -21,6 +21,9 @@ const char* BenchScaleName(BenchScale scale);
 /// Directory for spill files (TMPDIR or /tmp).
 std::string TempDir();
 
+/// Value of an environment variable, or "" when unset.
+std::string GetEnvOrEmpty(const char* name);
+
 }  // namespace gogreen
 
 #endif  // GOGREEN_UTIL_ENV_H_

@@ -1,11 +1,21 @@
 #include "util/logging.h"
 
+#include <sys/time.h>
+
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+#include "util/env.h"
 
 namespace gogreen {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_env_once;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,6 +30,25 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// "2026-08-06 12:34:56.789" in local time.
+std::string Timestamp() {
+  struct timeval tv;
+  ::gettimeofday(&tv, nullptr);
+  struct tm tm_buf;
+  ::localtime_r(&tv.tv_sec, &tm_buf);
+  char buf[40];
+  const size_t len = std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S",
+                                   &tm_buf);
+  std::snprintf(buf + len, sizeof(buf) - len, ".%03d",
+                static_cast<int>(tv.tv_usec / 1000));
+  return buf;
+}
+
+void EnsureEnvLevel() {
+  std::call_once(g_env_once, InitLogLevelFromEnv);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -27,21 +56,48 @@ void SetLogLevel(LogLevel level) {
 }
 
 LogLevel GetLogLevel() {
+  EnsureEnvLevel();
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string v = name;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (v == "info") {
+    *out = LogLevel::kInfo;
+  } else if (v == "warning" || v == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (v == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  LogLevel level;
+  if (ParseLogLevel(GetEnvOrEmpty("GOGREEN_LOG_LEVEL"), &level)) {
+    SetLogLevel(level);
+  }
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
-               g_log_level.load(std::memory_order_relaxed)),
+               static_cast<int>(GetLogLevel())),
       level_(level) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    stream_ << "[" << Timestamp() << " " << LevelName(level_) << " " << base
+            << ":" << line << "] ";
   }
 }
 
@@ -51,8 +107,8 @@ LogMessage::~LogMessage() {
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
                                  const char* condition) {
-  stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
-          << condition << " ";
+  stream_ << "[" << Timestamp() << " FATAL " << file << ":" << line
+          << "] Check failed: " << condition << " ";
 }
 
 FatalLogMessage::~FatalLogMessage() {

@@ -14,9 +14,24 @@ namespace gogreen {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level actually emitted. Default: kInfo.
+/// Process-wide minimum level actually emitted. Default: kInfo, or the
+/// GOGREEN_LOG_LEVEL environment variable when set (see
+/// InitLogLevelFromEnv). Each emitted line carries a timestamp, a severity
+/// tag, and the source location:
+///   [2026-08-06 12:34:56.789 INFO compressor.cc:42] message
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warning" (or "warn") / "error",
+/// case-insensitive. Returns false (leaving `out` untouched) on anything
+/// else, including "".
+bool ParseLogLevel(const std::string& name, LogLevel* out);
+
+/// Re-reads GOGREEN_LOG_LEVEL (via util/env.h) and applies it; unset or
+/// unparseable values leave the current level unchanged. Called
+/// automatically before the first log line, and callable again after the
+/// environment changes (tests).
+void InitLogLevelFromEnv();
 
 namespace internal {
 

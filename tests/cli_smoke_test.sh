@@ -47,6 +47,15 @@ DEEP_COUNT=$("$BIN" summary -p "$DIR/p2.bin" | grep -oE '^all: *[0-9]+' | grep -
 "$BIN" summary -p "$DIR/p2.bin" --closed --maximal | grep -q "maximal:" \
     || fail "summary"
 
+# observability: --metrics-json and --trace write valid-looking documents
+"$BIN" recycle -i "$DIR/data.dat" -p "$DIR/p.bin" -s 0.02 \
+    --metrics-json "$DIR/metrics.json" --trace "$DIR/trace.json" \
+    >/dev/null 2>&1 || fail "recycle with metrics/trace"
+grep -q '"mine.items_scanned"' "$DIR/metrics.json" || fail "metrics counter"
+grep -q '"compress.groups_formed"' "$DIR/metrics.json" || fail "metrics compress"
+grep -q '"spans"' "$DIR/metrics.json" || fail "metrics spans"
+grep -q '"traceEvents"' "$DIR/trace.json" || fail "trace events"
+
 # error handling: bad inputs exit non-zero
 if "$BIN" mine -i /nonexistent.dat -s 0.1 >/dev/null 2>&1; then
   fail "missing input accepted"
@@ -54,5 +63,17 @@ fi
 if "$BIN" bogus-subcommand >/dev/null 2>&1; then
   fail "bogus subcommand accepted"
 fi
+
+# malformed numerics are a clean InvalidArgument, not a crash
+if "$BIN" mine -i "$DIR/data.dat" -s not_a_number >/dev/null 2>"$DIR/err"; then
+  fail "malformed -s accepted"
+fi
+grep -q "InvalidArgument" "$DIR/err" || fail "malformed -s: wrong error"
+
+# a negative number is parsed as a value (then rejected), not as a switch
+if "$BIN" mine -i "$DIR/data.dat" -s -0.5 >/dev/null 2>"$DIR/err"; then
+  fail "negative -s accepted"
+fi
+grep -q "positive support" "$DIR/err" || fail "negative -s: wrong error"
 
 echo "cli smoke test passed"

@@ -1,0 +1,281 @@
+// Tests for the observability layer: metric instrument semantics (including
+// concurrent updates), trace span aggregation and nesting, and the JSON
+// serializations consumed by --metrics-json / --trace.
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gogreen::obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrements) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndUpdateMax) {
+  Gauge g;
+  g.Set(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(5);  // Lower: no change.
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(20);
+  EXPECT_EQ(g.Value(), 20);
+  g.Set(-3);  // Set is last-write-wins regardless of direction.
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(GaugeTest, ConcurrentUpdateMaxKeepsMaximum) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 5000; ++i) g.UpdateMax(t * 5000 + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.Value(), (kThreads - 1) * 5000 + 4999);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1.0 -> bucket 0.
+  h.Observe(1.0);    // Boundary counts into its bucket.
+  h.Observe(5.0);    // bucket 1.
+  h.Observe(50.0);   // bucket 2.
+  h.Observe(500.0);  // Overflow bucket.
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 556.5);
+}
+
+TEST(HistogramTest, ConcurrentObserveSumsExactly) {
+  Histogram h({1.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(0.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.TotalCount(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // 0.5 is exactly representable, so the CAS-loop sum has no rounding.
+  EXPECT_DOUBLE_EQ(h.Sum(), kThreads * kPerThread * 0.5);
+}
+
+TEST(RegistryTest, InstrumentPointersAreStable) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Add(7);
+  EXPECT_EQ(registry.GetCounter("test.counter")->Value(), 7u);
+  EXPECT_EQ(registry.GetGauge("test.gauge"), registry.GetGauge("test.gauge"));
+  EXPECT_EQ(registry.GetHistogram("test.hist"),
+            registry.GetHistogram("test.hist"));
+}
+
+TEST(RegistryTest, ResetValuesKeepsInstruments) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  c->Add(5);
+  registry.GetGauge("test.gauge")->Set(9);
+  registry.ResetValues();
+  EXPECT_EQ(c, registry.GetCounter("test.counter"));
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(registry.GetGauge("test.gauge")->Value(), 0);
+}
+
+TEST(RegistryTest, SnapshotIsNameSortedAndQueryable) {
+  MetricRegistry registry;
+  registry.GetCounter("z.last")->Add(1);
+  registry.GetCounter("a.first")->Add(2);
+  registry.GetGauge("m.gauge")->Set(-4);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "z.last");
+  EXPECT_EQ(snap.CounterValue("z.last"), 1u);
+  EXPECT_EQ(snap.CounterValue("missing", 99), 99u);
+  EXPECT_EQ(snap.GaugeValue("m.gauge"), -4);
+}
+
+TEST(RegistryTest, ConcurrentGetAndUpdate) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared.counter")->Add();
+        registry.GetCounter("other.counter")->Add(2);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared.counter")->Value(), 8000u);
+  EXPECT_EQ(registry.GetCounter("other.counter")->Value(), 16000u);
+}
+
+// The snapshot JSON must round-trip the recorded values. The project has no
+// JSON parser dependency, so the check is on the exact serialized fragments
+// (the format is pinned by DESIGN.md and consumed by scripts).
+TEST(SnapshotJsonTest, ContainsSerializedValues) {
+  MetricRegistry registry;
+  registry.GetCounter("mine.items_scanned")->Add(123);
+  registry.GetGauge("process.peak_rss_bytes")->Set(4096);
+  Histogram* h = registry.GetHistogram("mine.seconds", {0.5, 1.0});
+  h->Observe(0.25);
+  h->Observe(2.0);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"mine.items_scanned\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"process.peak_rss_bytes\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"mine.seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[0.5,1]"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[1,0,1]"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  // Balanced braces => structurally plausible JSON.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+}
+
+TEST(PeakRssTest, ReportsPositiveOnLinux) {
+  EXPECT_GT(ReadPeakRssBytes(), 0);
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Enable(/*record_events=*/true);
+    Tracer::Global().Reset();
+  }
+  void TearDown() override { Tracer::Global().Disable(); }
+};
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  Tracer::Global().Disable();
+  { GOGREEN_TRACE_SPAN("test.noop"); }
+  EXPECT_EQ(Tracer::Global().SecondsFor("test.noop"), 0.0);
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+}
+
+TEST_F(TracerTest, SpanAggregatesByName) {
+  for (int i = 0; i < 3; ++i) {
+    GOGREEN_TRACE_SPAN("test.outer");
+  }
+  EXPECT_GT(Tracer::Global().SecondsFor("test.outer"), 0.0);
+  auto aggregates = Tracer::Global().AggregateSeconds();
+  ASSERT_EQ(aggregates.size(), 1u);
+  EXPECT_EQ(aggregates[0].first, "test.outer");
+  EXPECT_EQ(Tracer::Global().Events().size(), 3u);
+}
+
+TEST_F(TracerTest, NestedSpansRecordDepth) {
+  {
+    GOGREEN_TRACE_SPAN("test.outer");
+    {
+      GOGREEN_TRACE_SPAN("test.inner");
+    }
+  }
+  auto events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner span finishes first.
+  EXPECT_EQ(events[0].name, "test.inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name, "test.outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The outer span fully contains the inner one.
+  EXPECT_LE(events[1].start_us, events[0].start_us);
+  EXPECT_GE(events[1].dur_us, events[0].dur_us);
+}
+
+TEST_F(TracerTest, ThreadsGetDistinctIds) {
+  {
+    GOGREEN_TRACE_SPAN("test.main");
+  }
+  std::thread other([] { GOGREEN_TRACE_SPAN("test.worker"); });
+  other.join();
+  auto events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(TracerTest, ChromeTraceJsonContainsEvents) {
+  {
+    GOGREEN_TRACE_SPAN("test.phase");
+  }
+  const std::string json = Tracer::Global().ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(TracerTest, ResetDropsSpansButKeepsEnabled) {
+  {
+    GOGREEN_TRACE_SPAN("test.phase");
+  }
+  Tracer::Global().Reset();
+  EXPECT_TRUE(Tracer::Global().enabled());
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+  EXPECT_EQ(Tracer::Global().SecondsFor("test.phase"), 0.0);
+}
+
+TEST_F(TracerTest, MetricsJsonSplicesSpans) {
+  {
+    GOGREEN_TRACE_SPAN("test.phase");
+  }
+  MetricRegistry::Global().GetCounter("mine.items_scanned")->Add(0);
+  const std::string json = MetricsJson();
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  // Process gauges are refreshed by MetricsJson().
+  EXPECT_NE(json.find("\"process.peak_rss_bytes\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace gogreen::obs

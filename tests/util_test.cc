@@ -1,4 +1,5 @@
-// Tests for the util layer: Status/Result, Arena, DynamicBitset, Random.
+// Tests for the util layer: Status/Result, Arena, DynamicBitset, Random,
+// logging.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +10,7 @@
 #include "util/arena.h"
 #include "util/env.h"
 #include "util/bitset.h"
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -161,6 +163,79 @@ TEST(EnvTest, BenchScaleParsing) {
 
 TEST(EnvTest, TempDirNonEmpty) {
   EXPECT_FALSE(TempDir().empty());
+}
+
+TEST(EnvTest, GetEnvOrEmpty) {
+  ::setenv("GOGREEN_TEST_VAR", "value", 1);
+  EXPECT_EQ(GetEnvOrEmpty("GOGREEN_TEST_VAR"), "value");
+  ::unsetenv("GOGREEN_TEST_VAR");
+  EXPECT_EQ(GetEnvOrEmpty("GOGREEN_TEST_VAR"), "");
+}
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, ParseLogLevel) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));  // Case-insensitive.
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);  // Untouched on failure.
+}
+
+TEST(LoggingTest, InitLogLevelFromEnv) {
+  LogLevelGuard guard;
+  ::setenv("GOGREEN_LOG_LEVEL", "error", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ::setenv("GOGREEN_LOG_LEVEL", "nonsense", 1);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);  // Unparseable: unchanged.
+  ::unsetenv("GOGREEN_LOG_LEVEL");
+}
+
+TEST(LoggingTest, LinePrefixHasTimestampSeverityAndLocation) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  GOGREEN_LOG(Warning) << "w" << 42;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // "[YYYY-MM-DD HH:MM:SS.mmm WARN util_test.cc:NN] w42"
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0], '[');
+  EXPECT_NE(out.find(" WARN util_test.cc:"), std::string::npos);
+  EXPECT_NE(out.find("] w42"), std::string::npos);
+  // Timestamp shape: 4-digit year, '-', and a '.' before the millis.
+  EXPECT_EQ(out.find('-'), 5u);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(LoggingTest, LinesBelowLevelAreSuppressed) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  GOGREEN_LOG(Info) << "hidden";
+  GOGREEN_LOG(Error) << "shown";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find(" ERROR "), std::string::npos);
+  EXPECT_NE(out.find("shown"), std::string::npos);
 }
 
 TEST(RandomTest, DeterministicAcrossInstances) {

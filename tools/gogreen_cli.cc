@@ -8,10 +8,19 @@
 //   gogreen generate --kind quest|dense -n 100000 -o data.dat [...]
 //   gogreen stats    -i data.dat
 //
+// Every subcommand also accepts the observability flags:
+//   --metrics-json <path>   write a counters/gauges/histograms/spans JSON
+//                           snapshot of the run (obs::MetricsJson)
+//   --trace <path>          write Chrome trace_event JSON of the phase
+//                           spans (open at chrome://tracing)
+//
 // Patterns files use the binary format of fpm/pattern_io.h (or the FIMI
 // text format when the file name ends in .txt).
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -27,6 +36,8 @@
 #include "fpm/pattern_io.h"
 #include "fpm/rules.h"
 #include "fpm/summarize.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace {
@@ -36,14 +47,20 @@ using gogreen::Status;
 using gogreen::Timer;
 
 /// Minimal flag parser: --key value / -k value pairs plus bare switches.
+/// Negative numbers ("-0.5", "-12") are treated as values, not switches,
+/// and multi-dash keys ("--metrics-json") keep their inner dashes.
 class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind('-', 0) != 0) continue;
-      key = key.substr(key.rfind('-') + 1);
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
+      const size_t body = key.find_first_not_of('-');
+      if (key.empty() || key[0] != '-' || body == std::string::npos ||
+          IsNumber(key)) {
+        continue;  // Not a switch (bare value already consumed, or noise).
+      }
+      key = key.substr(body);
+      if (i + 1 < argc && IsValue(argv[i + 1])) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "";
@@ -58,17 +75,48 @@ class Args {
     return it == values_.end() ? dflt : it->second;
   }
 
-  double GetDouble(const std::string& key, double dflt) const {
+  Result<double> GetDouble(const std::string& key, double dflt) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::stod(it->second);
+    if (it == values_.end()) return dflt;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (it->second.empty() || end == nullptr || *end != '\0' ||
+        errno == ERANGE) {
+      return BadNumber(key, it->second);
+    }
+    return v;
   }
 
-  uint64_t GetInt(const std::string& key, uint64_t dflt) const {
+  Result<uint64_t> GetInt(const std::string& key, uint64_t dflt) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::stoull(it->second);
+    if (it == values_.end()) return dflt;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    // strtoull silently wraps negatives; reject them explicitly.
+    if (it->second.empty() || it->second[0] == '-' || end == nullptr ||
+        *end != '\0' || errno == ERANGE) {
+      return BadNumber(key, it->second);
+    }
+    return static_cast<uint64_t>(v);
   }
 
  private:
+  static Status BadNumber(const std::string& key, const std::string& value) {
+    return Status::InvalidArgument("flag -" + key + " expects a number, got " +
+                                   (value.empty() ? "nothing" : "'" + value +
+                                                                    "'"));
+  }
+
+  /// A dash followed by a digit or '.' is a negative number, not a switch.
+  static bool IsNumber(const std::string& s) {
+    return s.size() > 1 && s[0] == '-' &&
+           (std::isdigit(static_cast<unsigned char>(s[1])) || s[1] == '.');
+  }
+
+  static bool IsValue(const char* s) { return s[0] != '-' || IsNumber(s); }
+
   std::map<std::string, std::string> values_;
 };
 
@@ -90,7 +138,10 @@ int Usage() {
                "  rules    -i data.dat -p patterns.bin [-c 0.6] [-k 20]\n"
                "  summary  -p patterns.bin [--closed] [--maximal]\n"
                "  generate --kind quest|dense -n <tuples> -o data.dat\n"
-               "  stats    -i data.dat\n");
+               "  stats    -i data.dat\n"
+               "observability flags (any subcommand):\n"
+               "  --metrics-json <path>  write metric/span snapshot JSON\n"
+               "  --trace <path>         write Chrome trace_event JSON\n");
   return 2;
 }
 
@@ -128,9 +179,11 @@ Status SavePatterns(const gogreen::fpm::PatternSet& fp, uint64_t min_support,
 }
 
 /// Parses -s as a fraction (< 1.0) or an absolute count.
-uint64_t ParseSupport(const Args& args, size_t num_transactions) {
-  const double raw = args.GetDouble("s", 0.01);
-  if (raw <= 0) return 0;
+Result<uint64_t> ParseSupport(const Args& args, size_t num_transactions) {
+  GOGREEN_ASSIGN_OR_RETURN(const double raw, args.GetDouble("s", 0.01));
+  if (raw <= 0) {
+    return Status::InvalidArgument("-s must be a positive support");
+  }
   if (raw < 1.0) {
     return gogreen::fpm::AbsoluteSupport(raw, num_transactions);
   }
@@ -151,174 +204,172 @@ gogreen::core::CompressionStrategy ParseStrategy(const std::string& name) {
                        : gogreen::core::CompressionStrategy::kMcp;
 }
 
-int CmdMine(const Args& args) {
-  auto db = LoadDb(args);
-  if (!db.ok()) return Fail(db.status());
-  const uint64_t minsup = ParseSupport(args, db->NumTransactions());
-  if (minsup == 0) return Fail(Status::InvalidArgument("bad -s"));
+Status CmdMine(const Args& args) {
+  GOGREEN_ASSIGN_OR_RETURN(const auto db, LoadDb(args));
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t minsup,
+                           ParseSupport(args, db.NumTransactions()));
 
   auto miner = gogreen::fpm::CreateMiner(ParseMiner(args.Get("a", "h-mine")));
   Timer timer;
-  auto fp = miner->Mine(*db, minsup);
-  if (!fp.ok()) return Fail(fp.status());
+  GOGREEN_ASSIGN_OR_RETURN(const auto fp, miner->Mine(db, minsup));
   std::printf("%s: %zu patterns at support %llu in %.3fs\n",
-              miner->name().c_str(), fp->size(),
+              miner->name().c_str(), fp.size(),
               static_cast<unsigned long long>(minsup),
               timer.ElapsedSeconds());
-  std::printf("%s\n", gogreen::fpm::Summarize(*fp).ToString().c_str());
+  std::printf("%s\n", gogreen::fpm::Summarize(fp).ToString().c_str());
 
   const std::string out = args.Get("o");
   if (!out.empty()) {
-    const Status st = SavePatterns(*fp, minsup, db->NumTransactions(), out);
-    if (!st.ok()) return Fail(st);
+    GOGREEN_RETURN_NOT_OK(
+        SavePatterns(fp, minsup, db.NumTransactions(), out));
     std::printf("wrote %s\n", out.c_str());
   }
-  return 0;
+  return Status::OK();
 }
 
-int CmdRecycle(const Args& args) {
-  auto db = LoadDb(args);
-  if (!db.ok()) return Fail(db.status());
-  auto fp_old = LoadPatterns(args);
-  if (!fp_old.ok()) return Fail(fp_old.status());
-  const uint64_t minsup = ParseSupport(args, db->NumTransactions());
-  if (minsup == 0) return Fail(Status::InvalidArgument("bad -s"));
+Status CmdRecycle(const Args& args) {
+  GOGREEN_ASSIGN_OR_RETURN(const auto db, LoadDb(args));
+  GOGREEN_ASSIGN_OR_RETURN(const auto fp_old, LoadPatterns(args));
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t minsup,
+                           ParseSupport(args, db.NumTransactions()));
 
   Timer timer;
   gogreen::core::CompressionStats cstats;
-  auto cdb = gogreen::core::CompressDatabase(
-      *db, *fp_old,
-      {ParseStrategy(args.Get("strategy", "MCP")),
-       gogreen::core::MatcherKind::kAuto},
-      &cstats);
-  if (!cdb.ok()) return Fail(cdb.status());
+  GOGREEN_ASSIGN_OR_RETURN(
+      const auto cdb,
+      gogreen::core::CompressDatabase(
+          db, fp_old,
+          {ParseStrategy(args.Get("strategy", "MCP")),
+           gogreen::core::MatcherKind::kAuto},
+          &cstats));
   const double compress_secs = timer.ElapsedSeconds();
 
   timer.Restart();
   auto miner = gogreen::core::CreateCompressedMiner(
       gogreen::core::RecycleAlgo::kHMine);
-  auto fp = miner->MineCompressed(*cdb, minsup);
-  if (!fp.ok()) return Fail(fp.status());
+  GOGREEN_ASSIGN_OR_RETURN(const auto fp, miner->MineCompressed(cdb, minsup));
   std::printf("recycled %zu patterns -> %zu patterns at support %llu "
               "(compress %.3fs ratio %.3f, mine %.3fs)\n",
-              fp_old->size(), fp->size(),
+              fp_old.size(), fp.size(),
               static_cast<unsigned long long>(minsup), compress_secs,
               cstats.Ratio(), timer.ElapsedSeconds());
 
   const std::string out = args.Get("o");
   if (!out.empty()) {
-    const Status st = SavePatterns(*fp, minsup, db->NumTransactions(), out);
-    if (!st.ok()) return Fail(st);
+    GOGREEN_RETURN_NOT_OK(
+        SavePatterns(fp, minsup, db.NumTransactions(), out));
     std::printf("wrote %s\n", out.c_str());
   }
-  return 0;
+  return Status::OK();
 }
 
-int CmdCompress(const Args& args) {
-  auto db = LoadDb(args);
-  if (!db.ok()) return Fail(db.status());
-  auto fp = LoadPatterns(args);
-  if (!fp.ok()) return Fail(fp.status());
+Status CmdCompress(const Args& args) {
+  GOGREEN_ASSIGN_OR_RETURN(const auto db, LoadDb(args));
+  GOGREEN_ASSIGN_OR_RETURN(const auto fp, LoadPatterns(args));
   const std::string out = args.Get("o");
-  if (out.empty()) return Fail(Status::InvalidArgument("missing -o"));
+  if (out.empty()) return Status::InvalidArgument("missing -o");
 
   gogreen::core::CompressionStats stats;
-  auto cdb = gogreen::core::CompressDatabase(
-      *db, *fp,
-      {ParseStrategy(args.Get("strategy", "MCP")),
-       gogreen::core::MatcherKind::kAuto},
-      &stats);
-  if (!cdb.ok()) return Fail(cdb.status());
-  auto written = cdb->WriteTo(out);
-  if (!written.ok()) return Fail(written.status());
+  GOGREEN_ASSIGN_OR_RETURN(
+      const auto cdb,
+      gogreen::core::CompressDatabase(
+          db, fp,
+          {ParseStrategy(args.Get("strategy", "MCP")),
+           gogreen::core::MatcherKind::kAuto},
+          &stats));
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t written, cdb.WriteTo(out));
   std::printf("compressed %zu tuples into %zu groups, ratio %.3f "
               "(%.3fs); wrote %llu bytes to %s\n",
-              db->NumTransactions(), cdb->NumGroups(), stats.Ratio(),
+              db.NumTransactions(), cdb.NumGroups(), stats.Ratio(),
               stats.elapsed_seconds,
-              static_cast<unsigned long long>(written.value()), out.c_str());
-  return 0;
+              static_cast<unsigned long long>(written), out.c_str());
+  return Status::OK();
 }
 
-int CmdRules(const Args& args) {
-  auto db = LoadDb(args);
-  if (!db.ok()) return Fail(db.status());
-  auto fp = LoadPatterns(args);
-  if (!fp.ok()) return Fail(fp.status());
+Status CmdRules(const Args& args) {
+  GOGREEN_ASSIGN_OR_RETURN(const auto db, LoadDb(args));
+  GOGREEN_ASSIGN_OR_RETURN(const auto fp, LoadPatterns(args));
 
   gogreen::fpm::RuleOptions options;
-  options.min_confidence = args.GetDouble("c", 0.6);
-  options.max_consequent = args.GetInt("max-consequent", 1);
-  auto rules = gogreen::fpm::GenerateRules(*fp, db->NumTransactions(),
-                                           options);
-  if (!rules.ok()) return Fail(rules.status());
-  const size_t k = args.GetInt("k", 20);
-  std::printf("%zu rules (showing top %zu by confidence):\n", rules->size(),
-              std::min(k, rules->size()));
-  for (size_t i = 0; i < rules->size() && i < k; ++i) {
-    std::printf("  %s\n", (*rules)[i].ToString().c_str());
+  GOGREEN_ASSIGN_OR_RETURN(options.min_confidence,
+                           args.GetDouble("c", 0.6));
+  GOGREEN_ASSIGN_OR_RETURN(options.max_consequent,
+                           args.GetInt("max-consequent", 1));
+  GOGREEN_ASSIGN_OR_RETURN(
+      const auto rules,
+      gogreen::fpm::GenerateRules(fp, db.NumTransactions(), options));
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t k, args.GetInt("k", 20));
+  std::printf("%zu rules (showing top %zu by confidence):\n", rules.size(),
+              std::min<size_t>(k, rules.size()));
+  for (size_t i = 0; i < rules.size() && i < k; ++i) {
+    std::printf("  %s\n", rules[i].ToString().c_str());
   }
-  return 0;
+  return Status::OK();
 }
 
-int CmdSummary(const Args& args) {
-  auto fp = LoadPatterns(args);
-  if (!fp.ok()) return Fail(fp.status());
-  std::printf("all:     %s\n", gogreen::fpm::Summarize(*fp).ToString().c_str());
+Status CmdSummary(const Args& args) {
+  GOGREEN_ASSIGN_OR_RETURN(const auto fp, LoadPatterns(args));
+  std::printf("all:     %s\n", gogreen::fpm::Summarize(fp).ToString().c_str());
   if (args.Has("closed")) {
-    const auto closed = gogreen::fpm::ClosedPatterns(*fp);
+    const auto closed = gogreen::fpm::ClosedPatterns(fp);
     std::printf("closed:  %s\n",
                 gogreen::fpm::Summarize(closed).ToString().c_str());
   }
   if (args.Has("maximal")) {
-    const auto maximal = gogreen::fpm::MaximalPatterns(*fp);
+    const auto maximal = gogreen::fpm::MaximalPatterns(fp);
     std::printf("maximal: %s\n",
                 gogreen::fpm::Summarize(maximal).ToString().c_str());
   }
-  return 0;
+  return Status::OK();
 }
 
-int CmdGenerate(const Args& args) {
+Status CmdGenerate(const Args& args) {
   const std::string out = args.Get("o");
-  if (out.empty()) return Fail(Status::InvalidArgument("missing -o"));
+  if (out.empty()) return Status::InvalidArgument("missing -o");
   const std::string kind = args.Get("kind", "quest");
-  const size_t n = args.GetInt("n", 100000);
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t n, args.GetInt("n", 100000));
 
   Result<gogreen::fpm::TransactionDb> db =
       Status::InvalidArgument("unknown --kind: " + kind);
   if (kind == "quest") {
     gogreen::data::QuestConfig cfg;
     cfg.num_transactions = n;
-    cfg.avg_transaction_len = args.GetDouble("avg-len", 10.0);
-    cfg.num_items = args.GetInt("items", 1000);
-    cfg.num_patterns = args.GetInt("patterns", 500);
-    cfg.avg_pattern_len = args.GetDouble("pattern-len", 4.0);
-    cfg.seed = args.GetInt("seed", 1);
+    GOGREEN_ASSIGN_OR_RETURN(cfg.avg_transaction_len,
+                             args.GetDouble("avg-len", 10.0));
+    GOGREEN_ASSIGN_OR_RETURN(cfg.num_items, args.GetInt("items", 1000));
+    GOGREEN_ASSIGN_OR_RETURN(cfg.num_patterns,
+                             args.GetInt("patterns", 500));
+    GOGREEN_ASSIGN_OR_RETURN(cfg.avg_pattern_len,
+                             args.GetDouble("pattern-len", 4.0));
+    GOGREEN_ASSIGN_OR_RETURN(cfg.seed, args.GetInt("seed", 1));
     db = gogreen::data::GenerateQuest(cfg);
   } else if (kind == "dense") {
-    gogreen::data::DenseConfig cfg = gogreen::data::DenseConfig::Uniform(
-        n, args.GetInt("attrs", 20), args.GetInt("values", 5),
-        args.GetInt("seed", 1));
-    db = gogreen::data::GenerateDense(cfg);
+    GOGREEN_ASSIGN_OR_RETURN(const uint64_t attrs,
+                             args.GetInt("attrs", 20));
+    GOGREEN_ASSIGN_OR_RETURN(const uint64_t values,
+                             args.GetInt("values", 5));
+    GOGREEN_ASSIGN_OR_RETURN(const uint64_t seed, args.GetInt("seed", 1));
+    db = gogreen::data::GenerateDense(
+        gogreen::data::DenseConfig::Uniform(n, attrs, values, seed));
   }
-  if (!db.ok()) return Fail(db.status());
-  auto written = gogreen::data::WriteDatFile(*db, out);
-  if (!written.ok()) return Fail(written.status());
+  GOGREEN_RETURN_NOT_OK(db.status());
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t written,
+                           gogreen::data::WriteDatFile(*db, out));
   std::printf("generated %zu transactions (avg len %.1f) -> %s (%llu "
               "bytes)\n",
               db->NumTransactions(), db->AvgLength(), out.c_str(),
-              static_cast<unsigned long long>(written.value()));
-  return 0;
+              static_cast<unsigned long long>(written));
+  return Status::OK();
 }
 
-int CmdStats(const Args& args) {
-  auto db = LoadDb(args);
-  if (!db.ok()) return Fail(db.status());
-  std::printf("transactions: %zu\n", db->NumTransactions());
-  std::printf("avg length:   %.2f\n", db->AvgLength());
-  std::printf("total items:  %zu\n", db->TotalItems());
-  std::printf("distinct:     %zu (universe %zu)\n", db->NumDistinctItems(),
-              db->ItemUniverseSize());
-  return 0;
+Status CmdStats(const Args& args) {
+  GOGREEN_ASSIGN_OR_RETURN(const auto db, LoadDb(args));
+  std::printf("transactions: %zu\n", db.NumTransactions());
+  std::printf("avg length:   %.2f\n", db.AvgLength());
+  std::printf("total items:  %zu\n", db.TotalItems());
+  std::printf("distinct:     %zu (universe %zu)\n", db.NumDistinctItems(),
+              db.ItemUniverseSize());
+  return Status::OK();
 }
 
 }  // namespace
@@ -327,12 +378,52 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const Args args(argc, argv);
   const std::string cmd = argv[1];
-  if (cmd == "mine") return CmdMine(args);
-  if (cmd == "recycle") return CmdRecycle(args);
-  if (cmd == "compress") return CmdCompress(args);
-  if (cmd == "rules") return CmdRules(args);
-  if (cmd == "summary") return CmdSummary(args);
-  if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "stats") return CmdStats(args);
-  return Usage();
+
+  // Observability sinks: when either flag is present, turn the span tracer
+  // on before the command runs (full event recording only when a trace
+  // file was requested; metrics-only runs just keep aggregates).
+  const std::string metrics_path = args.Get("metrics-json");
+  const std::string trace_path = args.Get("trace");
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    gogreen::obs::Tracer::Global().Enable(!trace_path.empty());
+  }
+
+  Status status;
+  if (cmd == "mine") {
+    status = CmdMine(args);
+  } else if (cmd == "recycle") {
+    status = CmdRecycle(args);
+  } else if (cmd == "compress") {
+    status = CmdCompress(args);
+  } else if (cmd == "rules") {
+    status = CmdRules(args);
+  } else if (cmd == "summary") {
+    status = CmdSummary(args);
+  } else if (cmd == "generate") {
+    status = CmdGenerate(args);
+  } else if (cmd == "stats") {
+    status = CmdStats(args);
+  } else {
+    return Usage();
+  }
+
+  int rc = status.ok() ? 0 : Fail(status);
+  if (!metrics_path.empty()) {
+    const Status w = gogreen::obs::WriteMetricsJson(metrics_path);
+    if (!w.ok()) {
+      rc = Fail(w);
+    } else {
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    const Status w =
+        gogreen::obs::Tracer::Global().WriteChromeTrace(trace_path);
+    if (!w.ok()) {
+      rc = Fail(w);
+    } else {
+      std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
+    }
+  }
+  return rc;
 }
