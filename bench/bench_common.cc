@@ -1,8 +1,10 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/env.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace gogreen::bench {
@@ -169,20 +172,41 @@ class JsonReport {
   std::vector<std::string> rows_;
 };
 
-/// One algorithm's cell of a sweep row as a JSON object.
+/// One algorithm's cell of a sweep row as a JSON object. `threads` records
+/// the pool size the measurement ran with (the mined output is identical at
+/// any count, so rows differing only in threads are directly comparable).
 std::string RunJson(const char* algorithm, double xi_new,
                     const RunMeasurement& m, double compress_seconds) {
-  char buf[400];
+  char buf[440];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"algorithm\":\"%s\",\"xi_new\":%.9g,\"seconds\":%.9g,"
-      "\"mine_seconds\":%.9g,\"compress_seconds\":%.9g,\"patterns\":%zu,"
-      "\"counters\":{\"mine.items_scanned\":%" PRIu64
+      "{\"algorithm\":\"%s\",\"xi_new\":%.9g,\"threads\":%zu,"
+      "\"seconds\":%.9g,\"mine_seconds\":%.9g,\"compress_seconds\":%.9g,"
+      "\"patterns\":%zu,\"counters\":{\"mine.items_scanned\":%" PRIu64
       ",\"mine.projections_built\":%" PRIu64 "}}",
-      algorithm, xi_new, m.wall_seconds, m.mine_seconds, compress_seconds,
-      m.patterns, m.items_scanned, m.projections_built);
+      algorithm, xi_new, ThreadPool::GlobalThreads(), m.wall_seconds,
+      m.mine_seconds, compress_seconds, m.patterns, m.items_scanned,
+      m.projections_built);
   return buf;
 }
+
+/// Thread counts to measure: `--threads` list when given, else the single
+/// count currently configured for the global pool.
+std::vector<unsigned> ThreadSweep(const BenchOptions& options) {
+  if (!options.threads.empty()) return options.threads;
+  return {static_cast<unsigned>(ThreadPool::GlobalThreads())};
+}
+
+/// Restores the global pool size on scope exit so a sweep cannot leak its
+/// last thread count into the caller.
+class ScopedThreadRestore {
+ public:
+  ScopedThreadRestore() : original_(ThreadPool::GlobalThreads()) {}
+  ~ScopedThreadRestore() { ThreadPool::SetGlobalThreads(original_); }
+
+ private:
+  size_t original_;
+};
 
 }  // namespace
 
@@ -193,6 +217,18 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       options.json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         options.json_path = argv[++i];
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      // Comma-separated counts ("1,2,4"); malformed entries are skipped so
+      // the binaries never fail on a typo, they just measure less.
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end != p && v >= 1 && v <= 1024) {
+          options.threads.push_back(static_cast<unsigned>(v));
+        }
+        if (end == nullptr || *end == '\0') break;
+        p = (end == p) ? p + 1 : end + 1;
       }
     }
   }
@@ -286,10 +322,6 @@ int RunRuntimeFigure(const char* figure, DatasetId dataset, AlgoFamily family,
       "time=%s\n",
       mcp_stats.Ratio(), FormatSeconds(compress_mcp_secs).c_str(),
       mlp_stats.Ratio(), FormatSeconds(compress_mlp_secs).c_str());
-  std::printf("%-9s %12s %12s %12s %11s %11s %10s\n", "xi_new",
-              info.baseline_name, info.mcp_name, info.mlp_name,
-              "speedup-MCP", "speedup-MLP", "#patterns");
-
   JsonReport report;
   report.Field("dataset", std::string(spec.name));
   report.Field("scale", std::string(BenchScaleName(scale)));
@@ -302,47 +334,58 @@ int RunRuntimeFigure(const char* figure, DatasetId dataset, AlgoFamily family,
   report.Field("compress_mcp_ratio", mcp_stats.Ratio());
   report.Field("compress_mlp_ratio", mlp_stats.Ratio());
 
+  const std::vector<unsigned> thread_sweep = ThreadSweep(options);
+  report.Field("threads", static_cast<uint64_t>(thread_sweep.front()));
+  ScopedThreadRestore restore_threads;
+
   double base_total = 0.0;
   double mcp_total = 0.0;
   double mlp_total = 0.0;
   bool counts_agree = true;
-  for (const double xi : spec.xi_new_sweep) {
-    const uint64_t sup = fpm::AbsoluteSupport(xi, db.NumTransactions());
+  for (const unsigned threads : thread_sweep) {
+    if (!options.threads.empty()) ThreadPool::SetGlobalThreads(threads);
+    if (thread_sweep.size() > 1) std::printf("-- threads=%u --\n", threads);
+    std::printf("%-9s %12s %12s %12s %11s %11s %10s\n", "xi_new",
+                info.baseline_name, info.mcp_name, info.mlp_name,
+                "speedup-MCP", "speedup-MLP", "#patterns");
+    for (const double xi : spec.xi_new_sweep) {
+      const uint64_t sup = fpm::AbsoluteSupport(xi, db.NumTransactions());
 
-    const RunMeasurement base = Measure([&] {
-      auto miner = fpm::CreateMiner(info.baseline);
-      return miner->Mine(db, sup);
-    });
-    const RunMeasurement mcp = Measure([&] {
-      auto miner = core::CreateCompressedMiner(info.recycler);
-      return miner->MineCompressed(cdb_mcp, sup);
-    });
-    const RunMeasurement mlp = Measure([&] {
-      auto miner = core::CreateCompressedMiner(info.recycler);
-      return miner->MineCompressed(cdb_mlp, sup);
-    });
+      const RunMeasurement base = Measure([&] {
+        auto miner = fpm::CreateMiner(info.baseline);
+        return miner->Mine(db, sup);
+      });
+      const RunMeasurement mcp = Measure([&] {
+        auto miner = core::CreateCompressedMiner(info.recycler);
+        return miner->MineCompressed(cdb_mcp, sup);
+      });
+      const RunMeasurement mlp = Measure([&] {
+        auto miner = core::CreateCompressedMiner(info.recycler);
+        return miner->MineCompressed(cdb_mlp, sup);
+      });
 
-    if (base.patterns != mcp.patterns || base.patterns != mlp.patterns) {
-      counts_agree = false;
-    }
-    base_total += base.mine_seconds;
-    mcp_total += mcp.mine_seconds;
-    mlp_total += mlp.mine_seconds;
-    std::printf("%-8.4g%% %12s %12s %12s %10.1fx %10.1fx %10zu\n", xi * 100,
-                FormatSeconds(base.wall_seconds).c_str(),
-                FormatSeconds(mcp.wall_seconds).c_str(),
-                FormatSeconds(mlp.wall_seconds).c_str(),
-                mcp.wall_seconds > 0 ? base.wall_seconds / mcp.wall_seconds
-                                     : 0.0,
-                mlp.wall_seconds > 0 ? base.wall_seconds / mlp.wall_seconds
-                                     : 0.0,
-                base.patterns);
-    std::fflush(stdout);
+      if (base.patterns != mcp.patterns || base.patterns != mlp.patterns) {
+        counts_agree = false;
+      }
+      base_total += base.mine_seconds;
+      mcp_total += mcp.mine_seconds;
+      mlp_total += mlp.mine_seconds;
+      std::printf("%-8.4g%% %12s %12s %12s %10.1fx %10.1fx %10zu\n",
+                  xi * 100, FormatSeconds(base.wall_seconds).c_str(),
+                  FormatSeconds(mcp.wall_seconds).c_str(),
+                  FormatSeconds(mlp.wall_seconds).c_str(),
+                  mcp.wall_seconds > 0 ? base.wall_seconds / mcp.wall_seconds
+                                       : 0.0,
+                  mlp.wall_seconds > 0 ? base.wall_seconds / mlp.wall_seconds
+                                       : 0.0,
+                  base.patterns);
+      std::fflush(stdout);
 
-    if (options.json) {
-      report.AddRow(RunJson(info.baseline_name, xi, base, 0.0));
-      report.AddRow(RunJson(info.mcp_name, xi, mcp, compress_mcp_secs));
-      report.AddRow(RunJson(info.mlp_name, xi, mlp, compress_mlp_secs));
+      if (options.json) {
+        report.AddRow(RunJson(info.baseline_name, xi, base, 0.0));
+        report.AddRow(RunJson(info.mcp_name, xi, mcp, compress_mcp_secs));
+        report.AddRow(RunJson(info.mlp_name, xi, mlp, compress_mlp_secs));
+      }
     }
   }
   std::printf(
@@ -425,6 +468,15 @@ int RunMemoryLimitFigure(const char* figure, DatasetId dataset,
   report.Field("limit_lo_bytes", static_cast<uint64_t>(limit_lo));
   report.Field("limit_hi_bytes", static_cast<uint64_t>(limit_hi));
 
+  // Memory-limited runs honour a single --threads value (no sweep: the
+  // partitioned path is dominated by spill I/O, not mining parallelism).
+  ScopedThreadRestore restore_threads;
+  if (!options.threads.empty()) {
+    ThreadPool::SetGlobalThreads(options.threads.front());
+  }
+  report.Field("threads",
+               static_cast<uint64_t>(ThreadPool::GlobalThreads()));
+
   const std::string tmp = TempDir();
   bool counts_agree = true;
   for (const double xi : spec.xi_new_sweep) {
@@ -461,6 +513,124 @@ int RunMemoryLimitFigure(const char* figure, DatasetId dataset,
   std::printf("result check: %s\n\n",
               counts_agree ? "pattern counts agree across all variants"
                            : "MISMATCH in pattern counts (BUG)");
+
+  if (options.json &&
+      !report.WriteTo(JsonPathFor(figure, options), figure)) {
+    return 1;
+  }
+  return counts_agree ? 0 : 2;
+}
+
+int RunThreadScalingFigure(const char* figure, DatasetId dataset,
+                           AlgoFamily family, const BenchOptions& options) {
+  const DatasetSpec& spec = data::GetDatasetSpec(dataset);
+  const FamilyInfo info = InfoOf(family);
+  const BenchScale scale = GetBenchScale();
+
+  obs::Tracer::Global().Enable(/*record_events=*/false);
+
+  char title[256];
+  std::snprintf(title, sizeof(title),
+                "%s (%s) — %s family, runtime vs threads", spec.paper_name,
+                spec.name, info.baseline_name);
+  PrintHeader(figure, title);
+
+  auto db_result = data::MakeDataset(dataset, scale);
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 db_result.status().ToString().c_str());
+    return 1;
+  }
+  const TransactionDb db = std::move(db_result).value();
+
+  // Fix xi_new at the hardest (lowest) support of the sweep: that is where
+  // the mining tree is deepest and parallel fan-out has work to hide.
+  const double xi =
+      *std::min_element(spec.xi_new_sweep.begin(), spec.xi_new_sweep.end());
+  const uint64_t sup = fpm::AbsoluteSupport(xi, db.NumTransactions());
+  const uint64_t old_sup =
+      fpm::AbsoluteSupport(spec.xi_old, db.NumTransactions());
+
+  auto base_miner = fpm::CreateMiner(info.baseline);
+  auto fp_old_result = base_miner->Mine(db, old_sup);
+  if (!fp_old_result.ok()) {
+    std::fprintf(stderr, "xi_old mine: %s\n",
+                 fp_old_result.status().ToString().c_str());
+    return 1;
+  }
+  const PatternSet fp_old = std::move(fp_old_result).value();
+  auto mcp_result = core::CompressDatabase(
+      db, fp_old, {CompressionStrategy::kMcp, MatcherKind::kAuto});
+  if (!mcp_result.ok()) {
+    std::fprintf(stderr, "compression failed\n");
+    return 1;
+  }
+  const CompressedDb cdb = std::move(mcp_result).value();
+
+  std::vector<unsigned> sweep = options.threads;
+  if (sweep.empty()) sweep = {1, 2, 4, 8};
+
+  std::printf(
+      "dataset=%s scale=%s tuples=%zu xi_old=%.4g%% xi_new=%.4g%% "
+      "(hardware threads: %u)\n",
+      spec.name, BenchScaleName(scale), db.NumTransactions(),
+      spec.xi_old * 100, xi * 100,
+      static_cast<unsigned>(ThreadPool::DefaultThreads()));
+  std::printf("%-8s %12s %11s %12s %11s %10s\n", "threads",
+              info.baseline_name, "scaling", info.mcp_name, "scaling",
+              "#patterns");
+
+  JsonReport report;
+  report.Field("dataset", std::string(spec.name));
+  report.Field("scale", std::string(BenchScaleName(scale)));
+  report.Field("tuples", static_cast<uint64_t>(db.NumTransactions()));
+  report.Field("xi_old", spec.xi_old);
+  report.Field("xi_new", xi);
+  report.Field("hardware_threads",
+               static_cast<uint64_t>(ThreadPool::DefaultThreads()));
+
+  ScopedThreadRestore restore_threads;
+  double base_ref = 0.0;
+  double mcp_ref = 0.0;
+  size_t ref_patterns = 0;
+  bool counts_agree = true;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    ThreadPool::SetGlobalThreads(sweep[i]);
+    const RunMeasurement base = Measure([&] {
+      auto miner = fpm::CreateMiner(info.baseline);
+      return miner->Mine(db, sup);
+    });
+    const RunMeasurement mcp = Measure([&] {
+      auto miner = core::CreateCompressedMiner(info.recycler);
+      return miner->MineCompressed(cdb, sup);
+    });
+    if (i == 0) {
+      base_ref = base.wall_seconds;
+      mcp_ref = mcp.wall_seconds;
+      ref_patterns = base.patterns;
+    }
+    // Output is guaranteed bit-identical at any thread count; the pattern
+    // counts double-check that here, outside the unit-test harness.
+    if (base.patterns != ref_patterns || mcp.patterns != ref_patterns) {
+      counts_agree = false;
+    }
+    std::printf("%-8u %12s %10.2fx %12s %10.2fx %10zu\n", sweep[i],
+                FormatSeconds(base.wall_seconds).c_str(),
+                base.wall_seconds > 0 ? base_ref / base.wall_seconds : 0.0,
+                FormatSeconds(mcp.wall_seconds).c_str(),
+                mcp.wall_seconds > 0 ? mcp_ref / mcp.wall_seconds : 0.0,
+                base.patterns);
+    std::fflush(stdout);
+
+    if (options.json) {
+      report.AddRow(RunJson(info.baseline_name, xi, base, 0.0));
+      report.AddRow(RunJson(info.mcp_name, xi, mcp, 0.0));
+    }
+  }
+  std::printf("result check: %s\n\n",
+              counts_agree
+                  ? "pattern counts agree across all thread counts"
+                  : "MISMATCH in pattern counts across threads (BUG)");
 
   if (options.json &&
       !report.WriteTo(JsonPathFor(figure, options), figure)) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/datasets.h"
 #include "util/status.h"
@@ -32,10 +33,17 @@ enum class AlgoFamily {
 struct BenchOptions {
   bool json = false;      ///< Also write the machine-readable document.
   std::string json_path;  ///< Empty: "BENCH_<sanitized figure>.json".
+  /// Thread counts to sweep (`--threads 1,2,4`). Empty: leave the global
+  /// pool alone (GOGREEN_THREADS or hardware default). With more than one
+  /// entry the runtime figures repeat their measured sweep once per count
+  /// and every JSON row carries its own "threads" field; the mined output
+  /// is identical at any count, only the timings change.
+  std::vector<unsigned> threads;
 };
 
-/// Parses the common bench flags (`--json [path]`); unknown arguments are
-/// ignored so figure binaries stay forward-compatible.
+/// Parses the common bench flags (`--json [path]`, `--threads n[,n...]`);
+/// unknown arguments are ignored so figure binaries stay
+/// forward-compatible.
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 /// Reproduces one runtime-vs-xi_new figure: mines FP at the dataset's
@@ -54,6 +62,16 @@ int RunRuntimeFigure(const char* figure, data::DatasetId dataset,
 int RunMemoryLimitFigure(const char* figure, data::DatasetId dataset,
                          bool log_scale_note,
                          const BenchOptions& options = {});
+
+/// Thread-scaling experiment (not a paper figure): fixes xi_new at the
+/// hardest (lowest) support of the dataset's sweep and measures the
+/// family's baseline miner and both recycling variants at each thread
+/// count (default 1,2,4,8; override with `--threads`). Reports speedup
+/// relative to the first count and cross-checks that pattern counts are
+/// identical at every count. Returns non-zero on error or mismatch.
+int RunThreadScalingFigure(const char* figure, data::DatasetId dataset,
+                           AlgoFamily family,
+                           const BenchOptions& options = {});
 
 /// Formats seconds with appropriate precision ("0.123s").
 std::string FormatSeconds(double seconds);

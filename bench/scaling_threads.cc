@@ -1,0 +1,43 @@
+// Thread-scaling experiment (not a paper figure): runtime of a miner family
+// and its MCP-recycling variant at 1..N threads, at the hardest support of
+// the dataset's sweep. See DESIGN.md "Parallel execution".
+//
+//   scaling_threads [--dataset weather|forest|connect4|pumsb]
+//                   [--family hm|fp|tp] [--threads 1,2,4,8] [--json [path]]
+
+#include <cstring>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+gogreen::data::DatasetId ParseDataset(int argc, char** argv) {
+  using gogreen::data::DatasetId;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--dataset") != 0) continue;
+    const char* name = argv[i + 1];
+    if (std::strcmp(name, "forest") == 0) return DatasetId::kForestSub;
+    if (std::strcmp(name, "connect4") == 0) return DatasetId::kConnect4Sub;
+    if (std::strcmp(name, "pumsb") == 0) return DatasetId::kPumsbSub;
+  }
+  return DatasetId::kWeatherSub;
+}
+
+gogreen::bench::AlgoFamily ParseFamily(int argc, char** argv) {
+  using gogreen::bench::AlgoFamily;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--family") != 0) continue;
+    const char* name = argv[i + 1];
+    if (std::strcmp(name, "fp") == 0) return AlgoFamily::kFpGrowth;
+    if (std::strcmp(name, "tp") == 0) return AlgoFamily::kTreeProjection;
+  }
+  return AlgoFamily::kHMine;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return gogreen::bench::RunThreadScalingFigure(
+      "Thread scaling", ParseDataset(argc, argv), ParseFamily(argc, argv),
+      gogreen::bench::ParseBenchOptions(argc, argv));
+}

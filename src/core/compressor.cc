@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "util/bitset.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace gogreen::core {
@@ -15,6 +16,10 @@ namespace gogreen::core {
 namespace {
 
 constexpr size_t kNoMatch = SIZE_MAX;
+
+// Tuples per work unit of the parallel cover loop: large enough to amortize
+// scheduling, small enough to balance skewed tuple lengths.
+constexpr size_t kCoverChunk = 512;
 
 /// Probes patterns (in utility order) against one tuple at a time.
 /// `ranked[i]` is the pattern at utility position i.
@@ -215,25 +220,59 @@ Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
     ranked[pos] = &fp[order[pos]];
   }
 
-  // Steps 3-5: per-tuple best-pattern assignment.
+  // Steps 3-5: per-tuple best-pattern assignment. Matchers carry per-probe
+  // scratch (tuple bitmap, merge heap), so the parallel path builds one per
+  // lane; the item-support vector feeding the inverted index is computed
+  // once and shared.
   const MatcherKind kind = ResolveMatcher(options.matcher, db);
-  std::unique_ptr<Matcher> matcher;
-  if (kind == MatcherKind::kInvertedIndex) {
-    matcher = std::make_unique<InvertedIndexMatcher>(
-        ranked, db.CountItemSupports(), db.ItemUniverseSize());
-  } else {
-    matcher = std::make_unique<LinearMatcher>(ranked, db.ItemUniverseSize());
-  }
+  const std::vector<uint64_t> item_supports =
+      kind == MatcherKind::kInvertedIndex ? db.CountItemSupports()
+                                          : std::vector<uint64_t>();
+  const auto make_matcher = [&]() -> std::unique_ptr<Matcher> {
+    if (kind == MatcherKind::kInvertedIndex) {
+      return std::make_unique<InvertedIndexMatcher>(ranked, item_supports,
+                                                    db.ItemUniverseSize());
+    }
+    return std::make_unique<LinearMatcher>(ranked, db.ItemUniverseSize());
+  };
 
   const size_t n = db.NumTransactions();
   std::vector<size_t> assignment(n, kNoMatch);
   std::vector<uint64_t> group_sizes(ranked.size() + 1, 0);  // +1: ungrouped.
   {
     GOGREEN_TRACE_SPAN("compress.cover");
-    for (fpm::Tid t = 0; t < n; ++t) {
-      const size_t pos = matcher->Match(db.Transaction(t));
-      assignment[t] = pos;
-      ++group_sizes[pos == kNoMatch ? ranked.size() : pos];
+    const size_t threads = ThreadPool::GlobalThreads();
+    if (threads <= 1 || n < 2 * kCoverChunk) {
+      const std::unique_ptr<Matcher> matcher = make_matcher();
+      for (fpm::Tid t = 0; t < n; ++t) {
+        const size_t pos = matcher->Match(db.Transaction(t));
+        assignment[t] = pos;
+        ++group_sizes[pos == kNoMatch ? ranked.size() : pos];
+      }
+    } else {
+      // Each tuple's match depends only on the tuple and the shared ranking,
+      // so chunks of tids partition cleanly across lanes: disjoint writes to
+      // `assignment`, per-lane group-size accumulators summed afterwards.
+      // The result is identical to the sequential scan for any lane count.
+      const size_t chunks = (n + kCoverChunk - 1) / kCoverChunk;
+      std::vector<std::unique_ptr<Matcher>> lane_matchers(threads);
+      std::vector<std::vector<uint64_t>> lane_sizes(threads);
+      ThreadPool::Global().ParallelFor(chunks, [&](size_t lane, size_t c) {
+        if (!lane_matchers[lane]) {
+          lane_matchers[lane] = make_matcher();
+          lane_sizes[lane].assign(ranked.size() + 1, 0);
+        }
+        const size_t begin = c * kCoverChunk;
+        const size_t end = std::min(n, begin + kCoverChunk);
+        for (fpm::Tid t = static_cast<fpm::Tid>(begin); t < end; ++t) {
+          const size_t pos = lane_matchers[lane]->Match(db.Transaction(t));
+          assignment[t] = pos;
+          ++lane_sizes[lane][pos == kNoMatch ? ranked.size() : pos];
+        }
+      });
+      for (const std::vector<uint64_t>& sizes : lane_sizes) {
+        for (size_t g = 0; g < sizes.size(); ++g) group_sizes[g] += sizes[g];
+      }
     }
   }
 

@@ -1,10 +1,13 @@
 #include "core/recycle_fp.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/slice_db.h"
+#include "fpm/parallel_mine.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace gogreen::core {
@@ -59,10 +62,49 @@ Result<fpm::PatternSet> RecycleFpMiner::MineCompressed(
   if (!flist.empty()) {
     const SliceDb sdb = SliceDb::Build(cdb, flist);
     SliceMiningContext base(flist, min_support, &out, &stats_);
-    RecycleFpContext ctx(&base);
     std::vector<Rank> prefix;
     const std::vector<WeightedSlice> root = BuildWeightedSlices(sdb);
-    ctx.Mine(root, &prefix);
+
+    if (!fpm::ParallelMiningEnabled()) {
+      RecycleFpContext ctx(&base);
+      ctx.Mine(root, &prefix);
+    } else {
+      // Expand the root level once (count + the Lemma 3.1 shortcut), then
+      // fan the first-level projections out to the pool. Every worker
+      // projects from the shared read-only root slices; ascending-rank
+      // shard merge reproduces the sequential emission order exactly.
+      std::vector<uint64_t> freq_counts;
+      const std::vector<Rank> frequent =
+          base.CountFrequentWeighted(root, &freq_counts);
+      if (!frequent.empty() &&
+          !base.TrySingleGroupWeighted(root, frequent, freq_counts,
+                                       &prefix)) {
+        // Lane-local contexts reuse the counting scratch across subtrees.
+        std::vector<std::unique_ptr<SliceMiningContext>> lanes(
+            ThreadPool::GlobalThreads());
+        fpm::MineFirstLevelParallel(
+            frequent.size(),
+            [&](fpm::MineShard* shard, size_t lane, size_t i) {
+              auto& lane_base = lanes[lane];
+              if (!lane_base) {
+                lane_base = std::make_unique<SliceMiningContext>(
+                    flist, min_support, nullptr, nullptr);
+              }
+              lane_base->SetSinks(&shard->patterns, &shard->stats);
+              std::vector<Rank> sub_prefix;
+              sub_prefix.push_back(frequent[i]);
+              lane_base->EmitPattern(sub_prefix, freq_counts[i]);
+              const std::vector<WeightedSlice> projected =
+                  ProjectWeightedSlices(root, frequent[i]);
+              ++shard->stats.projections_built;
+              if (!projected.empty()) {
+                RecycleFpContext ctx(lane_base.get());
+                ctx.Mine(projected, &sub_prefix);
+              }
+            },
+            &out, &stats_);
+      }
+    }
   }
 
   stats_.patterns_emitted = out.size();

@@ -1,10 +1,13 @@
 #include "core/recycle_hmine.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/slice_db.h"
+#include "fpm/parallel_mine.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace gogreen::core {
@@ -71,33 +74,44 @@ struct ProjectedDb {
   }
 };
 
-class RecycleHmContext {
- public:
-  RecycleHmContext(const SliceDb& sdb, SliceMiningContext* base)
-      : sdb_(sdb),
-        base_(base),
-        counts_(base->flist().size(), 0),
-        local_of_(base->flist().size(), UINT32_MAX),
-        entry_kind_(base->flist().size(), kNone),
-        entry_idx_(base->flist().size(), 0),
-        entry_stamp_(base->flist().size(), 0) {
-    // Flatten all outlying rows into one CSR for cache-friendly scans.
+/// All outlying rows of a SliceDb flattened into one CSR for cache-friendly
+/// scans. Read-only after construction, so it is built once per run and
+/// shared by every worker's context.
+struct FlatOuts {
+  std::vector<Rank> data;
+  std::vector<uint32_t> offsets;  // Row boundaries in data.
+
+  explicit FlatOuts(const SliceDb& sdb) {
     size_t total = 0;
     size_t rows = 0;
     for (const Slice& s : sdb.slices) {
       rows += s.outs.size();
       for (const auto& o : s.outs) total += o.size();
     }
-    out_data_.reserve(total);
-    out_offsets_.reserve(rows + 1);
-    out_offsets_.push_back(0);
+    data.reserve(total);
+    offsets.reserve(rows + 1);
+    offsets.push_back(0);
     for (const Slice& s : sdb.slices) {
       for (const auto& o : s.outs) {
-        out_data_.insert(out_data_.end(), o.begin(), o.end());
-        out_offsets_.push_back(static_cast<uint32_t>(out_data_.size()));
+        data.insert(data.end(), o.begin(), o.end());
+        offsets.push_back(static_cast<uint32_t>(data.size()));
       }
     }
   }
+};
+
+class RecycleHmContext {
+ public:
+  RecycleHmContext(const SliceDb& sdb, const FlatOuts& fouts,
+                   SliceMiningContext* base)
+      : sdb_(sdb),
+        fouts_(fouts),
+        base_(base),
+        counts_(base->flist().size(), 0),
+        local_of_(base->flist().size(), UINT32_MAX),
+        entry_kind_(base->flist().size(), kNone),
+        entry_idx_(base->flist().size(), 0),
+        entry_stamp_(base->flist().size(), 0) {}
 
   void Mine(const ProjectedDb& projs, std::vector<Rank>* prefix) {
     if (projs.slices.empty() && projs.gpatterns.empty() &&
@@ -213,15 +227,19 @@ class RecycleHmContext {
   }
 
   std::span<const Rank> RowSuffix(uint32_t row, uint32_t pos) const {
-    return {out_data_.data() + out_offsets_[row] + pos,
-            out_offsets_[row + 1] - out_offsets_[row] - pos};
+    return {fouts_.data.data() + fouts_.offsets[row] + pos,
+            fouts_.offsets[row + 1] - fouts_.offsets[row] - pos};
+  }
+
+  uint32_t RowLen(uint32_t row) const {
+    return fouts_.offsets[row + 1] - fouts_.offsets[row];
   }
 
   /// First unconsumed position of a row under a floor (kNoRank = none).
   uint32_t FlooredPos(uint32_t row, uint32_t pos, Rank floor) const {
     if (floor == kNoRank) return pos;
-    const Rank* begin = out_data_.data() + out_offsets_[row];
-    const Rank* end = out_data_.data() + out_offsets_[row + 1];
+    const Rank* begin = fouts_.data.data() + fouts_.offsets[row];
+    const Rank* end = fouts_.data.data() + fouts_.offsets[row + 1];
     return static_cast<uint32_t>(
         std::upper_bound(begin + pos, end, floor) - begin);
   }
@@ -235,6 +253,10 @@ class RecycleHmContext {
     base_->stats()->items_scanned += span.size();
   }
 
+ public:
+  /// One counting pass over all species: the frequent extension ranks
+  /// ascending, with `freq_counts[i]` their supports. Exposed so the
+  /// parallel driver can expand the root level before fanning out.
   std::vector<Rank> Count(const ProjectedDb& projs,
                           std::vector<uint64_t>* freq_counts) {
     std::vector<Rank> touched;
@@ -307,6 +329,48 @@ class RecycleHmContext {
     return false;
   }
 
+  void BuildBuckets(const ProjectedDb& projs,
+                    const std::vector<Rank>& frequent,
+                    std::vector<ProjectedDb>* buckets) {
+    for (size_t i = 0; i < frequent.size(); ++i) {
+      local_of_[frequent[i]] = static_cast<uint32_t>(i);
+    }
+
+    for (const ProjSlice& ps : projs.slices) ThreadProjSlice(ps, buckets);
+
+    for (const GroupPattern& gp : projs.gpatterns) {
+      if (gp.count == 0) continue;
+      const auto pat = Pattern(gp.slice_id, gp.pattern_pos);
+      for (size_t k = 0; k + 1 < pat.size(); ++k) {
+        const uint32_t local = local_of_[pat[k]];
+        if (local == UINT32_MAX) continue;
+        (*buckets)[local].gpatterns.push_back(
+            {gp.slice_id, gp.pattern_pos + static_cast<uint32_t>(k + 1),
+             gp.count});
+      }
+    }
+
+    for (const PairedTail& pt : projs.paired) {
+      if (pt.row == UINT32_MAX) continue;
+      ThreadSingleMember(pt.slice_id, pt.pattern_pos, pt.row, pt.pos,
+                         buckets);
+    }
+
+    // Plain rows: exactly H-Mine's bucket threading.
+    for (const TailRef& tail : projs.plain) {
+      const auto out = RowSuffix(tail.row, tail.pos);
+      for (size_t j = 0; j + 1 < out.size(); ++j) {
+        const uint32_t local = local_of_[out[j]];
+        if (local == UINT32_MAX) continue;
+        (*buckets)[local].plain.push_back(
+            {tail.row, tail.pos + static_cast<uint32_t>(j + 1)});
+      }
+    }
+
+    for (Rank r : frequent) local_of_[r] = UINT32_MAX;
+  }
+
+ private:
   // -- Bucket builders per species --
 
   /// Appends the projections of one member (pattern suffix + out suffix)
@@ -322,8 +386,7 @@ class RecycleHmContext {
       if (local == UINT32_MAX) continue;
       const bool pattern_left = k + 1 < pat.size();
       const uint32_t out_pos = FlooredPos(row, pos, pat[k]);
-      const bool out_left =
-          out_pos < out_offsets_[row + 1] - out_offsets_[row];
+      const bool out_left = out_pos < RowLen(row);
       const uint32_t pat_pos2 =
           pattern_pos + static_cast<uint32_t>(k + 1);
       if (pattern_left && out_left) {
@@ -377,7 +440,7 @@ class RecycleHmContext {
         next.tails.reserve(ps.tails.size());
         for (const TailRef& tail : ps.tails) {
           const uint32_t out_pos = FlooredPos(tail.row, tail.pos, pat[k]);
-          if (out_pos < out_offsets_[tail.row + 1] - out_offsets_[tail.row]) {
+          if (out_pos < RowLen(tail.row)) {
             next.tails.push_back({tail.row, out_pos});
           } else {
             ++next.full_count;
@@ -397,7 +460,7 @@ class RecycleHmContext {
       } else {
         for (const TailRef& tail : ps.tails) {
           const uint32_t out_pos = FlooredPos(tail.row, tail.pos, pat[k]);
-          if (out_pos < out_offsets_[tail.row + 1] - out_offsets_[tail.row]) {
+          if (out_pos < RowLen(tail.row)) {
             (*buckets)[local].plain.push_back({tail.row, out_pos});
           }
         }
@@ -476,53 +539,11 @@ class RecycleHmContext {
     }
   }
 
-  void BuildBuckets(const ProjectedDb& projs,
-                    const std::vector<Rank>& frequent,
-                    std::vector<ProjectedDb>* buckets) {
-    for (size_t i = 0; i < frequent.size(); ++i) {
-      local_of_[frequent[i]] = static_cast<uint32_t>(i);
-    }
-
-    for (const ProjSlice& ps : projs.slices) ThreadProjSlice(ps, buckets);
-
-    for (const GroupPattern& gp : projs.gpatterns) {
-      if (gp.count == 0) continue;
-      const auto pat = Pattern(gp.slice_id, gp.pattern_pos);
-      for (size_t k = 0; k + 1 < pat.size(); ++k) {
-        const uint32_t local = local_of_[pat[k]];
-        if (local == UINT32_MAX) continue;
-        (*buckets)[local].gpatterns.push_back(
-            {gp.slice_id, gp.pattern_pos + static_cast<uint32_t>(k + 1),
-             gp.count});
-      }
-    }
-
-    for (const PairedTail& pt : projs.paired) {
-      if (pt.row == UINT32_MAX) continue;
-      ThreadSingleMember(pt.slice_id, pt.pattern_pos, pt.row, pt.pos,
-                         buckets);
-    }
-
-    // Plain rows: exactly H-Mine's bucket threading.
-    for (const TailRef& tail : projs.plain) {
-      const auto out = RowSuffix(tail.row, tail.pos);
-      for (size_t j = 0; j + 1 < out.size(); ++j) {
-        const uint32_t local = local_of_[out[j]];
-        if (local == UINT32_MAX) continue;
-        (*buckets)[local].plain.push_back(
-            {tail.row, tail.pos + static_cast<uint32_t>(j + 1)});
-      }
-    }
-
-    for (Rank r : frequent) local_of_[r] = UINT32_MAX;
-  }
-
   enum EntryKind : uint8_t { kNone, kPaired, kGPattern, kSlice };
 
   const SliceDb& sdb_;
+  const FlatOuts& fouts_;              // Shared flattened outlying rows.
   SliceMiningContext* base_;
-  std::vector<Rank> out_data_;         // Flattened outlying rows (CSR).
-  std::vector<uint32_t> out_offsets_;  // Row boundaries in out_data_.
   std::vector<uint64_t> counts_;       // Scratch, zero between calls.
   std::vector<uint32_t> local_of_;     // Scratch, UINT32_MAX between calls.
   std::vector<uint8_t> entry_kind_;    // Aggregation state per rank.
@@ -540,9 +561,54 @@ void MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
                   const std::vector<fpm::Rank>& prefix_ranks,
                   fpm::PatternSet* out, fpm::MiningStats* stats) {
   SliceMiningContext base(flist, min_support, out, stats);
-  RecycleHmContext ctx(sdb, &base);
+  const FlatOuts fouts(sdb);
+  RecycleHmContext root_ctx(sdb, fouts, &base);
   std::vector<Rank> prefix = prefix_ranks;
-  ctx.Mine(ctx.Root(), &prefix);
+  const ProjectedDb root = root_ctx.Root();
+
+  if (!fpm::ParallelMiningEnabled()) {
+    root_ctx.Mine(root, &prefix);
+    return;
+  }
+
+  // Expand the root level once, then fan the first-level projections out to
+  // the pool. A plain-only root goes through the general Count/BuildBuckets
+  // path here; it produces the same buckets, patterns, and counters as the
+  // PlainMine shortcut (which only skips the species bookkeeping), so output
+  // stays bit-identical to the sequential path.
+  std::vector<uint64_t> freq_counts;
+  const std::vector<Rank> frequent = root_ctx.Count(root, &freq_counts);
+  if (frequent.empty()) return;
+  if (root_ctx.TrySingleGroup(root, frequent, freq_counts, &prefix)) return;
+
+  std::vector<ProjectedDb> buckets(frequent.size());
+  root_ctx.BuildBuckets(root, frequent, &buckets);
+  base.stats()->projections_built += frequent.size();
+
+  // Lane-local contexts reuse their rank-indexed scratch across subtrees;
+  // all of them share the read-only SliceDb and CSR.
+  struct Lane {
+    std::unique_ptr<SliceMiningContext> base;
+    std::unique_ptr<RecycleHmContext> ctx;
+  };
+  std::vector<Lane> lanes(ThreadPool::GlobalThreads());
+  fpm::MineFirstLevelParallel(
+      frequent.size(),
+      [&](fpm::MineShard* shard, size_t lane, size_t i) {
+        Lane& slot = lanes[lane];
+        if (!slot.ctx) {
+          slot.base = std::make_unique<SliceMiningContext>(
+              flist, min_support, nullptr, nullptr);
+          slot.ctx =
+              std::make_unique<RecycleHmContext>(sdb, fouts, slot.base.get());
+        }
+        slot.base->SetSinks(&shard->patterns, &shard->stats);
+        std::vector<Rank> sub_prefix = prefix;
+        sub_prefix.push_back(frequent[i]);
+        slot.base->EmitPattern(sub_prefix, freq_counts[i]);
+        if (!buckets[i].empty()) slot.ctx->Mine(buckets[i], &sub_prefix);
+      },
+      out, stats);
 }
 
 Result<fpm::PatternSet> RecycleHMineMiner::MineCompressed(

@@ -1,10 +1,13 @@
 #include "core/recycle_tp.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/slice_db.h"
+#include "fpm/parallel_mine.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace gogreen::core {
@@ -52,16 +55,25 @@ class RecycleTpContext {
     }
     if (ext.size() < 2) return;
 
+    PairMatrix matrix(ext.size());
+    FillMatrix(slices, ext, &matrix);
+
+    for (size_t i = 0; i + 1 < ext.size(); ++i) {
+      MineChild(slices, ext, matrix, i, prefix);
+    }
+  }
+
+  /// One scan fills all pair supports. Pattern-internal pairs are counted
+  /// once per slice with the slice weight (the group-counter saving);
+  /// pairs touching outlying rows are counted once per distinct row with
+  /// the row's multiplicity.
+  void FillMatrix(const std::vector<WeightedSlice>& slices,
+                  const std::vector<Rank>& ext, PairMatrix* matrix) {
     // Local index mapping for the matrix.
     for (size_t i = 0; i < ext.size(); ++i) {
       local_of_[ext[i]] = static_cast<uint32_t>(i);
     }
 
-    // One scan fills all pair supports. Pattern-internal pairs are counted
-    // once per slice with the slice weight (the group-counter saving);
-    // pairs touching outlying rows are counted once per distinct row with
-    // the row's multiplicity.
-    PairMatrix matrix(ext.size());
     std::vector<uint32_t> pat_local;
     std::vector<uint32_t> out_local;
     for (const WeightedSlice& s : slices) {
@@ -71,7 +83,7 @@ class RecycleTpContext {
       const uint64_t weight = s.count();
       for (size_t a = 0; a < pat_local.size(); ++a) {
         for (size_t b = a + 1; b < pat_local.size(); ++b) {
-          matrix.Add(pat_local[a], pat_local[b], weight);
+          matrix->Add(pat_local[a], pat_local[b], weight);
         }
       }
       for (const auto& [row, w] : s.outs) {
@@ -80,37 +92,43 @@ class RecycleTpContext {
         base_->stats()->items_scanned += out_local.size();
         for (size_t a = 0; a < out_local.size(); ++a) {
           for (size_t b = a + 1; b < out_local.size(); ++b) {
-            matrix.Add(out_local[a], out_local[b], w);
+            matrix->Add(out_local[a], out_local[b], w);
           }
         }
         // Pattern and outlying ranks interleave; order each pair's locals.
         for (uint32_t p : pat_local) {
           for (uint32_t o : out_local) {
-            matrix.Add(std::min(p, o), std::max(p, o), w);
+            matrix->Add(std::min(p, o), std::max(p, o), w);
           }
         }
       }
     }
     for (Rank r : ext) local_of_[r] = UINT32_MAX;
+  }
 
-    for (size_t i = 0; i + 1 < ext.size(); ++i) {
-      std::vector<Rank> child_ext;
-      std::vector<uint64_t> child_c1;
-      for (size_t j = i + 1; j < ext.size(); ++j) {
-        if (matrix.Get(i, j) >= base_->min_support()) {
-          child_ext.push_back(ext[j]);
-          child_c1.push_back(matrix.Get(i, j));
-        }
+  /// Builds and processes the child node for prefix + ext[i] from the
+  /// parent's already-filled pair matrix. Reads `slices` and `matrix`
+  /// without mutating them, so distinct children may run concurrently on
+  /// distinct contexts.
+  void MineChild(const std::vector<WeightedSlice>& slices,
+                 const std::vector<Rank>& ext, const PairMatrix& matrix,
+                 size_t i, std::vector<Rank>* prefix) {
+    std::vector<Rank> child_ext;
+    std::vector<uint64_t> child_c1;
+    for (size_t j = i + 1; j < ext.size(); ++j) {
+      if (matrix.Get(i, j) >= base_->min_support()) {
+        child_ext.push_back(ext[j]);
+        child_c1.push_back(matrix.Get(i, j));
       }
-      if (child_ext.empty()) continue;
-
-      const std::vector<WeightedSlice> child =
-          ProjectAndFilter(slices, ext[i], child_ext);
-      ++base_->stats()->projections_built;
-      prefix->push_back(ext[i]);
-      Process(child, child_ext, child_c1, prefix);
-      prefix->pop_back();
     }
+    if (child_ext.empty()) return;
+
+    const std::vector<WeightedSlice> child =
+        ProjectAndFilter(slices, ext[i], child_ext);
+    ++base_->stats()->projections_built;
+    prefix->push_back(ext[i]);
+    Process(child, child_ext, child_c1, prefix);
+    prefix->pop_back();
   }
 
  private:
@@ -180,7 +198,44 @@ Result<fpm::PatternSet> RecycleTpMiner::MineCompressed(
       c1[r] = flist.support(r);
     }
     std::vector<Rank> prefix;
-    ctx.Process(BuildWeightedSlices(sdb), ext, c1, &prefix);
+    const std::vector<WeightedSlice> root = BuildWeightedSlices(sdb);
+
+    if (!fpm::ParallelMiningEnabled() || ext.size() < 2) {
+      ctx.Process(root, ext, c1, &prefix);
+    } else if (!base.TrySingleGroupWeighted(root, ext, c1, &prefix)) {
+      // Root expansion mirrors Process(): singletons, one matrix fill, then
+      // the first-level children — fanned out to the pool, each only
+      // reading the shared matrix and root slices. Ascending-child shard
+      // merge reproduces the sequential emission order exactly.
+      for (size_t i = 0; i < ext.size(); ++i) {
+        prefix.push_back(ext[i]);
+        base.EmitPattern(prefix, c1[i]);
+        prefix.pop_back();
+      }
+      PairMatrix matrix(ext.size());
+      ctx.FillMatrix(root, ext, &matrix);
+
+      // Lane-local contexts reuse the rank-indexed scratch across subtrees.
+      struct Lane {
+        std::unique_ptr<SliceMiningContext> base;
+        std::unique_ptr<RecycleTpContext> ctx;
+      };
+      std::vector<Lane> lanes(ThreadPool::GlobalThreads());
+      fpm::MineFirstLevelParallel(
+          ext.size() - 1,
+          [&](fpm::MineShard* shard, size_t lane, size_t i) {
+            Lane& slot = lanes[lane];
+            if (!slot.ctx) {
+              slot.base = std::make_unique<SliceMiningContext>(
+                  flist, min_support, nullptr, nullptr);
+              slot.ctx = std::make_unique<RecycleTpContext>(slot.base.get());
+            }
+            slot.base->SetSinks(&shard->patterns, &shard->stats);
+            std::vector<Rank> sub_prefix;
+            slot.ctx->MineChild(root, ext, matrix, i, &sub_prefix);
+          },
+          &out, &stats_);
+    }
   }
 
   stats_.patterns_emitted = out.size();

@@ -242,6 +242,10 @@ void DedupeWeightedOuts(
   for (auto& [row, w] : *outs) merged[std::move(row)] += w;
   outs->clear();
   for (auto& [row, w] : merged) outs->emplace_back(row, w);
+  // Canonical order: hash-map iteration order is an implementation detail,
+  // and downstream scans must not depend on it.
+  std::sort(outs->begin(), outs->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 }
 
 std::vector<WeightedSlice> BuildWeightedSlices(const SliceDb& sdb) {

@@ -78,6 +78,14 @@ class SliceMiningContext {
   uint64_t min_support() const { return min_support_; }
   fpm::MiningStats* stats() { return stats_; }
 
+  /// Redirects emission and counters, e.g. into a per-worker shard. The
+  /// context keeps its scratch buffers, so a lane-local context can serve
+  /// successive first-level subtrees by re-pointing the sinks.
+  void SetSinks(fpm::PatternSet* out, fpm::MiningStats* stats) {
+    out_ = out;
+    stats_ = stats;
+  }
+
   /// Counts candidate-extension supports across `slices`. Pattern items are
   /// counted once per slice with the slice's tuple count — the group-counter
   /// trick of Section 3.1. Returns locally frequent ranks ascending and

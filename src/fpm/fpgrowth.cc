@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fpm/flist.h"
+#include "fpm/parallel_mine.h"
 #include "obs/trace.h"
 #include "util/arena.h"
 #include "util/logging.h"
@@ -111,48 +112,56 @@ class FpGrowthContext {
     // as in the original algorithm.
     for (Rank r = 0; r < tree.num_ranks(); ++r) {
       if (tree.HeaderCount(r) < min_support_) continue;
-      prefix->push_back(to_global[r]);
-      EmitPattern(*prefix, tree.HeaderCount(r));
-
-      // Conditional pattern base of r: the prefix paths of every node in
-      // r's chain, weighted by that node's count.
-      std::vector<uint64_t> cond_counts(tree.num_ranks(), 0);
-      for (const FpNode* n = tree.HeaderHead(r); n != nullptr; n = n->next) {
-        for (const FpNode* p = n->parent; p->rank != kNoRank; p = p->parent) {
-          cond_counts[p->rank] += n->count;
-          ++stats_->items_scanned;
-        }
-      }
-
-      // Compact the locally frequent items into a fresh local rank space.
-      std::vector<Rank> remap(tree.num_ranks(), kNoRank);
-      std::vector<Rank> cond_to_global;
-      for (Rank r2 = 0; r2 < tree.num_ranks(); ++r2) {
-        if (cond_counts[r2] >= min_support_) {
-          remap[r2] = static_cast<Rank>(cond_to_global.size());
-          cond_to_global.push_back(to_global[r2]);
-        }
-      }
-
-      if (!cond_to_global.empty()) {
-        FpTree cond_tree(cond_to_global.size());
-        std::vector<Rank> desc;
-        for (const FpNode* n = tree.HeaderHead(r); n != nullptr; n = n->next) {
-          desc.clear();
-          for (const FpNode* p = n->parent; p->rank != kNoRank;
-               p = p->parent) {
-            if (remap[p->rank] != kNoRank) desc.push_back(remap[p->rank]);
-          }
-          // Walking up yields ascending-from-leaf order; the insert wants
-          // descending-from-root, which is the reverse.
-          std::reverse(desc.begin(), desc.end());
-          cond_tree.InsertPath(desc, n->count);
-        }
-        ++stats_->projections_built;
-        Mine(cond_tree, cond_to_global, prefix);
-      }
-      prefix->pop_back();
+      MineHeaderRank(tree, to_global, r, prefix);
     }
+  }
+
+  /// Processes one frequent header rank `r` of `tree`: emits prefix+r and
+  /// mines its conditional FP-tree. Reads `tree` without mutating it, so
+  /// distinct ranks of the same tree may be processed concurrently.
+  void MineHeaderRank(const FpTree& tree, const std::vector<Rank>& to_global,
+                      Rank r, std::vector<Rank>* prefix) {
+    prefix->push_back(to_global[r]);
+    EmitPattern(*prefix, tree.HeaderCount(r));
+
+    // Conditional pattern base of r: the prefix paths of every node in
+    // r's chain, weighted by that node's count.
+    std::vector<uint64_t> cond_counts(tree.num_ranks(), 0);
+    for (const FpNode* n = tree.HeaderHead(r); n != nullptr; n = n->next) {
+      for (const FpNode* p = n->parent; p->rank != kNoRank; p = p->parent) {
+        cond_counts[p->rank] += n->count;
+        ++stats_->items_scanned;
+      }
+    }
+
+    // Compact the locally frequent items into a fresh local rank space.
+    std::vector<Rank> remap(tree.num_ranks(), kNoRank);
+    std::vector<Rank> cond_to_global;
+    for (Rank r2 = 0; r2 < tree.num_ranks(); ++r2) {
+      if (cond_counts[r2] >= min_support_) {
+        remap[r2] = static_cast<Rank>(cond_to_global.size());
+        cond_to_global.push_back(to_global[r2]);
+      }
+    }
+
+    if (!cond_to_global.empty()) {
+      FpTree cond_tree(cond_to_global.size());
+      std::vector<Rank> desc;
+      for (const FpNode* n = tree.HeaderHead(r); n != nullptr; n = n->next) {
+        desc.clear();
+        for (const FpNode* p = n->parent; p->rank != kNoRank;
+             p = p->parent) {
+          if (remap[p->rank] != kNoRank) desc.push_back(remap[p->rank]);
+        }
+        // Walking up yields ascending-from-leaf order; the insert wants
+        // descending-from-root, which is the reverse.
+        std::reverse(desc.begin(), desc.end());
+        cond_tree.InsertPath(desc, n->count);
+      }
+      ++stats_->projections_built;
+      Mine(cond_tree, cond_to_global, prefix);
+    }
+    prefix->pop_back();
   }
 
  private:
@@ -217,9 +226,28 @@ Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
     std::vector<Rank> identity(flist.size());
     for (Rank r = 0; r < flist.size(); ++r) identity[r] = r;
 
-    std::vector<Rank> prefix;
-    FpGrowthContext ctx(flist, min_support, &out, &stats_);
-    ctx.Mine(tree, identity, &prefix);
+    // With multiple lanes, fan the header ranks of the root tree out to the
+    // pool — each rank's conditional mining only reads the shared tree.
+    // Ascending-rank shard merge reproduces the sequential header order, so
+    // the output is bit-identical at any thread count. A single-path root
+    // (no per-rank decomposition) keeps the sequential shortcut.
+    if (ParallelMiningEnabled() && !tree.empty() && tree.SinglePath().empty()) {
+      MineFirstLevelParallel(
+          flist.size(),
+          [&](MineShard* shard, size_t /*lane*/, size_t i) {
+            const Rank r = static_cast<Rank>(i);
+            if (tree.HeaderCount(r) < min_support) return;
+            FpGrowthContext ctx(flist, min_support, &shard->patterns,
+                                &shard->stats);
+            std::vector<Rank> prefix;
+            ctx.MineHeaderRank(tree, identity, r, &prefix);
+          },
+          &out, &stats_);
+    } else {
+      std::vector<Rank> prefix;
+      FpGrowthContext ctx(flist, min_support, &out, &stats_);
+      ctx.Mine(tree, identity, &prefix);
+    }
   }
 
   stats_.patterns_emitted = out.size();

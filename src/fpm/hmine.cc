@@ -1,10 +1,13 @@
 #include "fpm/hmine.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "fpm/flist.h"
+#include "fpm/parallel_mine.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace gogreen::fpm {
@@ -32,10 +35,22 @@ class HMineContext {
         counts_(flist.size(), 0),
         bucket_of_(flist.size(), SIZE_MAX) {}
 
-  /// Mines the projected database `projs` under `prefix` (prefix given in
-  /// ranks). Two passes per call, as in H-Mine: one to count candidate
-  /// extensions, one to thread the suffix links of the frequent ones.
-  void Mine(const std::vector<Suffix>& projs, std::vector<Rank>* prefix) {
+  /// Redirects emission and counters into a per-worker shard; scratch
+  /// buffers are kept, so a lane-local context serves successive subtrees.
+  void SetSinks(PatternSet* out, MiningStats* stats) {
+    out_ = out;
+    stats_ = stats;
+  }
+
+  /// One level of H-Mine: counts candidate extensions of `projs` and threads
+  /// the suffix links of the frequent ones. Two passes, as in the paper:
+  /// pass 1 counts, pass 2 builds the per-extension suffix queues (the
+  /// hyperlinks). On return `frequent` holds the frequent extension ranks
+  /// ascending, `freq_counts[i]` their supports, `buckets[i]` their
+  /// projected databases.
+  void Expand(const std::vector<Suffix>& projs, std::vector<Rank>* frequent,
+              std::vector<uint64_t>* freq_counts,
+              std::vector<std::vector<Suffix>>* buckets) {
     // Pass 1: count candidate extensions.
     std::vector<Rank> touched;
     for (const Suffix& s : projs) {
@@ -46,40 +61,48 @@ class HMineContext {
       }
     }
 
-    std::vector<Rank> frequent;
     for (Rank r : touched) {
-      if (counts_[r] >= min_support_) frequent.push_back(r);
+      if (counts_[r] >= min_support_) frequent->push_back(r);
     }
-    std::sort(frequent.begin(), frequent.end());
+    std::sort(frequent->begin(), frequent->end());
 
-    // Emit prefix+r for each frequent extension before recursing.
-    std::vector<uint64_t> freq_counts(frequent.size());
-    for (size_t i = 0; i < frequent.size(); ++i) {
-      freq_counts[i] = counts_[frequent[i]];
+    freq_counts->resize(frequent->size());
+    for (size_t i = 0; i < frequent->size(); ++i) {
+      (*freq_counts)[i] = counts_[(*frequent)[i]];
     }
     // Reset scratch counters before recursion (recursive calls reuse them).
     for (Rank r : touched) counts_[r] = 0;
 
-    if (frequent.empty()) return;
+    if (frequent->empty()) return;
 
     // Pass 2: build the per-extension suffix queues (the hyperlinks).
-    std::vector<std::vector<Suffix>> buckets(frequent.size());
-    for (size_t i = 0; i < frequent.size(); ++i) {
-      bucket_of_[frequent[i]] = i;
-      buckets[i].reserve(freq_counts[i]);
+    buckets->resize(frequent->size());
+    for (size_t i = 0; i < frequent->size(); ++i) {
+      bucket_of_[(*frequent)[i]] = i;
+      (*buckets)[i].reserve((*freq_counts)[i]);
     }
     for (const Suffix& s : projs) {
       const auto row = ranked_.Transaction(s.tid);
       for (size_t i = s.pos; i < row.size(); ++i) {
         const size_t b = bucket_of_[row[i]];
         if (b != SIZE_MAX) {
-          buckets[b].push_back({s.tid, static_cast<uint32_t>(i + 1)});
+          (*buckets)[b].push_back({s.tid, static_cast<uint32_t>(i + 1)});
         }
       }
     }
     // Release the scratch map before recursing (recursive calls reuse it).
-    for (Rank r : frequent) bucket_of_[r] = SIZE_MAX;
-    stats_->projections_built += frequent.size();
+    for (Rank r : *frequent) bucket_of_[r] = SIZE_MAX;
+    stats_->projections_built += frequent->size();
+  }
+
+  /// Mines the projected database `projs` under `prefix` (prefix given in
+  /// ranks): expands one level, then recurses depth-first in ascending
+  /// extension-rank order.
+  void Mine(const std::vector<Suffix>& projs, std::vector<Rank>* prefix) {
+    std::vector<Rank> frequent;
+    std::vector<uint64_t> freq_counts;
+    std::vector<std::vector<Suffix>> buckets;
+    Expand(projs, &frequent, &freq_counts, &buckets);
 
     for (size_t i = 0; i < frequent.size(); ++i) {
       prefix->push_back(frequent[i]);
@@ -91,13 +114,13 @@ class HMineContext {
     }
   }
 
- private:
   void EmitPattern(const std::vector<Rank>& ranks, uint64_t support) {
     std::vector<ItemId> items = flist_.DecodeRanks(ranks);
     std::sort(items.begin(), items.end());
     out_->Add(std::move(items), support);
   }
 
+ private:
   const RowSource& ranked_;
   const FList& flist_;
   const uint64_t min_support_;
@@ -106,6 +129,47 @@ class HMineContext {
   std::vector<uint64_t> counts_;    // Scratch, zero between calls.
   std::vector<size_t> bucket_of_;   // Scratch, SIZE_MAX between calls.
 };
+
+/// Drives one full H-Mine run over `source`. With one global lane this is
+/// the plain depth-first recursion; with more, the root level is expanded
+/// once and its subtrees fan out to the pool, each mining into a private
+/// shard merged in ascending extension order — the sequential emission
+/// order, so output is bit-identical at any thread count.
+template <typename RowSource>
+void MineHM(const RowSource& source, const FList& flist, uint64_t min_support,
+            const std::vector<Suffix>& all, const std::vector<Rank>& prefix0,
+            PatternSet* out, MiningStats* stats) {
+  HMineContext<RowSource> root(source, flist, min_support, out, stats);
+  std::vector<Rank> prefix = prefix0;
+  if (!ParallelMiningEnabled()) {
+    root.Mine(all, &prefix);
+    return;
+  }
+
+  std::vector<Rank> frequent;
+  std::vector<uint64_t> freq_counts;
+  std::vector<std::vector<Suffix>> buckets;
+  root.Expand(all, &frequent, &freq_counts, &buckets);
+
+  // Lane-local contexts reuse their rank-indexed scratch across subtrees.
+  std::vector<std::unique_ptr<HMineContext<RowSource>>> lane_ctx(
+      ThreadPool::GlobalThreads());
+  MineFirstLevelParallel(
+      frequent.size(),
+      [&](MineShard* shard, size_t lane, size_t i) {
+        auto& ctx = lane_ctx[lane];
+        if (!ctx) {
+          ctx = std::make_unique<HMineContext<RowSource>>(
+              source, flist, min_support, nullptr, nullptr);
+        }
+        ctx->SetSinks(&shard->patterns, &shard->stats);
+        std::vector<Rank> sub_prefix = prefix;
+        sub_prefix.push_back(frequent[i]);
+        ctx->EmitPattern(sub_prefix, freq_counts[i]);
+        ctx->Mine(buckets[i], &sub_prefix);
+      },
+      out, stats);
+}
 
 }  // namespace
 
@@ -127,9 +191,7 @@ Result<PatternSet> HMineMiner::Mine(const TransactionDb& db,
       if (!ranked.Transaction(t).empty()) all.push_back({t, 0});
     }
 
-    std::vector<Rank> prefix;
-    HMineContext<RankedDb> ctx(ranked, flist, min_support, &out, &stats_);
-    ctx.Mine(all, &prefix);
+    MineHM(ranked, flist, min_support, all, {}, &out, &stats_);
   }
 
   stats_.patterns_emitted = out.size();
@@ -155,9 +217,7 @@ void MineRankedRowsHM(const std::vector<std::vector<Rank>>& rows,
   for (Tid t = 0; t < rows.size(); ++t) {
     if (!rows[t].empty()) all.push_back({t, 0});
   }
-  std::vector<Rank> prefix = prefix_ranks;
-  HMineContext<VecRows> ctx(source, flist, min_support, out, stats);
-  ctx.Mine(all, &prefix);
+  MineHM(source, flist, min_support, all, prefix_ranks, out, stats);
 }
 
 }  // namespace gogreen::fpm

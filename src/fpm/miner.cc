@@ -9,6 +9,7 @@
 #include "fpm/tree_projection.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace gogreen::fpm {
 
@@ -24,7 +25,10 @@ void RecordMiningStats(const MiningStats& stats) {
       MetricRegistry::Global().GetCounter("mine.patterns_emitted");
   static obs::Histogram* seconds =
       MetricRegistry::Global().GetHistogram("mine.seconds");
+  static obs::Gauge* threads =
+      MetricRegistry::Global().GetGauge("mine.threads");
   runs->Add(1);
+  threads->Set(static_cast<int64_t>(ThreadPool::GlobalThreads()));
   items->Add(stats.items_scanned);
   projections->Add(stats.projections_built);
   patterns->Add(stats.patterns_emitted);

@@ -1,0 +1,29 @@
+#include "fpm/parallel_mine.h"
+
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace gogreen::fpm {
+
+bool ParallelMiningEnabled() { return ThreadPool::GlobalThreads() > 1; }
+
+void MineFirstLevelParallel(
+    size_t n,
+    const std::function<void(MineShard* shard, size_t lane, size_t i)>& mine,
+    PatternSet* out, MiningStats* stats) {
+  if (n == 0) return;
+  std::vector<MineShard> shards(n);
+  ThreadPool::Global().ParallelFor(n, [&shards, &mine](size_t lane, size_t i) {
+    mine(&shards[i], lane, i);
+  });
+  // Ascending-index merge reproduces the sequential emission order exactly.
+  for (MineShard& shard : shards) {
+    out->Append(std::move(shard.patterns));
+    stats->patterns_emitted += shard.stats.patterns_emitted;
+    stats->projections_built += shard.stats.projections_built;
+    stats->items_scanned += shard.stats.items_scanned;
+  }
+}
+
+}  // namespace gogreen::fpm

@@ -1,0 +1,47 @@
+// First-level fan-out shared by the parallel miners.
+//
+// Every projection-based miner in the substrate has the same outer shape:
+// one root pass discovers the frequent first-level extensions, then each
+// extension's projected database is mined independently. The fan-out here
+// runs those subtrees on the global ThreadPool, each into a private
+// (PatternSet, MiningStats) shard, and merges the shards back in ascending
+// extension order — exactly the order the sequential loop emits — so the
+// result is bit-identical for every thread count.
+
+#ifndef GOGREEN_FPM_PARALLEL_MINE_H_
+#define GOGREEN_FPM_PARALLEL_MINE_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "fpm/miner.h"
+#include "fpm/pattern_set.h"
+
+namespace gogreen::fpm {
+
+/// Private output of one first-level subtree.
+struct MineShard {
+  PatternSet patterns;
+  MiningStats stats;
+};
+
+/// True when a first-level fan-out would actually run concurrently (the
+/// global pool has more than one lane). Miners use this to keep the
+/// unmodified sequential recursion as the single-thread path.
+bool ParallelMiningEnabled();
+
+/// Runs `mine(shard, lane, i)` for each first-level extension i in [0, n)
+/// on the global pool, then appends each shard's patterns to `out` and sums
+/// its work counters into `stats`, in ascending i order. `lane` is the
+/// ThreadPool lane (< ThreadPool::GlobalThreads()); no two concurrent calls
+/// share a lane, so callers may reuse lane-indexed scratch contexts without
+/// locking. Exceptions from `mine` propagate after all started subtrees
+/// finish.
+void MineFirstLevelParallel(
+    size_t n,
+    const std::function<void(MineShard* shard, size_t lane, size_t i)>& mine,
+    PatternSet* out, MiningStats* stats);
+
+}  // namespace gogreen::fpm
+
+#endif  // GOGREEN_FPM_PARALLEL_MINE_H_

@@ -4,6 +4,7 @@
 #define GOGREEN_FPM_PATTERN_SET_H_
 
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,18 @@ class PatternSet {
   void Add(Pattern p) { patterns_.push_back(std::move(p)); }
   void Add(std::vector<ItemId> items, uint64_t support) {
     patterns_.emplace_back(std::move(items), support);
+  }
+
+  /// Moves every pattern of `other` to the end of this set, preserving
+  /// order. Used by the parallel miners to merge per-worker shards.
+  void Append(PatternSet other) {
+    if (patterns_.empty()) {
+      patterns_ = std::move(other.patterns_);
+      return;
+    }
+    patterns_.insert(patterns_.end(),
+                     std::make_move_iterator(other.patterns_.begin()),
+                     std::make_move_iterator(other.patterns_.end()));
   }
 
   size_t size() const { return patterns_.size(); }

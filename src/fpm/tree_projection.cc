@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "fpm/flist.h"
+#include "fpm/parallel_mine.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -70,6 +71,12 @@ LocalRows Dedupe(std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw) {
   for (auto& [items, weight] : merged) {
     rows.push_back({items, weight});
   }
+  // Canonical order: hash-map iteration order is an implementation detail,
+  // and downstream scans must not depend on it.
+  std::sort(rows.begin(), rows.end(),
+            [](const WeightedRow& a, const WeightedRow& b) {
+              return a.items < b.items;
+            });
   return rows;
 }
 
@@ -101,59 +108,99 @@ class TpContext {
     }
   }
 
+  /// Root driver for multi-lane runs: emits the singleton patterns, fills
+  /// the root pair matrix once, then fans the first-level children out to
+  /// the pool — each child task only reads the shared matrix and rows.
+  /// Ascending-child shard merge reproduces the sequential emission order
+  /// exactly. Requires 2 <= ext.size() <= kMaxMatrixItems.
+  void ProcessRootParallel(const std::vector<Rank>& ext,
+                           const std::vector<uint64_t>& c1,
+                           const LocalRows& rows) {
+    std::vector<Rank> prefix;
+    for (size_t i = 0; i < ext.size(); ++i) {
+      prefix.push_back(ext[i]);
+      EmitPattern(prefix, c1[i]);
+      prefix.pop_back();
+    }
+
+    PairMatrix matrix(ext.size());
+    FillMatrix(&matrix, rows);
+
+    MineFirstLevelParallel(
+        ext.size() - 1,
+        [&](MineShard* shard, size_t /*lane*/, size_t i) {
+          TpContext ctx(flist_, min_support_, &shard->patterns,
+                        &shard->stats);
+          std::vector<Rank> sub_prefix;
+          ctx.MineMatrixChild(&sub_prefix, ext, matrix, rows, i);
+        },
+        out_, stats_);
+  }
+
  private:
   /// The signature Tree Projection step: one scan fills the pair matrix,
   /// giving every child its extension supports without recounting.
   void ProcessWithMatrix(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
                          const LocalRows& rows) {
     PairMatrix matrix(ext.size());
+    FillMatrix(&matrix, rows);
+    for (size_t i = 0; i + 1 < ext.size(); ++i) {
+      MineMatrixChild(prefix, ext, matrix, rows, i);
+    }
+  }
+
+  /// One scan of `rows` accumulating every in-row pair into `matrix`.
+  void FillMatrix(PairMatrix* matrix, const LocalRows& rows) {
     for (const WeightedRow& row : rows) {
       stats_->items_scanned += row.items.size();
       for (size_t a = 0; a < row.items.size(); ++a) {
         for (size_t b = a + 1; b < row.items.size(); ++b) {
-          matrix.Add(row.items[a], row.items[b], row.weight);
+          matrix->Add(row.items[a], row.items[b], row.weight);
         }
       }
     }
+  }
 
-    std::vector<uint32_t> remap(ext.size());
-    for (size_t i = 0; i + 1 < ext.size(); ++i) {
-      // Child node for prefix + ext[i]; its extensions are the j > i with
-      // frequent pairs.
-      std::vector<Rank> child_ext;
-      std::vector<uint64_t> child_c1;
-      for (size_t j = i + 1; j < ext.size(); ++j) {
-        if (matrix.Get(i, j) >= min_support_) {
-          remap[j] = static_cast<uint32_t>(child_ext.size());
-          child_ext.push_back(ext[j]);
-          child_c1.push_back(matrix.Get(i, j));
-        } else {
-          remap[j] = UINT32_MAX;
-        }
+  /// Builds and processes the child node for prefix + ext[i] from the
+  /// parent's already-filled pair matrix. Reads `matrix` and `rows` without
+  /// mutating them, so distinct children may be processed concurrently.
+  void MineMatrixChild(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
+                       const PairMatrix& matrix, const LocalRows& rows,
+                       size_t i) {
+    // Child node for prefix + ext[i]; its extensions are the j > i with
+    // frequent pairs.
+    std::vector<uint32_t> remap(ext.size(), UINT32_MAX);
+    std::vector<Rank> child_ext;
+    std::vector<uint64_t> child_c1;
+    for (size_t j = i + 1; j < ext.size(); ++j) {
+      if (matrix.Get(i, j) >= min_support_) {
+        remap[j] = static_cast<uint32_t>(child_ext.size());
+        child_ext.push_back(ext[j]);
+        child_c1.push_back(matrix.Get(i, j));
       }
-      if (child_ext.empty()) continue;
-
-      std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw;
-      for (const WeightedRow& row : rows) {
-        // Row is sorted; locate i then keep remapped later items.
-        auto it = std::lower_bound(row.items.begin(), row.items.end(),
-                                   static_cast<uint32_t>(i));
-        if (it == row.items.end() || *it != i) continue;
-        std::vector<uint32_t> child_row;
-        for (++it; it != row.items.end(); ++it) {
-          if (remap[*it] != UINT32_MAX) child_row.push_back(remap[*it]);
-        }
-        if (!child_row.empty()) {
-          raw.emplace_back(std::move(child_row), row.weight);
-        }
-      }
-      ++stats_->projections_built;
-
-      prefix->push_back(ext[i]);
-      const LocalRows child_rows = Dedupe(std::move(raw));
-      Process(prefix, child_ext, child_c1, child_rows);
-      prefix->pop_back();
     }
+    if (child_ext.empty()) return;
+
+    std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw;
+    for (const WeightedRow& row : rows) {
+      // Row is sorted; locate i then keep remapped later items.
+      auto it = std::lower_bound(row.items.begin(), row.items.end(),
+                                 static_cast<uint32_t>(i));
+      if (it == row.items.end() || *it != i) continue;
+      std::vector<uint32_t> child_row;
+      for (++it; it != row.items.end(); ++it) {
+        if (remap[*it] != UINT32_MAX) child_row.push_back(remap[*it]);
+      }
+      if (!child_row.empty()) {
+        raw.emplace_back(std::move(child_row), row.weight);
+      }
+    }
+    ++stats_->projections_built;
+
+    prefix->push_back(ext[i]);
+    const LocalRows child_rows = Dedupe(std::move(raw));
+    Process(prefix, child_ext, child_c1, child_rows);
+    prefix->pop_back();
   }
 
   /// Fallback for nodes whose extension set is too large for a matrix:
@@ -250,9 +297,14 @@ Result<PatternSet> TreeProjectionMiner::Mine(const TransactionDb& db,
     }
     const LocalRows rows = Dedupe(std::move(raw));
 
-    std::vector<Rank> prefix;
     TpContext ctx(flist, min_support, &out, &stats_);
-    ctx.Process(&prefix, ext, c1, rows);
+    if (ParallelMiningEnabled() && ext.size() >= 2 &&
+        ext.size() <= kMaxMatrixItems) {
+      ctx.ProcessRootParallel(ext, c1, rows);
+    } else {
+      std::vector<Rank> prefix;
+      ctx.Process(&prefix, ext, c1, rows);
+    }
   }
 
   stats_.patterns_emitted = out.size();

@@ -1,0 +1,235 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace gogreen {
+
+namespace {
+
+// Worker identity of the current thread, for nested submission and stealing
+// order. Null on threads that do not belong to a pool.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = 0;
+
+struct GlobalPoolState {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPoolState& GlobalState() {
+  static GlobalPoolState* state = new GlobalPoolState();
+  return *state;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) : threads_(threads < 1 ? 1 : threads) {
+  const size_t num_workers = threads_ - 1;
+  queues_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+  // Drain anything still queued so no WaitGroup is left hanging.
+  Task task;
+  while (TryGetTask(&task)) RunTask(std::move(task));
+}
+
+void ThreadPool::RunTask(Task task) {
+  try {
+    task.fn();
+  } catch (...) {
+    task.wg->CaptureException(std::current_exception());
+  }
+  task.wg->Done();
+}
+
+void ThreadPool::Push(Task task) {
+  // A worker pushes to the back of its own deque (it will pop from the back
+  // too, keeping nested work depth-first and cache-hot); siblings steal from
+  // the front. External submissions round-robin over the worker deques.
+  size_t target;
+  if (tls_pool == this) {
+    target = tls_worker;
+  } else {
+    static std::atomic<size_t> rr{0};
+    target = rr.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->dq.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::TryGetTask(Task* out) {
+  const size_t n = queues_.size();
+  if (n == 0) return false;
+  const bool is_worker = tls_pool == this;
+  // Own queue first (back = most recently pushed), then steal round-robin
+  // from the front of the siblings' queues.
+  if (is_worker) {
+    WorkerQueue& own = *queues_[tls_worker];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.dq.empty()) {
+      *out = std::move(own.dq.back());
+      own.dq.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  const size_t start = is_worker ? tls_worker + 1 : 0;
+  for (size_t k = 0; k < n; ++k) {
+    WorkerQueue& q = *queues_[(start + k) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.dq.empty()) {
+      *out = std::move(q.dq.front());
+      q.dq.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  tls_pool = this;
+  tls_worker = worker;
+  Task task;
+  for (;;) {
+    if (TryGetTask(&task)) {
+      RunTask(std::move(task));
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return queued_.load(std::memory_order_acquire) > 0 ||
+             stop_.load(std::memory_order_acquire);
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::Submit(WaitGroup* wg, std::function<void()> fn) {
+  wg->Add(1);
+  Task task{std::move(fn), wg};
+  if (queues_.empty()) {
+    // Single-thread pool: run inline, at the submission point — the
+    // deterministic sequential fallback.
+    RunTask(std::move(task));
+    return;
+  }
+  Push(std::move(task));
+}
+
+void ThreadPool::Wait(WaitGroup* wg) {
+  // Help execute queued tasks while the group is open. If no task is
+  // available the group's remaining tasks are already running on workers,
+  // so blocking is safe.
+  Task task;
+  while (!wg->Finished()) {
+    if (TryGetTask(&task)) {
+      RunTask(std::move(task));
+    } else {
+      wg->BlockUntilFinished();
+    }
+  }
+  wg->RethrowIfError();
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t lane, size_t i)>& fn) {
+  if (n == 0) return;
+  const size_t lanes = threads_ < n ? threads_ : n;
+  if (lanes <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  // Dynamic scheduling: lanes claim indices from a shared cursor, so a
+  // skewed iteration (one huge first-level projection) does not leave the
+  // other lanes idle. Each lane is one task; the caller runs lane 0.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  WaitGroup wg;
+  const auto lane_body = [&fn, next, n](size_t lane) {
+    size_t i;
+    while ((i = next->fetch_add(1, std::memory_order_relaxed)) < n) {
+      fn(lane, i);
+    }
+  };
+  for (size_t lane = 1; lane < lanes; ++lane) {
+    Submit(&wg, [lane_body, lane] { lane_body(lane); });
+  }
+  try {
+    lane_body(0);
+  } catch (...) {
+    wg.CaptureException(std::current_exception());
+  }
+  Wait(&wg);
+}
+
+ThreadPool& ThreadPool::Global() {
+  GlobalPoolState& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.pool) {
+    state.pool = std::make_unique<ThreadPool>(DefaultThreads());
+  }
+  return *state.pool;
+}
+
+void ThreadPool::SetGlobalThreads(size_t threads) {
+  GlobalPoolState& state = GlobalState();
+  const size_t n = threads == 0 ? DefaultThreads() : threads;
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.pool && state.pool->threads() == n) return;
+    old = std::move(state.pool);
+    state.pool = std::make_unique<ThreadPool>(n);
+  }
+  // Old pool destroyed outside the lock (joins its workers).
+}
+
+size_t ThreadPool::GlobalThreads() {
+  GlobalPoolState& state = GlobalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.pool ? state.pool->threads() : DefaultThreads();
+}
+
+size_t ThreadPool::DefaultThreads() {
+  const std::string env = GetEnvOrEmpty("GOGREEN_THREADS");
+  if (!env.empty()) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<size_t>(v);
+    }
+    GOGREEN_LOG(Warning) << "ignoring invalid GOGREEN_THREADS='" << env
+                         << "'";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw < 1 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace gogreen

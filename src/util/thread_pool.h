@@ -1,0 +1,169 @@
+// A small work-stealing thread pool shared by the parallel mining engine.
+//
+// Design constraints (see DESIGN.md "Parallel execution"):
+//   - Deterministic single-thread fallback: a pool configured with one
+//     thread spawns no workers at all; Submit() runs the task inline at the
+//     submission point, so `--threads 1` IS the sequential code path.
+//   - Caller participation: Wait() and ParallelFor() execute queued tasks
+//     on the waiting thread, so nested fan-outs cannot deadlock and the
+//     calling thread is one of the N lanes (a pool of N threads means N
+//     busy CPUs, not N+1).
+//   - Work stealing: each worker owns a deque (LIFO for its own pushes,
+//     which keeps nested submissions cache-hot) and steals FIFO from its
+//     siblings when dry, which balances skewed first-level projections.
+//   - Exceptions propagate: the first exception thrown by any task of a
+//     WaitGroup is captured and rethrown by Wait() on the waiting thread.
+//
+// The global pool is sized by, in priority order: SetGlobalThreads(),
+// the GOGREEN_THREADS environment variable, std::thread::hardware_concurrency.
+
+#ifndef GOGREEN_UTIL_THREAD_POOL_H_
+#define GOGREEN_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gogreen {
+
+/// Completion tracker for a batch of tasks. Counts submissions and
+/// completions and stores the first exception any task threw. A WaitGroup
+/// may be reused after a Wait() that returned normally.
+class WaitGroup {
+ public:
+  WaitGroup() = default;
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  /// True once every submitted task has finished.
+  bool Finished() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  friend class ThreadPool;
+
+  void Add(size_t n) { pending_.fetch_add(n, std::memory_order_relaxed); }
+
+  void Done() {
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  void CaptureException(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::move(e);
+  }
+
+  /// Blocks until Finished(); does not execute tasks (ThreadPool::Wait
+  /// interleaves this with helping).
+  void BlockUntilFinished() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return Finished(); });
+  }
+
+  /// Rethrows the first captured exception, clearing it.
+  void RethrowIfError() {
+    std::exception_ptr e;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      e = std::move(first_error_);
+      first_error_ = nullptr;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
+  std::atomic<size_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::exception_ptr first_error_;
+};
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` lanes of parallelism (>= 1). `threads - 1`
+  /// worker threads are spawned; the thread calling Wait()/ParallelFor()
+  /// supplies the remaining lane. threads == 1 spawns nothing and runs
+  /// every task inline at its submission point.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured parallelism (>= 1). ParallelFor lane ids are < threads().
+  size_t threads() const { return threads_; }
+
+  /// Enqueues `fn`, tracked by `wg`. With a single-thread pool the task
+  /// runs inline before Submit returns. Safe to call from inside a task
+  /// (nested submission goes to the submitting worker's own deque).
+  void Submit(WaitGroup* wg, std::function<void()> fn);
+
+  /// Blocks until every task of `wg` finished, executing queued tasks on
+  /// this thread while waiting. Rethrows the first exception any task of
+  /// the group threw.
+  void Wait(WaitGroup* wg);
+
+  /// Runs fn(lane, i) for every i in [0, n), dynamically load-balanced
+  /// across up to threads() lanes; blocks until all iterations finished.
+  /// `lane` < threads() identifies the executing lane: no two concurrent
+  /// iterations share a lane, so lane-indexed scratch needs no locking.
+  /// With one lane, iterations run in order on the caller — the
+  /// deterministic sequential fallback. Exceptions propagate (iterations
+  /// already started still complete).
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t lane, size_t i)>& fn);
+
+  /// The process-wide pool used by the parallel miners and compressor.
+  /// Created on first use with DefaultThreads() lanes.
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with one of `threads` lanes (0 = reset to
+  /// DefaultThreads()). Must not race with mining; intended for CLI/bench
+  /// flag handling and tests.
+  static void SetGlobalThreads(size_t threads);
+
+  /// Lane count of the global pool without forcing its creation.
+  static size_t GlobalThreads();
+
+  /// GOGREEN_THREADS when set to a positive integer, else
+  /// hardware_concurrency (at least 1).
+  static size_t DefaultThreads();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    WaitGroup* wg;
+  };
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> dq;
+  };
+
+  void WorkerLoop(size_t worker);
+  void RunTask(Task task);
+  bool TryGetTask(Task* out);
+  void Push(Task task);
+
+  const size_t threads_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;  // One per worker.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<size_t> queued_{0};  // Tasks sitting in some queue.
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_THREAD_POOL_H_

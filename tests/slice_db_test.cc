@@ -172,5 +172,28 @@ TEST(SliceDbTest, DroppedWhenNothingSurvivesEncoding) {
   EXPECT_TRUE(sdb.slices.empty());
 }
 
+TEST(SliceDbTest, DedupeWeightedOutsIsCanonicallySorted) {
+  // Regression: the merge goes through a hash map, whose iteration order is
+  // an implementation detail. The result must come back merged AND in
+  // lexicographic row order regardless of input order, or downstream
+  // consumers inherit platform-dependent (and parallel-merge-dependent)
+  // nondeterminism.
+  std::vector<std::pair<std::vector<Rank>, uint64_t>> outs = {
+      {{3, 4}, 1}, {{1, 2}, 2}, {{3, 4}, 5}, {{1}, 1}, {{1, 2}, 1},
+  };
+  DedupeWeightedOuts(&outs);
+  const std::vector<std::pair<std::vector<Rank>, uint64_t>> expected = {
+      {{1}, 1}, {{1, 2}, 3}, {{3, 4}, 6},
+  };
+  EXPECT_EQ(outs, expected);
+
+  // Same multiset presented in a different order dedupes to the same value.
+  std::vector<std::pair<std::vector<Rank>, uint64_t>> shuffled = {
+      {{1, 2}, 1}, {{3, 4}, 5}, {{1}, 1}, {{1, 2}, 2}, {{3, 4}, 1},
+  };
+  DedupeWeightedOuts(&shuffled);
+  EXPECT_EQ(shuffled, expected);
+}
+
 }  // namespace
 }  // namespace gogreen::core

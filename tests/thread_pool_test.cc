@@ -1,0 +1,224 @@
+// Property and stress tests for the work-stealing ThreadPool: inline
+// single-thread fallback, ParallelFor coverage and lane exclusivity, task
+// ordering independence, nested submission, exception propagation, and
+// wait-group completion under contention.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gogreen {
+namespace {
+
+TEST(WaitGroupTest, StartsFinished) {
+  WaitGroup wg;
+  EXPECT_TRUE(wg.Finished());
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineAtSubmission) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  WaitGroup wg;
+  std::vector<int> order;
+  pool.Submit(&wg, [&] { order.push_back(1); });
+  // No workers exist: the task already ran, before Submit returned.
+  EXPECT_EQ(order.size(), 1u);
+  EXPECT_TRUE(wg.Finished());
+  pool.Submit(&wg, [&] { order.push_back(2); });
+  pool.Wait(&wg);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ThreadPoolTest, SingleThreadParallelForIsSequential) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.ParallelFor(10, [&](size_t lane, size_t i) {
+    EXPECT_EQ(lane, 0u);
+    order.push_back(i);
+  });
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](size_t lane, size_t i) {
+      EXPECT_LT(lane, threads);
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForLanesAreExclusive) {
+  // No two concurrent iterations may share a lane id — that is the contract
+  // that lets miners keep lock-free lane-local scratch.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> in_lane(4);
+  std::atomic<bool> violated{false};
+  pool.ParallelFor(2000, [&](size_t lane, size_t) {
+    if (in_lane[lane].fetch_add(1, std::memory_order_acq_rel) != 0) {
+      violated.store(true, std::memory_order_relaxed);
+    }
+    in_lane[lane].fetch_sub(1, std::memory_order_acq_rel);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(ThreadPoolTest, ResultIndependentOfTaskOrdering) {
+  // Tasks complete in a scheduler-dependent order, but the set of effects
+  // must be exactly the submitted set.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<int> done;
+  WaitGroup wg;
+  constexpr int kN = 500;
+  for (int i = 0; i < kN; ++i) {
+    pool.Submit(&wg, [&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      done.push_back(i);
+    });
+  }
+  pool.Wait(&wg);
+  std::sort(done.begin(), done.end());
+  std::vector<int> expected(kN);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(done, expected);
+}
+
+TEST(ThreadPoolTest, NestedSubmitCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  WaitGroup wg;
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit(&wg, [&pool, &wg, &count] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      for (int j = 0; j < 8; ++j) {
+        pool.Submit(&wg, [&count] {
+          count.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  pool.Wait(&wg);
+  EXPECT_EQ(count.load(), 16 + 16 * 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // An outer iteration fanning out an inner loop must not deadlock even when
+  // every worker is occupied by outer iterations: waiting threads help.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t, size_t) {
+    pool.ParallelFor(8, [&](size_t, size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionPropagatesToWait) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    WaitGroup wg;
+    std::atomic<int> survivors{0};
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit(&wg, [&survivors, i] {
+        if (i == 7) throw std::runtime_error("boom");
+        survivors.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    EXPECT_THROW(pool.Wait(&wg), std::runtime_error);
+    // All non-throwing tasks still ran to completion.
+    EXPECT_EQ(survivors.load(), 31);
+    // The group is reusable after the error was consumed.
+    pool.Submit(&wg, [&survivors] {
+      survivors.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_NO_THROW(pool.Wait(&wg));
+    EXPECT_EQ(survivors.load(), 32);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionPropagates) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.ParallelFor(100,
+                                  [](size_t, size_t i) {
+                                    if (i == 42) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+                 std::runtime_error);
+  }
+}
+
+TEST(ThreadPoolTest, WaitGroupCompletionUnderContention) {
+  // Many rounds of short tasks from several submitting groups: every Wait
+  // must observe its full group, never a partial one.
+  ThreadPool pool(8);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> a{0};
+    std::atomic<int> b{0};
+    WaitGroup wga;
+    WaitGroup wgb;
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit(&wga, [&a] { a.fetch_add(1, std::memory_order_relaxed); });
+      pool.Submit(&wgb, [&b] { b.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait(&wga);
+    EXPECT_EQ(a.load(), 64);
+    pool.Wait(&wgb);
+    EXPECT_EQ(b.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  WaitGroup wg;
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit(&wg, [&count] {
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  // Destruction joins workers and runs anything still queued.
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_TRUE(wg.Finished());
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsControlsGlobalPool) {
+  const size_t original = ThreadPool::GlobalThreads();
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 3u);
+  EXPECT_EQ(ThreadPool::Global().threads(), 3u);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 1u);
+  // 0 resets to the environment/hardware default.
+  ThreadPool::SetGlobalThreads(0);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), ThreadPool::DefaultThreads());
+  ThreadPool::SetGlobalThreads(original);
+}
+
+TEST(ThreadPoolTest, ZeroIterationParallelForIsANoop) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t, size_t) { FAIL() << "must not run"; });
+}
+
+}  // namespace
+}  // namespace gogreen

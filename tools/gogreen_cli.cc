@@ -38,6 +38,7 @@
 #include "fpm/summarize.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -141,7 +142,12 @@ int Usage() {
                "  stats    -i data.dat\n"
                "observability flags (any subcommand):\n"
                "  --metrics-json <path>  write metric/span snapshot JSON\n"
-               "  --trace <path>         write Chrome trace_event JSON\n");
+               "  --trace <path>         write Chrome trace_event JSON\n"
+               "execution flags (any subcommand):\n"
+               "  --threads <n>          mining/compression thread count\n"
+               "                         (default: GOGREEN_THREADS or all "
+               "cores;\n"
+               "                         output is identical at any count)\n");
   return 2;
 }
 
@@ -386,6 +392,17 @@ int main(int argc, char** argv) {
   const std::string trace_path = args.Get("trace");
   if (!metrics_path.empty() || !trace_path.empty()) {
     gogreen::obs::Tracer::Global().Enable(!trace_path.empty());
+  }
+
+  // Parallelism: --threads beats GOGREEN_THREADS beats hardware default.
+  if (args.Has("threads")) {
+    const auto threads = args.GetInt("threads", 0);
+    if (!threads.ok()) return Fail(threads.status());
+    if (*threads < 1 || *threads > 1024) {
+      return Fail(Status::InvalidArgument(
+          "--threads must be between 1 and 1024"));
+    }
+    gogreen::ThreadPool::SetGlobalThreads(static_cast<size_t>(*threads));
   }
 
   Status status;
