@@ -5,20 +5,30 @@
 //   scaling_threads [--dataset weather|forest|connect4|pumsb]
 //                   [--family hm|fp|tp] [--threads 1,2,4,8] [--json [path]]
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench/bench_common.h"
 
 namespace {
 
+// A present-but-unrecognized flag value is a hard error: silently falling
+// back to the default would benchmark the wrong configuration.
 gogreen::data::DatasetId ParseDataset(int argc, char** argv) {
   using gogreen::data::DatasetId;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--dataset") != 0) continue;
     const char* name = argv[i + 1];
+    if (std::strcmp(name, "weather") == 0) return DatasetId::kWeatherSub;
     if (std::strcmp(name, "forest") == 0) return DatasetId::kForestSub;
     if (std::strcmp(name, "connect4") == 0) return DatasetId::kConnect4Sub;
     if (std::strcmp(name, "pumsb") == 0) return DatasetId::kPumsbSub;
+    std::fprintf(stderr,
+                 "scaling_threads: unknown --dataset '%s' "
+                 "(expected weather|forest|connect4|pumsb)\n",
+                 name);
+    std::exit(2);
   }
   return DatasetId::kWeatherSub;
 }
@@ -28,8 +38,14 @@ gogreen::bench::AlgoFamily ParseFamily(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--family") != 0) continue;
     const char* name = argv[i + 1];
+    if (std::strcmp(name, "hm") == 0) return AlgoFamily::kHMine;
     if (std::strcmp(name, "fp") == 0) return AlgoFamily::kFpGrowth;
     if (std::strcmp(name, "tp") == 0) return AlgoFamily::kTreeProjection;
+    std::fprintf(stderr,
+                 "scaling_threads: unknown --family '%s' "
+                 "(expected hm|fp|tp)\n",
+                 name);
+    std::exit(2);
   }
   return AlgoFamily::kHMine;
 }

@@ -241,7 +241,10 @@ Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
   std::vector<uint64_t> group_sizes(ranked.size() + 1, 0);  // +1: ungrouped.
   {
     GOGREEN_TRACE_SPAN("compress.cover");
-    const size_t threads = ThreadPool::GlobalThreads();
+    // One pinned pool for the whole cover pass: lane ids from ParallelFor
+    // are guaranteed < pool->threads(), which sizes the lane accumulators.
+    const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
+    const size_t threads = pool->threads();
     if (threads <= 1 || n < 2 * kCoverChunk) {
       const std::unique_ptr<Matcher> matcher = make_matcher();
       for (fpm::Tid t = 0; t < n; ++t) {
@@ -257,7 +260,7 @@ Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
       const size_t chunks = (n + kCoverChunk - 1) / kCoverChunk;
       std::vector<std::unique_ptr<Matcher>> lane_matchers(threads);
       std::vector<std::vector<uint64_t>> lane_sizes(threads);
-      ThreadPool::Global().ParallelFor(chunks, [&](size_t lane, size_t c) {
+      pool->ParallelFor(chunks, [&](size_t lane, size_t c) {
         if (!lane_matchers[lane]) {
           lane_matchers[lane] = make_matcher();
           lane_sizes[lane].assign(ranked.size() + 1, 0);

@@ -80,10 +80,11 @@ Result<fpm::PatternSet> RecycleFpMiner::MineCompressed(
           !base.TrySingleGroupWeighted(root, frequent, freq_counts,
                                        &prefix)) {
         // Lane-local contexts reuse the counting scratch across subtrees.
+        const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
         std::vector<std::unique_ptr<SliceMiningContext>> lanes(
-            ThreadPool::GlobalThreads());
+            pool->threads());
         fpm::MineFirstLevelParallel(
-            frequent.size(),
+            pool, frequent.size(),
             [&](fpm::MineShard* shard, size_t lane, size_t i) {
               auto& lane_base = lanes[lane];
               if (!lane_base) {

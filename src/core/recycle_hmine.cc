@@ -591,9 +591,10 @@ void MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
     std::unique_ptr<SliceMiningContext> base;
     std::unique_ptr<RecycleHmContext> ctx;
   };
-  std::vector<Lane> lanes(ThreadPool::GlobalThreads());
+  const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
+  std::vector<Lane> lanes(pool->threads());
   fpm::MineFirstLevelParallel(
-      frequent.size(),
+      pool, frequent.size(),
       [&](fpm::MineShard* shard, size_t lane, size_t i) {
         Lane& slot = lanes[lane];
         if (!slot.ctx) {

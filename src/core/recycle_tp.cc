@@ -220,9 +220,10 @@ Result<fpm::PatternSet> RecycleTpMiner::MineCompressed(
         std::unique_ptr<SliceMiningContext> base;
         std::unique_ptr<RecycleTpContext> ctx;
       };
-      std::vector<Lane> lanes(ThreadPool::GlobalThreads());
+      const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
+      std::vector<Lane> lanes(pool->threads());
       fpm::MineFirstLevelParallel(
-          ext.size() - 1,
+          pool, ext.size() - 1,
           [&](fpm::MineShard* shard, size_t lane, size_t i) {
             Lane& slot = lanes[lane];
             if (!slot.ctx) {

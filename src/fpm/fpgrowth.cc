@@ -233,7 +233,7 @@ Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
     // (no per-rank decomposition) keeps the sequential shortcut.
     if (ParallelMiningEnabled() && !tree.empty() && tree.SinglePath().empty()) {
       MineFirstLevelParallel(
-          flist.size(),
+          ThreadPool::Global(), flist.size(),
           [&](MineShard* shard, size_t /*lane*/, size_t i) {
             const Rank r = static_cast<Rank>(i);
             if (tree.HeaderCount(r) < min_support) return;

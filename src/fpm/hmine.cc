@@ -152,10 +152,13 @@ void MineHM(const RowSource& source, const FList& flist, uint64_t min_support,
   root.Expand(all, &frequent, &freq_counts, &buckets);
 
   // Lane-local contexts reuse their rank-indexed scratch across subtrees.
+  // The pool is pinned here so lane ids stay < lane_ctx.size() even if the
+  // global pool is reconfigured concurrently.
+  const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
   std::vector<std::unique_ptr<HMineContext<RowSource>>> lane_ctx(
-      ThreadPool::GlobalThreads());
+      pool->threads());
   MineFirstLevelParallel(
-      frequent.size(),
+      pool, frequent.size(),
       [&](MineShard* shard, size_t lane, size_t i) {
         auto& ctx = lane_ctx[lane];
         if (!ctx) {

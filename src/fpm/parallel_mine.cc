@@ -9,12 +9,12 @@ namespace gogreen::fpm {
 bool ParallelMiningEnabled() { return ThreadPool::GlobalThreads() > 1; }
 
 void MineFirstLevelParallel(
-    size_t n,
+    const std::shared_ptr<ThreadPool>& pool, size_t n,
     const std::function<void(MineShard* shard, size_t lane, size_t i)>& mine,
     PatternSet* out, MiningStats* stats) {
   if (n == 0) return;
   std::vector<MineShard> shards(n);
-  ThreadPool::Global().ParallelFor(n, [&shards, &mine](size_t lane, size_t i) {
+  pool->ParallelFor(n, [&shards, &mine](size_t lane, size_t i) {
     mine(&shards[i], lane, i);
   });
   // Ascending-index merge reproduces the sequential emission order exactly.

@@ -13,9 +13,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 
 #include "fpm/miner.h"
 #include "fpm/pattern_set.h"
+#include "util/thread_pool.h"
 
 namespace gogreen::fpm {
 
@@ -31,14 +33,16 @@ struct MineShard {
 bool ParallelMiningEnabled();
 
 /// Runs `mine(shard, lane, i)` for each first-level extension i in [0, n)
-/// on the global pool, then appends each shard's patterns to `out` and sums
-/// its work counters into `stats`, in ascending i order. `lane` is the
-/// ThreadPool lane (< ThreadPool::GlobalThreads()); no two concurrent calls
-/// share a lane, so callers may reuse lane-indexed scratch contexts without
-/// locking. Exceptions from `mine` propagate after all started subtrees
-/// finish.
+/// on `pool`, then appends each shard's patterns to `out` and sums its work
+/// counters into `stats`, in ascending i order. Callers obtain `pool` from
+/// ThreadPool::Global() and hold it across the call (plus any lane-indexed
+/// scratch sized from pool->threads()), so a concurrent SetGlobalThreads()
+/// can neither destroy the pool mid-run nor desynchronize lane ids from
+/// the scratch size. `lane` < pool->threads(); no two concurrent calls
+/// share a lane, so lane-indexed scratch contexts need no locking.
+/// Exceptions from `mine` propagate after all started subtrees finish.
 void MineFirstLevelParallel(
-    size_t n,
+    const std::shared_ptr<ThreadPool>& pool, size_t n,
     const std::function<void(MineShard* shard, size_t lane, size_t i)>& mine,
     PatternSet* out, MiningStats* stats);
 

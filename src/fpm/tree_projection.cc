@@ -127,7 +127,7 @@ class TpContext {
     FillMatrix(&matrix, rows);
 
     MineFirstLevelParallel(
-        ext.size() - 1,
+        ThreadPool::Global(), ext.size() - 1,
         [&](MineShard* shard, size_t /*lane*/, size_t i) {
           TpContext ctx(flist_, min_support_, &shard->patterns,
                         &shard->stats);

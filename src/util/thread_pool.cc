@@ -16,7 +16,7 @@ thread_local size_t tls_worker = 0;
 
 struct GlobalPoolState {
   std::mutex mu;
-  std::unique_ptr<ThreadPool> pool;
+  std::shared_ptr<ThreadPool> pool;
 };
 
 GlobalPoolState& GlobalState() {
@@ -189,26 +189,27 @@ void ThreadPool::ParallelFor(
   Wait(&wg);
 }
 
-ThreadPool& ThreadPool::Global() {
+std::shared_ptr<ThreadPool> ThreadPool::Global() {
   GlobalPoolState& state = GlobalState();
   std::lock_guard<std::mutex> lock(state.mu);
   if (!state.pool) {
-    state.pool = std::make_unique<ThreadPool>(DefaultThreads());
+    state.pool = std::make_shared<ThreadPool>(DefaultThreads());
   }
-  return *state.pool;
+  return state.pool;
 }
 
 void ThreadPool::SetGlobalThreads(size_t threads) {
   GlobalPoolState& state = GlobalState();
   const size_t n = threads == 0 ? DefaultThreads() : threads;
-  std::unique_ptr<ThreadPool> old;
+  std::shared_ptr<ThreadPool> old;
   {
     std::lock_guard<std::mutex> lock(state.mu);
     if (state.pool && state.pool->threads() == n) return;
     old = std::move(state.pool);
-    state.pool = std::make_unique<ThreadPool>(n);
+    state.pool = std::make_shared<ThreadPool>(n);
   }
-  // Old pool destroyed outside the lock (joins its workers).
+  // The old pool is released outside the lock; it is destroyed (joining
+  // its workers) when the last run still holding it drops its reference.
 }
 
 size_t ThreadPool::GlobalThreads() {

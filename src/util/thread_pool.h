@@ -36,27 +36,36 @@ namespace gogreen {
 /// Completion tracker for a batch of tasks. Counts submissions and
 /// completions and stores the first exception any task threw. A WaitGroup
 /// may be reused after a Wait() that returned normally.
+///
+/// The pending count is guarded by mu_ (not an atomic) so that the zero
+/// transition is only observable after the final Done() has released the
+/// mutex: once any thread sees Finished() == true, no task is still inside
+/// the group's critical section, and the group may be destroyed. This is
+/// what lets ParallelFor keep its WaitGroup on the stack.
 class WaitGroup {
  public:
   WaitGroup() = default;
   WaitGroup(const WaitGroup&) = delete;
   WaitGroup& operator=(const WaitGroup&) = delete;
 
-  /// True once every submitted task has finished.
+  /// True once every submitted task has finished. Acquires the group's
+  /// mutex, so a true return also means the last Done() has fully exited.
   bool Finished() const {
-    return pending_.load(std::memory_order_acquire) == 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_ == 0;
   }
 
  private:
   friend class ThreadPool;
 
-  void Add(size_t n) { pending_.fetch_add(n, std::memory_order_relaxed); }
+  void Add(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += n;
+  }
 
   void Done() {
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mu_);
-      cv_.notify_all();
-    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
   }
 
   void CaptureException(std::exception_ptr e) {
@@ -64,11 +73,11 @@ class WaitGroup {
     if (!first_error_) first_error_ = std::move(e);
   }
 
-  /// Blocks until Finished(); does not execute tasks (ThreadPool::Wait
-  /// interleaves this with helping).
+  /// Blocks until every task finished; does not execute tasks
+  /// (ThreadPool::Wait interleaves this with helping).
   void BlockUntilFinished() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return Finished(); });
+    cv_.wait(lock, [this] { return pending_ == 0; });
   }
 
   /// Rethrows the first captured exception, clearing it.
@@ -82,8 +91,8 @@ class WaitGroup {
     if (e) std::rethrow_exception(e);
   }
 
-  std::atomic<size_t> pending_{0};
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  size_t pending_ = 0;
   std::condition_variable cv_;
   std::exception_ptr first_error_;
 };
@@ -124,12 +133,16 @@ class ThreadPool {
                    const std::function<void(size_t lane, size_t i)>& fn);
 
   /// The process-wide pool used by the parallel miners and compressor.
-  /// Created on first use with DefaultThreads() lanes.
-  static ThreadPool& Global();
+  /// Created on first use with DefaultThreads() lanes. Returned as a
+  /// shared_ptr: callers pin the pool for the duration of a run, so a
+  /// concurrent SetGlobalThreads() cannot destroy a pool still in use —
+  /// the old pool dies when its last user drops the reference.
+  static std::shared_ptr<ThreadPool> Global();
 
   /// Replaces the global pool with one of `threads` lanes (0 = reset to
-  /// DefaultThreads()). Must not race with mining; intended for CLI/bench
-  /// flag handling and tests.
+  /// DefaultThreads()). Runs already holding a pool from Global() keep
+  /// using it; the new size applies to subsequent Global() calls.
+  /// Intended for CLI/bench flag handling and tests.
   static void SetGlobalThreads(size_t threads);
 
   /// Lane count of the global pool without forcing its creation.

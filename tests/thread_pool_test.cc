@@ -202,11 +202,53 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
   EXPECT_TRUE(wg.Finished());
 }
 
+TEST(ThreadPoolTest, StackWaitGroupSafeToDestroyAfterWait) {
+  // Regression: Wait() must not return until the final Done() has fully
+  // left the WaitGroup's critical section, because callers (ParallelFor
+  // included) destroy stack-allocated groups the moment Wait returns.
+  // Many rounds of short tasks stress the window where a worker finishing
+  // the last task races the waiter's exit and the group's destruction —
+  // the use-after-free an atomics-only pending count allowed.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kRounds = 5000;
+  constexpr int kTasksPerRound = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    WaitGroup wg;
+    for (int t = 0; t < kTasksPerRound; ++t) {
+      pool.Submit(&wg, [&count] {
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.Wait(&wg);
+  }
+  EXPECT_EQ(count.load(), kRounds * kTasksPerRound);
+}
+
+TEST(ThreadPoolTest, PinnedGlobalPoolSurvivesReconfiguration) {
+  // Regression: a run holds the shared_ptr from Global() across its whole
+  // fan-out, so SetGlobalThreads() must not destroy (or resize lane ids
+  // out from under) the pool that run is still using.
+  const size_t original = ThreadPool::GlobalThreads();
+  ThreadPool::SetGlobalThreads(4);
+  const std::shared_ptr<ThreadPool> pinned = ThreadPool::Global();
+  ThreadPool::SetGlobalThreads(2);
+  EXPECT_EQ(pinned->threads(), 4u);
+  EXPECT_EQ(ThreadPool::Global()->threads(), 2u);
+  std::atomic<int> count{0};
+  pinned->ParallelFor(100, [&](size_t lane, size_t) {
+    EXPECT_LT(lane, pinned->threads());
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+  ThreadPool::SetGlobalThreads(original);
+}
+
 TEST(ThreadPoolTest, SetGlobalThreadsControlsGlobalPool) {
   const size_t original = ThreadPool::GlobalThreads();
   ThreadPool::SetGlobalThreads(3);
   EXPECT_EQ(ThreadPool::GlobalThreads(), 3u);
-  EXPECT_EQ(ThreadPool::Global().threads(), 3u);
+  EXPECT_EQ(ThreadPool::Global()->threads(), 3u);
   ThreadPool::SetGlobalThreads(1);
   EXPECT_EQ(ThreadPool::GlobalThreads(), 1u);
   // 0 resets to the environment/hardware default.
