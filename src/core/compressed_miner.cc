@@ -1,12 +1,24 @@
 #include "core/compressed_miner.h"
 
+#include <utility>
+
 #include "core/recycle_fp.h"
 #include "core/recycle_hmine.h"
 #include "core/recycle_tp.h"
 #include "core/rp_mine.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace gogreen::core {
+
+Result<fpm::MineOutcome> CompressedMiner::MineCompressedGoverned(
+    const CompressedDb& cdb, uint64_t min_support, RunContext* ctx) {
+  GOGREEN_TRACE_SPAN("run.governor");
+  SetRunContext(ctx);
+  Result<fpm::PatternSet> result = MineCompressed(cdb, min_support);
+  SetRunContext(nullptr);
+  return fpm::FinishGovernedOutcome(std::move(result), min_support, ctx);
+}
 
 std::unique_ptr<CompressedMiner> CreateCompressedMiner(RecycleAlgo algo) {
   switch (algo) {

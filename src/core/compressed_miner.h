@@ -30,6 +30,18 @@ class CompressedMiner {
 
   const fpm::MiningStats& stats() const { return stats_; }
 
+  /// Attaches a run governor observed by the next MineCompressed() call
+  /// (null detaches). Miners without governed paths (RP-Mine) ignore it and
+  /// always run to completion.
+  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
+
+  /// Mines under `ctx`'s deadline/budget/cancellation; on an early stop the
+  /// outcome is marked partial and carries the exact frequent set at the
+  /// frontier support (see fpm::MineOutcome).
+  Result<fpm::MineOutcome> MineCompressedGoverned(const CompressedDb& cdb,
+                                                  uint64_t min_support,
+                                                  RunContext* ctx);
+
  protected:
   static Status ValidateArgs(uint64_t min_support) {
     if (min_support == 0) {
@@ -39,6 +51,7 @@ class CompressedMiner {
   }
 
   fpm::MiningStats stats_;
+  RunContext* run_ctx_ = nullptr;
 };
 
 /// The compressed-database mining algorithms (Sections 3.3 and 4).

@@ -245,9 +245,13 @@ Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
     // are guaranteed < pool->threads(), which sizes the lane accumulators.
     const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
     const size_t threads = pool->threads();
+    RunContext* rctx = options.run_context;
     if (threads <= 1 || n < 2 * kCoverChunk) {
       const std::unique_ptr<Matcher> matcher = make_matcher();
       for (fpm::Tid t = 0; t < n; ++t) {
+        // A governed stop leaves the remaining tuples unmatched (ungrouped):
+        // the output stays a valid lossless encoding, just less compressed.
+        if (rctx != nullptr && t % kCoverChunk == 0 && rctx->PollNow()) break;
         const size_t pos = matcher->Match(db.Transaction(t));
         assignment[t] = pos;
         ++group_sizes[pos == kNoMatch ? ranked.size() : pos];
@@ -261,6 +265,8 @@ Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
       std::vector<std::unique_ptr<Matcher>> lane_matchers(threads);
       std::vector<std::vector<uint64_t>> lane_sizes(threads);
       pool->ParallelFor(chunks, [&](size_t lane, size_t c) {
+        // Chunk-granular governed stop; skipped chunks stay ungrouped.
+        if (rctx != nullptr && rctx->PollNow()) return;
         if (!lane_matchers[lane]) {
           lane_matchers[lane] = make_matcher();
           lane_sizes[lane].assign(ranked.size() + 1, 0);

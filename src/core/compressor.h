@@ -10,6 +10,7 @@
 #include "core/utility.h"
 #include "fpm/pattern_set.h"
 #include "fpm/transaction_db.h"
+#include "util/run_context.h"
 #include "util/status.h"
 
 namespace gogreen::core {
@@ -34,6 +35,12 @@ const char* MatcherKindName(MatcherKind kind);
 struct CompressorOptions {
   CompressionStrategy strategy = CompressionStrategy::kMcp;
   MatcherKind matcher = MatcherKind::kAuto;
+  /// Optional run governor. On a deadline/budget/cancel breach the cover
+  /// loop stops matching: remaining tuples fall into the ungrouped trailing
+  /// group, so the result is still a valid lossless CompressedDb — just less
+  /// compressed. Degradation never marks the run's pattern output
+  /// incomplete.
+  RunContext* run_context = nullptr;
 };
 
 /// Outcome counters of one compression run.

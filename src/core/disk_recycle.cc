@@ -4,10 +4,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "core/recycle_hmine.h"
 #include "core/slice_db.h"
+#include "util/env.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -17,20 +21,29 @@ namespace {
 
 using fpm::Rank;
 
+// Transient spill-IO failures are retried this many times total, sleeping
+// 1/2/4... ms between attempts.
+constexpr int kMaxIoAttempts = 3;
+
+void BackoffBeforeRetry(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1 << (attempt - 1)));
+}
+
 /// Serializes slices to per-rank spill files.
 /// Record: u32 pattern_len, pattern ranks, u64 empty_count, u32 num_outs,
 /// then per out row u32 len + ranks.
+///
+/// RAII: destruction closes and removes every partition file this writer
+/// created, so spill files cannot leak on any exit path (IO error, governed
+/// stop, exception). Callers that consumed the partitions may still call
+/// Cleanup() early; it is idempotent.
 class SliceSpillWriter {
  public:
   SliceSpillWriter(std::string dir, std::string stem, size_t num_ranks)
       : dir_(std::move(dir)), stem_(std::move(stem)),
         files_(num_ranks, nullptr) {}
 
-  ~SliceSpillWriter() {
-    for (std::FILE* f : files_) {
-      if (f != nullptr) std::fclose(f);
-    }
-  }
+  ~SliceSpillWriter() { Cleanup(); }
 
   SliceSpillWriter(const SliceSpillWriter&) = delete;
   SliceSpillWriter& operator=(const SliceSpillWriter&) = delete;
@@ -39,35 +52,30 @@ class SliceSpillWriter {
     return dir_ + "/" + stem_ + "." + std::to_string(r) + ".sspill";
   }
 
+  /// Appends one record, retrying transient write failures with backoff.
+  /// A failed attempt rewinds the file to the record start before the next
+  /// try, so retries overwrite rather than duplicate.
   Status Append(Rank r, const Slice& slice) {
     GOGREEN_DCHECK(r < files_.size());
     if (files_[r] == nullptr) {
+      GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("spill.open"));
       files_[r] = std::fopen(PathOf(r).c_str(), "wb");
       if (files_[r] == nullptr) {
         return Status::IOError("cannot create spill file " + PathOf(r));
       }
       used_.push_back(r);
     }
-    std::FILE* f = files_[r];
-    const auto write_row = [f](const std::vector<Rank>& row) {
-      const uint32_t len = static_cast<uint32_t>(row.size());
-      if (std::fwrite(&len, sizeof(len), 1, f) != 1) return false;
-      return len == 0 ||
-             std::fwrite(row.data(), sizeof(Rank), len, f) == len;
-    };
-    const uint32_t num_outs = static_cast<uint32_t>(slice.outs.size());
-    bool ok = write_row(slice.pattern) &&
-              std::fwrite(&slice.empty_count, sizeof(slice.empty_count), 1,
-                          f) == 1 &&
-              std::fwrite(&num_outs, sizeof(num_outs), 1, f) == 1;
-    for (size_t i = 0; ok && i < slice.outs.size(); ++i) {
-      ok = write_row(slice.outs[i]);
+    Status st;
+    for (int attempt = 1; attempt <= kMaxIoAttempts; ++attempt) {
+      if (attempt > 1) BackoffBeforeRetry(attempt - 1);
+      st = AppendOnce(files_[r], r, slice);
+      if (st.ok()) return st;
     }
-    if (!ok) return Status::IOError("short write to " + PathOf(r));
-    return Status::OK();
+    return st;
   }
 
   Status Finish() {
+    GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("spill.finish"));
     for (Rank r : used_) {
       if (files_[r] != nullptr) {
         if (std::fclose(files_[r]) != 0) {
@@ -94,13 +102,40 @@ class SliceSpillWriter {
   const std::vector<Rank>& used_ranks() const { return used_; }
 
  private:
+  Status AppendOnce(std::FILE* f, Rank r, const Slice& slice) {
+    GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("spill.write"));
+    const long start = std::ftell(f);
+    if (start < 0) return Status::IOError("ftell failed for " + PathOf(r));
+    const auto write_row = [f](const std::vector<Rank>& row) {
+      const uint32_t len = static_cast<uint32_t>(row.size());
+      if (std::fwrite(&len, sizeof(len), 1, f) != 1) return false;
+      return len == 0 ||
+             std::fwrite(row.data(), sizeof(Rank), len, f) == len;
+    };
+    const uint32_t num_outs = static_cast<uint32_t>(slice.outs.size());
+    bool ok = write_row(slice.pattern) &&
+              std::fwrite(&slice.empty_count, sizeof(slice.empty_count), 1,
+                          f) == 1 &&
+              std::fwrite(&num_outs, sizeof(num_outs), 1, f) == 1;
+    for (size_t i = 0; ok && i < slice.outs.size(); ++i) {
+      ok = write_row(slice.outs[i]);
+    }
+    if (!ok) {
+      std::clearerr(f);
+      std::fseek(f, start, SEEK_SET);
+      return Status::IOError("short write to " + PathOf(r));
+    }
+    return Status::OK();
+  }
+
   std::string dir_;
   std::string stem_;
   std::vector<std::FILE*> files_;
   std::vector<Rank> used_;
 };
 
-Result<std::vector<Slice>> ReadSliceSpill(const std::string& path) {
+Result<std::vector<Slice>> ReadSliceSpillOnce(const std::string& path) {
+  GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("spill.read"));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return std::vector<Slice>{};
   std::vector<Slice> slices;
@@ -137,6 +172,17 @@ Result<std::vector<Slice>> ReadSliceSpill(const std::string& path) {
   return slices;
 }
 
+/// Reads one spill partition, retrying transient failures whole-call (each
+/// attempt reopens and rescans from the start, so retries are idempotent).
+Result<std::vector<Slice>> ReadSliceSpill(const std::string& path) {
+  Result<std::vector<Slice>> result = ReadSliceSpillOnce(path);
+  for (int attempt = 1; !result.ok() && attempt < kMaxIoAttempts; ++attempt) {
+    BackoffBeforeRetry(attempt);
+    result = ReadSliceSpillOnce(path);
+  }
+  return result;
+}
+
 struct SliceTotals {
   size_t items = 0;
   size_t out_rows = 0;
@@ -167,17 +213,26 @@ std::vector<uint64_t> CountSliceItems(const std::vector<Slice>& slices,
   return counts;
 }
 
+/// Mines one partition of slices, spilling to sub-partitions when over the
+/// memory budget. Sets `*completed` false iff a governed stop abandoned
+/// work; the depth-0 caller owns the frontier bookkeeping for the spill
+/// path (the in-memory path marks its own frontier via MineSlicesHM when
+/// `prefix_ranks` is empty).
 Status MineSlicePartition(std::vector<Slice> slices, const fpm::FList& flist,
                           uint64_t min_support, size_t memory_limit,
                           const std::string& temp_dir, uint64_t depth,
                           std::vector<Rank>* prefix_ranks,
-                          fpm::PatternSet* out, fpm::MiningStats* stats) {
+                          fpm::PatternSet* out, fpm::MiningStats* stats,
+                          RunContext* ctx, bool* completed) {
   const SliceTotals totals = Totals(slices);
   if (EstimateSliceMineMemory(totals.items, totals.out_rows, slices.size(),
                               flist.size()) <= memory_limit) {
     SliceDb sdb;
     sdb.slices = std::move(slices);
-    MineSlicesHM(sdb, flist, min_support, *prefix_ranks, out, stats);
+    if (!MineSlicesHM(sdb, flist, min_support, *prefix_ranks, out, stats,
+                      ctx)) {
+      *completed = false;
+    }
     return Status::OK();
   }
 
@@ -216,28 +271,54 @@ Status MineSlicePartition(std::vector<Slice> slices, const fpm::FList& flist,
   slices.clear();
   slices.shrink_to_fit();
 
+  // Governed runs walk the partitions most-frequent-first: when a stop
+  // abandons the walk, the contiguously-completed head covers every support
+  // strictly above the first unfinished partition's, which is a sound
+  // frontier. Ungoverned runs keep the ascending (sequential-output) order.
+  std::vector<Rank> order;
   for (Rank r = 0; r < flist.size(); ++r) {
-    if (counts[r] < min_support) continue;
+    if (counts[r] >= min_support) order.push_back(r);
+  }
+  if (ctx != nullptr) std::reverse(order.begin(), order.end());
+
+  size_t processed = 0;
+  bool stopped = false;
+  for (const Rank r : order) {
+    if (ctx != nullptr && ctx->PollNow()) {
+      stopped = true;
+      break;
+    }
     prefix_ranks->push_back(r);
     std::vector<fpm::ItemId> items = flist.DecodeRanks(*prefix_ranks);
     std::sort(items.begin(), items.end());
     out->Add(std::move(items), counts[r]);
 
     auto loaded = ReadSliceSpill(writer.PathOf(r));
-    if (!loaded.ok()) {
-      writer.Cleanup();
-      return loaded.status();
-    }
+    GOGREEN_RETURN_NOT_OK(loaded.status());  // Writer dtor cleans up.
+    bool sub_completed = true;
     if (!loaded->empty()) {
       const Status st = MineSlicePartition(
           std::move(loaded).value(), flist, min_support, memory_limit,
-          temp_dir, depth + 1, prefix_ranks, out, stats);
-      if (!st.ok()) {
-        writer.Cleanup();
-        return st;
-      }
+          temp_dir, depth + 1, prefix_ranks, out, stats, ctx,
+          &sub_completed);
+      GOGREEN_RETURN_NOT_OK(st);
     }
     prefix_ranks->pop_back();
+    if (!sub_completed) {
+      // A nested stop leaves this partition unfinished; the stop reason is
+      // sticky, so later partitions would be abandoned too — break now to
+      // keep the completed head contiguous.
+      stopped = true;
+      break;
+    }
+    ++processed;
+  }
+
+  if (stopped) {
+    *completed = false;
+    if (depth == 0 && processed < order.size()) {
+      ctx->MarkIncomplete(counts[order[processed]] + 1);
+    }
   }
   writer.Cleanup();
   return Status::OK();
@@ -258,7 +339,7 @@ size_t EstimateSliceMineMemory(size_t total_items, size_t total_out_rows,
 
 Result<fpm::PatternSet> MineRecycleHMMemoryLimited(
     const CompressedDb& cdb, uint64_t min_support, size_t memory_limit,
-    const std::string& temp_dir, fpm::MiningStats* stats) {
+    const std::string& temp_dir, fpm::MiningStats* stats, RunContext* ctx) {
   if (min_support == 0) {
     return Status::InvalidArgument("min_support must be >= 1");
   }
@@ -271,11 +352,18 @@ Result<fpm::PatternSet> MineRecycleHMMemoryLimited(
   const fpm::FList flist = fpm::FList::FromCounts(
       cdb.CountItemSupports(cdb.ItemUniverseSize()), min_support);
   if (!flist.empty()) {
+    // All spill files for this run live in a run-private directory that the
+    // ScopedTempDir removes on every exit path.
+    Result<ScopedTempDir> scratch =
+        ScopedTempDir::Create(temp_dir, "gogreen_recycle_");
+    GOGREEN_RETURN_NOT_OK(scratch.status());
+
     SliceDb sdb = SliceDb::Build(cdb, flist);
     std::vector<Rank> prefix;
+    bool completed = true;
     GOGREEN_RETURN_NOT_OK(MineSlicePartition(
-        std::move(sdb.slices), flist, min_support, memory_limit, temp_dir,
-        0, &prefix, &out, stats));
+        std::move(sdb.slices), flist, min_support, memory_limit,
+        scratch->path(), 0, &prefix, &out, stats, ctx, &completed));
   }
 
   stats->patterns_emitted = out.size();

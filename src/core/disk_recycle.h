@@ -24,10 +24,18 @@ size_t EstimateSliceMineMemory(size_t total_items, size_t total_out_rows,
 
 /// Memory-limited Recycle-HM: identical output to RecycleHMineMiner but
 /// bounded by `memory_limit` bytes of mining structures, spilling
-/// projections to `temp_dir` when necessary.
+/// projections to a run-private directory under `temp_dir` when necessary.
+/// The run directory is removed on every exit path (success, IO error, or
+/// governed stop). Spill IO retries transient failures with bounded
+/// backoff; see the `spill.*` failpoints in util/failpoint.h. `ctx`
+/// (optional) governs the run — on a deadline/budget/cancel breach
+/// partitions are abandoned at a boundary and the context is marked
+/// incomplete with a sound frontier support (partitions are processed
+/// most-frequent-first when governed).
 Result<fpm::PatternSet> MineRecycleHMMemoryLimited(
     const CompressedDb& cdb, uint64_t min_support, size_t memory_limit,
-    const std::string& temp_dir, fpm::MiningStats* stats = nullptr);
+    const std::string& temp_dir, fpm::MiningStats* stats = nullptr,
+    RunContext* ctx = nullptr);
 
 }  // namespace gogreen::core
 

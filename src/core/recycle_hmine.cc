@@ -74,6 +74,19 @@ struct ProjectedDb {
   }
 };
 
+/// Approximate heap footprint of one projected database, for budget
+/// accounting in governed runs.
+size_t ProjectedDbBytes(const ProjectedDb& db) {
+  size_t bytes = db.slices.size() * sizeof(ProjSlice) +
+                 db.gpatterns.size() * sizeof(GroupPattern) +
+                 db.paired.size() * sizeof(PairedTail) +
+                 db.plain.size() * sizeof(TailRef);
+  for (const ProjSlice& ps : db.slices) {
+    bytes += ps.tails.size() * sizeof(TailRef);
+  }
+  return bytes;
+}
+
 /// All outlying rows of a SliceDb flattened into one CSR for cache-friendly
 /// scans. Read-only after construction, so it is built once per run and
 /// shared by every worker's context.
@@ -113,32 +126,45 @@ class RecycleHmContext {
         entry_idx_(base->flist().size(), 0),
         entry_stamp_(base->flist().size(), 0) {}
 
-  void Mine(const ProjectedDb& projs, std::vector<Rank>* prefix) {
+  /// Returns false iff a governed stop abandoned part of the subtree.
+  bool Mine(const ProjectedDb& projs, std::vector<Rank>* prefix) {
     if (projs.slices.empty() && projs.gpatterns.empty() &&
         projs.paired.empty()) {
       // No group structure left in this subtree: fall back to flat H-Mine
       // mechanics (no species bookkeeping, one bucket array per level).
-      PlainMine(projs.plain, prefix);
-      return;
+      return PlainMine(projs.plain, prefix);
     }
     std::vector<uint64_t> freq_counts;
     const std::vector<Rank> frequent = Count(projs, &freq_counts);
-    if (frequent.empty()) return;
+    if (frequent.empty()) return true;
 
-    if (TrySingleGroup(projs, frequent, freq_counts, prefix)) return;
+    if (TrySingleGroup(projs, frequent, freq_counts, prefix)) return true;
 
     // One pass threads every extension's bucket (Fill-RPHeader, §4.1).
     std::vector<ProjectedDb> buckets(frequent.size());
     BuildBuckets(projs, frequent, &buckets);
     base_->stats()->projections_built += frequent.size();
+    // The buckets are this level's dominant scratch; charge them for the
+    // time the recursion below keeps them alive.
+    size_t bucket_bytes = 0;
+    if (base_->run_context() != nullptr) {
+      for (const ProjectedDb& b : buckets) bucket_bytes += ProjectedDbBytes(b);
+    }
+    const ScopedBytes charge(base_->run_context(), bucket_bytes);
 
+    bool completed = true;
     for (size_t i = 0; i < frequent.size(); ++i) {
+      if (base_->ShouldStop()) {
+        completed = false;
+        break;
+      }
       prefix->push_back(frequent[i]);
       base_->EmitPattern(*prefix, freq_counts[i]);
-      if (!buckets[i].empty()) Mine(buckets[i], prefix);
+      if (!buckets[i].empty() && !Mine(buckets[i], prefix)) completed = false;
       prefix->pop_back();
       buckets[i] = ProjectedDb();  // Release level memory eagerly.
     }
+    return completed;
   }
 
   /// Root projected database classifying each slice by species.
@@ -170,8 +196,8 @@ class RecycleHmContext {
  private:
   /// H-Mine-speed recursion for subtrees with no remaining group structure:
   /// identical to the plain H-Mine bucket threading, over the flattened
-  /// outlying rows.
-  void PlainMine(const std::vector<TailRef>& rows,
+  /// outlying rows. Returns false iff a governed stop abandoned work.
+  bool PlainMine(const std::vector<TailRef>& rows,
                  std::vector<Rank>* prefix) {
     std::vector<Rank> touched;
     for (const TailRef& tail : rows) {
@@ -192,7 +218,7 @@ class RecycleHmContext {
       freq_counts[i] = counts_[frequent[i]];
     }
     for (Rank r : touched) counts_[r] = 0;
-    if (frequent.empty()) return;
+    if (frequent.empty()) return true;
 
     std::vector<std::vector<TailRef>> buckets(frequent.size());
     for (size_t i = 0; i < frequent.size(); ++i) {
@@ -211,14 +237,28 @@ class RecycleHmContext {
     for (Rank r : frequent) local_of_[r] = UINT32_MAX;
     base_->stats()->projections_built += frequent.size();
 
+    size_t bucket_bytes = 0;
+    if (base_->run_context() != nullptr) {
+      for (const auto& b : buckets) bucket_bytes += b.size() * sizeof(TailRef);
+    }
+    const ScopedBytes charge(base_->run_context(), bucket_bytes);
+
+    bool completed = true;
     for (size_t i = 0; i < frequent.size(); ++i) {
+      if (base_->ShouldStop()) {
+        completed = false;
+        break;
+      }
       prefix->push_back(frequent[i]);
       base_->EmitPattern(*prefix, freq_counts[i]);
-      if (!buckets[i].empty()) PlainMine(buckets[i], prefix);
+      if (!buckets[i].empty() && !PlainMine(buckets[i], prefix)) {
+        completed = false;
+      }
       prefix->pop_back();
       buckets[i].clear();
       buckets[i].shrink_to_fit();
     }
+    return completed;
   }
 
   std::span<const Rank> Pattern(uint32_t slice_id, uint32_t pos) const {
@@ -556,19 +596,21 @@ class RecycleHmContext {
 
 }  // namespace
 
-void MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
+bool MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
                   uint64_t min_support,
                   const std::vector<fpm::Rank>& prefix_ranks,
-                  fpm::PatternSet* out, fpm::MiningStats* stats) {
+                  fpm::PatternSet* out, fpm::MiningStats* stats,
+                  RunContext* run_ctx) {
   SliceMiningContext base(flist, min_support, out, stats);
+  base.SetRunContext(run_ctx);
   const FlatOuts fouts(sdb);
   RecycleHmContext root_ctx(sdb, fouts, &base);
   std::vector<Rank> prefix = prefix_ranks;
   const ProjectedDb root = root_ctx.Root();
 
-  if (!fpm::ParallelMiningEnabled()) {
+  if (run_ctx == nullptr && !fpm::ParallelMiningEnabled()) {
     root_ctx.Mine(root, &prefix);
-    return;
+    return true;
   }
 
   // Expand the root level once, then fan the first-level projections out to
@@ -578,8 +620,10 @@ void MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
   // stays bit-identical to the sequential path.
   std::vector<uint64_t> freq_counts;
   const std::vector<Rank> frequent = root_ctx.Count(root, &freq_counts);
-  if (frequent.empty()) return;
-  if (root_ctx.TrySingleGroup(root, frequent, freq_counts, &prefix)) return;
+  if (frequent.empty()) return true;
+  if (root_ctx.TrySingleGroup(root, frequent, freq_counts, &prefix)) {
+    return true;
+  }
 
   std::vector<ProjectedDb> buckets(frequent.size());
   root_ctx.BuildBuckets(root, frequent, &buckets);
@@ -593,23 +637,41 @@ void MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
   };
   const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
   std::vector<Lane> lanes(pool->threads());
-  fpm::MineFirstLevelParallel(
-      pool, frequent.size(),
-      [&](fpm::MineShard* shard, size_t lane, size_t i) {
-        Lane& slot = lanes[lane];
-        if (!slot.ctx) {
-          slot.base = std::make_unique<SliceMiningContext>(
-              flist, min_support, nullptr, nullptr);
-          slot.ctx =
-              std::make_unique<RecycleHmContext>(sdb, fouts, slot.base.get());
-        }
-        slot.base->SetSinks(&shard->patterns, &shard->stats);
-        std::vector<Rank> sub_prefix = prefix;
-        sub_prefix.push_back(frequent[i]);
-        slot.base->EmitPattern(sub_prefix, freq_counts[i]);
-        if (!buckets[i].empty()) slot.ctx->Mine(buckets[i], &sub_prefix);
-      },
-      out, stats);
+  const auto mine_subtree = [&](fpm::MineShard* shard, size_t lane,
+                                size_t i) -> bool {
+    Lane& slot = lanes[lane];
+    if (!slot.ctx) {
+      slot.base = std::make_unique<SliceMiningContext>(
+          flist, min_support, nullptr, nullptr);
+      slot.base->SetRunContext(run_ctx);
+      slot.ctx =
+          std::make_unique<RecycleHmContext>(sdb, fouts, slot.base.get());
+    }
+    slot.base->SetSinks(&shard->patterns, &shard->stats);
+    std::vector<Rank> sub_prefix = prefix;
+    sub_prefix.push_back(frequent[i]);
+    slot.base->EmitPattern(sub_prefix, freq_counts[i]);
+    if (buckets[i].empty()) return true;
+    return slot.ctx->Mine(buckets[i], &sub_prefix);
+  };
+
+  if (run_ctx == nullptr) {
+    fpm::MineFirstLevelParallel(
+        pool, frequent.size(),
+        [&](fpm::MineShard* shard, size_t lane, size_t i) {
+          mine_subtree(shard, lane, i);
+        },
+        out, stats);
+    return true;
+  }
+
+  // Governed: root buckets stay live for the whole fan-out.
+  size_t root_bytes = 0;
+  for (const ProjectedDb& b : buckets) root_bytes += ProjectedDbBytes(b);
+  const ScopedBytes root_charge(run_ctx, root_bytes);
+  return fpm::MineFirstLevelGoverned(pool, frequent.size(), mine_subtree, out,
+                                     stats, run_ctx, freq_counts,
+                                     /*mark_frontier=*/prefix_ranks.empty());
 }
 
 Result<fpm::PatternSet> RecycleHMineMiner::MineCompressed(
@@ -624,7 +686,7 @@ Result<fpm::PatternSet> RecycleHMineMiner::MineCompressed(
       cdb.CountItemSupports(cdb.ItemUniverseSize()), min_support);
   if (!flist.empty()) {
     const SliceDb sdb = SliceDb::Build(cdb, flist);
-    MineSlicesHM(sdb, flist, min_support, {}, &out, &stats_);
+    MineSlicesHM(sdb, flist, min_support, {}, &out, &stats_, run_ctx_);
   }
 
   stats_.patterns_emitted = out.size();

@@ -28,11 +28,14 @@ class RecycleHMineMiner : public CompressedMiner {
 /// Mines a slice database in memory with the Recycle-HM core, prefixing
 /// every emitted pattern with `prefix_ranks`. Exposed for the
 /// memory-limited driver (Section 5.3), which mines disk partitions of
-/// slices one at a time.
-void MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
+/// slices one at a time. `run_ctx` (optional) governs the run; returns
+/// false iff a governed stop abandoned work — the caller owns the frontier
+/// bookkeeping when `prefix_ranks` is non-empty.
+bool MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
                   uint64_t min_support,
                   const std::vector<fpm::Rank>& prefix_ranks,
-                  fpm::PatternSet* out, fpm::MiningStats* stats);
+                  fpm::PatternSet* out, fpm::MiningStats* stats,
+                  RunContext* run_ctx = nullptr);
 
 }  // namespace gogreen::core
 

@@ -43,24 +43,31 @@ class RecycleTpContext {
   /// extensions with supports `c1`; `slices` contain only ext items. Rows
   /// inside the slices are weighted (the bucketing the Tree Projection
   /// baseline also uses).
-  void Process(const std::vector<WeightedSlice>& slices,
+  /// Returns false iff a governed stop abandoned part of the subtree.
+  bool Process(const std::vector<WeightedSlice>& slices,
                const std::vector<Rank>& ext, const std::vector<uint64_t>& c1,
                std::vector<Rank>* prefix) {
-    if (base_->TrySingleGroupWeighted(slices, ext, c1, prefix)) return;
+    if (base_->TrySingleGroupWeighted(slices, ext, c1, prefix)) return true;
 
     for (size_t i = 0; i < ext.size(); ++i) {
       prefix->push_back(ext[i]);
       base_->EmitPattern(*prefix, c1[i]);
       prefix->pop_back();
     }
-    if (ext.size() < 2) return;
+    if (ext.size() < 2) return true;
 
     PairMatrix matrix(ext.size());
     FillMatrix(slices, ext, &matrix);
 
+    bool completed = true;
     for (size_t i = 0; i + 1 < ext.size(); ++i) {
-      MineChild(slices, ext, matrix, i, prefix);
+      if (base_->ShouldStop()) {
+        completed = false;
+        break;
+      }
+      if (!MineChild(slices, ext, matrix, i, prefix)) completed = false;
     }
+    return completed;
   }
 
   /// One scan fills all pair supports. Pattern-internal pairs are counted
@@ -110,7 +117,7 @@ class RecycleTpContext {
   /// parent's already-filled pair matrix. Reads `slices` and `matrix`
   /// without mutating them, so distinct children may run concurrently on
   /// distinct contexts.
-  void MineChild(const std::vector<WeightedSlice>& slices,
+  bool MineChild(const std::vector<WeightedSlice>& slices,
                  const std::vector<Rank>& ext, const PairMatrix& matrix,
                  size_t i, std::vector<Rank>* prefix) {
     std::vector<Rank> child_ext;
@@ -121,14 +128,20 @@ class RecycleTpContext {
         child_c1.push_back(matrix.Get(i, j));
       }
     }
-    if (child_ext.empty()) return;
+    if (child_ext.empty()) return true;
 
     const std::vector<WeightedSlice> child =
         ProjectAndFilter(slices, ext[i], child_ext);
     ++base_->stats()->projections_built;
+    // The projected child slices are this step's dominant scratch; charge
+    // them while the recursion below keeps them alive.
+    const ScopedBytes charge(
+        base_->run_context(),
+        base_->run_context() != nullptr ? ApproxWeightedSliceBytes(child) : 0);
     prefix->push_back(ext[i]);
-    Process(child, child_ext, child_c1, prefix);
+    const bool completed = Process(child, child_ext, child_c1, prefix);
     prefix->pop_back();
+    return completed;
   }
 
  private:
@@ -189,6 +202,7 @@ Result<fpm::PatternSet> RecycleTpMiner::MineCompressed(
   if (!flist.empty()) {
     const SliceDb sdb = SliceDb::Build(cdb, flist);
     SliceMiningContext base(flist, min_support, &out, &stats_);
+    base.SetRunContext(run_ctx_);
     RecycleTpContext ctx(&base);
 
     std::vector<Rank> ext(flist.size());
@@ -200,7 +214,8 @@ Result<fpm::PatternSet> RecycleTpMiner::MineCompressed(
     std::vector<Rank> prefix;
     const std::vector<WeightedSlice> root = BuildWeightedSlices(sdb);
 
-    if (!fpm::ParallelMiningEnabled() || ext.size() < 2) {
+    if ((run_ctx_ == nullptr && !fpm::ParallelMiningEnabled()) ||
+        ext.size() < 2) {
       ctx.Process(root, ext, c1, &prefix);
     } else if (!base.TrySingleGroupWeighted(root, ext, c1, &prefix)) {
       // Root expansion mirrors Process(): singletons, one matrix fill, then
@@ -222,20 +237,40 @@ Result<fpm::PatternSet> RecycleTpMiner::MineCompressed(
       };
       const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
       std::vector<Lane> lanes(pool->threads());
-      fpm::MineFirstLevelParallel(
-          pool, ext.size() - 1,
-          [&](fpm::MineShard* shard, size_t lane, size_t i) {
-            Lane& slot = lanes[lane];
-            if (!slot.ctx) {
-              slot.base = std::make_unique<SliceMiningContext>(
-                  flist, min_support, nullptr, nullptr);
-              slot.ctx = std::make_unique<RecycleTpContext>(slot.base.get());
-            }
-            slot.base->SetSinks(&shard->patterns, &shard->stats);
-            std::vector<Rank> sub_prefix;
-            slot.ctx->MineChild(root, ext, matrix, i, &sub_prefix);
-          },
-          &out, &stats_);
+      const auto mine_subtree = [&](fpm::MineShard* shard, size_t lane,
+                                    size_t i) -> bool {
+        Lane& slot = lanes[lane];
+        if (!slot.ctx) {
+          slot.base = std::make_unique<SliceMiningContext>(
+              flist, min_support, nullptr, nullptr);
+          slot.base->SetRunContext(run_ctx_);
+          slot.ctx = std::make_unique<RecycleTpContext>(slot.base.get());
+        }
+        slot.base->SetSinks(&shard->patterns, &shard->stats);
+        std::vector<Rank> sub_prefix;
+        return slot.ctx->MineChild(root, ext, matrix, i, &sub_prefix);
+      };
+
+      if (run_ctx_ == nullptr) {
+        fpm::MineFirstLevelParallel(
+            pool, ext.size() - 1,
+            [&](fpm::MineShard* shard, size_t lane, size_t i) {
+              mine_subtree(shard, lane, i);
+            },
+            &out, &stats_);
+      } else {
+        // Governed: fan children descending. Child i's subtree holds the
+        // patterns whose rarest item is ext[i], supported at most c1[i];
+        // root slices and matrix stay live for the whole fan-out.
+        const std::vector<uint64_t> level_supports(c1.begin(), c1.end() - 1);
+        const ScopedBytes root_charge(
+            run_ctx_, ApproxWeightedSliceBytes(root) +
+                          ext.size() * (ext.size() - 1) / 2 *
+                              sizeof(uint64_t));
+        fpm::MineFirstLevelGoverned(pool, ext.size() - 1, mine_subtree, &out,
+                                    &stats_, run_ctx_, level_supports,
+                                    /*mark_frontier=*/true);
+      }
     }
   }
 

@@ -331,4 +331,15 @@ std::vector<WeightedSlice> ProjectWeightedSlices(
   return projected;
 }
 
+size_t ApproxWeightedSliceBytes(const std::vector<WeightedSlice>& slices) {
+  size_t bytes = slices.size() * sizeof(WeightedSlice);
+  for (const WeightedSlice& s : slices) {
+    bytes += s.pattern.size() * sizeof(Rank);
+    bytes += s.outs.size() *
+             sizeof(std::pair<std::vector<Rank>, uint64_t>);
+    for (const auto& [row, w] : s.outs) bytes += row.size() * sizeof(Rank);
+  }
+  return bytes;
+}
+
 }  // namespace gogreen::core

@@ -22,6 +22,7 @@
 #include "fpm/flist.h"
 #include "fpm/miner.h"
 #include "fpm/pattern_set.h"
+#include "util/run_context.h"
 
 namespace gogreen::core {
 
@@ -86,6 +87,16 @@ class SliceMiningContext {
     stats_ = stats;
   }
 
+  /// Attaches the run governor; miners sharing this context poll it between
+  /// subtrees and charge their scratch against its budget. Null detaches.
+  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
+  RunContext* run_context() const { return run_ctx_; }
+
+  /// True when a governed run must stop at the next pattern-set boundary.
+  bool ShouldStop() const {
+    return run_ctx_ != nullptr && run_ctx_->ShouldStop();
+  }
+
   /// Counts candidate-extension supports across `slices`. Pattern items are
   /// counted once per slice with the slice's tuple count — the group-counter
   /// trick of Section 3.1. Returns locally frequent ranks ascending and
@@ -137,8 +148,13 @@ class SliceMiningContext {
   const uint64_t min_support_;
   fpm::PatternSet* out_;
   fpm::MiningStats* stats_;
+  RunContext* run_ctx_ = nullptr;
   std::vector<uint64_t> scratch_counts_;  // Rank-indexed, zeroed after use.
 };
+
+/// Approximate heap footprint of a weighted slice database, for budget
+/// accounting in governed runs.
+size_t ApproxWeightedSliceBytes(const std::vector<WeightedSlice>& slices);
 
 /// Physically projects `slices` onto rank `f` (Definition 3.2 lifted to
 /// slices): keeps tuples containing f, with only items ranked after f.

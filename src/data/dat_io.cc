@@ -1,34 +1,74 @@
 #include "data/dat_io.h"
 
 #include <charconv>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "fpm/item.h"
+#include "util/failpoint.h"
+
 namespace gogreen::data {
 
+namespace {
+
+// Hard cap on one transaction line. Real FIMI lines are a few KiB; anything
+// beyond this is treated as malformed input rather than ballooning memory.
+constexpr size_t kMaxLineBytes = size_t{1} << 20;  // 1 MiB
+
+std::string At(const std::string& path, size_t line_no) {
+  return path + ":" + std::to_string(line_no);
+}
+
+}  // namespace
+
 Result<fpm::TransactionDb> ReadDatFile(const std::string& path) {
-  std::ifstream in(path);
+  GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("dat_io.open"));
+  std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IOError("cannot open for reading: " + path);
   }
+  GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("dat_io.read"));
   fpm::TransactionDb db;
-  std::string line;
+  std::vector<char> buf(kMaxLineBytes);
   std::vector<fpm::ItemId> row;
   size_t line_no = 0;
-  while (std::getline(in, line)) {
+  while (true) {
+    in.getline(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const size_t count = static_cast<size_t>(in.gcount());
+    if (in.fail()) {
+      if (in.eof()) break;  // Clean end of file.
+      // getline filled the buffer without finding a newline: the line is
+      // over the cap. Reject instead of reading unbounded input.
+      return Status::InvalidArgument("line too long (over " +
+                                     std::to_string(kMaxLineBytes) +
+                                     " bytes) at " + At(path, line_no + 1));
+    }
     ++line_no;
+    // gcount includes the consumed '\n' except on a final unterminated line.
+    const size_t len = (!in.eof() && count > 0) ? count - 1 : count;
+    if (std::memchr(buf.data(), '\0', len) != nullptr) {
+      return Status::InvalidArgument("embedded NUL byte at " +
+                                     At(path, line_no));
+    }
+
     row.clear();
-    const char* p = line.data();
-    const char* end = p + line.size();
+    const char* p = buf.data();
+    const char* end = p + len;
     while (p < end) {
       while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
       if (p == end) break;
-      uint32_t value = 0;
+      fpm::ItemId value = 0;
       auto [next, ec] = std::from_chars(p, end, value);
+      if (ec == std::errc::result_out_of_range ||
+          (ec == std::errc() && value == fpm::kInvalidItem)) {
+        return Status::InvalidArgument("item id out of range at " +
+                                       At(path, line_no));
+      }
       if (ec != std::errc()) {
-        return Status::IOError("malformed item at " + path + ":" +
-                               std::to_string(line_no));
+        return Status::InvalidArgument("malformed item at " +
+                                       At(path, line_no));
       }
       row.push_back(value);
       p = next;
@@ -41,6 +81,7 @@ Result<fpm::TransactionDb> ReadDatFile(const std::string& path) {
 
 Result<uint64_t> WriteDatFile(const fpm::TransactionDb& db,
                               const std::string& path) {
+  GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("dat_io.write"));
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     return Status::IOError("cannot open for writing: " + path);

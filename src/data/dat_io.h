@@ -11,8 +11,11 @@
 
 namespace gogreen::data {
 
-/// Parses a `.dat` transaction file. Blank lines become empty transactions;
-/// malformed tokens produce an IOError naming the line.
+/// Parses a `.dat` transaction file. Blank lines become empty transactions.
+/// Malformed content — non-numeric tokens, item ids that overflow ItemId
+/// (or hit the reserved sentinel), lines over 1 MiB, embedded NUL bytes —
+/// produces an InvalidArgument naming the offending line; unreadable files
+/// produce an IOError.
 Result<fpm::TransactionDb> ReadDatFile(const std::string& path);
 
 /// Writes `db` in `.dat` format. Returns the number of bytes written, which

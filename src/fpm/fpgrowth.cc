@@ -96,30 +96,42 @@ class FpGrowthContext {
                   MiningStats* stats)
       : flist_(flist), min_support_(min_support), out_(out), stats_(stats) {}
 
+  /// Attaches the run governor: Mine() then polls between header ranks and
+  /// charges conditional trees against the byte budget. Null detaches.
+  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
+
   /// Mines `tree` under `prefix`. `to_global[local]` maps the tree's local
   /// rank space back to global F-list ranks (increasing in local rank).
-  void Mine(const FpTree& tree, const std::vector<Rank>& to_global,
+  /// Returns false iff a governed stop abandoned part of the subtree.
+  bool Mine(const FpTree& tree, const std::vector<Rank>& to_global,
             std::vector<Rank>* prefix) {
-    if (tree.empty()) return;
+    if (tree.empty()) return true;
 
     const std::vector<const FpNode*> path = tree.SinglePath();
     if (!path.empty()) {
       EmitSinglePathCombinations(path, to_global, prefix);
-      return;
+      return true;
     }
 
     // Header processed in ascending local-rank order (lowest support first),
     // as in the original algorithm.
+    bool completed = true;
     for (Rank r = 0; r < tree.num_ranks(); ++r) {
+      if (run_ctx_ != nullptr && run_ctx_->ShouldStop()) {
+        completed = false;
+        break;
+      }
       if (tree.HeaderCount(r) < min_support_) continue;
-      MineHeaderRank(tree, to_global, r, prefix);
+      if (!MineHeaderRank(tree, to_global, r, prefix)) completed = false;
     }
+    return completed;
   }
 
   /// Processes one frequent header rank `r` of `tree`: emits prefix+r and
   /// mines its conditional FP-tree. Reads `tree` without mutating it, so
   /// distinct ranks of the same tree may be processed concurrently.
-  void MineHeaderRank(const FpTree& tree, const std::vector<Rank>& to_global,
+  /// Returns false iff a governed stop abandoned part of the subtree.
+  bool MineHeaderRank(const FpTree& tree, const std::vector<Rank>& to_global,
                       Rank r, std::vector<Rank>* prefix) {
     prefix->push_back(to_global[r]);
     EmitPattern(*prefix, tree.HeaderCount(r));
@@ -144,6 +156,7 @@ class FpGrowthContext {
       }
     }
 
+    bool completed = true;
     if (!cond_to_global.empty()) {
       FpTree cond_tree(cond_to_global.size());
       std::vector<Rank> desc;
@@ -159,9 +172,14 @@ class FpGrowthContext {
         cond_tree.InsertPath(desc, n->count);
       }
       ++stats_->projections_built;
-      Mine(cond_tree, cond_to_global, prefix);
+      // The conditional tree is this step's dominant scratch; charge its
+      // arena while the recursion below keeps it alive.
+      const ScopedBytes charge(
+          run_ctx_, run_ctx_ != nullptr ? cond_tree.MemoryUsage() : 0);
+      completed = Mine(cond_tree, cond_to_global, prefix);
     }
     prefix->pop_back();
+    return completed;
   }
 
  private:
@@ -197,6 +215,7 @@ class FpGrowthContext {
   const uint64_t min_support_;
   PatternSet* out_;
   MiningStats* stats_;
+  RunContext* run_ctx_ = nullptr;
 };
 
 }  // namespace
@@ -231,7 +250,28 @@ Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
     // Ascending-rank shard merge reproduces the sequential header order, so
     // the output is bit-identical at any thread count. A single-path root
     // (no per-rank decomposition) keeps the sequential shortcut.
-    if (ParallelMiningEnabled() && !tree.empty() && tree.SinglePath().empty()) {
+    if (run_ctx_ != nullptr && !tree.empty() && tree.SinglePath().empty()) {
+      // Governed: fan header ranks descending. Root header counts equal the
+      // F-list supports (every root rank is frequent), giving the ascending
+      // level supports the frontier computation needs.
+      std::vector<uint64_t> level_supports(flist.size());
+      for (Rank r = 0; r < flist.size(); ++r) {
+        level_supports[r] = tree.HeaderCount(r);
+      }
+      const ScopedBytes root_charge(run_ctx_, tree.MemoryUsage());
+      MineFirstLevelGoverned(
+          ThreadPool::Global(), flist.size(),
+          [&](MineShard* shard, size_t /*lane*/, size_t i) -> bool {
+            const Rank r = static_cast<Rank>(i);
+            FpGrowthContext ctx(flist, min_support, &shard->patterns,
+                                &shard->stats);
+            ctx.SetRunContext(run_ctx_);
+            std::vector<Rank> prefix;
+            return ctx.MineHeaderRank(tree, identity, r, &prefix);
+          },
+          &out, &stats_, run_ctx_, level_supports, /*mark_frontier=*/true);
+    } else if (ParallelMiningEnabled() && !tree.empty() &&
+               tree.SinglePath().empty()) {
       MineFirstLevelParallel(
           ThreadPool::Global(), flist.size(),
           [&](MineShard* shard, size_t /*lane*/, size_t i) {
@@ -246,6 +286,7 @@ Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
     } else {
       std::vector<Rank> prefix;
       FpGrowthContext ctx(flist, min_support, &out, &stats_);
+      ctx.SetRunContext(run_ctx_);
       ctx.Mine(tree, identity, &prefix);
     }
   }

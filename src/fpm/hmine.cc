@@ -21,6 +21,14 @@ struct Suffix {
   uint32_t pos;  // First item of the suffix within the ranked transaction.
 };
 
+/// Heap footprint of one level's suffix buckets (bucket i holds one Suffix
+/// per supporting row, i.e. freq_counts[i] entries), for budget accounting.
+size_t AllBucketBytes(const std::vector<uint64_t>& freq_counts) {
+  uint64_t total = 0;
+  for (uint64_t c : freq_counts) total += c;
+  return static_cast<size_t>(total) * sizeof(Suffix);
+}
+
 /// RowSource concept: Transaction(Tid) -> span of ranks, ascending.
 template <typename RowSource>
 class HMineContext {
@@ -41,6 +49,10 @@ class HMineContext {
     out_ = out;
     stats_ = stats;
   }
+
+  /// Attaches the run governor: Mine() then polls between extensions and
+  /// charges suffix buckets against the byte budget. Null detaches.
+  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
 
   /// One level of H-Mine: counts candidate extensions of `projs` and threads
   /// the suffix links of the frequent ones. Two passes, as in the paper:
@@ -97,21 +109,32 @@ class HMineContext {
 
   /// Mines the projected database `projs` under `prefix` (prefix given in
   /// ranks): expands one level, then recurses depth-first in ascending
-  /// extension-rank order.
-  void Mine(const std::vector<Suffix>& projs, std::vector<Rank>* prefix) {
+  /// extension-rank order. Returns false iff a governed stop abandoned part
+  /// of the subtree (always true ungoverned).
+  bool Mine(const std::vector<Suffix>& projs, std::vector<Rank>* prefix) {
     std::vector<Rank> frequent;
     std::vector<uint64_t> freq_counts;
     std::vector<std::vector<Suffix>> buckets;
     Expand(projs, &frequent, &freq_counts, &buckets);
+    // The suffix buckets are this level's dominant scratch; charge them for
+    // the time the recursion below keeps them alive.
+    const ScopedBytes charge(
+        run_ctx_, run_ctx_ != nullptr ? AllBucketBytes(freq_counts) : 0);
 
+    bool completed = true;
     for (size_t i = 0; i < frequent.size(); ++i) {
+      if (run_ctx_ != nullptr && run_ctx_->ShouldStop()) {
+        completed = false;
+        break;
+      }
       prefix->push_back(frequent[i]);
       EmitPattern(*prefix, freq_counts[i]);
-      Mine(buckets[i], prefix);
+      if (!Mine(buckets[i], prefix)) completed = false;
       prefix->pop_back();
       buckets[i].clear();
       buckets[i].shrink_to_fit();  // Release level memory eagerly.
     }
+    return completed;
   }
 
   void EmitPattern(const std::vector<Rank>& ranks, uint64_t support) {
@@ -126,6 +149,7 @@ class HMineContext {
   const uint64_t min_support_;
   PatternSet* out_;
   MiningStats* stats_;
+  RunContext* run_ctx_ = nullptr;
   std::vector<uint64_t> counts_;    // Scratch, zero between calls.
   std::vector<size_t> bucket_of_;   // Scratch, SIZE_MAX between calls.
 };
@@ -134,16 +158,19 @@ class HMineContext {
 /// the plain depth-first recursion; with more, the root level is expanded
 /// once and its subtrees fan out to the pool, each mining into a private
 /// shard merged in ascending extension order — the sequential emission
-/// order, so output is bit-identical at any thread count.
+/// order, so output is bit-identical at any thread count. A governed run
+/// (run_ctx != null) instead fans descending through
+/// MineFirstLevelGoverned, at any lane count, so an early stop yields a
+/// sound frontier. Returns false iff a governed stop abandoned work.
 template <typename RowSource>
-void MineHM(const RowSource& source, const FList& flist, uint64_t min_support,
+bool MineHM(const RowSource& source, const FList& flist, uint64_t min_support,
             const std::vector<Suffix>& all, const std::vector<Rank>& prefix0,
-            PatternSet* out, MiningStats* stats) {
+            PatternSet* out, MiningStats* stats, RunContext* run_ctx) {
   HMineContext<RowSource> root(source, flist, min_support, out, stats);
   std::vector<Rank> prefix = prefix0;
-  if (!ParallelMiningEnabled()) {
+  if (run_ctx == nullptr && !ParallelMiningEnabled()) {
     root.Mine(all, &prefix);
-    return;
+    return true;
   }
 
   std::vector<Rank> frequent;
@@ -157,21 +184,37 @@ void MineHM(const RowSource& source, const FList& flist, uint64_t min_support,
   const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
   std::vector<std::unique_ptr<HMineContext<RowSource>>> lane_ctx(
       pool->threads());
-  MineFirstLevelParallel(
-      pool, frequent.size(),
-      [&](MineShard* shard, size_t lane, size_t i) {
-        auto& ctx = lane_ctx[lane];
-        if (!ctx) {
-          ctx = std::make_unique<HMineContext<RowSource>>(
-              source, flist, min_support, nullptr, nullptr);
-        }
-        ctx->SetSinks(&shard->patterns, &shard->stats);
-        std::vector<Rank> sub_prefix = prefix;
-        sub_prefix.push_back(frequent[i]);
-        ctx->EmitPattern(sub_prefix, freq_counts[i]);
-        ctx->Mine(buckets[i], &sub_prefix);
-      },
-      out, stats);
+  const auto mine_subtree = [&](MineShard* shard, size_t lane,
+                                size_t i) -> bool {
+    auto& ctx = lane_ctx[lane];
+    if (!ctx) {
+      ctx = std::make_unique<HMineContext<RowSource>>(
+          source, flist, min_support, nullptr, nullptr);
+      ctx->SetRunContext(run_ctx);
+    }
+    ctx->SetSinks(&shard->patterns, &shard->stats);
+    std::vector<Rank> sub_prefix = prefix;
+    sub_prefix.push_back(frequent[i]);
+    ctx->EmitPattern(sub_prefix, freq_counts[i]);
+    return ctx->Mine(buckets[i], &sub_prefix);
+  };
+
+  if (run_ctx == nullptr) {
+    MineFirstLevelParallel(
+        pool, frequent.size(),
+        [&](MineShard* shard, size_t lane, size_t i) {
+          mine_subtree(shard, lane, i);
+        },
+        out, stats);
+    return true;
+  }
+
+  // Governed: root buckets stay live for the whole fan-out.
+  const ScopedBytes root_charge(
+      run_ctx, AllBucketBytes(freq_counts));
+  return MineFirstLevelGoverned(pool, frequent.size(), mine_subtree, out,
+                                stats, run_ctx, freq_counts,
+                                /*mark_frontier=*/prefix0.empty());
 }
 
 }  // namespace
@@ -194,7 +237,7 @@ Result<PatternSet> HMineMiner::Mine(const TransactionDb& db,
       if (!ranked.Transaction(t).empty()) all.push_back({t, 0});
     }
 
-    MineHM(ranked, flist, min_support, all, {}, &out, &stats_);
+    MineHM(ranked, flist, min_support, all, {}, &out, &stats_, run_ctx_);
   }
 
   stats_.patterns_emitted = out.size();
@@ -203,10 +246,10 @@ Result<PatternSet> HMineMiner::Mine(const TransactionDb& db,
   return out;
 }
 
-void MineRankedRowsHM(const std::vector<std::vector<Rank>>& rows,
+bool MineRankedRowsHM(const std::vector<std::vector<Rank>>& rows,
                       const FList& flist, uint64_t min_support,
                       const std::vector<Rank>& prefix_ranks, PatternSet* out,
-                      MiningStats* stats) {
+                      MiningStats* stats, RunContext* run_ctx) {
   struct VecRows {
     const std::vector<std::vector<Rank>>& rows;
     size_t NumTransactions() const { return rows.size(); }
@@ -220,7 +263,8 @@ void MineRankedRowsHM(const std::vector<std::vector<Rank>>& rows,
   for (Tid t = 0; t < rows.size(); ++t) {
     if (!rows[t].empty()) all.push_back({t, 0});
   }
-  MineHM(source, flist, min_support, all, prefix_ranks, out, stats);
+  return MineHM(source, flist, min_support, all, prefix_ranks, out, stats,
+                run_ctx);
 }
 
 }  // namespace gogreen::fpm

@@ -25,11 +25,13 @@ class HMineMiner : public FrequentPatternMiner {
 /// Mines a projected database given as rank-encoded rows (each ascending in
 /// F-list rank). Every emitted pattern is prefixed with `prefix_ranks`.
 /// This is the H-Mine core exposed for the memory-limited driver, which
-/// mines disk partitions one at a time (Section 5.3).
-void MineRankedRowsHM(const std::vector<std::vector<Rank>>& rows,
+/// mines disk partitions one at a time (Section 5.3). `run_ctx` (optional)
+/// governs the run; returns false iff a governed stop abandoned work — the
+/// caller owns the frontier bookkeeping when `prefix_ranks` is non-empty.
+bool MineRankedRowsHM(const std::vector<std::vector<Rank>>& rows,
                       const FList& flist, uint64_t min_support,
                       const std::vector<Rank>& prefix_ranks, PatternSet* out,
-                      MiningStats* stats);
+                      MiningStats* stats, RunContext* run_ctx = nullptr);
 
 }  // namespace gogreen::fpm
 

@@ -1,6 +1,8 @@
 #include "fpm/miner.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "fpm/apriori.h"
 #include "fpm/eclat.h"
@@ -8,10 +10,79 @@
 #include "fpm/hmine.h"
 #include "fpm/tree_projection.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace gogreen::fpm {
+
+namespace {
+
+/// Flushes a governed run's outcome into the registry: `run.partial`,
+/// per-reason stop counters, and the `run.bytes_peak` high-water gauge.
+void RecordGovernorOutcome(RunContext* ctx, bool partial) {
+  if (ctx == nullptr) return;
+  using obs::MetricRegistry;
+  static obs::Counter* partials =
+      MetricRegistry::Global().GetCounter("run.partial");
+  static obs::Counter* cancelled =
+      MetricRegistry::Global().GetCounter("run.cancelled");
+  static obs::Counter* deadline =
+      MetricRegistry::Global().GetCounter("run.deadline_exceeded");
+  static obs::Counter* exhausted =
+      MetricRegistry::Global().GetCounter("run.memory_exceeded");
+  static obs::Gauge* bytes_peak =
+      MetricRegistry::Global().GetGauge("run.bytes_peak");
+  if (partial) partials->Add(1);
+  switch (ctx->stop_reason()) {
+    case StopReason::kNone:
+      break;
+    case StopReason::kCancelled:
+      cancelled->Add(1);
+      break;
+    case StopReason::kDeadlineExceeded:
+      deadline->Add(1);
+      break;
+    case StopReason::kMemoryBudgetExceeded:
+      exhausted->Add(1);
+      break;
+  }
+  bytes_peak->UpdateMax(static_cast<int64_t>(ctx->bytes_peak()));
+}
+
+}  // namespace
+
+Result<MineOutcome> FinishGovernedOutcome(Result<PatternSet> result,
+                                          uint64_t min_support,
+                                          RunContext* ctx) {
+  if (!result.ok()) return result.status();
+  MineOutcome outcome;
+  outcome.patterns = std::move(result).value();
+  outcome.frontier_support = min_support;
+  if (ctx != nullptr && ctx->incomplete()) {
+    outcome.partial = true;
+    outcome.stop_status = ctx->StopStatus();
+    outcome.frontier_support =
+        std::max(min_support, ctx->frontier_support());
+    // Subtrees below the frontier may have been cut mid-emission; dropping
+    // everything under the frontier restores exactness (the completed
+    // most-frequent-first subtrees contain every pattern at or above it).
+    outcome.patterns =
+        outcome.patterns.FilterBySupport(outcome.frontier_support);
+  }
+  RecordGovernorOutcome(ctx, outcome.partial);
+  return outcome;
+}
+
+Result<MineOutcome> FrequentPatternMiner::MineGoverned(const TransactionDb& db,
+                                                       uint64_t min_support,
+                                                       RunContext* ctx) {
+  GOGREEN_TRACE_SPAN("run.governor");
+  SetRunContext(ctx);
+  Result<PatternSet> mined = Mine(db, min_support);
+  SetRunContext(nullptr);
+  return FinishGovernedOutcome(std::move(mined), min_support, ctx);
+}
 
 void RecordMiningStats(const MiningStats& stats) {
   using obs::MetricRegistry;

@@ -9,6 +9,7 @@
 
 #include "fpm/pattern_set.h"
 #include "fpm/transaction_db.h"
+#include "util/run_context.h"
 #include "util/status.h"
 
 namespace gogreen::fpm {
@@ -32,6 +33,32 @@ struct MiningStats {
 /// registry view stays consistent with the `stats()` accessors.
 void RecordMiningStats(const MiningStats& stats);
 
+/// Outcome of a governed mining run. A partial outcome is still exact: when
+/// a deadline/budget/cancel stops the run early, the governed drivers
+/// process first-level subtrees most-frequent-first, so the emitted set
+/// filtered to `frontier_support` is precisely the complete frequent set at
+/// that (higher) support — the caller can keep it, or recycle it and rerun
+/// at a tightened threshold, which is the paper's own loop.
+struct MineOutcome {
+  PatternSet patterns;
+  /// True when the run was stopped before covering the requested support.
+  bool partial = false;
+  /// The support level the patterns are complete for. Equals the requested
+  /// min_support when the run completed; higher when partial.
+  uint64_t frontier_support = 0;
+  /// OK when complete; DeadlineExceeded / ResourceExhausted / Cancelled
+  /// when partial.
+  Status stop_status;
+};
+
+/// Shared epilogue of the governed entry points: turns a raw mined set into
+/// a MineOutcome using the context's incompleteness bookkeeping (filtering
+/// the set to the frontier support when partial) and flushes the `run.*`
+/// metrics. `ctx` may be null (never-partial passthrough).
+Result<MineOutcome> FinishGovernedOutcome(Result<PatternSet> result,
+                                          uint64_t min_support,
+                                          RunContext* ctx);
+
 /// Interface implemented by every complete-set frequent-pattern miner.
 /// Implementations are stateful only through `stats()`, which reflects the
 /// most recent Mine() call; a single miner instance may be reused serially.
@@ -52,6 +79,18 @@ class FrequentPatternMiner {
   /// Counters of the most recent Mine() call.
   const MiningStats& stats() const { return stats_; }
 
+  /// Attaches a run governor observed by the next Mine() call (null
+  /// detaches). Miners without governed paths (Apriori, Eclat) ignore it
+  /// and always run to completion.
+  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
+
+  /// Mines under `ctx`'s deadline/budget/cancellation. On an early stop the
+  /// outcome is marked partial and carries the exact frequent set at the
+  /// frontier support (see MineOutcome). Not virtual: it wraps Mine() with
+  /// the context attach and the shared partial-result epilogue.
+  Result<MineOutcome> MineGoverned(const TransactionDb& db,
+                                   uint64_t min_support, RunContext* ctx);
+
  protected:
   /// Shared argument validation; implementations call this first.
   static Status ValidateArgs(uint64_t min_support) {
@@ -62,6 +101,7 @@ class FrequentPatternMiner {
   }
 
   MiningStats stats_;
+  RunContext* run_ctx_ = nullptr;
 };
 
 /// The non-recycling algorithms available in the substrate library.

@@ -12,11 +12,14 @@
 #define GOGREEN_FPM_PARALLEL_MINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "fpm/miner.h"
 #include "fpm/pattern_set.h"
+#include "util/run_context.h"
 #include "util/thread_pool.h"
 
 namespace gogreen::fpm {
@@ -45,6 +48,35 @@ void MineFirstLevelParallel(
     const std::shared_ptr<ThreadPool>& pool, size_t n,
     const std::function<void(MineShard* shard, size_t lane, size_t i)>& mine,
     PatternSet* out, MiningStats* stats);
+
+/// Governed first-level fan-out. Differs from MineFirstLevelParallel in
+/// three ways that together make an early stop sound:
+///   - Subtrees are claimed in DESCENDING index order. The F-list is
+///     support-ascending, so the most frequent extensions — whose subtrees
+///     contain every high-support pattern — are mined first.
+///   - `ctx` is polled between claims, and the caller's wait on the fan-out
+///     is deadline-aware (ThreadPool::WaitFor in a poll loop), so a breach
+///     trips within one shard boundary.
+///   - `mine` returns whether it ran subtree i to completion. After the
+///     fan-out, if the contiguously completed subtrees counted from the top
+///     do not cover all n, the run is marked incomplete on `ctx` with
+///     frontier support level_supports[j] + 1, where j is the highest
+///     uncompleted index — every pattern with support above that level lives
+///     entirely inside the completed top region, so the emitted set filtered
+///     to the frontier is exact. `level_supports[i]` is the support of
+///     extension i (ascending, F-list order).
+/// Nested (non-root) callers pass mark_frontier = false: they report
+/// completion through the return value and leave the frontier bookkeeping
+/// to their root driver. All shards, complete or not, are merged into `out`
+/// (partially mined subtrees still emitted genuine patterns; the outcome
+/// filter drops whatever falls below the frontier). Returns true iff every
+/// subtree completed. With a 1-lane pool the caller mines every subtree
+/// itself — the governed sequential path.
+bool MineFirstLevelGoverned(
+    const std::shared_ptr<ThreadPool>& pool, size_t n,
+    const std::function<bool(MineShard* shard, size_t lane, size_t i)>& mine,
+    PatternSet* out, MiningStats* stats, RunContext* ctx,
+    const std::vector<uint64_t>& level_supports, bool mark_frontier);
 
 }  // namespace gogreen::fpm
 

@@ -86,26 +86,30 @@ class TpContext {
             MiningStats* stats)
       : flist_(flist), min_support_(min_support), out_(out), stats_(stats) {}
 
+  /// Attaches the run governor: Process() then polls between children and
+  /// charges projected child rows against the byte budget. Null detaches.
+  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
+
   /// Processes one lexicographic-tree node.
   ///  - `ext`: candidate extension items (global ranks, F-list ascending);
   ///    all are known frequent together with the prefix.
   ///  - `c1[i]`: support of prefix + ext[i].
   ///  - `rows`: weighted distinct transactions containing the prefix,
   ///    reduced to ext items.
-  void Process(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
+  /// Returns false iff a governed stop abandoned part of the subtree.
+  bool Process(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
                const std::vector<uint64_t>& c1, const LocalRows& rows) {
     for (size_t i = 0; i < ext.size(); ++i) {
       prefix->push_back(ext[i]);
       EmitPattern(*prefix, c1[i]);
       prefix->pop_back();
     }
-    if (ext.size() < 2) return;
+    if (ext.size() < 2) return true;
 
     if (ext.size() <= kMaxMatrixItems) {
-      ProcessWithMatrix(prefix, ext, rows);
-    } else {
-      ProcessWithRecount(prefix, ext, rows);
+      return ProcessWithMatrix(prefix, ext, rows);
     }
+    return ProcessWithRecount(prefix, ext, rows);
   }
 
   /// Root driver for multi-lane runs: emits the singleton patterns, fills
@@ -137,16 +141,65 @@ class TpContext {
         out_, stats_);
   }
 
+  /// Governed root driver: like ProcessRootParallel but fanning children
+  /// descending through MineFirstLevelGoverned (works at any lane count),
+  /// with a recount fallback when the extension set exceeds the matrix
+  /// limit. `c1` is F-list ascending, as the frontier computation needs.
+  void ProcessRootGoverned(const std::vector<Rank>& ext,
+                           const std::vector<uint64_t>& c1,
+                           const LocalRows& rows) {
+    std::vector<Rank> prefix;
+    for (size_t i = 0; i < ext.size(); ++i) {
+      prefix.push_back(ext[i]);
+      EmitPattern(prefix, c1[i]);
+      prefix.pop_back();
+    }
+    if (ext.size() < 2) return;
+
+    const bool use_matrix = ext.size() <= kMaxMatrixItems;
+    PairMatrix matrix(use_matrix ? ext.size() : 2);
+    if (use_matrix) FillMatrix(&matrix, rows);
+    // Root rows and matrix stay live for the whole fan-out.
+    const ScopedBytes root_charge(
+        run_ctx_,
+        RowsBytes(rows) +
+            (use_matrix ? ext.size() * (ext.size() - 1) / 2 * sizeof(uint64_t)
+                        : 0));
+
+    // Children are i in [0, ext.size() - 1); child i's subtree holds the
+    // patterns whose rarest item is ext[i], supported at most c1[i].
+    const std::vector<uint64_t> level_supports(c1.begin(), c1.end() - 1);
+    MineFirstLevelGoverned(
+        ThreadPool::Global(), ext.size() - 1,
+        [&](MineShard* shard, size_t /*lane*/, size_t i) -> bool {
+          TpContext ctx(flist_, min_support_, &shard->patterns,
+                        &shard->stats);
+          ctx.SetRunContext(run_ctx_);
+          std::vector<Rank> sub_prefix;
+          return use_matrix
+                     ? ctx.MineMatrixChild(&sub_prefix, ext, matrix, rows, i)
+                     : ctx.MineRecountChild(&sub_prefix, ext, rows, i);
+        },
+        out_, stats_, run_ctx_, level_supports, /*mark_frontier=*/true);
+  }
+
  private:
   /// The signature Tree Projection step: one scan fills the pair matrix,
   /// giving every child its extension supports without recounting.
-  void ProcessWithMatrix(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
+  /// Returns false iff a governed stop abandoned part of the subtree.
+  bool ProcessWithMatrix(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
                          const LocalRows& rows) {
     PairMatrix matrix(ext.size());
     FillMatrix(&matrix, rows);
+    bool completed = true;
     for (size_t i = 0; i + 1 < ext.size(); ++i) {
-      MineMatrixChild(prefix, ext, matrix, rows, i);
+      if (run_ctx_ != nullptr && run_ctx_->ShouldStop()) {
+        completed = false;
+        break;
+      }
+      if (!MineMatrixChild(prefix, ext, matrix, rows, i)) completed = false;
     }
+    return completed;
   }
 
   /// One scan of `rows` accumulating every in-row pair into `matrix`.
@@ -164,7 +217,8 @@ class TpContext {
   /// Builds and processes the child node for prefix + ext[i] from the
   /// parent's already-filled pair matrix. Reads `matrix` and `rows` without
   /// mutating them, so distinct children may be processed concurrently.
-  void MineMatrixChild(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
+  /// Returns false iff a governed stop abandoned part of the subtree.
+  bool MineMatrixChild(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
                        const PairMatrix& matrix, const LocalRows& rows,
                        size_t i) {
     // Child node for prefix + ext[i]; its extensions are the j > i with
@@ -179,7 +233,7 @@ class TpContext {
         child_c1.push_back(matrix.Get(i, j));
       }
     }
-    if (child_ext.empty()) return;
+    if (child_ext.empty()) return true;
 
     std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw;
     for (const WeightedRow& row : rows) {
@@ -199,56 +253,86 @@ class TpContext {
 
     prefix->push_back(ext[i]);
     const LocalRows child_rows = Dedupe(std::move(raw));
-    Process(prefix, child_ext, child_c1, child_rows);
+    const ScopedBytes charge(
+        run_ctx_, run_ctx_ != nullptr ? RowsBytes(child_rows) : 0);
+    const bool completed = Process(prefix, child_ext, child_c1, child_rows);
     prefix->pop_back();
+    return completed;
+  }
+
+  /// One recount-mode child: projects rows containing ext[i], recounts the
+  /// extension supports there, and processes the child node. The per-child
+  /// body of ProcessWithRecount, exposed so the governed root fan-out can
+  /// run children independently above the matrix limit.
+  bool MineRecountChild(std::vector<Rank>* prefix, const std::vector<Rank>& ext,
+                        const LocalRows& rows, size_t i) {
+    std::vector<uint64_t> raw_counts(ext.size() - i - 1, 0);
+    LocalRows contained;
+    for (const WeightedRow& row : rows) {
+      auto it = std::lower_bound(row.items.begin(), row.items.end(),
+                                 static_cast<uint32_t>(i));
+      if (it == row.items.end() || *it != i) continue;
+      std::vector<uint32_t> tail(it + 1, row.items.end());
+      stats_->items_scanned += tail.size();
+      for (uint32_t x : tail) raw_counts[x - i - 1] += row.weight;
+      contained.push_back({std::move(tail), row.weight});
+    }
+
+    std::vector<uint32_t> remap(ext.size(), UINT32_MAX);
+    std::vector<Rank> child_ext;
+    std::vector<uint64_t> child_c1;
+    for (size_t j = i + 1; j < ext.size(); ++j) {
+      if (raw_counts[j - i - 1] >= min_support_) {
+        remap[j] = static_cast<uint32_t>(child_ext.size());
+        child_ext.push_back(ext[j]);
+        child_c1.push_back(raw_counts[j - i - 1]);
+      }
+    }
+    if (child_ext.empty()) return true;
+
+    std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw;
+    for (const WeightedRow& row : contained) {
+      std::vector<uint32_t> child_row;
+      for (uint32_t x : row.items) {
+        if (remap[x] != UINT32_MAX) child_row.push_back(remap[x]);
+      }
+      if (!child_row.empty()) {
+        raw.emplace_back(std::move(child_row), row.weight);
+      }
+    }
+    ++stats_->projections_built;
+
+    prefix->push_back(ext[i]);
+    const LocalRows child_rows = Dedupe(std::move(raw));
+    const ScopedBytes charge(
+        run_ctx_, run_ctx_ != nullptr ? RowsBytes(child_rows) : 0);
+    const bool completed = Process(prefix, child_ext, child_c1, child_rows);
+    prefix->pop_back();
+    return completed;
   }
 
   /// Fallback for nodes whose extension set is too large for a matrix:
   /// project per child and recount extension supports there.
-  void ProcessWithRecount(std::vector<Rank>* prefix,
+  /// Returns false iff a governed stop abandoned part of the subtree.
+  bool ProcessWithRecount(std::vector<Rank>* prefix,
                           const std::vector<Rank>& ext, const LocalRows& rows) {
+    bool completed = true;
     for (size_t i = 0; i + 1 < ext.size(); ++i) {
-      std::vector<uint64_t> raw_counts(ext.size() - i - 1, 0);
-      LocalRows contained;
-      for (const WeightedRow& row : rows) {
-        auto it = std::lower_bound(row.items.begin(), row.items.end(),
-                                   static_cast<uint32_t>(i));
-        if (it == row.items.end() || *it != i) continue;
-        std::vector<uint32_t> tail(it + 1, row.items.end());
-        stats_->items_scanned += tail.size();
-        for (uint32_t x : tail) raw_counts[x - i - 1] += row.weight;
-        contained.push_back({std::move(tail), row.weight});
+      if (run_ctx_ != nullptr && run_ctx_->ShouldStop()) {
+        completed = false;
+        break;
       }
-
-      std::vector<uint32_t> remap(ext.size(), UINT32_MAX);
-      std::vector<Rank> child_ext;
-      std::vector<uint64_t> child_c1;
-      for (size_t j = i + 1; j < ext.size(); ++j) {
-        if (raw_counts[j - i - 1] >= min_support_) {
-          remap[j] = static_cast<uint32_t>(child_ext.size());
-          child_ext.push_back(ext[j]);
-          child_c1.push_back(raw_counts[j - i - 1]);
-        }
-      }
-      if (child_ext.empty()) continue;
-
-      std::vector<std::pair<std::vector<uint32_t>, uint64_t>> raw;
-      for (const WeightedRow& row : contained) {
-        std::vector<uint32_t> child_row;
-        for (uint32_t x : row.items) {
-          if (remap[x] != UINT32_MAX) child_row.push_back(remap[x]);
-        }
-        if (!child_row.empty()) {
-          raw.emplace_back(std::move(child_row), row.weight);
-        }
-      }
-      ++stats_->projections_built;
-
-      prefix->push_back(ext[i]);
-      const LocalRows child_rows = Dedupe(std::move(raw));
-      Process(prefix, child_ext, child_c1, child_rows);
-      prefix->pop_back();
+      if (!MineRecountChild(prefix, ext, rows, i)) completed = false;
     }
+    return completed;
+  }
+
+  static size_t RowsBytes(const LocalRows& rows) {
+    size_t bytes = rows.size() * sizeof(WeightedRow);
+    for (const WeightedRow& row : rows) {
+      bytes += row.items.size() * sizeof(uint32_t);
+    }
+    return bytes;
   }
 
   void EmitPattern(const std::vector<Rank>& ranks, uint64_t support) {
@@ -261,6 +345,7 @@ class TpContext {
   const uint64_t min_support_;
   PatternSet* out_;
   MiningStats* stats_;
+  RunContext* run_ctx_ = nullptr;
 };
 
 }  // namespace
@@ -298,8 +383,11 @@ Result<PatternSet> TreeProjectionMiner::Mine(const TransactionDb& db,
     const LocalRows rows = Dedupe(std::move(raw));
 
     TpContext ctx(flist, min_support, &out, &stats_);
-    if (ParallelMiningEnabled() && ext.size() >= 2 &&
-        ext.size() <= kMaxMatrixItems) {
+    if (run_ctx_ != nullptr) {
+      ctx.SetRunContext(run_ctx_);
+      ctx.ProcessRootGoverned(ext, c1, rows);
+    } else if (ParallelMiningEnabled() && ext.size() >= 2 &&
+               ext.size() <= kMaxMatrixItems) {
       ctx.ProcessRootParallel(ext, c1, rows);
     } else {
       std::vector<Rank> prefix;

@@ -1,9 +1,17 @@
 #include "util/env.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include <algorithm>
 #include <cctype>
+#include <vector>
 
 namespace gogreen {
 
@@ -39,6 +47,49 @@ std::string TempDir() {
 std::string GetEnvOrEmpty(const char* name) {
   const char* raw = std::getenv(name);
   return raw == nullptr ? std::string() : std::string(raw);
+}
+
+Result<ScopedTempDir> ScopedTempDir::Create(const std::string& parent,
+                                            const std::string& prefix) {
+  std::string templ = parent + "/" + prefix + "XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  if (mkdtemp(buf.data()) == nullptr) {
+    return Status::IOError("cannot create temp directory under " + parent +
+                           ": " + std::strerror(errno));
+  }
+  return ScopedTempDir(std::string(buf.data()));
+}
+
+ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = other.path_;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+std::string ScopedTempDir::Release() {
+  std::string released = path_;
+  path_.clear();
+  return released;
+}
+
+void ScopedTempDir::Remove() {
+  if (path_.empty()) return;
+  if (DIR* dir = opendir(path_.c_str())) {
+    while (const dirent* entry = readdir(dir)) {
+      const char* name = entry->d_name;
+      if (std::strcmp(name, ".") == 0 || std::strcmp(name, "..") == 0) {
+        continue;
+      }
+      std::remove((path_ + "/" + name).c_str());
+    }
+    closedir(dir);
+  }
+  rmdir(path_.c_str());
+  path_.clear();
 }
 
 }  // namespace gogreen

@@ -1,10 +1,12 @@
 // Small environment helpers shared by benchmark harnesses: scale factors,
-// temp-directory selection.
+// temp-directory selection, scoped temporary directories.
 
 #ifndef GOGREEN_UTIL_ENV_H_
 #define GOGREEN_UTIL_ENV_H_
 
 #include <string>
+
+#include "util/status.h"
 
 namespace gogreen {
 
@@ -23,6 +25,36 @@ std::string TempDir();
 
 /// Value of an environment variable, or "" when unset.
 std::string GetEnvOrEmpty(const char* name);
+
+/// A uniquely named directory under a parent, removed (with its regular
+/// files — contents are expected flat, as the spill writers produce) when
+/// the object goes out of scope, whatever the exit path. Moved-from
+/// instances own nothing and clean up nothing.
+class ScopedTempDir {
+ public:
+  /// Creates `<parent>/<prefix>XXXXXX` via mkdtemp.
+  static Result<ScopedTempDir> Create(const std::string& parent,
+                                      const std::string& prefix);
+
+  ScopedTempDir(ScopedTempDir&& other) noexcept : path_(other.path_) {
+    other.path_.clear();
+  }
+  ScopedTempDir& operator=(ScopedTempDir&& other) noexcept;
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+  ~ScopedTempDir() { Remove(); }
+
+  const std::string& path() const { return path_; }
+
+  /// Releases ownership: the directory is no longer removed on destruction.
+  std::string Release();
+
+ private:
+  explicit ScopedTempDir(std::string path) : path_(std::move(path)) {}
+  void Remove();
+
+  std::string path_;
+};
 
 }  // namespace gogreen
 

@@ -1,0 +1,159 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace gogreen::failpoint {
+
+namespace {
+
+enum class Action { kIOError, kOom };
+
+struct Site {
+  Action action = Action::kIOError;
+  double probability = 1.0;
+  uint64_t hits = 0;
+};
+
+// Fast path: a single relaxed load decides whether any registry work is
+// needed; disarmed builds pay nothing else.
+std::atomic<bool> g_enabled{false};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+  std::string spec;
+  // Rolls are deterministic for a fixed spec and call sequence.
+  Random rng{0x90559eef0aULL};
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// Applies `spec` to the registry. Caller holds reg.mu.
+void ArmLocked(Registry& reg, const std::string& spec) {
+  reg.sites.clear();
+  reg.spec.clear();
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      GOGREEN_LOG(Warning) << "ignoring malformed failpoint entry '" << entry
+                           << "' (want site:action[@prob])";
+      continue;
+    }
+    Site site;
+    std::string action = entry.substr(colon + 1);
+    const size_t at = action.find('@');
+    if (at != std::string::npos) {
+      const std::string prob = action.substr(at + 1);
+      action.resize(at);
+      char* end = nullptr;
+      site.probability = std::strtod(prob.c_str(), &end);
+      if (end == prob.c_str() || *end != '\0' || site.probability < 0.0 ||
+          site.probability > 1.0) {
+        GOGREEN_LOG(Warning) << "ignoring failpoint entry '" << entry
+                             << "': bad probability '" << prob << "'";
+        continue;
+      }
+    }
+    if (action == "ioerror") {
+      site.action = Action::kIOError;
+    } else if (action == "oom") {
+      site.action = Action::kOom;
+    } else {
+      GOGREEN_LOG(Warning) << "ignoring failpoint entry '" << entry
+                           << "': unknown action '" << action << "'";
+      continue;
+    }
+    reg.sites[entry.substr(0, colon)] = site;
+    if (!reg.spec.empty()) reg.spec += ',';
+    reg.spec += entry;
+  }
+  g_enabled.store(!reg.sites.empty(), std::memory_order_release);
+}
+
+// Arms GOGREEN_FAILPOINTS once, before the first registry use.
+void InitFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const std::string spec = GetEnvOrEmpty("GOGREEN_FAILPOINTS");
+    if (!spec.empty()) {
+      Registry& reg = GetRegistry();
+      std::lock_guard<std::mutex> lock(reg.mu);
+      ArmLocked(reg, spec);
+      GOGREEN_LOG(Info) << "failpoints armed from environment: " << reg.spec;
+    }
+  });
+}
+
+}  // namespace
+
+bool Enabled() {
+  InitFromEnvOnce();
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+Status MaybeFail(std::string_view site) {
+  if (!Enabled()) return Status::OK();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.sites.find(std::string(site));
+  if (it == reg.sites.end()) return Status::OK();
+  Site& armed = it->second;
+  if (armed.probability < 1.0 && !reg.rng.Bernoulli(armed.probability)) {
+    return Status::OK();
+  }
+  ++armed.hits;
+  const std::string msg = "injected fault at " + std::string(site);
+  return armed.action == Action::kIOError ? Status::IOError(msg)
+                                          : Status::ResourceExhausted(msg);
+}
+
+void Arm(const std::string& spec) {
+  InitFromEnvOnce();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ArmLocked(reg, spec);
+}
+
+void Clear() { Arm(""); }
+
+std::string CurrentSpec() {
+  InitFromEnvOnce();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.spec;
+}
+
+uint64_t HitCount(const std::string& site) {
+  InitFromEnvOnce();
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+ScopedFailpoints::ScopedFailpoints(const std::string& spec)
+    : previous_(CurrentSpec()) {
+  Arm(spec);
+}
+
+ScopedFailpoints::~ScopedFailpoints() { Arm(previous_); }
+
+}  // namespace gogreen::failpoint

@@ -1,0 +1,68 @@
+// Failpoints: deterministic fault injection at IO, allocation, and
+// thread-pool seams, so error-recovery paths are exercised by tests and CI
+// rather than only by real hardware faults.
+//
+// A site is a short dotted name compiled into the code next to the operation
+// it guards ("spill.write", "dat_io.read", ...). Sites are armed from the
+// GOGREEN_FAILPOINTS environment variable (read once, lazily) or from tests
+// via ScopedFailpoints. Spec syntax, comma-separated:
+//
+//   site:action[@probability]
+//
+// e.g. GOGREEN_FAILPOINTS="dat_io.read:ioerror@0.3,spill.write:ioerror"
+//
+// Actions: `ioerror` injects Status::IOError, `oom` injects
+// Status::ResourceExhausted. The probability defaults to 1.0; rolls come
+// from a process-wide deterministic PRNG, so a fixed spec yields a
+// reproducible fault sequence. Disarmed sites cost one relaxed atomic load.
+
+#ifndef GOGREEN_UTIL_FAILPOINT_H_
+#define GOGREEN_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gogreen::failpoint {
+
+/// True when any site is armed (fast path; inlined check before the
+/// registry lookup inside MaybeFail, exposed for callers that want to skip
+/// work when injection is off).
+bool Enabled();
+
+/// Returns the injected error if `site` is armed and its probability roll
+/// fires; OK otherwise. Call at the top of the guarded operation.
+Status MaybeFail(std::string_view site);
+
+/// Replaces the armed set with `spec` (empty disarms everything). Invalid
+/// entries are skipped with a warning. The GOGREEN_FAILPOINTS environment
+/// variable is applied once, before the first Arm/MaybeFail/Enabled call.
+void Arm(const std::string& spec);
+
+/// Disarms every site.
+void Clear();
+
+/// The currently armed spec, normalized ("" when disarmed).
+std::string CurrentSpec();
+
+/// Number of times `site` actually injected a failure.
+uint64_t HitCount(const std::string& site);
+
+/// RAII spec override for tests: arms `spec` on construction and restores
+/// the previously armed spec (e.g. the environment's) on destruction.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const std::string& spec);
+  ~ScopedFailpoints();
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace gogreen::failpoint
+
+#endif  // GOGREEN_UTIL_FAILPOINT_H_

@@ -1,0 +1,58 @@
+#include "util/run_context.h"
+
+#include "util/failpoint.h"
+
+namespace gogreen {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StopReason::kMemoryBudgetExceeded:
+      return "memory-budget-exceeded";
+  }
+  return "?";
+}
+
+Status RunContext::StopStatus() const {
+  switch (stop_reason()) {
+    case StopReason::kNone:
+      return Status::OK();
+    case StopReason::kCancelled:
+      return Status::Cancelled("run cancelled");
+    case StopReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded("run deadline exceeded");
+    case StopReason::kMemoryBudgetExceeded:
+      return Status::ResourceExhausted("run memory budget exceeded");
+  }
+  return Status::Internal("unknown stop reason");
+}
+
+void RunContext::AddBytes(size_t n) {
+  const size_t now = bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  if (budget_ != 0 && now > budget_) {
+    Trip(StopReason::kMemoryBudgetExceeded);
+  }
+  if (failpoint::Enabled() && !failpoint::MaybeFail("alloc.charge").ok()) {
+    Trip(StopReason::kMemoryBudgetExceeded);
+  }
+}
+
+void RunContext::MarkIncomplete(uint64_t frontier_support) {
+  uint64_t seen = frontier_.load(std::memory_order_relaxed);
+  while (frontier_support > seen &&
+         !frontier_.compare_exchange_weak(seen, frontier_support,
+                                          std::memory_order_release)) {
+  }
+  incomplete_.store(true, std::memory_order_release);
+}
+
+}  // namespace gogreen

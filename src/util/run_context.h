@@ -1,0 +1,201 @@
+// Run governor: a per-run context carrying a deadline, a memory budget, and
+// a cooperative cancel flag, threaded through the miners, the compressor
+// cover loop, and the disk-spill driver.
+//
+// Cooperation model (see DESIGN.md "Run governance & fault injection"):
+//   - Workers call ShouldStop() at recursion entries and between sibling
+//     subtrees. It is cheap — two relaxed atomic reads plus an amortized
+//     clock read — so it may sit in per-extension loops without measurable
+//     overhead; with no context attached the miners skip it entirely.
+//   - Drivers call PollNow() at shard/partition boundaries; it always reads
+//     the clock, so a deadline trips within one shard boundary even if no
+//     inner check happens to sample the clock.
+//   - The stop flag is sticky: once any of the three conditions trips, every
+//     subsequent check returns true and the first reason is kept.
+//   - Memory accounting is cooperative too: miners charge their dominant
+//     scratch structures (suffix buckets, conditional trees, projected
+//     slices) through AddBytes/ReleaseBytes, usually via ScopedBytes. A
+//     charge that lands above the budget trips the stop flag; the charge
+//     itself always succeeds, so the structure that tripped the budget stays
+//     valid while the run unwinds to a pattern-set boundary.
+//   - A stopped run is not automatically a partial result. Drivers that had
+//     to abandon work call MarkIncomplete(frontier) with the support level
+//     down to which the emitted set is complete; a run that tripped the
+//     deadline after the last subtree finished stays complete.
+
+#ifndef GOGREEN_UTIL_RUN_CONTEXT_H_
+#define GOGREEN_UTIL_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace gogreen {
+
+/// Why a governed run stopped early. The first condition to trip wins.
+enum class StopReason : uint8_t {
+  kNone = 0,
+  kCancelled,
+  kDeadlineExceeded,
+  kMemoryBudgetExceeded,
+};
+
+const char* StopReasonName(StopReason reason);
+
+class RunContext {
+ public:
+  RunContext() = default;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  // --- Configuration (set before the run starts; not thread-safe). ---
+
+  /// Arms a deadline `millis` from now (monotonic clock).
+  void SetDeadlineAfterMillis(int64_t millis) {
+    SetDeadline(std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(millis));
+  }
+
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Arms a budget on cooperatively-accounted bytes. 0 disarms.
+  void SetMemoryBudget(size_t bytes) { budget_ = bytes; }
+
+  // --- Cancellation (thread-safe). ---
+
+  /// Requests cooperative cancellation; workers stop at their next check.
+  void RequestCancel() { Trip(StopReason::kCancelled); }
+
+  // --- Polling (thread-safe; called from worker lanes). ---
+
+  /// Cheap sticky stop check for inner loops: always sees cancellation and
+  /// budget breaches, samples the deadline clock once every few calls.
+  bool ShouldStop() {
+    if (stopped()) return true;
+    if (budget_ != 0 && bytes_.load(std::memory_order_relaxed) > budget_) {
+      Trip(StopReason::kMemoryBudgetExceeded);
+      return true;
+    }
+    if (has_deadline_ &&
+        (poll_counter_.fetch_add(1, std::memory_order_relaxed) &
+         kClockPollMask) == 0) {
+      return CheckDeadline();
+    }
+    return false;
+  }
+
+  /// Stop check for shard/partition boundaries: like ShouldStop() but always
+  /// reads the clock, so deadline detection latency is bounded by the shard
+  /// granularity rather than the inner-poll cadence.
+  bool PollNow() {
+    if (ShouldStop()) return true;
+    return has_deadline_ ? CheckDeadline() : false;
+  }
+
+  /// True once any stop condition tripped (no side effects).
+  bool stopped() const {
+    return reason_.load(std::memory_order_acquire) !=
+           static_cast<uint8_t>(StopReason::kNone);
+  }
+
+  StopReason stop_reason() const {
+    return static_cast<StopReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// The error status describing why the run stopped; OK if it did not.
+  Status StopStatus() const;
+
+  // --- Memory accounting (thread-safe). ---
+
+  /// Charges `n` bytes of scratch against the budget. Never fails; a charge
+  /// that exceeds the budget trips the stop flag instead (the caller's
+  /// structure stays live while the run unwinds). Also the seam for the
+  /// `alloc.charge` failpoint, which forces a budget trip.
+  void AddBytes(size_t n);
+
+  void ReleaseBytes(size_t n) {
+    bytes_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  size_t bytes_in_use() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of cooperatively-accounted bytes over the run.
+  size_t bytes_peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  // --- Partial-result bookkeeping (thread-safe). ---
+
+  /// Records that mining work was abandoned and the emitted set is only
+  /// guaranteed complete for supports >= `frontier_support`. Multiple marks
+  /// keep the largest (most conservative) frontier.
+  void MarkIncomplete(uint64_t frontier_support);
+
+  bool incomplete() const {
+    return incomplete_.load(std::memory_order_acquire);
+  }
+
+  /// Meaningful only when incomplete(): the support level down to which the
+  /// emitted patterns form the complete frequent set.
+  uint64_t frontier_support() const {
+    return frontier_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // ShouldStop() samples the clock once per (mask + 1) calls.
+  static constexpr uint32_t kClockPollMask = 15;
+
+  bool CheckDeadline() {
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      Trip(StopReason::kDeadlineExceeded);
+      return true;
+    }
+    return false;
+  }
+
+  void Trip(StopReason reason) {
+    uint8_t expected = static_cast<uint8_t>(StopReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<uint8_t>(reason),
+                                    std::memory_order_acq_rel);
+  }
+
+  std::atomic<uint8_t> reason_{static_cast<uint8_t>(StopReason::kNone)};
+  std::atomic<size_t> bytes_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<uint32_t> poll_counter_{0};
+  std::atomic<bool> incomplete_{false};
+  std::atomic<uint64_t> frontier_{0};
+
+  // Written once before the run; read-only from worker lanes.
+  size_t budget_ = 0;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// RAII byte charge against a (possibly null) RunContext. With a null
+/// context both ends are no-ops, so ungoverned runs pay nothing.
+class ScopedBytes {
+ public:
+  ScopedBytes(RunContext* ctx, size_t n) : ctx_(ctx), n_(n) {
+    if (ctx_ != nullptr) ctx_->AddBytes(n_);
+  }
+  ~ScopedBytes() {
+    if (ctx_ != nullptr) ctx_->ReleaseBytes(n_);
+  }
+  ScopedBytes(const ScopedBytes&) = delete;
+  ScopedBytes& operator=(const ScopedBytes&) = delete;
+
+ private:
+  RunContext* ctx_;
+  size_t n_;
+};
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_RUN_CONTEXT_H_

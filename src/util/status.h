@@ -25,6 +25,8 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kNotImplemented,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -68,6 +70,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

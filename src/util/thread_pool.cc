@@ -159,6 +159,22 @@ void ThreadPool::Wait(WaitGroup* wg) {
   wg->RethrowIfError();
 }
 
+bool ThreadPool::WaitFor(WaitGroup* wg, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Task task;
+  while (!wg->Finished()) {
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    if (TryGetTask(&task)) {
+      RunTask(std::move(task));
+    } else {
+      wg->BlockUntilFinishedUntil(deadline);
+    }
+  }
+  if (!wg->Finished()) return false;
+  wg->RethrowIfError();
+  return true;
+}
+
 void ThreadPool::ParallelFor(
     size_t n, const std::function<void(size_t lane, size_t i)>& fn) {
   if (n == 0) return;

@@ -21,6 +21,7 @@
 #define GOGREEN_UTIL_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -55,6 +56,16 @@ class WaitGroup {
     return pending_ == 0;
   }
 
+  /// Blocks until every task finished or `timeout` elapsed, returning
+  /// Finished() at that moment. Does not execute tasks and does not rethrow
+  /// task exceptions — governed drivers that also want to help-execute use
+  /// ThreadPool::WaitFor instead.
+  bool WaitFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [this] { return pending_ == 0; });
+    return pending_ == 0;
+  }
+
  private:
   friend class ThreadPool;
 
@@ -78,6 +89,13 @@ class WaitGroup {
   void BlockUntilFinished() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Like BlockUntilFinished but gives up at `deadline`; returns Finished().
+  bool BlockUntilFinishedUntil(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_until(lock, deadline, [this] { return pending_ == 0; });
+    return pending_ == 0;
   }
 
   /// Rethrows the first captured exception, clearing it.
@@ -121,6 +139,15 @@ class ThreadPool {
   /// this thread while waiting. Rethrows the first exception any task of
   /// the group threw.
   void Wait(WaitGroup* wg);
+
+  /// Deadline-aware Wait: helps execute queued tasks like Wait(), but gives
+  /// up roughly `timeout` after the call (a task already started on this
+  /// thread runs to completion first). Returns true — after rethrowing the
+  /// group's first task exception, like Wait() — once the group finished;
+  /// false on timeout, without consuming any captured exception, so a later
+  /// WaitFor/Wait still observes it. Governed runs loop on this to re-poll
+  /// their RunContext between waits.
+  bool WaitFor(WaitGroup* wg, std::chrono::milliseconds timeout);
 
   /// Runs fn(lane, i) for every i in [0, n), dynamically load-balanced
   /// across up to threads() lanes; blocks until all iterations finished.

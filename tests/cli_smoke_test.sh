@@ -56,15 +56,44 @@ grep -q '"compress.groups_formed"' "$DIR/metrics.json" || fail "metrics compress
 grep -q '"spans"' "$DIR/metrics.json" || fail "metrics spans"
 grep -q '"traceEvents"' "$DIR/trace.json" || fail "trace events"
 
-# error handling: bad inputs exit non-zero
-if "$BIN" mine -i /nonexistent.dat -s 0.1 >/dev/null 2>&1; then
-  fail "missing input accepted"
-fi
-if "$BIN" bogus-subcommand >/dev/null 2>&1; then
-  fail "bogus subcommand accepted"
-fi
+# error handling: each failure class has its sysexits-style exit code
+# (0 ok, 64 usage, 65 malformed data, 74 IO error, 75 partial result)
+expect_exit() {
+  local want="$1"; shift
+  local got=0
+  "$@" >/dev/null 2>&1 || got=$?
+  [ "$got" -eq "$want" ] || fail "expected exit $want, got $got: $*"
+}
 
-# malformed numerics are a clean InvalidArgument, not a crash
+expect_exit 64 "$BIN"                                   # no subcommand
+expect_exit 64 "$BIN" bogus-subcommand
+expect_exit 64 "$BIN" mine -s 0.1                       # missing -i
+expect_exit 64 "$BIN" mine -i "$DIR/data.dat" -s not_a_number
+expect_exit 74 "$BIN" mine -i /nonexistent.dat -s 0.1   # unreadable file
+printf '1 banana 3\n' > "$DIR/malformed.dat"
+expect_exit 65 "$BIN" mine -i "$DIR/malformed.dat" -s 2 # malformed content
+printf '1 99999999999\n' > "$DIR/overflow.dat"
+expect_exit 65 "$BIN" stats -i "$DIR/overflow.dat"      # item id overflow
+
+# run governor: an expired deadline yields a partial result (exit 75) that
+# names the frontier support and flushes the run.partial metric
+GOV_OUT="$DIR/governed.out"
+set +e
+"$BIN" mine -i "$DIR/data.dat" -s 2 --timeout-ms 0 \
+    --metrics-json "$DIR/governed.json" > "$GOV_OUT" 2>/dev/null
+GOV_RC=$?
+set -e
+[ "$GOV_RC" -eq 75 ] || fail "governed mine: expected exit 75, got $GOV_RC"
+grep -q "partial result:" "$GOV_OUT" || fail "governed mine: no partial line"
+grep -q "frontier support" "$GOV_OUT" || fail "governed mine: no frontier"
+grep -q '"run.partial":1' "$DIR/governed.json" \
+    || fail "governed mine: run.partial metric missing"
+
+# a generous governor must not change the result or the exit code
+"$BIN" mine -i "$DIR/data.dat" -s 0.05 --timeout-ms 60000 --mem-limit-mb 4096 \
+    | grep -q "patterns at support" || fail "generous governor"
+
+# malformed numerics are a clean InvalidArgument message, not a crash
 if "$BIN" mine -i "$DIR/data.dat" -s not_a_number >/dev/null 2>"$DIR/err"; then
   fail "malformed -s accepted"
 fi

@@ -66,7 +66,61 @@ TEST(DatIoTest, ReadRejectsMalformedTokens) {
   }
   auto loaded = ReadDatFile(path);
   EXPECT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatIoTest, MalformedInputTable) {
+  // Every malformed shape must come back as InvalidArgument naming the
+  // offending line — never UB, never a crash, never a silent truncation.
+  struct Case {
+    const char* name;
+    std::string content;
+    const char* expect_line;  // "path:<line>" suffix expected in the message.
+  };
+  // Matches the 1 MiB line cap in dat_io.cc.
+  const std::string overlong(size_t{1} << 20, 'x');
+  const Case cases[] = {
+      {"non_numeric_token", "1 2\nfoo 3\n", ":2"},
+      {"negative_item", "1 -2 3\n", ":1"},
+      {"overflow_item", "1 99999999999 3\n", ":1"},
+      {"sentinel_item", "4294967295\n", ":1"},
+      {"embedded_nul", std::string("1 2\n3 ") + '\0' + " 4\n", ":2"},
+      {"line_too_long", overlong + "\n", ":1"},
+      {"trailing_garbage", "1 2 3x\n", ":1"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string path = TempPath(c.name);
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(c.content.data(),
+                static_cast<std::streamsize>(c.content.size()));
+    }
+    auto loaded = ReadDatFile(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    const std::string msg = loaded.status().ToString();
+    EXPECT_NE(msg.find(path + c.expect_line), std::string::npos) << msg;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(DatIoTest, ValidEdgeCasesStillParse) {
+  // Boundary inputs that must NOT be rejected: max-1 item id, a line just
+  // under the cap, CRLF endings, and a final line without a newline.
+  const std::string path = TempPath("dat_edge");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "4294967294\r\n";
+    out << "1 2\r\n";
+    out << "7 8";  // No trailing newline.
+  }
+  auto loaded = ReadDatFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->NumTransactions(), 3u);
+  EXPECT_EQ(loaded->Transaction(0)[0], 4294967294u);
+  EXPECT_EQ(loaded->Transaction(2).size(), 2u);
   std::remove(path.c_str());
 }
 

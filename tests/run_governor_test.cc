@@ -1,0 +1,342 @@
+// Run-governor tests: deadlines, memory budgets, and cooperative
+// cancellation must degrade every governed miner to a *partial but exact*
+// result — the emitted set, filtered to the reported frontier support, is
+// bit-for-bit the complete frequent set at that support (checked against
+// the sequential Apriori oracle). Also covers the compressor's graceful
+// degradation and the run.* metrics flush.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/compressed_db.h"
+#include "core/compressed_miner.h"
+#include "core/compressor.h"
+#include "fpm/miner.h"
+#include "fpm/pattern_set.h"
+#include "obs/metrics.h"
+#include "tests/test_util.h"
+#include "util/run_context.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace gogreen {
+namespace {
+
+using core::CompressedDb;
+using core::CompressionStrategy;
+using core::CompressorOptions;
+using core::MatcherKind;
+using core::RecycleAlgo;
+using fpm::MineOutcome;
+using fpm::MinerKind;
+using fpm::PatternSet;
+using fpm::TransactionDb;
+using testutil::RandomDb;
+
+constexpr MinerKind kGovernedMiners[] = {
+    MinerKind::kHMine, MinerKind::kFpGrowth, MinerKind::kTreeProjection};
+
+constexpr RecycleAlgo kGovernedRecyclers[] = {
+    RecycleAlgo::kHMine, RecycleAlgo::kFpGrowth,
+    RecycleAlgo::kTreeProjection};
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(size_t n) { ThreadPool::SetGlobalThreads(n); }
+  ~ScopedThreads() { ThreadPool::SetGlobalThreads(0); }
+};
+
+PatternSet Oracle(const TransactionDb& db, uint64_t minsup) {
+  auto miner = fpm::CreateMiner(MinerKind::kApriori);
+  auto result = miner->Mine(db, minsup);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// The governed partial-result contract: patterns == the complete frequent
+/// set at outcome.frontier_support.
+void ExpectExactAtFrontier(const TransactionDb& db, MineOutcome outcome,
+                           const char* what) {
+  ASSERT_TRUE(outcome.partial) << what;
+  ASSERT_FALSE(outcome.stop_status.ok()) << what;
+  PatternSet expected = Oracle(db, outcome.frontier_support);
+  EXPECT_TRUE(PatternSet::Equal(&expected, &outcome.patterns))
+      << what << ": partial set is not the exact frequent set at frontier "
+      << outcome.frontier_support << " (" << expected.size() << " vs "
+      << outcome.patterns.size() << " patterns)";
+}
+
+// --- RunContext unit behavior -------------------------------------------
+
+TEST(RunContextTest, StartsClean) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_FALSE(ctx.stopped());
+  EXPECT_FALSE(ctx.incomplete());
+  EXPECT_TRUE(ctx.StopStatus().ok());
+}
+
+TEST(RunContextTest, CancelIsStickyAndMapsToStatus) {
+  RunContext ctx;
+  ctx.RequestCancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.ShouldStop());  // Sticky.
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+  EXPECT_EQ(ctx.StopStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, ExpiredDeadlineTripsOnPoll) {
+  RunContext ctx;
+  ctx.SetDeadlineAfterMillis(0);
+  EXPECT_TRUE(ctx.PollNow());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kDeadlineExceeded);
+  EXPECT_EQ(ctx.StopStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, BudgetBreachTripsButChargeSucceeds) {
+  RunContext ctx;
+  ctx.SetMemoryBudget(100);
+  ctx.AddBytes(60);
+  EXPECT_FALSE(ctx.ShouldStop());
+  ctx.AddBytes(60);  // 120 > 100: trips, but the bytes stay accounted.
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kMemoryBudgetExceeded);
+  EXPECT_EQ(ctx.StopStatus().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.bytes_in_use(), 120u);
+  EXPECT_EQ(ctx.bytes_peak(), 120u);
+}
+
+TEST(RunContextTest, FirstReasonWins) {
+  RunContext ctx;
+  ctx.RequestCancel();
+  ctx.SetDeadlineAfterMillis(0);
+  ctx.PollNow();
+  EXPECT_EQ(ctx.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(RunContextTest, MarkIncompleteKeepsLargestFrontier) {
+  RunContext ctx;
+  ctx.MarkIncomplete(10);
+  ctx.MarkIncomplete(7);   // Lower mark must not shrink the frontier.
+  ctx.MarkIncomplete(12);
+  EXPECT_TRUE(ctx.incomplete());
+  EXPECT_EQ(ctx.frontier_support(), 12u);
+}
+
+TEST(RunContextTest, ScopedBytesReleasesButKeepsPeak) {
+  RunContext ctx;
+  {
+    ScopedBytes a(&ctx, 1000);
+    ScopedBytes b(&ctx, 500);
+    EXPECT_EQ(ctx.bytes_in_use(), 1500u);
+  }
+  EXPECT_EQ(ctx.bytes_in_use(), 0u);
+  EXPECT_EQ(ctx.bytes_peak(), 1500u);
+  ScopedBytes none(nullptr, 1 << 30);  // Null context: no-op.
+}
+
+// --- Governed mining: deterministic stops -------------------------------
+
+TEST(GovernedMineTest, PreCancelledRunIsPartialWithSoundFrontier) {
+  const TransactionDb db = RandomDb(7, 300, 50, 8);
+  for (MinerKind kind : kGovernedMiners) {
+    auto miner = fpm::CreateMiner(kind);
+    SCOPED_TRACE(miner->name());
+    RunContext ctx;
+    ctx.RequestCancel();
+    auto outcome = miner->MineGoverned(db, 3, &ctx);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(outcome->partial);
+    EXPECT_EQ(outcome->stop_status.code(), StatusCode::kCancelled);
+    ExpectExactAtFrontier(db, std::move(outcome).value(), "pre-cancelled");
+  }
+}
+
+TEST(GovernedMineTest, ExpiredDeadlineIsPartialDeterministically) {
+  const TransactionDb db = RandomDb(8, 300, 50, 8);
+  for (MinerKind kind : kGovernedMiners) {
+    auto miner = fpm::CreateMiner(kind);
+    SCOPED_TRACE(miner->name());
+    RunContext ctx;
+    ctx.SetDeadlineAfterMillis(0);
+    auto outcome = miner->MineGoverned(db, 3, &ctx);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(outcome->partial);
+    EXPECT_EQ(outcome->stop_status.code(), StatusCode::kDeadlineExceeded);
+    ExpectExactAtFrontier(db, std::move(outcome).value(), "deadline-0");
+  }
+}
+
+TEST(GovernedMineTest, GenerousGovernorLeavesRunComplete) {
+  const TransactionDb db = RandomDb(9, 200, 40, 7);
+  const uint64_t minsup = 4;
+  PatternSet oracle = Oracle(db, minsup);
+  for (MinerKind kind : kGovernedMiners) {
+    auto miner = fpm::CreateMiner(kind);
+    SCOPED_TRACE(miner->name());
+    RunContext ctx;  // No deadline, no budget: must not change the result.
+    auto outcome = miner->MineGoverned(db, minsup, &ctx);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_FALSE(outcome->partial);
+    EXPECT_TRUE(outcome->stop_status.ok());
+    EXPECT_EQ(outcome->frontier_support, minsup);
+    EXPECT_TRUE(PatternSet::Equal(&oracle, &outcome->patterns));
+    EXPECT_GT(ctx.bytes_peak(), 0u);  // Miners actually charge scratch.
+  }
+}
+
+// --- Governed mining: mid-run memory budget -----------------------------
+
+/// Probes a miner's cooperative byte peak, then reruns with a budget set to
+/// a fraction of it: the run must stop mid-way with an exact-at-frontier
+/// partial set.
+void BudgetPartialCase(MinerKind kind, const TransactionDb& db,
+                       uint64_t minsup) {
+  auto miner = fpm::CreateMiner(kind);
+  SCOPED_TRACE(miner->name());
+
+  RunContext probe;
+  auto full = miner->MineGoverned(db, minsup, &probe);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_FALSE(full->partial);
+  ASSERT_GT(probe.bytes_peak(), 0u);
+
+  RunContext ctx;
+  ctx.SetMemoryBudget(std::max<size_t>(1, probe.bytes_peak() / 2));
+  auto outcome = miner->MineGoverned(db, minsup, &ctx);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->partial);
+  EXPECT_EQ(outcome->stop_status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(outcome->frontier_support, minsup);
+  ExpectExactAtFrontier(db, std::move(outcome).value(), "budget");
+}
+
+TEST(GovernedMineTest, MemoryBudgetYieldsExactPartialSet) {
+  // Single worker keeps the probe/budget byte profiles comparable.
+  ScopedThreads single(1);
+  const TransactionDb db = RandomDb(11, 500, 60, 9);
+  for (MinerKind kind : kGovernedMiners) BudgetPartialCase(kind, db, 3);
+}
+
+TEST(GovernedMineTest, MemoryBudgetPartialKeepsFrequentHead) {
+  // With descending-frequency subtree order, a mid-run stop must still have
+  // completed the most-frequent singletons: the partial set is non-empty.
+  ScopedThreads single(1);
+  const TransactionDb db = RandomDb(12, 500, 60, 9);
+  auto miner = fpm::CreateMiner(MinerKind::kHMine);
+  RunContext probe;
+  auto full = miner->MineGoverned(db, 3, &probe);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(probe.bytes_peak(), 0u);
+
+  RunContext ctx;
+  ctx.SetMemoryBudget(probe.bytes_peak() - 1);
+  auto outcome = miner->MineGoverned(db, 3, &ctx);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->partial);
+  EXPECT_GT(outcome->patterns.size(), 0u);
+  ExpectExactAtFrontier(db, std::move(outcome).value(), "near-peak budget");
+}
+
+// --- Governed recycling (compressed-database miners) --------------------
+
+TEST(GovernedRecycleTest, BudgetYieldsExactPartialSetOverCompressedDb) {
+  ScopedThreads single(1);
+  const TransactionDb db = RandomDb(13, 500, 60, 9);
+  const PatternSet fp_old = Oracle(db, 12);
+  CompressorOptions copts;
+  copts.strategy = CompressionStrategy::kMcp;
+  copts.matcher = MatcherKind::kAuto;
+  auto cdb = core::CompressDatabase(db, fp_old, copts, nullptr);
+  ASSERT_TRUE(cdb.ok()) << cdb.status().ToString();
+
+  for (RecycleAlgo algo : kGovernedRecyclers) {
+    auto miner = core::CreateCompressedMiner(algo);
+    SCOPED_TRACE(miner->name());
+
+    RunContext probe;
+    auto full = miner->MineCompressedGoverned(*cdb, 3, &probe);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    ASSERT_FALSE(full->partial);
+    ASSERT_GT(probe.bytes_peak(), 0u);
+
+    RunContext ctx;
+    ctx.SetMemoryBudget(std::max<size_t>(1, probe.bytes_peak() / 2));
+    auto outcome = miner->MineCompressedGoverned(*cdb, 3, &ctx);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->partial);
+    EXPECT_EQ(outcome->stop_status.code(), StatusCode::kResourceExhausted);
+    ExpectExactAtFrontier(db, std::move(outcome).value(), "recycle budget");
+  }
+}
+
+TEST(GovernedRecycleTest, PreCancelledRecycleIsPartial) {
+  const TransactionDb db = RandomDb(14, 200, 40, 7);
+  const PatternSet fp_old = Oracle(db, 10);
+  CompressorOptions copts;
+  auto cdb = core::CompressDatabase(db, fp_old, copts, nullptr);
+  ASSERT_TRUE(cdb.ok());
+  for (RecycleAlgo algo : kGovernedRecyclers) {
+    auto miner = core::CreateCompressedMiner(algo);
+    SCOPED_TRACE(miner->name());
+    RunContext ctx;
+    ctx.RequestCancel();
+    auto outcome = miner->MineCompressedGoverned(*cdb, 3, &ctx);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(outcome->partial);
+    EXPECT_EQ(outcome->stop_status.code(), StatusCode::kCancelled);
+    ExpectExactAtFrontier(db, std::move(outcome).value(), "recycle cancel");
+  }
+}
+
+// --- Compressor degradation ---------------------------------------------
+
+TEST(GovernedCompressTest, StoppedCoverLoopStaysLossless) {
+  const TransactionDb db = RandomDb(15, 300, 50, 8);
+  const PatternSet fp = Oracle(db, 10);
+
+  RunContext ctx;
+  ctx.RequestCancel();  // Stop before any tuple is matched.
+  CompressorOptions copts;
+  copts.run_context = &ctx;
+  auto cdb = core::CompressDatabase(db, fp, copts, nullptr);
+  ASSERT_TRUE(cdb.ok()) << cdb.status().ToString();
+
+  // Degradation must never mark the run's pattern output incomplete: the
+  // result is a valid lossless CompressedDb, just less compressed.
+  EXPECT_FALSE(ctx.incomplete());
+  const TransactionDb round = cdb->Decompress();
+  ASSERT_EQ(round.NumTransactions(), db.NumTransactions());
+  for (uint64_t m = 0; m < cdb->NumTuples(); ++m) {
+    const fpm::Tid original = cdb->MemberTid(m);
+    const auto got = round.Transaction(static_cast<fpm::Tid>(m));
+    const auto want = db.Transaction(original);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end()));
+  }
+}
+
+// --- Metrics flush ------------------------------------------------------
+
+TEST(GovernedMineTest, PartialRunFlushesRunMetrics) {
+  const auto before = obs::MetricRegistry::Global().Snapshot();
+  const TransactionDb db = RandomDb(16, 200, 40, 7);
+  auto miner = fpm::CreateMiner(MinerKind::kHMine);
+  RunContext ctx;
+  ctx.RequestCancel();
+  auto outcome = miner->MineGoverned(db, 3, &ctx);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->partial);
+  const auto after = obs::MetricRegistry::Global().Snapshot();
+  EXPECT_EQ(after.CounterValue("run.partial"),
+            before.CounterValue("run.partial") + 1);
+  EXPECT_EQ(after.CounterValue("run.cancelled"),
+            before.CounterValue("run.cancelled") + 1);
+  EXPECT_EQ(after.CounterValue("run.deadline_exceeded"),
+            before.CounterValue("run.deadline_exceeded"));
+}
+
+}  // namespace
+}  // namespace gogreen

@@ -9,13 +9,42 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "util/run_context.h"
 
 namespace gogreen {
 namespace {
+
+using std::chrono::milliseconds;
+
+/// A manually released gate that tasks can park on, to hold pool workers
+/// busy while a test probes waiting behavior.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
 
 TEST(WaitGroupTest, StartsFinished) {
   WaitGroup wg;
@@ -260,6 +289,139 @@ TEST(ThreadPoolTest, SetGlobalThreadsControlsGlobalPool) {
 TEST(ThreadPoolTest, ZeroIterationParallelForIsANoop) {
   ThreadPool pool(4);
   pool.ParallelFor(0, [](size_t, size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, WaitForReturnsTrueOnFinishedGroup) {
+  ThreadPool pool(2);
+  WaitGroup wg;
+  EXPECT_TRUE(pool.WaitFor(&wg, milliseconds(0)));  // Empty group.
+  std::atomic<int> ran{0};
+  pool.Submit(&wg, [&] { ran.fetch_add(1); });
+  EXPECT_TRUE(pool.WaitFor(&wg, milliseconds(1000)));
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitForTimesOutWhileTaskStillRuns) {
+  ThreadPool pool(2);
+  Gate gate;
+  std::atomic<bool> started{false};
+  WaitGroup wg;
+  pool.Submit(&wg, [&] {
+    started.store(true);
+    gate.Wait();
+  });
+  // Let the worker take the task so WaitFor cannot steal-and-block on it.
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(pool.WaitFor(&wg, milliseconds(20)));
+  EXPECT_FALSE(wg.Finished());
+  gate.Open();
+  pool.Wait(&wg);
+  EXPECT_TRUE(wg.Finished());
+}
+
+TEST(ThreadPoolTest, WaitForHelpsExecuteWhenWorkersAreBusy) {
+  // Park the pool's only worker on a gate, then queue more tasks: the
+  // waiting thread must drain them itself rather than deadlocking on the
+  // parked worker.
+  ThreadPool pool(2);  // threads() counts the caller: one real worker.
+  Gate gate;
+  std::atomic<bool> worker_parked{false};
+  WaitGroup parked;
+  pool.Submit(&parked, [&] {
+    worker_parked.store(true);
+    gate.Wait();
+  });
+  // Wait until the worker actually holds the gate task, so the caller's
+  // help-execute loop below cannot steal it and park itself.
+  while (!worker_parked.load()) {
+    std::this_thread::yield();
+  }
+  WaitGroup wg;
+  std::atomic<int> drained{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit(&wg, [&drained] { drained.fetch_add(1); });
+  }
+  // Only the caller can make progress here.
+  while (!pool.WaitFor(&wg, milliseconds(50))) {
+  }
+  EXPECT_EQ(drained.load(), 16);
+  gate.Open();
+  pool.Wait(&parked);
+}
+
+TEST(ThreadPoolTest, WaitForDoesNotConsumeExceptionOnTimeout) {
+  ThreadPool pool(2);
+  Gate gate;
+  std::atomic<bool> started{false};
+  WaitGroup wg;
+  pool.Submit(&wg, [&] {
+    started.store(true);
+    gate.Wait();
+    throw std::runtime_error("task failed");
+  });
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(pool.WaitFor(&wg, milliseconds(10)));
+  gate.Open();
+  // The timeout above must not have swallowed the pending exception: the
+  // successful wait still rethrows it.
+  EXPECT_THROW(
+      {
+        while (!pool.WaitFor(&wg, milliseconds(200))) {
+        }
+      },
+      std::runtime_error);
+  EXPECT_TRUE(wg.Finished());
+}
+
+TEST(ThreadPoolTest, CancelledGovernedWaitDrainsPinnedPoolWithoutLeaks) {
+  // The governed fan-out pattern (MineFirstLevelGoverned): tasks poll a
+  // RunContext and bail early once it is cancelled; the driver loops on
+  // WaitFor + PollNow. A cancelled run must account for every queued task
+  // (none leak into later rounds) and leave the pinned pool functional.
+  const size_t original = ThreadPool::GlobalThreads();
+  ThreadPool::SetGlobalThreads(2);
+  const std::shared_ptr<ThreadPool> pool = ThreadPool::Global();
+
+  RunContext ctx;
+  Gate gate;
+  std::atomic<int> entered{0};
+  std::atomic<int> skipped{0};
+  constexpr int kTasks = 64;
+  WaitGroup wg;
+  for (int i = 0; i < kTasks; ++i) {
+    pool->Submit(&wg, [&, i] {
+      if (i == 0) gate.Wait();  // Hold one lane until cancel lands.
+      if (ctx.ShouldStop()) {
+        skipped.fetch_add(1);
+        return;
+      }
+      entered.fetch_add(1);
+    });
+  }
+  ctx.RequestCancel();
+  gate.Open();
+  int spins = 0;
+  while (!pool->WaitFor(&wg, milliseconds(5))) {
+    ctx.PollNow();
+    ASSERT_LT(++spins, 2000) << "governed wait did not drain";
+  }
+  EXPECT_EQ(entered.load() + skipped.load(), kTasks);
+  EXPECT_GT(skipped.load(), 0);
+
+  // No queued task leaked: a fresh round on the same pinned pool runs
+  // exactly its own tasks.
+  std::atomic<int> fresh{0};
+  WaitGroup wg2;
+  for (int i = 0; i < 8; ++i) {
+    pool->Submit(&wg2, [&fresh] { fresh.fetch_add(1); });
+  }
+  pool->Wait(&wg2);
+  EXPECT_EQ(fresh.load(), 8);
+  ThreadPool::SetGlobalThreads(original);
 }
 
 }  // namespace

@@ -13,6 +13,14 @@
 //                           snapshot of the run (obs::MetricsJson)
 //   --trace <path>          write Chrome trace_event JSON of the phase
 //                           spans (open at chrome://tracing)
+// and the run-governor flags (honored by mine/recycle):
+//   --timeout-ms <n>        stop mining after n milliseconds and return the
+//                           partial (but exact-at-frontier) pattern set
+//   --mem-limit-mb <n>      budget for mining scratch structures
+//
+// Exit codes follow sysexits where one fits: 0 success, 64 usage error,
+// 65 malformed input data, 70 internal error, 74 IO error, 75 partial
+// result (governor stopped the run early; stdout names the frontier).
 //
 // Patterns files use the binary format of fpm/pattern_io.h (or the FIMI
 // text format when the file name ends in .txt).
@@ -38,6 +46,7 @@
 #include "fpm/summarize.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "util/run_context.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -45,7 +54,26 @@ namespace {
 
 using gogreen::Result;
 using gogreen::Status;
+using gogreen::StatusCode;
 using gogreen::Timer;
+
+// Exit codes (sysexits where one fits; see the file comment).
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 64;
+constexpr int kExitData = 65;
+constexpr int kExitInternal = 70;
+constexpr int kExitIo = 74;
+constexpr int kExitPartial = 75;
+
+/// Set when an input file opened fine but its *content* was malformed, so
+/// the InvalidArgument maps to EX_DATAERR rather than EX_USAGE.
+bool g_data_error = false;
+
+/// Set when a governed run stopped early and returned a partial result.
+bool g_partial = false;
+
+/// Non-null when --timeout-ms / --mem-limit-mb armed a governor in main().
+gogreen::RunContext* g_governor = nullptr;
 
 /// Minimal flag parser: --key value / -k value pairs plus bare switches.
 /// Negative numbers ("-0.5", "-12") are treated as values, not switches,
@@ -121,9 +149,23 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+int ExitCodeFor(const Status& status) {
+  if (status.ok()) return g_partial ? kExitPartial : kExitOk;
+  if (g_data_error) return kExitData;
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return kExitUsage;
+    case StatusCode::kIOError:
+    case StatusCode::kNotFound:
+      return kExitIo;
+    default:
+      return kExitInternal;
+  }
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCodeFor(status);
 }
 
 int Usage() {
@@ -147,8 +189,23 @@ int Usage() {
                "  --threads <n>          mining/compression thread count\n"
                "                         (default: GOGREEN_THREADS or all "
                "cores;\n"
-               "                         output is identical at any count)\n");
-  return 2;
+               "                         output is identical at any count)\n"
+               "run-governor flags (mine, recycle):\n"
+               "  --timeout-ms <n>       deadline; a breach yields a partial\n"
+               "                         result (exit 75) exact at the\n"
+               "                         reported frontier support\n"
+               "  --mem-limit-mb <n>     budget on mining scratch bytes\n");
+  return kExitUsage;
+}
+
+/// An InvalidArgument produced while reading a file that *opened* is
+/// malformed content, not a bad command line: route it to exit 65.
+template <typename T>
+Result<T> TagDataError(Result<T> loaded) {
+  if (!loaded.ok() && loaded.status().code() == StatusCode::kInvalidArgument) {
+    g_data_error = true;
+  }
+  return loaded;
 }
 
 Result<gogreen::fpm::TransactionDb> LoadDb(const Args& args) {
@@ -156,7 +213,7 @@ Result<gogreen::fpm::TransactionDb> LoadDb(const Args& args) {
   if (path.empty()) {
     return Status::InvalidArgument("missing -i <data.dat>");
   }
-  return gogreen::data::ReadDatFile(path);
+  return TagDataError(gogreen::data::ReadDatFile(path));
 }
 
 Result<gogreen::fpm::PatternSet> LoadPatterns(const Args& args) {
@@ -165,9 +222,9 @@ Result<gogreen::fpm::PatternSet> LoadPatterns(const Args& args) {
     return Status::InvalidArgument("missing -p <patterns file>");
   }
   if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
-    return gogreen::fpm::ReadPatternText(path);
+    return TagDataError(gogreen::fpm::ReadPatternText(path));
   }
-  auto loaded = gogreen::fpm::ReadPatternFile(path);
+  auto loaded = TagDataError(gogreen::fpm::ReadPatternFile(path));
   if (!loaded.ok()) return loaded.status();
   return std::move(loaded->first);
 }
@@ -210,6 +267,16 @@ gogreen::core::CompressionStrategy ParseStrategy(const std::string& name) {
                        : gogreen::core::CompressionStrategy::kMcp;
 }
 
+/// Shared partial-result epilogue for the governed subcommands: records the
+/// stop for the process exit code and names the frontier on stdout.
+void ReportPartial(const gogreen::fpm::MineOutcome& outcome) {
+  if (!outcome.partial) return;
+  g_partial = true;
+  std::printf("partial result: %s; frontier support %llu\n",
+              outcome.stop_status.ToString().c_str(),
+              static_cast<unsigned long long>(outcome.frontier_support));
+}
+
 Status CmdMine(const Args& args) {
   GOGREEN_ASSIGN_OR_RETURN(const auto db, LoadDb(args));
   GOGREEN_ASSIGN_OR_RETURN(const uint64_t minsup,
@@ -217,11 +284,14 @@ Status CmdMine(const Args& args) {
 
   auto miner = gogreen::fpm::CreateMiner(ParseMiner(args.Get("a", "h-mine")));
   Timer timer;
-  GOGREEN_ASSIGN_OR_RETURN(const auto fp, miner->Mine(db, minsup));
+  GOGREEN_ASSIGN_OR_RETURN(auto outcome,
+                           miner->MineGoverned(db, minsup, g_governor));
+  const auto& fp = outcome.patterns;
   std::printf("%s: %zu patterns at support %llu in %.3fs\n",
               miner->name().c_str(), fp.size(),
               static_cast<unsigned long long>(minsup),
               timer.ElapsedSeconds());
+  ReportPartial(outcome);
   std::printf("%s\n", gogreen::fpm::Summarize(fp).ToString().c_str());
 
   const std::string out = args.Get("o");
@@ -241,24 +311,28 @@ Status CmdRecycle(const Args& args) {
 
   Timer timer;
   gogreen::core::CompressionStats cstats;
+  gogreen::core::CompressorOptions copts;
+  copts.strategy = ParseStrategy(args.Get("strategy", "MCP"));
+  copts.matcher = gogreen::core::MatcherKind::kAuto;
+  copts.run_context = g_governor;
   GOGREEN_ASSIGN_OR_RETURN(
       const auto cdb,
-      gogreen::core::CompressDatabase(
-          db, fp_old,
-          {ParseStrategy(args.Get("strategy", "MCP")),
-           gogreen::core::MatcherKind::kAuto},
-          &cstats));
+      gogreen::core::CompressDatabase(db, fp_old, copts, &cstats));
   const double compress_secs = timer.ElapsedSeconds();
 
   timer.Restart();
   auto miner = gogreen::core::CreateCompressedMiner(
       gogreen::core::RecycleAlgo::kHMine);
-  GOGREEN_ASSIGN_OR_RETURN(const auto fp, miner->MineCompressed(cdb, minsup));
+  GOGREEN_ASSIGN_OR_RETURN(auto outcome,
+                           miner->MineCompressedGoverned(cdb, minsup,
+                                                         g_governor));
+  const auto& fp = outcome.patterns;
   std::printf("recycled %zu patterns -> %zu patterns at support %llu "
               "(compress %.3fs ratio %.3f, mine %.3fs)\n",
               fp_old.size(), fp.size(),
               static_cast<unsigned long long>(minsup), compress_secs,
               cstats.Ratio(), timer.ElapsedSeconds());
+  ReportPartial(outcome);
 
   const std::string out = args.Get("o");
   if (!out.empty()) {
@@ -405,6 +479,24 @@ int main(int argc, char** argv) {
     gogreen::ThreadPool::SetGlobalThreads(static_cast<size_t>(*threads));
   }
 
+  // Run governor: either flag arms a context that mine/recycle observe.
+  // --timeout-ms 0 is a deadline that is already due — useful for testing
+  // the partial-result path deterministically.
+  gogreen::RunContext run_ctx;
+  if (args.Has("timeout-ms") || args.Has("mem-limit-mb")) {
+    const auto timeout_ms = args.GetInt("timeout-ms", 0);
+    if (!timeout_ms.ok()) return Fail(timeout_ms.status());
+    const auto mem_mb = args.GetInt("mem-limit-mb", 0);
+    if (!mem_mb.ok()) return Fail(mem_mb.status());
+    if (args.Has("timeout-ms")) {
+      run_ctx.SetDeadlineAfterMillis(static_cast<int64_t>(*timeout_ms));
+    }
+    if (*mem_mb > 0) {
+      run_ctx.SetMemoryBudget(static_cast<size_t>(*mem_mb) << 20);
+    }
+    g_governor = &run_ctx;
+  }
+
   Status status;
   if (cmd == "mine") {
     status = CmdMine(args);
@@ -424,7 +516,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  int rc = status.ok() ? 0 : Fail(status);
+  int rc = status.ok() ? ExitCodeFor(status) : Fail(status);
   if (!metrics_path.empty()) {
     const Status w = gogreen::obs::WriteMetricsJson(metrics_path);
     if (!w.ok()) {
