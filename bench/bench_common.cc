@@ -126,7 +126,12 @@ std::string JsonPathFor(const char* figure, const BenchOptions& options) {
 class JsonReport {
  public:
   void Field(const char* key, const std::string& value) {
-    Raw(key, "\"" + obs::JsonEscape(value) + "\"");
+    // Built piecewise: `"\"" + JsonEscape(...) + ...` trips a GCC 12
+    // -Wrestrict false positive through the inlined string operator+.
+    std::string quoted = "\"";
+    quoted += obs::JsonEscape(value);
+    quoted += '"';
+    Raw(key, quoted);
   }
   void Field(const char* key, double value) {
     char buf[48];
@@ -303,7 +308,10 @@ int RunRuntimeFigure(const char* figure, DatasetId dataset, AlgoFamily family,
       &mlp_stats);
   const double mlp_span = obs::Tracer::Global().SecondsFor("compress");
   if (!mcp_result.ok() || !mlp_result.ok()) {
-    std::fprintf(stderr, "compression failed\n");
+    const Status& bad =
+        mcp_result.ok() ? mlp_result.status() : mcp_result.status();
+    std::fprintf(stderr, "compression (%s): %s\n",
+                 mcp_result.ok() ? "mlp" : "mcp", bad.ToString().c_str());
     return 1;
   }
   const double compress_mcp_secs = mcp_span - compress_span0;
@@ -440,13 +448,15 @@ int RunMemoryLimitFigure(const char* figure, DatasetId dataset,
   auto fp_miner = fpm::CreateMiner(fpm::MinerKind::kHMine);
   auto fp_old = fp_miner->Mine(db, old_sup);
   if (!fp_old.ok()) {
-    std::fprintf(stderr, "xi_old mine failed\n");
+    std::fprintf(stderr, "xi_old mine: %s\n",
+                 fp_old.status().ToString().c_str());
     return 1;
   }
   auto cdb_result = core::CompressDatabase(
       db, fp_old.value(), {CompressionStrategy::kMcp, MatcherKind::kAuto});
   if (!cdb_result.ok()) {
-    std::fprintf(stderr, "compression failed\n");
+    std::fprintf(stderr, "compression: %s\n",
+                 cdb_result.status().ToString().c_str());
     return 1;
   }
   const CompressedDb cdb = std::move(cdb_result).value();
@@ -562,7 +572,8 @@ int RunThreadScalingFigure(const char* figure, DatasetId dataset,
   auto mcp_result = core::CompressDatabase(
       db, fp_old, {CompressionStrategy::kMcp, MatcherKind::kAuto});
   if (!mcp_result.ok()) {
-    std::fprintf(stderr, "compression failed\n");
+    std::fprintf(stderr, "compression: %s\n",
+                 mcp_result.status().ToString().c_str());
     return 1;
   }
   const CompressedDb cdb = std::move(mcp_result).value();

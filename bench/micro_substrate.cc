@@ -33,6 +33,7 @@ const TransactionDb& BenchDb() {
     cfg.weight_skew = 2.0;
     cfg.seed = 99;
     auto result = GenerateQuest(cfg);
+    // gogreen-lint: allow(naked-new): intentionally leaked bench fixture
     return new TransactionDb(std::move(result).value());
   }();
   return *db;
@@ -43,6 +44,7 @@ const PatternSet& BenchFp() {
     auto miner =
         gogreen::fpm::CreateMiner(gogreen::fpm::MinerKind::kFpGrowth);
     auto result = miner->Mine(BenchDb(), 400);
+    // gogreen-lint: allow(naked-new): intentionally leaked bench fixture
     return new PatternSet(std::move(result).value());
   }();
   return *fp;

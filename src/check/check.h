@@ -1,0 +1,319 @@
+// Debug-build structural validators for the paper's core invariants.
+//
+// The recycling pipeline's correctness rests on structural properties the
+// paper states but the hot paths must not re-verify on every operation:
+// F-list order (Definition 3.1), H-struct hyperlink consistency, FP-tree
+// header/node-link consistency and count monotonicity, lossless group cover
+// of the compressed database (tuple = pattern ∪ outlying), and run-governor
+// byte accounting. The validators here check those properties exhaustively
+// — O(structure size) or worse — so they are *off by default* and gated at
+// runtime by the GOGREEN_VALIDATE environment variable (see
+// ValidationEnabled). The miners and the compressor call them through
+// GOGREEN_VALIDATE_OR_DIE at structure-construction seams; tests call them
+// directly and assert on the returned Status.
+//
+// Validators report, they do not repair: each returns OK or an Internal
+// status naming the first violated invariant. Everything here is
+// header-inline and uses only the public read API of the structures it
+// checks, so the module adds no link-time dependency edges.
+
+#ifndef GOGREEN_CHECK_CHECK_H_
+#define GOGREEN_CHECK_CHECK_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fpm/flist.h"
+#include "fpm/item.h"
+#include "fpm/transaction_db.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/run_context.h"
+#include "util/status.h"
+
+namespace gogreen::check {
+
+/// True when GOGREEN_VALIDATE is set to 1/true/on/yes (read once). While
+/// enabled, the miners and the compressor validate their structures as they
+/// build them and abort on a violation; disabled (the default) the hooks
+/// cost one branch on a cached bool.
+inline bool ValidationEnabled() {
+  static const bool enabled = [] {
+    const std::string v = GetEnvOrEmpty("GOGREEN_VALIDATE");
+    return v == "1" || v == "true" || v == "on" || v == "yes";
+  }();
+  return enabled;
+}
+
+namespace internal {
+inline Status Violation(const char* structure, const std::string& detail) {
+  return Status::Internal(std::string(structure) + " invariant violated: " +
+                          detail);
+}
+}  // namespace internal
+
+/// Definition 3.1: the F-list orders frequent items by ascending support,
+/// ties broken by ascending item id, every support >= min_support, and the
+/// item->rank map is the inverse of the rank->item map.
+inline Status ValidateFList(const fpm::FList& flist, uint64_t min_support) {
+  for (fpm::Rank r = 0; r < flist.size(); ++r) {
+    if (flist.support(r) < min_support) {
+      return internal::Violation(
+          "f-list", "rank " + std::to_string(r) + " has support " +
+                        std::to_string(flist.support(r)) +
+                        " < min_support " + std::to_string(min_support));
+    }
+    if (flist.rank(flist.item(r)) != r) {
+      return internal::Violation(
+          "f-list", "rank map is not the inverse of the item map at rank " +
+                        std::to_string(r));
+    }
+    if (r + 1 < flist.size()) {
+      const bool ordered =
+          flist.support(r) < flist.support(r + 1) ||
+          (flist.support(r) == flist.support(r + 1) &&
+           flist.item(r) < flist.item(r + 1));
+      if (!ordered) {
+        return internal::Violation(
+            "f-list", "ranks " + std::to_string(r) + "," +
+                          std::to_string(r + 1) +
+                          " break the ascending (support, item) order");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// One hyperlink of an H-struct level: the suffix of transaction `tid`
+/// starting at position `pos` of its rank-encoded row. `pos - 1` is the
+/// occurrence of the level's extension item, so pos >= 1 always.
+struct HLink {
+  fpm::Tid tid;
+  uint32_t pos;
+};
+
+/// One expanded level of an H-struct (header table + hyperlink queues):
+/// `frequent[i]` is the i-th frequent extension rank, `counts[i]` its
+/// support, `buckets[i]` its hyperlink chain. `num_ranks` bounds the rank
+/// space (F-list size).
+struct HStructView {
+  std::vector<fpm::Rank> frequent;
+  std::vector<uint64_t> counts;
+  std::vector<std::vector<HLink>> buckets;
+  size_t num_ranks = 0;
+};
+
+/// Row accessor: the rank-encoded (ascending) row of a transaction.
+using RowFn = std::function<std::span<const fpm::Rank>(fpm::Tid)>;
+
+/// H-Mine header/hyperlink consistency: extensions ascending and in range,
+/// supports >= min_support, each bucket holds exactly `counts[i]` links in
+/// strictly increasing tid order, and every link points one-past an
+/// occurrence of its extension rank in the underlying row.
+inline Status ValidateHStruct(const HStructView& h, const RowFn& row,
+                              uint64_t min_support) {
+  if (h.counts.size() != h.frequent.size() ||
+      h.buckets.size() != h.frequent.size()) {
+    return internal::Violation("h-struct",
+                               "header arrays have mismatched sizes");
+  }
+  for (size_t i = 0; i < h.frequent.size(); ++i) {
+    const fpm::Rank r = h.frequent[i];
+    if (r >= h.num_ranks) {
+      return internal::Violation(
+          "h-struct", "extension rank " + std::to_string(r) +
+                          " outside the rank space of size " +
+                          std::to_string(h.num_ranks));
+    }
+    if (i > 0 && h.frequent[i - 1] >= r) {
+      return internal::Violation("h-struct",
+                                 "extension ranks are not strictly ascending");
+    }
+    if (h.counts[i] < min_support) {
+      return internal::Violation(
+          "h-struct", "extension rank " + std::to_string(r) +
+                          " kept with support " + std::to_string(h.counts[i]) +
+                          " < min_support " + std::to_string(min_support));
+    }
+    if (h.buckets[i].size() != h.counts[i]) {
+      return internal::Violation(
+          "h-struct", "hyperlink chain of rank " + std::to_string(r) +
+                          " has " + std::to_string(h.buckets[i].size()) +
+                          " links but support " + std::to_string(h.counts[i]));
+    }
+    for (size_t k = 0; k < h.buckets[i].size(); ++k) {
+      const HLink& link = h.buckets[i][k];
+      if (k > 0 && h.buckets[i][k - 1].tid >= link.tid) {
+        return internal::Violation(
+            "h-struct", "hyperlink chain of rank " + std::to_string(r) +
+                            " is not in strictly increasing tid order");
+      }
+      const std::span<const fpm::Rank> tr = row(link.tid);
+      if (link.pos < 1 || link.pos > tr.size() || tr[link.pos - 1] != r) {
+        return internal::Violation(
+            "h-struct", "hyperlink of rank " + std::to_string(r) +
+                            " into tid " + std::to_string(link.tid) +
+                            " does not point past an occurrence of the rank");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Parent-linked image of an FP-tree: `nodes[0]` is the root (rank kNoRank,
+/// parent -1); every other node's parent precedes it in the vector.
+/// `header[r]` lists the node ids threaded on rank r's header chain, in
+/// chain order; `header_counts[r]` is the header table's support for r.
+struct FpTreeView {
+  struct Node {
+    fpm::Rank rank;
+    uint64_t count;
+    int64_t parent;
+  };
+  std::vector<Node> nodes;
+  std::vector<std::vector<uint32_t>> header;
+  std::vector<uint64_t> header_counts;
+};
+
+/// FP-tree header-table/node-link consistency and count monotonicity: paths
+/// carry strictly descending ranks from the root, a node's count bounds the
+/// sum of its children's counts, every non-root node is threaded on exactly
+/// the header chain of its rank, and each chain's total equals the header
+/// count (>= min_support for non-empty chains).
+inline Status ValidateFpTree(const FpTreeView& t, uint64_t min_support) {
+  if (t.nodes.empty()) return Status::OK();  // No tree (no frequent items).
+  if (t.header.size() != t.header_counts.size()) {
+    return internal::Violation("fp-tree",
+                               "header arrays have mismatched sizes");
+  }
+  const FpTreeView::Node& root = t.nodes[0];
+  if (root.rank != fpm::kNoRank || root.parent != -1) {
+    return internal::Violation("fp-tree", "nodes[0] is not a root node");
+  }
+  std::vector<uint64_t> child_sum(t.nodes.size(), 0);
+  for (size_t i = 1; i < t.nodes.size(); ++i) {
+    const FpTreeView::Node& n = t.nodes[i];
+    if (n.parent < 0 || static_cast<size_t>(n.parent) >= i) {
+      return internal::Violation(
+          "fp-tree", "node " + std::to_string(i) +
+                         " has parent outside the preceding nodes");
+    }
+    if (n.rank >= t.header.size()) {
+      return internal::Violation(
+          "fp-tree", "node " + std::to_string(i) + " has rank " +
+                         std::to_string(n.rank) +
+                         " outside the local rank space");
+    }
+    const FpTreeView::Node& parent = t.nodes[static_cast<size_t>(n.parent)];
+    if (parent.rank != fpm::kNoRank && n.rank >= parent.rank) {
+      return internal::Violation(
+          "fp-tree", "node " + std::to_string(i) +
+                         " breaks the descending rank order along its path");
+    }
+    if (n.count == 0) {
+      return internal::Violation(
+          "fp-tree", "node " + std::to_string(i) + " has zero count");
+    }
+    child_sum[static_cast<size_t>(n.parent)] += n.count;
+  }
+  for (size_t i = 1; i < t.nodes.size(); ++i) {
+    if (child_sum[i] > t.nodes[i].count) {
+      return internal::Violation(
+          "fp-tree", "children of node " + std::to_string(i) +
+                         " sum to " + std::to_string(child_sum[i]) +
+                         " > the node's count " +
+                         std::to_string(t.nodes[i].count));
+    }
+  }
+  // Header chains: chain r covers exactly the rank-r nodes, once each.
+  std::vector<bool> threaded(t.nodes.size(), false);
+  for (fpm::Rank r = 0; r < t.header.size(); ++r) {
+    uint64_t chain_count = 0;
+    for (const uint32_t id : t.header[r]) {
+      if (id == 0 || id >= t.nodes.size()) {
+        return internal::Violation(
+            "fp-tree", "header chain of rank " + std::to_string(r) +
+                           " links node id " + std::to_string(id) +
+                           " outside the tree");
+      }
+      if (t.nodes[id].rank != r) {
+        return internal::Violation(
+            "fp-tree", "header chain of rank " + std::to_string(r) +
+                           " threads a node of rank " +
+                           std::to_string(t.nodes[id].rank));
+      }
+      if (threaded[id]) {
+        return internal::Violation(
+            "fp-tree", "node " + std::to_string(id) +
+                           " is threaded on more than one header chain");
+      }
+      threaded[id] = true;
+      chain_count += t.nodes[id].count;
+    }
+    if (chain_count != t.header_counts[r]) {
+      return internal::Violation(
+          "fp-tree", "header count of rank " + std::to_string(r) + " is " +
+                         std::to_string(t.header_counts[r]) +
+                         " but its chain sums to " +
+                         std::to_string(chain_count));
+    }
+    if (!t.header[r].empty() && t.header_counts[r] < min_support) {
+      return internal::Violation(
+          "fp-tree", "rank " + std::to_string(r) +
+                         " kept in the tree with header count " +
+                         std::to_string(t.header_counts[r]) +
+                         " < min_support " + std::to_string(min_support));
+    }
+  }
+  for (size_t i = 1; i < t.nodes.size(); ++i) {
+    if (!threaded[i]) {
+      return internal::Violation(
+          "fp-tree", "node " + std::to_string(i) +
+                         " is missing from its rank's header chain");
+    }
+  }
+  return Status::OK();
+}
+
+/// Run-governor byte accounting at a scope boundary: every cooperatively
+/// charged byte has been released (no leaked ScopedBytes, no unbalanced
+/// ReleaseBytes underflow), and the incompleteness bookkeeping is
+/// consistent — a run marked incomplete must have tripped a stop reason and
+/// recorded a frontier.
+inline Status ValidateRunContext(const RunContext& ctx) {
+  if (ctx.bytes_in_use() != 0) {
+    return internal::Violation(
+        "run-context", std::to_string(ctx.bytes_in_use()) +
+                           " charged bytes not released at scope exit");
+  }
+  if (ctx.incomplete()) {
+    if (!ctx.stopped()) {
+      return internal::Violation(
+          "run-context", "marked incomplete without a tripped stop reason");
+    }
+    if (ctx.frontier_support() == 0) {
+      return internal::Violation(
+          "run-context", "marked incomplete without a frontier support");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gogreen::check
+
+/// Call-site hook for the miners and the compressor: evaluates the
+/// validator expression only while GOGREEN_VALIDATE is on, and aborts with
+/// the violation message when the validator reports corruption (a corrupt
+/// structure would otherwise poison results silently).
+#define GOGREEN_VALIDATE_OR_DIE(expr)                                     \
+  do {                                                                    \
+    if (::gogreen::check::ValidationEnabled()) {                          \
+      const ::gogreen::Status _validate_st = (expr);                      \
+      GOGREEN_CHECK(_validate_st.ok()) << _validate_st.ToString();        \
+    }                                                                     \
+  } while (false)
+
+#endif  // GOGREEN_CHECK_CHECK_H_

@@ -1,0 +1,125 @@
+// ValidateCompressedDb — split from check.h so fpm-layer code can include
+// the miner-side validators without pulling in core/ headers.
+
+#ifndef GOGREEN_CHECK_CHECK_DB_H_
+#define GOGREEN_CHECK_CHECK_DB_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "core/compressed_db.h"
+#include "fpm/item.h"
+#include "fpm/transaction_db.h"
+#include "util/status.h"
+
+namespace gogreen::check {
+
+namespace internal {
+
+inline bool Canonical(fpm::ItemSpan items) {
+  for (size_t i = 1; i < items.size(); ++i) {
+    if (items[i - 1] >= items[i]) return false;
+  }
+  return true;
+}
+
+/// Merges two canonical spans; returns false on a shared item (the
+/// pattern/outlying disjointness violation).
+inline bool MergeDisjoint(fpm::ItemSpan a, fpm::ItemSpan b,
+                          std::vector<fpm::ItemId>* out) {
+  out->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return false;
+    out->push_back(a[i] < b[j] ? a[i++] : b[j++]);
+  }
+  out->insert(out->end(), a.begin() + i, a.end());
+  out->insert(out->end(), b.begin() + j, b.end());
+  return true;
+}
+
+}  // namespace internal
+
+/// Compressed-database invariants (Table 2): every group pattern and every
+/// member's outlying items are canonical, within the item universe, and
+/// disjoint; the group member counts sum to |DB|; member tids form a
+/// permutation. With `original` supplied the cover is additionally checked
+/// lossless member by member: pattern ∪ outlying == original tuple.
+inline Status ValidateCompressedDb(const core::CompressedDb& cdb,
+                                   const fpm::TransactionDb* original) {
+  if (original != nullptr && cdb.NumTuples() != original->NumTransactions()) {
+    return internal::Violation(
+        "compressed-db", "holds " + std::to_string(cdb.NumTuples()) +
+                             " tuples but the original database has " +
+                             std::to_string(original->NumTransactions()));
+  }
+  std::vector<bool> tid_seen(cdb.NumTuples(), false);
+  std::vector<fpm::ItemId> merged;
+  uint64_t count_sum = 0;
+  for (core::GroupId g = 0; g < cdb.NumGroups(); ++g) {
+    const fpm::ItemSpan pattern = cdb.PatternOf(g);
+    if (!internal::Canonical(pattern)) {
+      return internal::Violation(
+          "compressed-db",
+          "group " + std::to_string(g) + " pattern is not canonical");
+    }
+    if (!pattern.empty() && pattern.back() >= cdb.ItemUniverseSize()) {
+      return internal::Violation(
+          "compressed-db", "group " + std::to_string(g) +
+                               " pattern exceeds the item universe");
+    }
+    count_sum += cdb.Group(g).count;
+    for (uint64_t m = cdb.MemberBegin(g); m < cdb.MemberEnd(g); ++m) {
+      const fpm::ItemSpan outlying = cdb.Outlying(m);
+      if (!internal::Canonical(outlying)) {
+        return internal::Violation(
+            "compressed-db",
+            "member " + std::to_string(m) + " outlying items not canonical");
+      }
+      if (!outlying.empty() && outlying.back() >= cdb.ItemUniverseSize()) {
+        return internal::Violation(
+            "compressed-db", "member " + std::to_string(m) +
+                                 " outlying items exceed the item universe");
+      }
+      if (!internal::MergeDisjoint(pattern, outlying, &merged)) {
+        return internal::Violation(
+            "compressed-db", "member " + std::to_string(m) +
+                                 " outlying items overlap the pattern of "
+                                 "group " +
+                                 std::to_string(g));
+      }
+      const fpm::Tid tid = cdb.MemberTid(m);
+      if (tid >= cdb.NumTuples() || tid_seen[tid]) {
+        return internal::Violation(
+            "compressed-db", "member tids are not a permutation (tid " +
+                                 std::to_string(tid) + " at member " +
+                                 std::to_string(m) + ")");
+      }
+      tid_seen[tid] = true;
+      if (original != nullptr) {
+        const fpm::ItemSpan tuple = original->Transaction(tid);
+        if (!std::equal(merged.begin(), merged.end(), tuple.begin(),
+                        tuple.end())) {
+          return internal::Violation(
+              "compressed-db", "cover of tid " + std::to_string(tid) +
+                                   " is lossy: pattern ∪ outlying differs "
+                                   "from the original tuple");
+        }
+      }
+    }
+  }
+  if (count_sum != cdb.NumTuples()) {
+    return internal::Violation(
+        "compressed-db", "group counts sum to " + std::to_string(count_sum) +
+                             " but the database holds " +
+                             std::to_string(cdb.NumTuples()) + " tuples");
+  }
+  return Status::OK();
+}
+
+}  // namespace gogreen::check
+
+#endif  // GOGREEN_CHECK_CHECK_DB_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/check_db.h"
 #include "fpm/pattern.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -325,6 +326,9 @@ Result<CompressedDb> CompressDatabase(const fpm::TransactionDb& db,
   local.elapsed_seconds = timer.ElapsedSeconds();
   RecordCompressionStats(local);
   if (stats != nullptr) *stats = local;
+  // Lossless-cover check (tuple = pattern ∪ outlying, group counts sum to
+  // |DB|) against the database just compressed.
+  GOGREEN_VALIDATE_OR_DIE(check::ValidateCompressedDb(cdb, &db));
   return cdb;
 }
 

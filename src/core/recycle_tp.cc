@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "check/check_db.h"
 #include "core/slice_db.h"
 #include "fpm/parallel_mine.h"
 #include "obs/trace.h"
@@ -199,6 +200,10 @@ Result<fpm::PatternSet> RecycleTpMiner::MineCompressed(
 
   const fpm::FList flist = fpm::FList::FromCounts(
       cdb.CountItemSupports(cdb.ItemUniverseSize()), min_support);
+  if (check::ValidationEnabled()) {
+    GOGREEN_VALIDATE_OR_DIE(check::ValidateCompressedDb(cdb, nullptr));
+    GOGREEN_VALIDATE_OR_DIE(check::ValidateFList(flist, min_support));
+  }
   if (!flist.empty()) {
     const SliceDb sdb = SliceDb::Build(cdb, flist);
     SliceMiningContext base(flist, min_support, &out, &stats_);

@@ -1,5 +1,6 @@
 #include "core/rp_mine.h"
 
+#include "check/check_db.h"
 #include "core/slice_db.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -40,6 +41,10 @@ Result<fpm::PatternSet> RpMineMiner::MineCompressed(const CompressedDb& cdb,
 
   const fpm::FList flist = fpm::FList::FromCounts(
       cdb.CountItemSupports(cdb.ItemUniverseSize()), min_support);
+  if (check::ValidationEnabled()) {
+    GOGREEN_VALIDATE_OR_DIE(check::ValidateCompressedDb(cdb, nullptr));
+    GOGREEN_VALIDATE_OR_DIE(check::ValidateFList(flist, min_support));
+  }
   if (!flist.empty()) {
     const SliceDb sdb = SliceDb::Build(cdb, flist);
     SliceMiningContext ctx(flist, min_support, &out, &stats_);

@@ -1,6 +1,7 @@
 #include "fpm/fpgrowth.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "fpm/flist.h"
 #include "fpm/parallel_mine.h"
@@ -73,6 +74,8 @@ class FpTree {
   }
 
   bool empty() const { return root_->first_child == nullptr; }
+
+  const FpNode* root() const { return root_; }
 
   size_t MemoryUsage() const { return arena_.allocated_bytes(); }
 
@@ -218,7 +221,72 @@ class FpGrowthContext {
   RunContext* run_ctx_ = nullptr;
 };
 
+/// Inserts every encoded transaction of `db` into `tree` (rank-descending
+/// paths). Shared by Mine() and the debug view builder.
+void BuildRootFpTree(const TransactionDb& db, const FList& flist,
+                     FpTree* tree) {
+  std::vector<Rank> desc;
+  for (Tid t = 0; t < db.NumTransactions(); ++t) {
+    desc.clear();
+    flist.AppendEncoded(db.Transaction(t), &desc);
+    // Encoded rows are rank-ascending; tree paths want rank-descending
+    // (most frequent first).
+    std::reverse(desc.begin(), desc.end());
+    tree->InsertPath(desc, 1);
+  }
+}
+
+/// Repackages a live FpTree into the pointer-free view the validators
+/// consume: preorder node vector (parent always precedes child) plus header
+/// chains as node-id lists. Chain entries that do not correspond to a tree
+/// node map to an out-of-range id the validator reports.
+check::FpTreeView ToFpTreeView(const FpTree& tree) {
+  check::FpTreeView view;
+  std::unordered_map<const FpNode*, uint32_t> index;
+  const FpNode* root = tree.root();
+  view.nodes.push_back({root->rank, root->count, -1});
+  index.emplace(root, 0);
+  std::vector<const FpNode*> stack;
+  for (const FpNode* c = root->first_child; c != nullptr;
+       c = c->next_sibling) {
+    stack.push_back(c);
+  }
+  while (!stack.empty()) {
+    const FpNode* n = stack.back();
+    stack.pop_back();
+    const auto id = static_cast<uint32_t>(view.nodes.size());
+    index.emplace(n, id);
+    view.nodes.push_back(
+        {n->rank, n->count, static_cast<int64_t>(index.at(n->parent))});
+    for (const FpNode* c = n->first_child; c != nullptr;
+         c = c->next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  view.header.resize(tree.num_ranks());
+  view.header_counts.resize(tree.num_ranks());
+  for (Rank r = 0; r < tree.num_ranks(); ++r) {
+    view.header_counts[r] = tree.HeaderCount(r);
+    for (const FpNode* n = tree.HeaderHead(r); n != nullptr; n = n->next) {
+      const auto it = index.find(n);
+      view.header[r].push_back(
+          it != index.end() ? it->second
+                            : static_cast<uint32_t>(view.nodes.size()));
+    }
+  }
+  return view;
+}
+
 }  // namespace
+
+check::FpTreeView DebugFpTreeView(const TransactionDb& db,
+                                  uint64_t min_support) {
+  const FList flist = FList::Build(db, min_support);
+  if (flist.empty()) return {};
+  FpTree tree(flist.size());
+  BuildRootFpTree(db, flist, &tree);
+  return ToFpTreeView(tree);
+}
 
 Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
                                        uint64_t min_support) {
@@ -231,14 +299,12 @@ Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
   const FList flist = FList::Build(db, min_support);
   if (!flist.empty()) {
     FpTree tree(flist.size());
-    std::vector<Rank> desc;
-    for (Tid t = 0; t < db.NumTransactions(); ++t) {
-      desc.clear();
-      flist.AppendEncoded(db.Transaction(t), &desc);
-      // Encoded rows are rank-ascending; tree paths want rank-descending
-      // (most frequent first).
-      std::reverse(desc.begin(), desc.end());
-      tree.InsertPath(desc, 1);
+    BuildRootFpTree(db, flist, &tree);
+
+    if (check::ValidationEnabled()) {
+      GOGREEN_VALIDATE_OR_DIE(check::ValidateFList(flist, min_support));
+      GOGREEN_VALIDATE_OR_DIE(
+          check::ValidateFpTree(ToFpTreeView(tree), min_support));
     }
 
     // Initial tree: local rank space == global rank space.

@@ -5,6 +5,7 @@
 #ifndef GOGREEN_FPM_FPGROWTH_H_
 #define GOGREEN_FPM_FPGROWTH_H_
 
+#include "check/check.h"
 #include "fpm/miner.h"
 
 namespace gogreen::fpm {
@@ -16,6 +17,13 @@ class FpGrowthMiner : public FrequentPatternMiner {
   Result<PatternSet> Mine(const TransactionDb& db,
                           uint64_t min_support) override;
 };
+
+/// Builds the root FP-tree of `db` at `min_support` and repackages it —
+/// nodes in preorder, header chains as node-id lists — as the neutral view
+/// check::ValidateFpTree consumes. Empty view when no item is frequent.
+/// Debug tooling only: materializes the whole tree a second time.
+check::FpTreeView DebugFpTreeView(const TransactionDb& db,
+                                  uint64_t min_support);
 
 }  // namespace gogreen::fpm
 

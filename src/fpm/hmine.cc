@@ -217,7 +217,47 @@ bool MineHM(const RowSource& source, const FList& flist, uint64_t min_support,
                                 /*mark_frontier=*/prefix0.empty());
 }
 
+/// Root-level Expand() repackaged into the neutral view the validators
+/// consume. `all` must be the root projection (every non-empty row at
+/// position 0).
+template <typename RowSource>
+check::HStructView BuildRootHStructView(const RowSource& ranked,
+                                        const FList& flist,
+                                        uint64_t min_support,
+                                        const std::vector<Suffix>& all) {
+  MiningStats scratch_stats;
+  HMineContext<RowSource> ctx(ranked, flist, min_support, nullptr,
+                              &scratch_stats);
+  std::vector<Rank> frequent;
+  std::vector<uint64_t> freq_counts;
+  std::vector<std::vector<Suffix>> buckets;
+  ctx.Expand(all, &frequent, &freq_counts, &buckets);
+
+  check::HStructView view;
+  view.frequent = std::move(frequent);
+  view.counts = std::move(freq_counts);
+  view.num_ranks = flist.size();
+  view.buckets.resize(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    view.buckets[i].reserve(buckets[i].size());
+    for (const Suffix& s : buckets[i]) {
+      view.buckets[i].push_back({s.tid, s.pos});
+    }
+  }
+  return view;
+}
+
 }  // namespace
+
+check::HStructView DebugRootHStruct(const RankedDb& ranked, const FList& flist,
+                                    uint64_t min_support) {
+  std::vector<Suffix> all;
+  all.reserve(ranked.NumTransactions());
+  for (Tid t = 0; t < ranked.NumTransactions(); ++t) {
+    if (!ranked.Transaction(t).empty()) all.push_back({t, 0});
+  }
+  return BuildRootHStructView(ranked, flist, min_support, all);
+}
 
 Result<PatternSet> HMineMiner::Mine(const TransactionDb& db,
                                     uint64_t min_support) {
@@ -235,6 +275,14 @@ Result<PatternSet> HMineMiner::Mine(const TransactionDb& db,
     all.reserve(ranked.NumTransactions());
     for (Tid t = 0; t < ranked.NumTransactions(); ++t) {
       if (!ranked.Transaction(t).empty()) all.push_back({t, 0});
+    }
+
+    if (check::ValidationEnabled()) {
+      GOGREEN_VALIDATE_OR_DIE(check::ValidateFList(flist, min_support));
+      const check::HStructView root =
+          BuildRootHStructView(ranked, flist, min_support, all);
+      GOGREEN_VALIDATE_OR_DIE(check::ValidateHStruct(
+          root, [&](Tid t) { return ranked.Transaction(t); }, min_support));
     }
 
     MineHM(ranked, flist, min_support, all, {}, &out, &stats_, run_ctx_);

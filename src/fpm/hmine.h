@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "check/check.h"
 #include "fpm/flist.h"
 #include "fpm/miner.h"
 
@@ -32,6 +33,13 @@ bool MineRankedRowsHM(const std::vector<std::vector<Rank>>& rows,
                       const FList& flist, uint64_t min_support,
                       const std::vector<Rank>& prefix_ranks, PatternSet* out,
                       MiningStats* stats, RunContext* run_ctx = nullptr);
+
+/// Expands the root level of the H-struct over `ranked` — header table plus
+/// fully materialized hyperlink queues — as a neutral view for
+/// check::ValidateHStruct and for tests. Debug tooling: costs one full
+/// counting + threading pass over the ranked database.
+check::HStructView DebugRootHStruct(const RankedDb& ranked, const FList& flist,
+                                    uint64_t min_support);
 
 }  // namespace gogreen::fpm
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "check/check.h"
 #include "fpm/apriori.h"
 #include "fpm/eclat.h"
 #include "fpm/fpgrowth.h"
@@ -71,6 +72,12 @@ Result<MineOutcome> FinishGovernedOutcome(Result<PatternSet> result,
         outcome.patterns.FilterBySupport(outcome.frontier_support);
   }
   RecordGovernorOutcome(ctx, outcome.partial);
+  // Every cooperatively charged byte must be released by the time a
+  // governed run reaches this epilogue (leaked ScopedBytes would starve
+  // later runs sharing the budget).
+  if (ctx != nullptr) {
+    GOGREEN_VALIDATE_OR_DIE(check::ValidateRunContext(*ctx));
+  }
   return outcome;
 }
 

@@ -39,7 +39,7 @@ void RecordMiningStats(const MiningStats& stats);
 /// filtered to `frontier_support` is precisely the complete frequent set at
 /// that (higher) support — the caller can keep it, or recycle it and rerun
 /// at a tightened threshold, which is the paper's own loop.
-struct MineOutcome {
+struct [[nodiscard]] MineOutcome {
   PatternSet patterns;
   /// True when the run was stopped before covering the requested support.
   bool partial = false;

@@ -105,8 +105,12 @@ std::string PatternSetSummary::ToString() const {
   if (!length_histogram.empty()) {
     out += ", by length:";
     for (size_t k = 1; k < length_histogram.size(); ++k) {
-      out += " " + std::to_string(k) + ":" +
-             std::to_string(length_histogram[k]);
+      // Appended piecewise: `" " + std::to_string(k) + ...` trips a GCC 12
+      // -Wrestrict false positive through the inlined string operator+.
+      out += ' ';
+      out += std::to_string(k);
+      out += ':';
+      out += std::to_string(length_histogram[k]);
     }
   }
   return out;

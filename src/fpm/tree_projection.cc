@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "check/check.h"
 #include "fpm/flist.h"
 #include "fpm/parallel_mine.h"
 #include "obs/trace.h"
@@ -359,6 +360,7 @@ Result<PatternSet> TreeProjectionMiner::Mine(const TransactionDb& db,
   PatternSet out;
 
   const FList flist = FList::Build(db, min_support);
+  GOGREEN_VALIDATE_OR_DIE(check::ValidateFList(flist, min_support));
   if (!flist.empty()) {
     // Root node: extensions are all frequent items; rows are the ranked
     // transactions themselves (local index == global rank), bucketed.

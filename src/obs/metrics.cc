@@ -75,6 +75,7 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
 }
 
 MetricRegistry& MetricRegistry::Global() {
+  // gogreen-lint: allow(naked-new): intentionally leaked process singleton
   static MetricRegistry* registry = new MetricRegistry();
   return *registry;
 }

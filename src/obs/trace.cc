@@ -24,6 +24,7 @@ thread_local uint32_t t_depth = 0;
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
 Tracer& Tracer::Global() {
+  // gogreen-lint: allow(naked-new): intentionally leaked process singleton
   static Tracer* tracer = new Tracer();
   return *tracer;
 }

@@ -15,6 +15,21 @@ namespace gogreen::failpoint {
 
 namespace {
 
+// Authoritative list of the failpoint sites compiled into the tree, one
+// entry per MaybeFail call site, sorted. tools/lint/gogreen_lint.py
+// cross-checks the call-site literals against this list; update both when
+// adding or removing a seam.
+constexpr std::string_view kKnownSites[] = {
+    "alloc.charge",  // run_context.cc: cooperative byte charge
+    "dat_io.open",   // dat_io.cc: dataset open
+    "dat_io.read",   // dat_io.cc: dataset read
+    "dat_io.write",  // dat_io.cc: dataset write
+    "spill.finish",  // disk_recycle.cc: spill-partition finalize
+    "spill.open",    // disk_recycle.cc: spill-partition open
+    "spill.read",    // disk_recycle.cc: spill-partition read
+    "spill.write",   // disk_recycle.cc: spill-partition write
+};
+
 enum class Action { kIOError, kOom };
 
 struct Site {
@@ -36,6 +51,7 @@ struct Registry {
 };
 
 Registry& GetRegistry() {
+  // gogreen-lint: allow(naked-new): intentionally leaked process singleton
   static Registry* registry = new Registry();
   return *registry;
 }
@@ -81,7 +97,14 @@ void ArmLocked(Registry& reg, const std::string& spec) {
                            << "': unknown action '" << action << "'";
       continue;
     }
-    reg.sites[entry.substr(0, colon)] = site;
+    const std::string name = entry.substr(0, colon);
+    if (!IsKnownSite(name)) {
+      // Still armed (tests probe synthetic sites), but almost always a typo
+      // that would otherwise inject nothing, silently.
+      GOGREEN_LOG(Warning) << "arming unknown failpoint site '" << name
+                           << "' (not compiled into this binary)";
+    }
+    reg.sites[name] = site;
     if (!reg.spec.empty()) reg.spec += ',';
     reg.spec += entry;
   }
@@ -139,6 +162,13 @@ std::string CurrentSpec() {
   Registry& reg = GetRegistry();
   std::lock_guard<std::mutex> lock(reg.mu);
   return reg.spec;
+}
+
+std::span<const std::string_view> KnownSites() { return kKnownSites; }
+
+bool IsKnownSite(std::string_view site) {
+  return std::find(std::begin(kKnownSites), std::end(kKnownSites), site) !=
+         std::end(kKnownSites);
 }
 
 uint64_t HitCount(const std::string& site) {

@@ -20,6 +20,7 @@
 #define GOGREEN_UTIL_FAILPOINT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -46,6 +47,16 @@ void Clear();
 
 /// The currently armed spec, normalized ("" when disarmed).
 std::string CurrentSpec();
+
+/// Every failpoint site compiled into the tree, sorted, one entry per
+/// MaybeFail call site. This is the authoritative registry:
+/// tools/lint/gogreen_lint.py fails CI when the call-site literals and this
+/// list drift apart, and Arm() warns when a spec names a site that is not
+/// listed (almost always a typo that would silently inject nothing).
+std::span<const std::string_view> KnownSites();
+
+/// True when `site` names a compiled-in failpoint.
+bool IsKnownSite(std::string_view site);
 
 /// Number of times `site` actually injected a failure.
 uint64_t HitCount(const std::string& site);

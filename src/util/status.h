@@ -33,8 +33,10 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// An immutable (success | error) outcome. Cheap to copy in the success case:
-/// the OK status carries no allocation.
-class Status {
+/// the OK status carries no allocation. [[nodiscard]]: silently dropping an
+/// error is the bug class the annotation exists to kill — callers must
+/// propagate, handle, or explicitly void-cast a Status.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -99,7 +101,7 @@ class Status {
 
 /// Either a value of type T or an error Status. Mirrors arrow::Result.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error Status: lets functions `return value;`
   /// or `return Status::...;` directly (the Arrow idiom).

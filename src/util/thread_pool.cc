@@ -20,6 +20,7 @@ struct GlobalPoolState {
 };
 
 GlobalPoolState& GlobalState() {
+  // gogreen-lint: allow(naked-new): intentionally leaked process singleton
   static GlobalPoolState* state = new GlobalPoolState();
   return *state;
 }

@@ -55,6 +55,30 @@ TEST(FailpointTest, ArmedSiteInjectsItsAction) {
   EXPECT_TRUE(failpoint::MaybeFail("spill.read").ok());
 }
 
+TEST(FailpointTest, KnownSitesAreSortedAndQueryable) {
+  const auto sites = failpoint::KnownSites();
+  ASSERT_FALSE(sites.empty());
+  for (size_t i = 0; i + 1 < sites.size(); ++i) {
+    EXPECT_LT(sites[i], sites[i + 1]) << "registry must stay sorted";
+  }
+  for (std::string_view site : sites) {
+    EXPECT_TRUE(failpoint::IsKnownSite(site)) << site;
+  }
+  EXPECT_TRUE(failpoint::IsKnownSite("spill.write"));
+  EXPECT_FALSE(failpoint::IsKnownSite("no.such.site"));
+  EXPECT_FALSE(failpoint::IsKnownSite(""));
+}
+
+TEST(FailpointTest, UnknownSiteStillArms) {
+  // Arming a site that is not compiled into the binary warns (so typos in
+  // GOGREEN_FAILPOINTS are visible) but still arms: tests probe synthetic
+  // sites directly through MaybeFail.
+  ScopedFailpoints fp("synthetic.site:ioerror");
+  EXPECT_FALSE(failpoint::IsKnownSite("synthetic.site"));
+  EXPECT_EQ(failpoint::MaybeFail("synthetic.site").code(),
+            StatusCode::kIOError);
+}
+
 TEST(FailpointTest, OomActionInjectsResourceExhausted) {
   ScopedFailpoints fp("alloc.charge:oom");
   EXPECT_EQ(failpoint::MaybeFail("alloc.charge").code(),

@@ -209,13 +209,15 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(DiffParam{"quest_a", 11, false, 40, 20},
                       DiffParam{"quest_b", 29, false, 30, 12},
                       DiffParam{"quest_c", 63, false, 24, 16}),
-    [](const auto& info) { return info.param.name; });
+    // `tpi`, not `info`: the INSTANTIATE macro's generated function already
+    // has a parameter named `info`, which the lambda would shadow.
+    [](const auto& tpi) { return tpi.param.name; });
 
 INSTANTIATE_TEST_SUITE_P(
     Dense, ParallelDifferentialTest,
     ::testing::Values(DiffParam{"dense_a", 7, true, 120, 60},
                       DiffParam{"dense_b", 41, true, 90, 45}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& tpi) { return tpi.param.name; });
 
 }  // namespace
 }  // namespace gogreen

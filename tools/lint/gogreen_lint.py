@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""Project-specific contract lint for the gogreen tree.
+
+Enforces the cross-cutting contracts that generic tooling (clang-tidy)
+cannot express:
+
+  failpoint-registry  Every string literal passed to failpoint::MaybeFail()
+                      must appear in the kKnownSites registry in
+                      src/util/failpoint.cc, and every registry entry must
+                      have at least one call site (no stale entries).
+  env-access          Environment access (getenv/setenv/putenv) is confined
+                      to src/util/env.cc; everything else goes through
+                      gogreen::GetEnvOrEmpty so env reads stay auditable.
+  raw-thread          No raw std::thread outside src/util/thread_pool.* —
+                      all parallelism goes through the pool so lane ids,
+                      shutdown order, and GOGREEN_THREADS stay meaningful.
+  naked-new           No naked new/delete expressions outside
+                      src/util/arena.h. Owning allocations use
+                      make_unique/make_shared/containers; the few
+                      intentionally leaked process singletons carry inline
+                      suppressions.
+
+A violation can be suppressed for one line with a comment on that line or
+the line above:
+
+    // gogreen-lint: allow(<rule>)[: rationale]
+
+Usage:
+    tools/lint/gogreen_lint.py [--root DIR]
+    tools/lint/gogreen_lint.py --self-test
+
+Exits 0 when clean, 1 on violations, 2 on usage/environment errors.
+Scans src/, tools/, and bench/ (tests/ may probe synthetic failpoint sites
+and spawn threads deliberately, so it is out of scope).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tools", "bench")
+CXX_EXTENSIONS = (".cc", ".h")
+
+REGISTRY_FILE = os.path.join("src", "util", "failpoint.cc")
+
+# Files exempt from a rule (repo-relative, forward slashes).
+RULE_EXEMPT = {
+    "env-access": {"src/util/env.cc"},
+    "raw-thread": {"src/util/thread_pool.h", "src/util/thread_pool.cc"},
+    "naked-new": {"src/util/arena.h"},
+    # MaybeFail's own definition/declaration and the registry itself.
+    "failpoint-registry": {"src/util/failpoint.h", "src/util/failpoint.cc"},
+}
+
+SUPPRESS_RE = re.compile(r"gogreen-lint:\s*allow\(([a-z-]+)\)")
+MAYBE_FAIL_RE = re.compile(r'MaybeFail\(\s*"([^"]*)"')
+KNOWN_SITES_RE = re.compile(
+    r"kKnownSites\[\]\s*=\s*\{(.*?)\};", re.DOTALL)
+STRING_RE = re.compile(r'"([^"\\]|\\.)*"')
+
+ENV_ACCESS_RE = re.compile(r"\b(?:std::)?(?:getenv|secure_getenv|setenv|"
+                           r"putenv|unsetenv)\s*\(")
+RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
+NAKED_NEW_RE = re.compile(r"\bnew\b|\bdelete\b")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text, keep_strings=False):
+    """Blanks comments (and optionally string/char literals) with spaces,
+    preserving line structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            start = i
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+            if keep_strings:
+                out.append(text[start:i])
+            else:
+                out.append(quote + " " * max(0, i - start - 2) + quote)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def suppressed_lines(raw_text, rule):
+    """Line numbers (1-based) on which `rule` is suppressed: each allow()
+    comment covers its own line and the next one."""
+    lines = set()
+    for num, line in enumerate(raw_text.splitlines(), start=1):
+        for m in SUPPRESS_RE.finditer(line):
+            if m.group(1) == rule:
+                lines.add(num)
+                lines.add(num + 1)
+    return lines
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def scan_pattern(path, raw_text, rule, regex, message, keep_strings=False):
+    """Generic single-regex rule over comment-stripped text."""
+    if path in RULE_EXEMPT.get(rule, set()):
+        return []
+    stripped = strip_comments_and_strings(raw_text, keep_strings=keep_strings)
+    if rule == "naked-new":
+        # `= delete`d special members and `new`/`delete` inside identifiers
+        # are not allocation expressions.
+        stripped = re.sub(r"=\s*delete\b", "", stripped)
+    suppressed = suppressed_lines(raw_text, rule)
+    violations = []
+    for m in regex.finditer(stripped):
+        line = line_of(stripped, m.start())
+        if line in suppressed:
+            continue
+        violations.append(Violation(path, line, rule, message))
+    return violations
+
+
+def parse_known_sites(registry_text):
+    """Extracts the kKnownSites string list from failpoint.cc's text."""
+    stripped = strip_comments_and_strings(registry_text, keep_strings=True)
+    m = KNOWN_SITES_RE.search(stripped)
+    if m is None:
+        return None
+    return [s.group(0)[1:-1] for s in STRING_RE.finditer(m.group(1))]
+
+
+def check_failpoints(files, registry_text):
+    """Cross-checks MaybeFail call-site literals against kKnownSites."""
+    violations = []
+    known = parse_known_sites(registry_text)
+    if known is None:
+        violations.append(Violation(
+            REGISTRY_FILE.replace(os.sep, "/"), 1, "failpoint-registry",
+            "could not find the kKnownSites registry"))
+        return violations
+    used = set()
+    for path, raw_text in files:
+        if path in RULE_EXEMPT["failpoint-registry"]:
+            continue
+        stripped = strip_comments_and_strings(raw_text, keep_strings=True)
+        suppressed = suppressed_lines(raw_text, "failpoint-registry")
+        for m in MAYBE_FAIL_RE.finditer(stripped):
+            site = m.group(1)
+            used.add(site)
+            line = line_of(stripped, m.start())
+            if site not in known and line not in suppressed:
+                violations.append(Violation(
+                    path, line, "failpoint-registry",
+                    f"failpoint site '{site}' is not in kKnownSites "
+                    "(src/util/failpoint.cc)"))
+    for site in known:
+        if site not in used:
+            violations.append(Violation(
+                REGISTRY_FILE.replace(os.sep, "/"), 1, "failpoint-registry",
+                f"kKnownSites entry '{site}' has no MaybeFail call site "
+                "(stale registry entry)"))
+    return violations
+
+
+def run_checks(files, registry_text):
+    """All rules over (path, text) pairs; returns the violation list."""
+    violations = []
+    for path, raw_text in files:
+        violations += scan_pattern(
+            path, raw_text, "env-access", ENV_ACCESS_RE,
+            "environment access outside src/util/env.cc "
+            "(use gogreen::GetEnvOrEmpty)")
+        violations += scan_pattern(
+            path, raw_text, "raw-thread", RAW_THREAD_RE,
+            "raw std::thread outside src/util/thread_pool.* "
+            "(use the ThreadPool)")
+        violations += scan_pattern(
+            path, raw_text, "naked-new", NAKED_NEW_RE,
+            "naked new/delete outside src/util/arena.h "
+            "(use make_unique/containers, or suppress for a deliberate "
+            "singleton leak)")
+    violations += check_failpoints(files, registry_text)
+    return violations
+
+
+def collect_files(root):
+    files = []
+    for top in SCAN_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, top)):
+            for name in sorted(names):
+                if not name.endswith(CXX_EXTENSIONS):
+                    continue
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                with open(full, encoding="utf-8") as f:
+                    files.append((rel, f.read()))
+    return files
+
+
+def self_test():
+    """Verifies every rule both fires on a seeded violation and stays quiet
+    on the accepted idiom. Run by ctest (gogreen_lint_self_test)."""
+    registry = ('constexpr std::string_view kKnownSites[] = {\n'
+                '    "io.read",  // reader\n'
+                '    "io.stale",\n'
+                '};\n')
+    cases = [
+        # (rule, file name, content, expect_violation)
+        ("env-access", "src/a.cc", 'char* v = std::getenv("X");\n', True),
+        ("env-access", "src/a.cc", "// std::getenv in a comment\n", False),
+        ("env-access", "src/util/env.cc", 'getenv("X");\n', False),
+        ("raw-thread", "src/a.cc", "std::thread t(run);\n", True),
+        ("raw-thread", "src/a.cc", "std::this_thread::yield();\n", False),
+        ("raw-thread", "src/util/thread_pool.cc", "std::thread t;\n", False),
+        ("naked-new", "src/a.cc", "auto* p = new Foo();\n", True),
+        ("naked-new", "src/a.cc", "delete p;\n", True),
+        ("naked-new", "src/a.cc", "Foo(const Foo&) = delete;\n", False),
+        ("naked-new", "src/a.cc",
+         "// gogreen-lint: allow(naked-new): leaked singleton\n"
+         "auto* p = new Foo();\n", False),
+        ("naked-new", "src/a.cc", 'Log("new results, delete none");\n',
+         False),
+        ("naked-new", "src/util/arena.h", "new (slot) T();\n", False),
+        ("failpoint-registry", "src/a.cc",
+         'MaybeFail("io.bogus");\n', True),
+        ("failpoint-registry", "src/a.cc",
+         '// MaybeFail("io.bogus") in a comment\n', False),
+    ]
+    failures = []
+    for rule, path, content, expect in cases:
+        base = [(path, content),
+                ("src/b.cc", 'MaybeFail("io.read");\n'
+                             'MaybeFail("io.stale");\n')]
+        found = [v for v in run_checks(base, registry)
+                 if v.rule == rule and v.path == path]
+        if bool(found) != expect:
+            failures.append(
+                f"rule {rule} on {path!r}: expected "
+                f"{'a violation' if expect else 'clean'}, got "
+                f"{[str(v) for v in found] or 'clean'}")
+    # Stale-entry detection: registry lists a site nobody calls.
+    stale = [v for v in run_checks([("src/b.cc", 'MaybeFail("io.read");\n')],
+                                   registry)
+             if v.rule == "failpoint-registry"]
+    if not any("io.stale" in v.message for v in stale):
+        failures.append("stale kKnownSites entry not reported")
+    if failures:
+        for f in failures:
+            print("self-test FAILED:", f, file=sys.stderr)
+        return 1
+    print(f"gogreen_lint self-test: {len(cases) + 1} cases passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up "
+                             "from this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own test cases and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    registry_path = os.path.join(root, REGISTRY_FILE)
+    if not os.path.isfile(registry_path):
+        print(f"error: {registry_path} not found (wrong --root?)",
+              file=sys.stderr)
+        return 2
+    with open(registry_path, encoding="utf-8") as f:
+        registry_text = f.read()
+
+    violations = run_checks(collect_files(root), registry_text)
+    for v in sorted(violations, key=lambda v: (v.path, v.line)):
+        print(v)
+    if violations:
+        print(f"gogreen_lint: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("gogreen_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (checks from the top-level .clang-tidy, warnings as
+# errors) over every first-party translation unit, using the compile
+# database exported by CMake.
+#
+#   tools/lint/run_clang_tidy.sh [build-dir] [jobs]
+#
+# The build directory must have been configured already (any configure
+# produces compile_commands.json; see CMAKE_EXPORT_COMPILE_COMMANDS in
+# CMakeLists.txt). Exits nonzero on the first file with findings.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build}"
+JOBS="${2:-$(nproc)}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found;" \
+       "configure first: cmake -B ${BUILD_DIR} -S ${ROOT}" >&2
+  exit 2
+fi
+if ! command -v "${TIDY}" >/dev/null; then
+  echo "error: ${TIDY} not found (set CLANG_TIDY or apt install clang-tidy)" >&2
+  exit 2
+fi
+
+cd "${ROOT}"
+# First-party TUs only: generated/third-party code is not held to the
+# curated check set.
+git ls-files 'src/*.cc' 'src/**/*.cc' 'tools/*.cc' 'bench/*.cc' |
+  xargs -r -P "${JOBS}" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet
+echo "clang-tidy: clean"
