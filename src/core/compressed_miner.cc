@@ -8,16 +8,47 @@
 #include "core/rp_mine.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace gogreen::core {
 
+Result<fpm::MineResult> CompressedMiner::Mine(const CompressedDb& cdb,
+                                              const fpm::MineRequest& request) {
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t minsup,
+                           request.EffectiveMinSupport());
+  GOGREEN_TRACE_SPAN("run.governor");
+  const ThreadPool::ScopedThreads scoped_threads(request.threads);
+  RunContext* ctx = request.run_context;
+  SetRunContext(ctx);
+  Result<fpm::PatternSet> mined = MineCompressed(cdb, minsup);
+  SetRunContext(nullptr);
+  GOGREEN_ASSIGN_OR_RETURN(
+      fpm::MineOutcome outcome,
+      fpm::FinishGovernedOutcome(std::move(mined), minsup, ctx));
+  fpm::MineResult result;
+  result.patterns = std::move(outcome.patterns);
+  result.partial = outcome.partial;
+  result.frontier_support = outcome.frontier_support;
+  result.stop_status = std::move(outcome.stop_status);
+  result.stats = stats_;
+  if (request.constraints != nullptr &&
+      request.constraints->NumConstraints() > 0) {
+    result.patterns = request.constraints->Filter(result.patterns);
+  }
+  return result;
+}
+
 Result<fpm::MineOutcome> CompressedMiner::MineCompressedGoverned(
     const CompressedDb& cdb, uint64_t min_support, RunContext* ctx) {
-  GOGREEN_TRACE_SPAN("run.governor");
-  SetRunContext(ctx);
-  Result<fpm::PatternSet> result = MineCompressed(cdb, min_support);
-  SetRunContext(nullptr);
-  return fpm::FinishGovernedOutcome(std::move(result), min_support, ctx);
+  fpm::MineRequest request = fpm::MineRequest::At(min_support);
+  request.run_context = ctx;
+  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result, Mine(cdb, request));
+  fpm::MineOutcome outcome;
+  outcome.patterns = std::move(result.patterns);
+  outcome.partial = result.partial;
+  outcome.frontier_support = result.frontier_support;
+  outcome.stop_status = std::move(result.stop_status);
+  return outcome;
 }
 
 std::unique_ptr<CompressedMiner> CreateCompressedMiner(RecycleAlgo algo) {

@@ -28,16 +28,25 @@ class CompressedMiner {
   virtual Result<fpm::PatternSet> MineCompressed(const CompressedDb& cdb,
                                                  uint64_t min_support) = 0;
 
+  /// The unified entry point (mirrors FrequentPatternMiner::Mine): one call
+  /// covering support, constraints, governor, and per-request parallelism.
+  /// Not virtual — wraps the MineCompressed implementation hook. Concrete
+  /// miner classes hide this overload with their MineCompressed override;
+  /// call it through the CompressedMiner interface.
+  Result<fpm::MineResult> Mine(const CompressedDb& cdb,
+                               const fpm::MineRequest& request);
+
   const fpm::MiningStats& stats() const { return stats_; }
 
-  /// Attaches a run governor observed by the next MineCompressed() call
-  /// (null detaches). Miners without governed paths (RP-Mine) ignore it and
-  /// always run to completion.
+  /// DEPRECATED: attaches a run governor observed by the next
+  /// MineCompressed() call (null detaches). Superseded by
+  /// fpm::MineRequest::run_context; kept so existing callers migrate
+  /// incrementally.
   void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
 
-  /// Mines under `ctx`'s deadline/budget/cancellation; on an early stop the
-  /// outcome is marked partial and carries the exact frequent set at the
-  /// frontier support (see fpm::MineOutcome).
+  /// DEPRECATED: mines under `ctx`'s deadline/budget/cancellation. Thin
+  /// wrapper over the Mine(cdb, request) overload; kept so existing
+  /// callers migrate incrementally.
   Result<fpm::MineOutcome> MineCompressedGoverned(const CompressedDb& cdb,
                                                   uint64_t min_support,
                                                   RunContext* ctx);

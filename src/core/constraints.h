@@ -1,123 +1,29 @@
-// Constrained frequent-pattern mining support (Section 2). The recycling
-// framework only needs two facts about a constraint change: whether the new
-// constraint set is tightened (solution space shrank — the old result can be
-// filtered) or relaxed (it grew — re-mining is needed, which is where
-// pattern recycling pays off), and how to test a pattern against the
-// constraints. The four classic categories (anti-monotone, monotone,
-// succinct, convertible) are represented for introspection and testing.
+// Compatibility shim: the constraint framework moved to fpm/constraints.h
+// so the unified fpm::MineRequest can carry a ConstraintSet without a
+// layering inversion (constraints are predicates over fpm::Pattern and
+// depend on nothing in core). Existing core:: spellings keep working
+// through these aliases; new code should include "fpm/constraints.h".
 
 #ifndef GOGREEN_CORE_CONSTRAINTS_H_
 #define GOGREEN_CORE_CONSTRAINTS_H_
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "fpm/pattern_set.h"
-#include "util/status.h"
+#include "fpm/constraints.h"
 
 namespace gogreen::core {
 
-enum class ConstraintCategory {
-  kAntiMonotone,  ///< If X fails, every superset fails (e.g. sum(X) <= v).
-  kMonotone,      ///< If X holds, every superset holds (e.g. |X| >= l).
-  kSuccinct,      ///< Membership expressible over item sets (e.g. X ⊆ S).
-  kConvertible,   ///< Becomes (anti-)monotone under an item order (avg).
-};
+using ConstraintCategory = fpm::ConstraintCategory;
+using ConstraintDelta = fpm::ConstraintDelta;
+using Constraint = fpm::Constraint;
+using ConstraintSet = fpm::ConstraintSet;
 
-const char* ConstraintCategoryName(ConstraintCategory category);
-
-/// Relation between a new constraint and an old one of the same kind.
-enum class ConstraintDelta {
-  kUnchanged,
-  kTightened,     ///< New solution space ⊆ old: filter the old result.
-  kRelaxed,       ///< New solution space ⊇ old: re-mine (recycle!).
-  kIncomparable,  ///< Neither contains the other: re-mine.
-};
-
-const char* ConstraintDeltaName(ConstraintDelta delta);
-
-/// A predicate over patterns. Implementations must be immutable.
-class Constraint {
- public:
-  virtual ~Constraint() = default;
-
-  virtual ConstraintCategory category() const = 0;
-
-  /// Stable identifier of the constraint kind; two constraints are
-  /// comparable iff their kinds match.
-  virtual std::string kind() const = 0;
-
-  virtual std::string Describe() const = 0;
-
-  virtual bool Satisfies(const fpm::Pattern& pattern) const = 0;
-
-  /// How this (new) constraint relates to `old` of the same kind().
-  virtual ConstraintDelta CompareTo(const Constraint& old) const = 0;
-
-  virtual std::unique_ptr<Constraint> Clone() const = 0;
-};
-
-/// |X| <= max_len. Anti-monotone.
-std::unique_ptr<Constraint> MakeMaxLength(size_t max_len);
-
-/// |X| >= min_len. Monotone.
-std::unique_ptr<Constraint> MakeMinLength(size_t min_len);
-
-/// X ⊆ allowed. Succinct (and anti-monotone).
-std::unique_ptr<Constraint> MakeItemSubset(std::vector<fpm::ItemId> allowed);
-
-/// X ∩ required != ∅. Succinct (and monotone).
-std::unique_ptr<Constraint> MakeRequiresAny(std::vector<fpm::ItemId> required);
-
-/// sum(value[i] for i in X) <= max_sum, values >= 0. Anti-monotone.
-/// Items without an entry in `values` count as 0.
-std::unique_ptr<Constraint> MakeMaxSum(std::vector<double> values,
-                                       double max_sum);
-
-/// avg(value[i] for i in X) >= min_avg. Convertible.
-std::unique_ptr<Constraint> MakeMinAvg(std::vector<double> values,
-                                       double min_avg);
-
-/// A full mining specification: the essential minimum-support constraint
-/// plus any number of additional constraints.
-class ConstraintSet {
- public:
-  explicit ConstraintSet(uint64_t min_support) : min_support_(min_support) {}
-
-  ConstraintSet(const ConstraintSet& other);
-  ConstraintSet& operator=(const ConstraintSet& other);
-  ConstraintSet(ConstraintSet&&) = default;
-  ConstraintSet& operator=(ConstraintSet&&) = default;
-
-  uint64_t min_support() const { return min_support_; }
-
-  ConstraintSet& Add(std::unique_ptr<Constraint> constraint);
-
-  size_t NumConstraints() const { return constraints_.size(); }
-  const Constraint& constraint(size_t i) const { return *constraints_[i]; }
-
-  /// True iff the pattern satisfies every non-support constraint.
-  bool Satisfies(const fpm::Pattern& pattern) const;
-
-  /// Patterns of `fp` that satisfy all non-support constraints and have
-  /// support >= min_support().
-  fpm::PatternSet Filter(const fpm::PatternSet& fp) const;
-
-  /// Overall delta versus an older specification: tightened only if every
-  /// component (incl. min support) is tightened-or-unchanged; relaxed only
-  /// if every component is relaxed-or-unchanged. Constraints present on one
-  /// side only make the comparison a tightening (added) / relaxation
-  /// (removed) of that component; unmatched kinds are incomparable.
-  ConstraintDelta CompareTo(const ConstraintSet& old) const;
-
-  std::string Describe() const;
-
- private:
-  uint64_t min_support_;
-  std::vector<std::unique_ptr<Constraint>> constraints_;
-};
+using fpm::ConstraintCategoryName;
+using fpm::ConstraintDeltaName;
+using fpm::MakeItemSubset;
+using fpm::MakeMaxLength;
+using fpm::MakeMaxSum;
+using fpm::MakeMinAvg;
+using fpm::MakeMinLength;
+using fpm::MakeRequiresAny;
 
 }  // namespace gogreen::core
 

@@ -1,8 +1,12 @@
 #include "core/recycler.h"
 
+#include <utility>
+#include <vector>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace gogreen::core {
@@ -59,12 +63,40 @@ RecyclingSession::RecyclingSession(fpm::TransactionDb db,
                                    RecyclerOptions options)
     : db_(std::move(db)), options_(options) {}
 
-Result<fpm::PatternSet> RecyclingSession::Mine(uint64_t min_support) {
-  if (min_support == 0) {
-    return Status::InvalidArgument("min_support must be >= 1");
+Result<fpm::MineResult> RecyclingSession::Mine(
+    const fpm::MineRequest& request) {
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t minsup,
+                           request.EffectiveMinSupport());
+  const ThreadPool::ScopedThreads scoped_threads(request.threads);
+  const ConstraintSet* constraints = request.constraints;
+  // The delta is judged against the previous query's constraints before the
+  // support round resets the stats.
+  const ConstraintDelta delta =
+      (constraints != nullptr && last_constraints_.has_value())
+          ? constraints->CompareTo(*last_constraints_)
+          : ConstraintDelta::kUnchanged;
+  active_ctx_ = request.run_context;
+  Result<fpm::MineResult> mined = MineSupport(minsup);
+  active_ctx_ = nullptr;
+  GOGREEN_RETURN_NOT_OK(mined.status());
+  fpm::MineResult result = std::move(mined).value();
+  if (constraints != nullptr) {
+    Timer timer;
+    result.patterns = constraints->Filter(result.patterns);
+    last_stats_.mine_seconds += timer.ElapsedSeconds();
+    last_stats_.delta = delta;
+    last_stats_.patterns_returned = result.patterns.size();
+    last_constraints_ = *constraints;
+  } else {
+    last_constraints_.reset();
   }
-  last_constraints_.reset();
-  return MineSupport(min_support);
+  return result;
+}
+
+Result<fpm::PatternSet> RecyclingSession::Mine(uint64_t min_support) {
+  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result,
+                           Mine(fpm::MineRequest::At(min_support)));
+  return std::move(result.patterns);
 }
 
 Result<fpm::PatternSet> RecyclingSession::MineFraction(double fraction) {
@@ -76,22 +108,10 @@ Result<fpm::PatternSet> RecyclingSession::MineFraction(double fraction) {
 
 Result<fpm::PatternSet> RecyclingSession::Mine(
     const ConstraintSet& constraints) {
-  if (constraints.min_support() == 0) {
-    return Status::InvalidArgument("min_support must be >= 1");
-  }
-  const ConstraintDelta delta =
-      last_constraints_.has_value()
-          ? constraints.CompareTo(*last_constraints_)
-          : ConstraintDelta::kUnchanged;
-  GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet raw,
-                           MineSupport(constraints.min_support()));
-  Timer timer;
-  fpm::PatternSet filtered = constraints.Filter(raw);
-  last_stats_.mine_seconds += timer.ElapsedSeconds();
-  last_stats_.delta = delta;
-  last_stats_.patterns_returned = filtered.size();
-  last_constraints_ = constraints;
-  return filtered;
+  fpm::MineRequest request;
+  request.constraints = &constraints;
+  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result, Mine(request));
+  return std::move(result.patterns);
 }
 
 void RecyclingSession::SeedCache(fpm::PatternSet fp, uint64_t min_support) {
@@ -107,64 +127,80 @@ void RecyclingSession::InvalidateCache() {
   cdb_.reset();
 }
 
-Result<fpm::PatternSet> RecyclingSession::MineSupport(uint64_t min_support) {
+Result<fpm::MineResult> RecyclingSession::MineSupport(uint64_t min_support) {
   last_stats_ = SessionStats();
 
-  if (!options_.enable_recycling || cached_minsup_ == 0) {
-    GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp, MineScratch(min_support));
+  // The session is a one-entry cache; the shared SelectSeed helper turns it
+  // into the same route decision serve::PatternStore makes over many.
+  SeedChoice choice;
+  if (options_.enable_recycling && cached_minsup_ != 0) {
+    const std::vector<SeedCandidate> candidates = {
+        {cached_minsup_, cdb_.has_value(), /*last_used=*/0, /*tag=*/0}};
+    choice = SelectSeed(candidates, min_support);
+  }
+
+  if (choice.route == SeedRoute::kNone) {
+    GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result,
+                             MineScratch(min_support));
     last_stats_.path = cached_minsup_ == 0 && options_.enable_recycling
                            ? MiningPath::kInitial
                            : MiningPath::kScratch;
     if (options_.enable_recycling) {
-      cached_fp_ = fp;
-      cached_minsup_ = min_support;
+      // A partial (governed) result is still exact at its frontier, so it
+      // is cached at that support for the next round to reuse.
+      cached_fp_ = result.patterns;
+      cached_minsup_ = result.frontier_support;
       cdb_.reset();
     }
-    last_stats_.patterns_returned = fp.size();
+    last_stats_.patterns_returned = result.patterns.size();
     last_stats_.cached_patterns = cached_fp_.size();
     RecordPath(last_stats_.path);
-    return fp;
+    return result;
   }
 
-  if (min_support >= cached_minsup_) {
+  if (choice.route == SeedRoute::kExact ||
+      choice.route == SeedRoute::kFilterDown) {
     // Tightened (or unchanged): the answer is a filter of the cache.
     GOGREEN_TRACE_SPAN("recycle.filter");
     Timer timer;
-    fpm::PatternSet fp = cached_fp_.FilterBySupport(min_support);
+    fpm::MineResult result;
+    result.patterns = cached_fp_.FilterBySupport(min_support);
+    result.frontier_support = min_support;
     last_stats_.mine_seconds = timer.ElapsedSeconds();
     last_stats_.path = MiningPath::kFiltered;
-    last_stats_.delta = min_support == cached_minsup_
+    last_stats_.delta = choice.route == SeedRoute::kExact
                             ? ConstraintDelta::kUnchanged
                             : ConstraintDelta::kTightened;
-    last_stats_.patterns_returned = fp.size();
+    last_stats_.patterns_returned = result.patterns.size();
     last_stats_.cached_patterns = cached_fp_.size();
     RecordPath(last_stats_.path);
-    return fp;
+    return result;
   }
 
   // Relaxed: recycle.
-  GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp, MineRecycled(min_support));
+  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result, MineRecycled(min_support));
   last_stats_.path = MiningPath::kRecycled;
   last_stats_.delta = ConstraintDelta::kRelaxed;
-  cached_fp_ = fp;
-  cached_minsup_ = min_support;
-  last_stats_.patterns_returned = fp.size();
+  cached_fp_ = result.patterns;
+  cached_minsup_ = result.frontier_support;
+  last_stats_.patterns_returned = result.patterns.size();
   last_stats_.cached_patterns = cached_fp_.size();
   RecordPath(last_stats_.path);
-  return fp;
+  return result;
 }
 
-Result<fpm::PatternSet> RecyclingSession::MineScratch(uint64_t min_support) {
+Result<fpm::MineResult> RecyclingSession::MineScratch(uint64_t min_support) {
   GOGREEN_TRACE_SPAN("recycle.scratch");
   Timer timer;
   auto miner = fpm::CreateMiner(options_.base_miner);
-  GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp,
-                           miner->Mine(db_, min_support));
+  fpm::MineRequest request = fpm::MineRequest::At(min_support);
+  request.run_context = active_ctx_;
+  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result, miner->Mine(db_, request));
   last_stats_.mine_seconds = timer.ElapsedSeconds();
-  return fp;
+  return result;
 }
 
-Result<fpm::PatternSet> RecyclingSession::MineRecycled(uint64_t min_support) {
+Result<fpm::MineResult> RecyclingSession::MineRecycled(uint64_t min_support) {
   if (!cdb_.has_value() || options_.recompress_each_round) {
     GOGREEN_TRACE_SPAN("recycle.compress");
     Timer timer;
@@ -180,10 +216,12 @@ Result<fpm::PatternSet> RecyclingSession::MineRecycled(uint64_t min_support) {
   GOGREEN_TRACE_SPAN("recycle.mine");
   Timer timer;
   auto miner = CreateCompressedMiner(options_.algo);
-  GOGREEN_ASSIGN_OR_RETURN(fpm::PatternSet fp,
-                           miner->MineCompressed(*cdb_, min_support));
+  fpm::MineRequest request = fpm::MineRequest::At(min_support);
+  request.run_context = active_ctx_;
+  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result,
+                           miner->Mine(*cdb_, request));
   last_stats_.mine_seconds = timer.ElapsedSeconds();
-  return fp;
+  return result;
 }
 
 }  // namespace gogreen::core

@@ -23,6 +23,7 @@
 #include "core/compressed_miner.h"
 #include "core/compressor.h"
 #include "core/constraints.h"
+#include "core/seed_selection.h"
 #include "core/utility.h"
 #include "fpm/miner.h"
 #include "fpm/pattern_set.h"
@@ -75,16 +76,27 @@ class RecyclingSession {
   explicit RecyclingSession(fpm::TransactionDb db,
                             RecyclerOptions options = {});
 
-  /// Mines the complete set at an absolute support threshold.
+  /// The unified entry point: one call covering support, constraints,
+  /// governor, and per-request parallelism (see fpm::MineRequest). The
+  /// session's cache always holds the support-complete set; non-support
+  /// constraints are applied as a final filter (their tightening/relaxation
+  /// only affects the reported delta, not correctness). Under a governor an
+  /// early stop yields a partial-but-exact result at `frontier_support`,
+  /// which is what gets cached — the next relaxation recycles it, the
+  /// paper's own loop.
+  Result<fpm::MineResult> Mine(const fpm::MineRequest& request);
+
+  /// DEPRECATED: mines the complete set at an absolute support threshold.
+  /// Thin wrapper over Mine(fpm::MineRequest); kept so existing callers
+  /// migrate incrementally.
   Result<fpm::PatternSet> Mine(uint64_t min_support);
 
   /// Mines at a relative threshold (fraction of |DB|).
   Result<fpm::PatternSet> MineFraction(double fraction);
 
-  /// Constrained mining: support + additional constraints. The session's
-  /// cache always holds the support-complete set; other constraints are
-  /// applied as a final filter (their tightening/relaxation only affects
-  /// the reported delta, not correctness).
+  /// DEPRECATED: constrained mining via a bare constraint set. Thin wrapper
+  /// over Mine(fpm::MineRequest); kept so existing callers migrate
+  /// incrementally.
   Result<fpm::PatternSet> Mine(const ConstraintSet& constraints);
 
   /// Seeds the cache with a pattern set mined elsewhere — e.g. by another
@@ -102,12 +114,12 @@ class RecyclingSession {
   uint64_t cached_min_support() const { return cached_minsup_; }
 
  private:
-  /// Support-only mining with path selection; the cache is updated to the
-  /// returned set when it is complete at `min_support`.
-  Result<fpm::PatternSet> MineSupport(uint64_t min_support);
+  /// Support-only mining with path selection (via core::SelectSeed); the
+  /// cache is updated to the returned set at its frontier support.
+  Result<fpm::MineResult> MineSupport(uint64_t min_support);
 
-  Result<fpm::PatternSet> MineScratch(uint64_t min_support);
-  Result<fpm::PatternSet> MineRecycled(uint64_t min_support);
+  Result<fpm::MineResult> MineScratch(uint64_t min_support);
+  Result<fpm::MineResult> MineRecycled(uint64_t min_support);
 
   fpm::TransactionDb db_;
   RecyclerOptions options_;
@@ -117,6 +129,8 @@ class RecyclingSession {
   std::optional<CompressedDb> cdb_;
   std::optional<ConstraintSet> last_constraints_;
   SessionStats last_stats_;
+  /// Governor of the in-flight unified Mine call; null otherwise.
+  RunContext* active_ctx_ = nullptr;
 };
 
 }  // namespace gogreen::core

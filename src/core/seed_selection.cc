@@ -1,0 +1,86 @@
+#include "core/seed_selection.h"
+
+namespace gogreen::core {
+
+namespace {
+
+/// True when `a` beats `b` within the same route. `a` and `b` are both
+/// filter-down seeds or both recycle seeds for the same target.
+bool BeatsWithinRoute(const SeedCandidate& a, const SeedCandidate& b,
+                      SeedRoute route) {
+  if (a.min_support != b.min_support) {
+    // Filtering wants the largest support below the target (fewest patterns
+    // to drop); recycling wants the smallest support above it (richest
+    // pattern set -> best compression, the tightest-ξ_old rule).
+    if (route == SeedRoute::kFilterDown) return a.min_support > b.min_support;
+    return a.min_support < b.min_support;
+  }
+  if (a.has_compressed != b.has_compressed) return a.has_compressed;
+  return a.last_used > b.last_used;
+}
+
+}  // namespace
+
+const char* SeedRouteName(SeedRoute route) {
+  switch (route) {
+    case SeedRoute::kNone:
+      return "none";
+    case SeedRoute::kExact:
+      return "exact";
+    case SeedRoute::kFilterDown:
+      return "filter-down";
+    case SeedRoute::kRecycle:
+      return "recycle";
+  }
+  return "?";
+}
+
+SeedChoice SelectSeed(const std::vector<SeedCandidate>& candidates,
+                      uint64_t target_support) {
+  SeedChoice choice;
+  if (target_support == 0) return choice;
+  const SeedCandidate* best = nullptr;
+  SeedRoute best_route = SeedRoute::kNone;
+  for (const SeedCandidate& cand : candidates) {
+    if (cand.min_support == 0) continue;  // Empty slot.
+    SeedRoute route;
+    if (cand.min_support == target_support) {
+      route = SeedRoute::kExact;
+    } else if (cand.min_support < target_support) {
+      route = SeedRoute::kFilterDown;
+    } else {
+      route = SeedRoute::kRecycle;
+    }
+    if (best == nullptr) {
+      best = &cand;
+      best_route = route;
+      continue;
+    }
+    // Route cost order: exact < filter-down < recycle (enum order).
+    if (route != best_route) {
+      if (static_cast<int>(route) < static_cast<int>(best_route)) {
+        best = &cand;
+        best_route = route;
+      }
+      continue;
+    }
+    if (route == SeedRoute::kExact) {
+      // Same support; prefer the one with a memoized image, then recency.
+      if ((cand.has_compressed && !best->has_compressed) ||
+          (cand.has_compressed == best->has_compressed &&
+           cand.last_used > best->last_used)) {
+        best = &cand;
+      }
+      continue;
+    }
+    if (BeatsWithinRoute(cand, *best, route)) best = &cand;
+  }
+  if (best != nullptr) {
+    choice.route = best_route;
+    choice.tag = best->tag;
+    choice.min_support = best->min_support;
+  }
+  return choice;
+}
+
+}  // namespace gogreen::core

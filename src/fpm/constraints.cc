@@ -1,11 +1,11 @@
-#include "core/constraints.h"
+#include "fpm/constraints.h"
 
 #include <algorithm>
 #include <sstream>
 
 #include "fpm/pattern.h"
 
-namespace gogreen::core {
+namespace gogreen::fpm {
 
 const char* ConstraintCategoryName(ConstraintCategory category) {
   switch (category) {
@@ -56,7 +56,7 @@ class MaxLengthConstraint : public Constraint {
   std::string Describe() const override {
     return "|X| <= " + std::to_string(max_len_);
   }
-  bool Satisfies(const fpm::Pattern& p) const override {
+  bool Satisfies(const Pattern& p) const override {
     return p.size() <= max_len_;
   }
   ConstraintDelta CompareTo(const Constraint& old) const override {
@@ -84,7 +84,7 @@ class MinLengthConstraint : public Constraint {
   std::string Describe() const override {
     return "|X| >= " + std::to_string(min_len_);
   }
-  bool Satisfies(const fpm::Pattern& p) const override {
+  bool Satisfies(const Pattern& p) const override {
     return p.size() >= min_len_;
   }
   ConstraintDelta CompareTo(const Constraint& old) const override {
@@ -103,9 +103,9 @@ class MinLengthConstraint : public Constraint {
 
 class ItemSubsetConstraint : public Constraint {
  public:
-  explicit ItemSubsetConstraint(std::vector<fpm::ItemId> allowed)
+  explicit ItemSubsetConstraint(std::vector<ItemId> allowed)
       : allowed_(std::move(allowed)) {
-    fpm::CanonicalizeItems(&allowed_);
+    CanonicalizeItems(&allowed_);
   }
 
   ConstraintCategory category() const override {
@@ -115,17 +115,17 @@ class ItemSubsetConstraint : public Constraint {
   std::string Describe() const override {
     return "X subset-of S (|S|=" + std::to_string(allowed_.size()) + ")";
   }
-  bool Satisfies(const fpm::Pattern& p) const override {
-    return fpm::IsSubsetSorted(fpm::ItemSpan(p.items),
-                               fpm::ItemSpan(allowed_));
+  bool Satisfies(const Pattern& p) const override {
+    return IsSubsetSorted(ItemSpan(p.items),
+                               ItemSpan(allowed_));
   }
   ConstraintDelta CompareTo(const Constraint& old) const override {
     const auto& o = static_cast<const ItemSubsetConstraint&>(old);
     if (allowed_ == o.allowed_) return ConstraintDelta::kUnchanged;
-    const bool new_in_old = fpm::IsSubsetSorted(fpm::ItemSpan(allowed_),
-                                                fpm::ItemSpan(o.allowed_));
-    const bool old_in_new = fpm::IsSubsetSorted(fpm::ItemSpan(o.allowed_),
-                                                fpm::ItemSpan(allowed_));
+    const bool new_in_old = IsSubsetSorted(ItemSpan(allowed_),
+                                                ItemSpan(o.allowed_));
+    const bool old_in_new = IsSubsetSorted(ItemSpan(o.allowed_),
+                                                ItemSpan(allowed_));
     if (new_in_old) return ConstraintDelta::kTightened;
     if (old_in_new) return ConstraintDelta::kRelaxed;
     return ConstraintDelta::kIncomparable;
@@ -135,14 +135,14 @@ class ItemSubsetConstraint : public Constraint {
   }
 
  private:
-  std::vector<fpm::ItemId> allowed_;
+  std::vector<ItemId> allowed_;
 };
 
 class RequiresAnyConstraint : public Constraint {
  public:
-  explicit RequiresAnyConstraint(std::vector<fpm::ItemId> required)
+  explicit RequiresAnyConstraint(std::vector<ItemId> required)
       : required_(std::move(required)) {
-    fpm::CanonicalizeItems(&required_);
+    CanonicalizeItems(&required_);
   }
 
   ConstraintCategory category() const override {
@@ -152,7 +152,7 @@ class RequiresAnyConstraint : public Constraint {
   std::string Describe() const override {
     return "X intersects R (|R|=" + std::to_string(required_.size()) + ")";
   }
-  bool Satisfies(const fpm::Pattern& p) const override {
+  bool Satisfies(const Pattern& p) const override {
     // Both sorted: any common element?
     size_t i = 0;
     size_t j = 0;
@@ -171,10 +171,10 @@ class RequiresAnyConstraint : public Constraint {
     const auto& o = static_cast<const RequiresAnyConstraint&>(old);
     if (required_ == o.required_) return ConstraintDelta::kUnchanged;
     // A larger required set accepts more patterns.
-    const bool new_in_old = fpm::IsSubsetSorted(fpm::ItemSpan(required_),
-                                                fpm::ItemSpan(o.required_));
-    const bool old_in_new = fpm::IsSubsetSorted(fpm::ItemSpan(o.required_),
-                                                fpm::ItemSpan(required_));
+    const bool new_in_old = IsSubsetSorted(ItemSpan(required_),
+                                                ItemSpan(o.required_));
+    const bool old_in_new = IsSubsetSorted(ItemSpan(o.required_),
+                                                ItemSpan(required_));
     if (new_in_old) return ConstraintDelta::kTightened;
     if (old_in_new) return ConstraintDelta::kRelaxed;
     return ConstraintDelta::kIncomparable;
@@ -184,7 +184,7 @@ class RequiresAnyConstraint : public Constraint {
   }
 
  private:
-  std::vector<fpm::ItemId> required_;
+  std::vector<ItemId> required_;
 };
 
 class MaxSumConstraint : public Constraint {
@@ -199,9 +199,9 @@ class MaxSumConstraint : public Constraint {
   std::string Describe() const override {
     return "sum(v[X]) <= " + std::to_string(max_sum_);
   }
-  bool Satisfies(const fpm::Pattern& p) const override {
+  bool Satisfies(const Pattern& p) const override {
     double sum = 0;
-    for (fpm::ItemId it : p.items) {
+    for (ItemId it : p.items) {
       if (it < values_.size()) sum += values_[it];
     }
     return sum <= max_sum_;
@@ -232,10 +232,10 @@ class MinAvgConstraint : public Constraint {
   std::string Describe() const override {
     return "avg(v[X]) >= " + std::to_string(min_avg_);
   }
-  bool Satisfies(const fpm::Pattern& p) const override {
+  bool Satisfies(const Pattern& p) const override {
     if (p.items.empty()) return false;
     double sum = 0;
-    for (fpm::ItemId it : p.items) {
+    for (ItemId it : p.items) {
       if (it < values_.size()) sum += values_[it];
     }
     return sum / static_cast<double>(p.size()) >= min_avg_;
@@ -264,12 +264,12 @@ std::unique_ptr<Constraint> MakeMinLength(size_t min_len) {
   return std::make_unique<MinLengthConstraint>(min_len);
 }
 
-std::unique_ptr<Constraint> MakeItemSubset(std::vector<fpm::ItemId> allowed) {
+std::unique_ptr<Constraint> MakeItemSubset(std::vector<ItemId> allowed) {
   return std::make_unique<ItemSubsetConstraint>(std::move(allowed));
 }
 
 std::unique_ptr<Constraint> MakeRequiresAny(
-    std::vector<fpm::ItemId> required) {
+    std::vector<ItemId> required) {
   return std::make_unique<RequiresAnyConstraint>(std::move(required));
 }
 
@@ -303,16 +303,16 @@ ConstraintSet& ConstraintSet::Add(std::unique_ptr<Constraint> constraint) {
   return *this;
 }
 
-bool ConstraintSet::Satisfies(const fpm::Pattern& pattern) const {
+bool ConstraintSet::Satisfies(const Pattern& pattern) const {
   for (const auto& c : constraints_) {
     if (!c->Satisfies(pattern)) return false;
   }
   return true;
 }
 
-fpm::PatternSet ConstraintSet::Filter(const fpm::PatternSet& fp) const {
-  fpm::PatternSet out;
-  for (const fpm::Pattern& p : fp) {
+PatternSet ConstraintSet::Filter(const PatternSet& fp) const {
+  PatternSet out;
+  for (const Pattern& p : fp) {
     if (p.support >= min_support_ && Satisfies(p)) out.Add(p);
   }
   return out;
@@ -373,6 +373,22 @@ ConstraintDelta ConstraintSet::CompareTo(const ConstraintSet& old) const {
   return ConstraintDelta::kUnchanged;
 }
 
+std::string ConstraintSet::Fingerprint() const {
+  if (constraints_.empty()) return "";
+  std::vector<std::string> parts;
+  parts.reserve(constraints_.size());
+  for (const auto& c : constraints_) {
+    parts.push_back(c->kind() + "=" + c->Describe());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += ';';
+    out += p;
+  }
+  return out;
+}
+
 std::string ConstraintSet::Describe() const {
   std::ostringstream out;
   out << "support >= " << min_support_;
@@ -383,4 +399,4 @@ std::string ConstraintSet::Describe() const {
   return out.str();
 }
 
-}  // namespace gogreen::core
+}  // namespace gogreen::fpm

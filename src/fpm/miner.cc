@@ -81,14 +81,56 @@ Result<MineOutcome> FinishGovernedOutcome(Result<PatternSet> result,
   return outcome;
 }
 
+Result<uint64_t> MineRequest::EffectiveMinSupport() const {
+  uint64_t support = min_support;
+  if (constraints != nullptr) {
+    support = std::max(support, constraints->min_support());
+  }
+  if (support == 0) {
+    return Status::InvalidArgument(
+        "MineRequest needs a min_support >= 1 (directly or via constraints)");
+  }
+  return support;
+}
+
+Result<MineResult> FrequentPatternMiner::Mine(const TransactionDb& db,
+                                              const MineRequest& request) {
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t minsup,
+                           request.EffectiveMinSupport());
+  GOGREEN_TRACE_SPAN("run.governor");
+  const ThreadPool::ScopedThreads scoped_threads(request.threads);
+  RunContext* ctx = request.run_context;
+  SetRunContext(ctx);
+  Result<PatternSet> mined = Mine(db, minsup);
+  SetRunContext(nullptr);
+  GOGREEN_ASSIGN_OR_RETURN(
+      MineOutcome outcome,
+      FinishGovernedOutcome(std::move(mined), minsup, ctx));
+  MineResult result;
+  result.patterns = std::move(outcome.patterns);
+  result.partial = outcome.partial;
+  result.frontier_support = outcome.frontier_support;
+  result.stop_status = std::move(outcome.stop_status);
+  result.stats = stats_;
+  if (request.constraints != nullptr &&
+      request.constraints->NumConstraints() > 0) {
+    result.patterns = request.constraints->Filter(result.patterns);
+  }
+  return result;
+}
+
 Result<MineOutcome> FrequentPatternMiner::MineGoverned(const TransactionDb& db,
                                                        uint64_t min_support,
                                                        RunContext* ctx) {
-  GOGREEN_TRACE_SPAN("run.governor");
-  SetRunContext(ctx);
-  Result<PatternSet> mined = Mine(db, min_support);
-  SetRunContext(nullptr);
-  return FinishGovernedOutcome(std::move(mined), min_support, ctx);
+  MineRequest request = MineRequest::At(min_support);
+  request.run_context = ctx;
+  GOGREEN_ASSIGN_OR_RETURN(MineResult result, Mine(db, request));
+  MineOutcome outcome;
+  outcome.patterns = std::move(result.patterns);
+  outcome.partial = result.partial;
+  outcome.frontier_support = result.frontier_support;
+  outcome.stop_status = std::move(result.stop_status);
+  return outcome;
 }
 
 void RecordMiningStats(const MiningStats& stats) {

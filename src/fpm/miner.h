@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "fpm/constraints.h"
 #include "fpm/pattern_set.h"
 #include "fpm/transaction_db.h"
 #include "util/run_context.h"
@@ -59,6 +60,59 @@ Result<MineOutcome> FinishGovernedOutcome(Result<PatternSet> result,
                                           uint64_t min_support,
                                           RunContext* ctx);
 
+/// One mining query, in full. This is the single entry shape shared by
+/// FrequentPatternMiner, core::CompressedMiner, core::RecyclingSession, and
+/// serve::MiningService; it subsumes the older Mine/MineGoverned pairs and
+/// the SetRunContext attach/detach dance. All referenced objects are
+/// borrowed: they must outlive the call, and the request itself is a cheap
+/// value (copying it never copies a constraint set or a context).
+struct MineRequest {
+  /// Absolute support threshold (>= 1). When `constraints` also carries a
+  /// minimum support, the effective threshold is the maximum of the two —
+  /// either field may be left 0 if the other supplies it.
+  uint64_t min_support = 0;
+  /// Optional non-support constraints, applied as a final filter (the
+  /// mined set is support-complete; see core/recycler.h). Not owned.
+  const ConstraintSet* constraints = nullptr;
+  /// Optional run governor (deadline / memory budget / cancel). Not owned.
+  RunContext* run_context = nullptr;
+  /// Parallelism for this request: 0 inherits the global pool, any other
+  /// value runs the request on a pool of that many lanes (thread-scoped
+  /// override, see ThreadPool::ScopedThreads) without touching the global
+  /// configuration. The mined set is identical at any count.
+  size_t threads = 0;
+
+  /// Shorthand for a plain support-only query.
+  static MineRequest At(uint64_t support) {
+    MineRequest request;
+    request.min_support = support;
+    return request;
+  }
+
+  /// The support the mining run must reach: max of `min_support` and the
+  /// constraint set's threshold. InvalidArgument when both are 0.
+  Result<uint64_t> EffectiveMinSupport() const;
+};
+
+/// Everything a mining call produces: the pattern set, the governed outcome
+/// (partial flag + exact frontier, as in MineOutcome), and the work
+/// counters of the run. The single result shape of the MineRequest API.
+struct [[nodiscard]] MineResult {
+  PatternSet patterns;
+  /// True when a governor stopped the run before covering the requested
+  /// support; `patterns` is then the exact set at `frontier_support`.
+  bool partial = false;
+  /// Support level `patterns` is complete for (the requested effective
+  /// support when !partial, higher when partial). Constraint filtering does
+  /// not affect completeness at this level.
+  uint64_t frontier_support = 0;
+  /// OK when complete; DeadlineExceeded / ResourceExhausted / Cancelled
+  /// when partial.
+  Status stop_status;
+  /// Work counters of this run (same data as the miner's stats()).
+  MiningStats stats;
+};
+
 /// Interface implemented by every complete-set frequent-pattern miner.
 /// Implementations are stateful only through `stats()`, which reflects the
 /// most recent Mine() call; a single miner instance may be reused serially.
@@ -76,18 +130,28 @@ class FrequentPatternMiner {
   virtual Result<PatternSet> Mine(const TransactionDb& db,
                                   uint64_t min_support) = 0;
 
+  /// The unified entry point: one call covering support, constraints,
+  /// governor, and per-request parallelism (see MineRequest). Miners
+  /// without governed paths (Apriori, Eclat) ignore the governor and run
+  /// to completion. Not virtual — it wraps the Mine(db, min_support)
+  /// implementation hook with the shared prologue/epilogue. Note: concrete
+  /// miner classes hide this overload with their Mine(db, min_support)
+  /// override; call it through the FrequentPatternMiner interface.
+  Result<MineResult> Mine(const TransactionDb& db,
+                          const MineRequest& request);
+
   /// Counters of the most recent Mine() call.
   const MiningStats& stats() const { return stats_; }
 
-  /// Attaches a run governor observed by the next Mine() call (null
-  /// detaches). Miners without governed paths (Apriori, Eclat) ignore it
-  /// and always run to completion.
+  /// DEPRECATED: attaches a run governor observed by the next Mine() call
+  /// (null detaches). Superseded by MineRequest::run_context, which scopes
+  /// the context to one call instead of leaving it attached; kept so
+  /// existing callers migrate incrementally.
   void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
 
-  /// Mines under `ctx`'s deadline/budget/cancellation. On an early stop the
-  /// outcome is marked partial and carries the exact frequent set at the
-  /// frontier support (see MineOutcome). Not virtual: it wraps Mine() with
-  /// the context attach and the shared partial-result epilogue.
+  /// DEPRECATED: mines under `ctx`'s deadline/budget/cancellation. Thin
+  /// wrapper over the MineRequest overload (which also reports stats);
+  /// kept so existing callers migrate incrementally.
   Result<MineOutcome> MineGoverned(const TransactionDb& db,
                                    uint64_t min_support, RunContext* ctx);
 

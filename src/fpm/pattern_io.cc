@@ -1,45 +1,107 @@
 #include "fpm/pattern_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <charconv>
 #include <cstdio>
 #include <fstream>
 
 #include "fpm/pattern.h"
+#include "util/failpoint.h"
 
 namespace gogreen::fpm {
 
 namespace {
+
 constexpr uint64_t kMagic = 0x544150474F474F47ULL;  // "GOGOGPAT"
+
+/// FNV-1a over every payload byte; stored as the file's trailer so a torn
+/// or bit-flipped file is rejected instead of silently mis-seeding a cache.
+struct Fnv1a {
+  uint64_t hash = 1469598103934665603ULL;
+  void Update(const void* p, size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ULL;
+    }
+  }
+};
+
+Status SyncFd(int fd, const std::string& what) {
+  if (fd < 0) return Status::IOError("cannot open for fsync: " + what);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed on " + what);
+  return Status::OK();
+}
+
+/// Durably publishes `tmp` as `path`: fsync the data, rename into place
+/// (atomic on POSIX — readers only ever see the old file or the complete
+/// new one), then fsync the directory so the new name survives a crash.
+Status CommitTempFile(const std::string& tmp, const std::string& path) {
+  const Status inject = failpoint::MaybeFail("pattern_io.rename");
+  if (!inject.ok()) {
+    std::remove(tmp.c_str());
+    return inject;
+  }
+  GOGREEN_RETURN_NOT_OK(SyncFd(::open(tmp.c_str(), O_RDONLY), tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " -> " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  return SyncFd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY), dir);
+}
+
 }  // namespace
 
 Result<uint64_t> WritePatternFile(const PatternSet& fp,
                                   const PatternSetHeader& header,
                                   const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open for writing: " + path);
-  }
-  const auto put = [&out](const void* p, size_t n) {
-    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
-  };
-  put(&kMagic, sizeof(kMagic));
-  put(&header.min_support, sizeof(header.min_support));
-  put(&header.num_transactions, sizeof(header.num_transactions));
-  const uint64_t source_len = header.source.size();
-  put(&source_len, sizeof(source_len));
-  put(header.source.data(), header.source.size());
+  GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("pattern_io.write"));
+  const std::string tmp = path + ".tmp";
+  uint64_t bytes = 0;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IOError("cannot open for writing: " + tmp);
+    }
+    Fnv1a sum;
+    const auto put = [&out, &sum](const void* p, size_t n) {
+      out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+      sum.Update(p, n);
+    };
+    put(&kMagic, sizeof(kMagic));
+    put(&header.min_support, sizeof(header.min_support));
+    put(&header.num_transactions, sizeof(header.num_transactions));
+    const uint64_t source_len = header.source.size();
+    put(&source_len, sizeof(source_len));
+    put(header.source.data(), header.source.size());
 
-  const uint64_t count = fp.size();
-  put(&count, sizeof(count));
-  for (const Pattern& p : fp) {
-    const uint32_t len = static_cast<uint32_t>(p.items.size());
-    put(&len, sizeof(len));
-    put(p.items.data(), len * sizeof(ItemId));
-    put(&p.support, sizeof(p.support));
+    const uint64_t count = fp.size();
+    put(&count, sizeof(count));
+    for (const Pattern& p : fp) {
+      const uint32_t len = static_cast<uint32_t>(p.items.size());
+      put(&len, sizeof(len));
+      put(p.items.data(), len * sizeof(ItemId));
+      put(&p.support, sizeof(p.support));
+    }
+    // Trailer: checksum of everything above (not of itself).
+    const uint64_t checksum = sum.hash;
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write error on " + tmp);
+    }
+    bytes = static_cast<uint64_t>(out.tellp());
   }
-  out.flush();
-  if (!out.good()) return Status::IOError("write error on " + path);
-  return static_cast<uint64_t>(out.tellp());
+  GOGREEN_RETURN_NOT_OK(CommitTempFile(tmp, path));
+  return bytes;
 }
 
 Result<std::pair<PatternSet, PatternSetHeader>> ReadPatternFile(
@@ -48,8 +110,10 @@ Result<std::pair<PatternSet, PatternSetHeader>> ReadPatternFile(
   if (!in.is_open()) {
     return Status::IOError("cannot open for reading: " + path);
   }
-  const auto get = [&in](void* p, size_t n) {
+  Fnv1a sum;
+  const auto get = [&in, &sum](void* p, size_t n) {
     in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (in.good()) sum.Update(p, n);
     return in.good();
   };
   uint64_t magic = 0;
@@ -87,31 +151,46 @@ Result<std::pair<PatternSet, PatternSetHeader>> ReadPatternFile(
     }
     fp.Add(std::move(items), support);
   }
+  // Trailer: the stored checksum must match the payload just read.
+  const uint64_t expected = sum.hash;
+  uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in.good() || checksum != expected) {
+    return Status::IOError("pattern file checksum mismatch: " + path);
+  }
   return std::make_pair(std::move(fp), std::move(header));
 }
 
 Result<uint64_t> WritePatternText(const PatternSet& fp,
                                   const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open for writing: " + path);
-  }
+  GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("pattern_io.write"));
+  const std::string tmp = path + ".tmp";
   uint64_t bytes = 0;
-  std::string line;
-  for (const Pattern& p : fp) {
-    line.clear();
-    for (size_t i = 0; i < p.items.size(); ++i) {
-      if (i > 0) line += ' ';
-      line += std::to_string(p.items[i]);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IOError("cannot open for writing: " + tmp);
     }
-    line += " (";
-    line += std::to_string(p.support);
-    line += ")\n";
-    out << line;
-    bytes += line.size();
+    std::string line;
+    for (const Pattern& p : fp) {
+      line.clear();
+      for (size_t i = 0; i < p.items.size(); ++i) {
+        if (i > 0) line += ' ';
+        line += std::to_string(p.items[i]);
+      }
+      line += " (";
+      line += std::to_string(p.support);
+      line += ")\n";
+      out << line;
+      bytes += line.size();
+    }
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write error on " + tmp);
+    }
   }
-  out.flush();
-  if (!out.good()) return Status::IOError("write error on " + path);
+  GOGREEN_RETURN_NOT_OK(CommitTempFile(tmp, path));
   return bytes;
 }
 

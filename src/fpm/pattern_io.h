@@ -20,17 +20,24 @@ struct PatternSetHeader {
 };
 
 /// Writes `fp` with its header in a compact binary format; returns bytes
-/// written.
+/// written. The write is crash-safe: data goes to `path + ".tmp"`, is
+/// fsynced, and is renamed into place (then the directory is fsynced), so
+/// `path` only ever holds the previous file or the complete new one. A
+/// checksum trailer lets ReadPatternFile reject torn or corrupted files.
+/// Concurrent writers of the same `path` are not supported (they share the
+/// temp name).
 Result<uint64_t> WritePatternFile(const PatternSet& fp,
                                   const PatternSetHeader& header,
                                   const std::string& path);
 
-/// Reads a file produced by WritePatternFile.
+/// Reads a file produced by WritePatternFile, verifying its checksum.
 Result<std::pair<PatternSet, PatternSetHeader>> ReadPatternFile(
     const std::string& path);
 
 /// Writes `fp` as text, one pattern per line: "item item ... (support)".
-/// The format FIM implementations conventionally exchange.
+/// The format FIM implementations conventionally exchange. Crash-safe via
+/// the same tmp+rename publish as WritePatternFile (no checksum: the text
+/// format is for interchange).
 Result<uint64_t> WritePatternText(const PatternSet& fp,
                                   const std::string& path);
 

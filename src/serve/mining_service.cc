@@ -1,0 +1,216 @@
+#include "serve/mining_service.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/compressor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace gogreen::serve {
+
+namespace {
+
+void RecordRoute(const ServeStats& stats) {
+  using obs::MetricRegistry;
+  static obs::Counter* requests =
+      MetricRegistry::Global().GetCounter("serve.requests");
+  static obs::Counter* hits =
+      MetricRegistry::Global().GetCounter("serve.cache_hits");
+  static obs::Counter* filtered =
+      MetricRegistry::Global().GetCounter("serve.filter_down");
+  static obs::Counter* recycled =
+      MetricRegistry::Global().GetCounter("serve.recycled");
+  static obs::Counter* scratch =
+      MetricRegistry::Global().GetCounter("serve.scratch");
+  static obs::Histogram* seconds =
+      MetricRegistry::Global().GetHistogram("serve.seconds");
+  requests->Add(1);
+  switch (stats.route) {
+    case core::SeedRoute::kExact:
+      hits->Add(1);
+      break;
+    case core::SeedRoute::kFilterDown:
+      filtered->Add(1);
+      break;
+    case core::SeedRoute::kRecycle:
+      recycled->Add(1);
+      break;
+    case core::SeedRoute::kNone:
+      scratch->Add(1);
+      break;
+  }
+  seconds->Observe(stats.seconds);
+}
+
+}  // namespace
+
+MiningService::MiningService(fpm::TransactionDb db, std::string dataset_id,
+                             ServiceOptions options)
+    : db_(std::move(db)),
+      dataset_id_(std::move(dataset_id)),
+      options_(options),
+      store_(options.store) {}
+
+Result<fpm::MineResult> MiningService::Mine(const fpm::MineRequest& request) {
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t minsup,
+                           request.EffectiveMinSupport());
+  GOGREEN_TRACE_SPAN("serve.request");
+  Timer total;
+  // One install up front; the per-stage sub-requests inherit it (they run
+  // on this thread, where the override is visible).
+  const ThreadPool::ScopedThreads scoped_threads(request.threads);
+  ServeStats stats;
+  const bool constrained = request.constraints != nullptr &&
+                           request.constraints->NumConstraints() > 0;
+  const std::string fingerprint =
+      constrained ? request.constraints->Fingerprint() : std::string();
+
+  // Exact hit on the (possibly constrained) key: no mining, no filtering.
+  const StoreKey exact_key{dataset_id_, fingerprint, minsup};
+  if (auto cached = store_.Get(exact_key); cached != nullptr) {
+    fpm::MineResult result;
+    result.patterns = *cached;
+    result.frontier_support = minsup;
+    stats.route = core::SeedRoute::kExact;
+    stats.seed_support = minsup;
+    stats.patterns_returned = result.patterns.size();
+    stats.seconds = total.ElapsedSeconds();
+    RecordRoute(stats);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_stats_ = stats;
+    return result;
+  }
+
+  GOGREEN_ASSIGN_OR_RETURN(
+      fpm::MineResult result,
+      MineSupportComplete(minsup, request.run_context, &stats));
+  if (constrained) {
+    result.patterns = request.constraints->Filter(result.patterns);
+    // Cache the filtered set under its fingerprint for exact repeats; only
+    // a complete-at-minsup set is a valid entry at this key.
+    if (!result.partial) {
+      store_.Put({dataset_id_, fingerprint, minsup}, result.patterns,
+                 db_.NumTransactions());
+    }
+  }
+  stats.partial = result.partial;
+  stats.patterns_returned = result.patterns.size();
+  stats.seconds = total.ElapsedSeconds();
+  RecordRoute(stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_stats_ = stats;
+  }
+  return result;
+}
+
+ServeStats MiningService::last_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_stats_;
+}
+
+Result<fpm::MineResult> MiningService::MineSupportComplete(
+    uint64_t min_support, RunContext* ctx, ServeStats* stats) {
+  const StoreKey key{dataset_id_, "", min_support};
+  if (auto cached = store_.Get(key); cached != nullptr) {
+    fpm::MineResult result;
+    result.patterns = *cached;
+    result.frontier_support = min_support;
+    stats->route = core::SeedRoute::kExact;
+    stats->seed_support = min_support;
+    return result;
+  }
+
+  const core::SeedChoice choice =
+      core::SelectSeed(store_.Candidates(dataset_id_, ""), min_support);
+
+  if (choice.route == core::SeedRoute::kFilterDown) {
+    const StoreKey seed_key{dataset_id_, "", choice.min_support};
+    if (auto seed = store_.Get(seed_key); seed != nullptr) {
+      GOGREEN_TRACE_SPAN("serve.filter_down");
+      fpm::MineResult result;
+      result.patterns = seed->FilterBySupport(min_support);
+      result.frontier_support = min_support;
+      store_.Put(key, result.patterns, db_.NumTransactions());
+      stats->route = core::SeedRoute::kFilterDown;
+      stats->seed_support = choice.min_support;
+      return result;
+    }
+    // Evicted between Candidates() and Get(): fall through to scratch.
+  }
+
+  if (choice.route == core::SeedRoute::kRecycle) {
+    const StoreKey seed_key{dataset_id_, "", choice.min_support};
+    Result<fpm::MineResult> recycled =
+        MineRecycledFrom(seed_key, min_support, ctx, stats);
+    if (recycled.ok() || stats->route == core::SeedRoute::kRecycle) {
+      return recycled;
+    }
+    // Seed vanished under us: fall through to scratch.
+  }
+
+  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result,
+                           MineScratch(min_support, ctx));
+  stats->route = core::SeedRoute::kNone;
+  stats->seed_support = 0;
+  // A governed early stop still yields the exact set at the frontier; that
+  // is what gets cached (and what the next relaxation recycles).
+  store_.Put({dataset_id_, "", result.frontier_support}, result.patterns,
+             db_.NumTransactions());
+  return result;
+}
+
+Result<fpm::MineResult> MiningService::MineRecycledFrom(
+    const StoreKey& seed_key, uint64_t min_support, RunContext* ctx,
+    ServeStats* stats) {
+  std::shared_ptr<const core::CompressedDb> cdb =
+      store_.GetCompressed(seed_key);
+  if (cdb == nullptr) {
+    auto seed = store_.Get(seed_key);
+    if (seed == nullptr) {
+      // Evicted since selection; the caller falls back to scratch.
+      return Status::NotFound("seed " + seed_key.ToString() + " evicted");
+    }
+    GOGREEN_TRACE_SPAN("serve.compress");
+    Timer timer;
+    core::CompressionStats cstats;
+    core::CompressorOptions copts;
+    copts.strategy = options_.strategy;
+    copts.matcher = options_.matcher;
+    copts.run_context = ctx;
+    GOGREEN_ASSIGN_OR_RETURN(core::CompressedDb built,
+                             core::CompressDatabase(db_, *seed, copts,
+                                                    &cstats));
+    stats->compress_seconds = timer.ElapsedSeconds();
+    stats->compression_ratio = cstats.Ratio();
+    cdb = std::make_shared<const core::CompressedDb>(std::move(built));
+    store_.PutCompressed(seed_key, cdb);
+  }
+  // From here on the route is committed: errors below are mining errors,
+  // not fall-back-to-scratch conditions.
+  stats->route = core::SeedRoute::kRecycle;
+  stats->seed_support = seed_key.min_support;
+  GOGREEN_TRACE_SPAN("serve.recycle_mine");
+  auto miner = core::CreateCompressedMiner(options_.algo);
+  fpm::MineRequest subrequest = fpm::MineRequest::At(min_support);
+  subrequest.run_context = ctx;
+  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result,
+                           miner->Mine(*cdb, subrequest));
+  store_.Put({dataset_id_, "", result.frontier_support}, result.patterns,
+             db_.NumTransactions());
+  return result;
+}
+
+Result<fpm::MineResult> MiningService::MineScratch(uint64_t min_support,
+                                                   RunContext* ctx) {
+  GOGREEN_TRACE_SPAN("serve.scratch");
+  auto miner = fpm::CreateMiner(options_.base_miner);
+  fpm::MineRequest subrequest = fpm::MineRequest::At(min_support);
+  subrequest.run_context = ctx;
+  return miner->Mine(db_, subrequest);
+}
+
+}  // namespace gogreen::serve

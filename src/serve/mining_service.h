@@ -1,0 +1,107 @@
+// The mining service: answers fpm::MineRequest queries over one database by
+// planning the cheapest correct route through the pattern store.
+//
+// Route decision (see DESIGN.md "Serving & the pattern store"):
+//
+//   1. exact hit      — the store holds the set for this exact
+//                       (dataset, fingerprint, support) key: return it.
+//   2. filter-down    — a support-only set cached at ξ' <= ξ_new exists:
+//                       FilterBySupport, no database access.
+//   3. recycle        — a support-only set cached at ξ_old > ξ_new exists:
+//                       compress the database with it (memoizing the image)
+//                       and mine the compressed image (Recycle-*).
+//   4. scratch        — nothing usable: mine the raw database.
+//
+// The seed among multiple cached sets is picked by core::SelectSeed — the
+// same policy the single-cache RecyclingSession uses. Every mined result is
+// written back to the store (at its frontier support when a governor stopped
+// the run early — a partial result is still exact at the frontier, so later
+// queries recycle it, the paper's own loop). Constrained queries are served
+// from support-complete sets and post-filtered; the filtered set is also
+// cached under its fingerprint for exact repeats.
+//
+// Thread-safe: concurrent Mine() calls share the store under its lock and
+// mine outside it (two identical concurrent misses may both mine — wasted
+// work, never a wrong answer). Per-request parallelism and governance come
+// in through the request (threads / run_context).
+
+#ifndef GOGREEN_SERVE_MINING_SERVICE_H_
+#define GOGREEN_SERVE_MINING_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/recycler.h"
+#include "core/seed_selection.h"
+#include "fpm/miner.h"
+#include "fpm/transaction_db.h"
+#include "serve/pattern_store.h"
+#include "util/status.h"
+
+namespace gogreen::serve {
+
+struct ServiceOptions {
+  PatternStore::Options store;
+  /// Algorithm choices, shared with the session-level recycler: base miner
+  /// for scratch rounds, compression strategy/matcher, and the adapted
+  /// algorithm for compressed images.
+  core::CompressionStrategy strategy = core::CompressionStrategy::kMcp;
+  core::MatcherKind matcher = core::MatcherKind::kAuto;
+  core::RecycleAlgo algo = core::RecycleAlgo::kHMine;
+  fpm::MinerKind base_miner = fpm::MinerKind::kHMine;
+};
+
+/// How the service answered one request, for tests and the session REPL.
+struct ServeStats {
+  core::SeedRoute route = core::SeedRoute::kNone;
+  uint64_t seed_support = 0;  ///< Support of the seed entry (0 on scratch).
+  double seconds = 0.0;       ///< End-to-end service time.
+  double compress_seconds = 0.0;  ///< Recycle route only.
+  double compression_ratio = 1.0;
+  uint64_t patterns_returned = 0;
+  bool partial = false;
+};
+
+class MiningService {
+ public:
+  /// `dataset_id` names the database in store keys (and thus in persisted
+  /// pattern files): stores loaded from disk only seed requests whose
+  /// service carries the same id.
+  MiningService(fpm::TransactionDb db, std::string dataset_id,
+                ServiceOptions options = {});
+
+  /// Answers one query; see the file comment for the route plan.
+  Result<fpm::MineResult> Mine(const fpm::MineRequest& request);
+
+  /// Stats of the most recent completed Mine() call. Racy under concurrent
+  /// requests (last writer wins) — intended for single-driver sessions.
+  ServeStats last_stats() const;
+
+  PatternStore& store() { return store_; }
+  const fpm::TransactionDb& db() const { return db_; }
+  const std::string& dataset_id() const { return dataset_id_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// The support-complete set at `min_support` (fingerprint ""), via the
+  /// cheapest route. `stats` accumulates route bookkeeping.
+  Result<fpm::MineResult> MineSupportComplete(uint64_t min_support,
+                                              RunContext* ctx,
+                                              ServeStats* stats);
+  Result<fpm::MineResult> MineRecycledFrom(const StoreKey& seed_key,
+                                           uint64_t min_support,
+                                           RunContext* ctx,
+                                           ServeStats* stats);
+  Result<fpm::MineResult> MineScratch(uint64_t min_support, RunContext* ctx);
+
+  fpm::TransactionDb db_;
+  std::string dataset_id_;
+  ServiceOptions options_;
+  PatternStore store_;
+  mutable std::mutex stats_mu_;
+  ServeStats last_stats_;
+};
+
+}  // namespace gogreen::serve
+
+#endif  // GOGREEN_SERVE_MINING_SERVICE_H_

@@ -1,0 +1,306 @@
+#include "serve/pattern_store.h"
+
+#include <filesystem>
+#include <functional>
+#include <utility>
+
+#include "fpm/pattern.h"
+#include "fpm/pattern_io.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace gogreen::serve {
+
+namespace {
+
+/// Gauge mirroring the ledger so `--metrics-json` shows the store load.
+void RecordStoreBytes(size_t bytes) {
+  static obs::Gauge* gauge =
+      obs::MetricRegistry::Global().GetGauge("serve.store_bytes");
+  gauge->Set(static_cast<int64_t>(bytes));
+}
+
+void RecordEviction(bool whole_entry) {
+  static obs::Counter* entries =
+      obs::MetricRegistry::Global().GetCounter("serve.evictions");
+  static obs::Counter* images =
+      obs::MetricRegistry::Global().GetCounter("serve.image_evictions");
+  (whole_entry ? entries : images)->Add(1);
+}
+
+/// Filename for one persisted entry: a sanitized dataset id and the support
+/// stay readable; the free-form parts (full id + fingerprint) are folded
+/// into a hash for uniqueness. The authoritative key travels inside the
+/// file (header.source), so the name only needs to be unique and stable.
+std::string EntryFileName(const StoreKey& key) {
+  std::string readable = key.dataset_id;
+  for (char& c : readable) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    if (!safe) c = '_';
+  }
+  const size_t hash = std::hash<std::string>{}(
+      key.dataset_id + "\n" + key.constraint_fingerprint);
+  return readable + "-" + std::to_string(key.min_support) + "-" +
+         std::to_string(hash) + ".gpat";
+}
+
+/// The key is serialized into the header's free-form source field as
+/// "dataset\nfingerprint" (the fingerprint never contains a newline; it is
+/// built from single-line constraint descriptions).
+std::string EncodeSource(const StoreKey& key) {
+  return key.dataset_id + "\n" + key.constraint_fingerprint;
+}
+
+bool DecodeSource(const std::string& source, uint64_t min_support,
+                  StoreKey* key) {
+  const size_t newline = source.find('\n');
+  if (newline == std::string::npos) return false;
+  key->dataset_id = source.substr(0, newline);
+  key->constraint_fingerprint = source.substr(newline + 1);
+  key->min_support = min_support;
+  return !key->dataset_id.empty() && min_support > 0;
+}
+
+}  // namespace
+
+std::string StoreKey::ToString() const {
+  std::string s = dataset_id + "@" + std::to_string(min_support);
+  if (!constraint_fingerprint.empty()) s += "[" + constraint_fingerprint + "]";
+  return s;
+}
+
+size_t PatternSetCost(const fpm::PatternSet& fp) {
+  size_t bytes = sizeof(fpm::PatternSet);
+  for (const fpm::Pattern& p : fp) {
+    bytes += sizeof(fpm::Pattern) + p.items.capacity() * sizeof(fpm::ItemId);
+  }
+  return bytes;
+}
+
+PatternStore::PatternStore() : PatternStore(Options()) {}
+
+PatternStore::PatternStore(Options options) : options_(options) {}
+
+PatternStore::EntryList::iterator PatternStore::FindLocked(
+    const StoreKey& key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == key) return it;
+  }
+  return entries_.end();
+}
+
+PatternStore::EntryList::const_iterator PatternStore::FindLocked(
+    const StoreKey& key) const {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == key) return it;
+  }
+  return entries_.end();
+}
+
+void PatternStore::TouchLocked(EntryList::iterator it) {
+  entries_.splice(entries_.begin(), entries_, it);
+}
+
+void PatternStore::DropEntryLocked(EntryList::iterator it) {
+  ledger_.ReleaseBytes(it->pattern_bytes + it->cdb_bytes);
+  entries_.erase(it);
+}
+
+void PatternStore::EvictForLocked(size_t needed, const StoreKey* keep) {
+  if (needed > options_.byte_budget) return;  // Caller rejects the insert.
+  // Pass 1: drop memoized images, least-recently-used first.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (ledger_.bytes_in_use() + needed <= options_.byte_budget) return;
+    if (it->cdb == nullptr) continue;
+    if (keep != nullptr && it->key == *keep) continue;
+    ledger_.ReleaseBytes(it->cdb_bytes);
+    it->cdb.reset();
+    it->cdb_bytes = 0;
+    ++image_evictions_;
+    RecordEviction(/*whole_entry=*/false);
+  }
+  // Pass 2: drop whole entries, least-recently-used first.
+  while (ledger_.bytes_in_use() + needed > options_.byte_budget &&
+         !entries_.empty()) {
+    auto victim = std::prev(entries_.end());
+    if (keep != nullptr && victim->key == *keep) {
+      if (victim == entries_.begin()) break;  // Only the protected entry left.
+      victim = std::prev(victim);
+    }
+    ++evictions_;
+    RecordEviction(/*whole_entry=*/true);
+    DropEntryLocked(victim);
+  }
+}
+
+bool PatternStore::Put(const StoreKey& key, fpm::PatternSet patterns,
+                       uint64_t num_transactions) {
+  const size_t cost = PatternSetCost(patterns);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto existing = FindLocked(key);
+  if (existing != entries_.end()) DropEntryLocked(existing);
+  if (cost > options_.byte_budget) {
+    RecordStoreBytes(ledger_.bytes_in_use());
+    return false;
+  }
+  EvictForLocked(cost, /*keep=*/nullptr);
+  Entry entry;
+  entry.key = key;
+  entry.patterns =
+      std::make_shared<const fpm::PatternSet>(std::move(patterns));
+  entry.num_transactions = num_transactions;
+  entry.pattern_bytes = cost;
+  ledger_.AddBytes(cost);
+  entries_.push_front(std::move(entry));
+  RecordStoreBytes(ledger_.bytes_in_use());
+  return true;
+}
+
+void PatternStore::PutCompressed(
+    const StoreKey& key, std::shared_ptr<const core::CompressedDb> cdb) {
+  if (cdb == nullptr) return;
+  const size_t cost = cdb->MemoryUsage();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindLocked(key);
+  if (it == entries_.end()) return;
+  if (it->cdb != nullptr) {
+    ledger_.ReleaseBytes(it->cdb_bytes);
+    it->cdb.reset();
+    it->cdb_bytes = 0;
+  }
+  // The image must fit next to its own pattern set; if evicting *other*
+  // entries cannot make room, skip the memoization.
+  if (it->pattern_bytes + cost > options_.byte_budget) return;
+  EvictForLocked(cost, /*keep=*/&key);
+  if (ledger_.bytes_in_use() + cost > options_.byte_budget) return;
+  it->cdb = std::move(cdb);
+  it->cdb_bytes = cost;
+  ledger_.AddBytes(cost);
+  TouchLocked(it);
+  RecordStoreBytes(ledger_.bytes_in_use());
+}
+
+std::shared_ptr<const fpm::PatternSet> PatternStore::Get(const StoreKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindLocked(key);
+  if (it == entries_.end()) return nullptr;
+  TouchLocked(it);
+  return it->patterns;
+}
+
+std::shared_ptr<const core::CompressedDb> PatternStore::GetCompressed(
+    const StoreKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindLocked(key);
+  if (it == entries_.end()) return nullptr;
+  TouchLocked(it);
+  return it->cdb;
+}
+
+uint64_t PatternStore::NumTransactionsOf(const StoreKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindLocked(key);
+  return it == entries_.end() ? 0 : it->num_transactions;
+}
+
+std::vector<core::SeedCandidate> PatternStore::Candidates(
+    const std::string& dataset_id, const std::string& fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<core::SeedCandidate> candidates;
+  // Recency from list position: the list is most-recent-first.
+  uint64_t recency = entries_.size();
+  for (const Entry& entry : entries_) {
+    --recency;
+    if (entry.key.dataset_id != dataset_id ||
+        entry.key.constraint_fingerprint != fingerprint) {
+      continue;
+    }
+    core::SeedCandidate cand;
+    cand.min_support = entry.key.min_support;
+    cand.has_compressed = entry.cdb != nullptr;
+    cand.last_used = recency + 1;
+    cand.tag = static_cast<size_t>(entry.key.min_support);
+    candidates.push_back(cand);
+  }
+  return candidates;
+}
+
+void PatternStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!entries_.empty()) DropEntryLocked(entries_.begin());
+  RecordStoreBytes(0);
+}
+
+StoreStats PatternStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreStats stats;
+  stats.entries = entries_.size();
+  for (const Entry& entry : entries_) {
+    if (entry.cdb != nullptr) ++stats.compressed_images;
+  }
+  stats.bytes_in_use = ledger_.bytes_in_use();
+  stats.byte_budget = options_.byte_budget;
+  stats.evictions = evictions_;
+  stats.image_evictions = image_evictions_;
+  return stats;
+}
+
+size_t PatternStore::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.bytes_in_use();
+}
+
+Status PatternStore::SaveTo(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory " + dir + ": " +
+                           ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : entries_) {
+    fpm::PatternSetHeader header;
+    header.min_support = entry.key.min_support;
+    header.num_transactions = entry.num_transactions;
+    header.source = EncodeSource(entry.key);
+    const std::string path = dir + "/" + EntryFileName(entry.key);
+    GOGREEN_RETURN_NOT_OK(
+        fpm::WritePatternFile(*entry.patterns, header, path).status());
+  }
+  return Status::OK();
+}
+
+Status PatternStore::LoadFrom(const std::string& dir, size_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot read store directory " + dir + ": " +
+                           ec.message());
+  }
+  for (const auto& dirent : it) {
+    if (!dirent.is_regular_file() ||
+        dirent.path().extension() != ".gpat") {
+      continue;
+    }
+    auto loaded = fpm::ReadPatternFile(dirent.path().string());
+    StoreKey key;
+    if (!loaded.ok() ||
+        !DecodeSource(loaded->second.source, loaded->second.min_support,
+                      &key)) {
+      GOGREEN_LOG(Warning) << "skipping unreadable pattern file "
+                           << dirent.path().string()
+                           << (loaded.ok()
+                                   ? ""
+                                   : ": " + loaded.status().ToString());
+      if (skipped != nullptr) ++*skipped;
+      continue;
+    }
+    Put(key, std::move(loaded->first), loaded->second.num_transactions);
+  }
+  return Status::OK();
+}
+
+}  // namespace gogreen::serve

@@ -1,0 +1,153 @@
+// The pattern store: a bounded, byte-accounted cache of complete pattern
+// sets keyed by (dataset, constraint fingerprint, min_support), with
+// optional memoized compressed images. This is the serving-layer shape of
+// the paper's multi-user story (Section 2): patterns one query mined are the
+// seeds later queries recycle, so keeping them around — within a budget —
+// turns the recycling speedups from a per-session trick into a service
+// property.
+//
+// Values are handed out as shared_ptr-to-const: eviction drops the store's
+// reference, never a reader's. Entry costs are charged to an internal
+// RunContext ledger (the same cooperative accounting the miners use), so
+// `bytes_in_use()` is exactly the sum of live entry costs and the
+// byte_budget is a hard ceiling — inserting evicts least-recently-used
+// entries first (their memoized compressed images go before the pattern
+// sets; images are cheap to rebuild) and an entry that alone exceeds the
+// budget is rejected outright.
+
+#ifndef GOGREEN_SERVE_PATTERN_STORE_H_
+#define GOGREEN_SERVE_PATTERN_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/compressed_db.h"
+#include "core/seed_selection.h"
+#include "fpm/pattern_set.h"
+#include "util/run_context.h"
+#include "util/status.h"
+
+namespace gogreen::serve {
+
+/// Identity of a cached complete pattern set. `constraint_fingerprint` is
+/// ConstraintSet::Fingerprint() — "" for support-only (unconstrained) sets,
+/// which are the ones recycling and filter-down routes seed from.
+struct StoreKey {
+  std::string dataset_id;
+  std::string constraint_fingerprint;
+  uint64_t min_support = 0;
+
+  friend bool operator==(const StoreKey&, const StoreKey&) = default;
+  std::string ToString() const;
+};
+
+/// Aggregate store counters, for `store` introspection and tests.
+struct StoreStats {
+  size_t entries = 0;
+  size_t compressed_images = 0;
+  size_t bytes_in_use = 0;
+  size_t byte_budget = 0;
+  uint64_t evictions = 0;       ///< Whole entries dropped to make room.
+  uint64_t image_evictions = 0; ///< Compressed images dropped to make room.
+};
+
+/// Bounded LRU cache of complete pattern sets. Thread-safe; lookups bump
+/// recency. See the file comment for the eviction contract.
+class PatternStore {
+ public:
+  struct Options {
+    /// Hard ceiling on the summed cost of cached pattern sets + compressed
+    /// images. The store never holds more than this many accounted bytes.
+    size_t byte_budget = size_t{64} << 20;
+  };
+
+  PatternStore();  ///< Default Options.
+  explicit PatternStore(Options options);
+
+  /// Inserts (or replaces) the complete set for `key`, evicting older
+  /// entries as needed. Returns false — and caches nothing — when the set
+  /// alone costs more than the byte budget. `num_transactions` is the |DB|
+  /// the supports refer to; it travels with the entry into persistence.
+  bool Put(const StoreKey& key, fpm::PatternSet patterns,
+           uint64_t num_transactions);
+
+  /// Memoizes the compressed image built from `key`'s pattern set (shared:
+  /// the caller typically keeps mining from the same image). A miss (no
+  /// such entry) or an over-budget image is a silent no-op: images are an
+  /// optimization, never load-bearing.
+  void PutCompressed(const StoreKey& key,
+                     std::shared_ptr<const core::CompressedDb> cdb);
+
+  /// The cached set for `key`, or null. Bumps recency.
+  std::shared_ptr<const fpm::PatternSet> Get(const StoreKey& key);
+
+  /// The memoized compressed image for `key`, or null. Bumps recency.
+  std::shared_ptr<const core::CompressedDb> GetCompressed(const StoreKey& key);
+
+  /// Number of transactions recorded with the entry (0 when absent).
+  uint64_t NumTransactionsOf(const StoreKey& key) const;
+
+  /// Seed candidates among the entries of (dataset_id, fingerprint), tagged
+  /// with their min_support (tag == min_support), ready for
+  /// core::SelectSeed. Does not bump recency.
+  std::vector<core::SeedCandidate> Candidates(
+      const std::string& dataset_id, const std::string& fingerprint) const;
+
+  void Clear();
+
+  StoreStats stats() const;
+  size_t bytes_in_use() const;
+  size_t byte_budget() const { return options_.byte_budget; }
+
+  /// Persists every entry as a pattern file under `dir` (created if
+  /// missing), one crash-safe file per entry. Compressed images are not
+  /// persisted (they are cheap to rebuild). Returns the first write error.
+  Status SaveTo(const std::string& dir) const;
+
+  /// Loads every pattern file under `dir` into the store (normal insertion
+  /// rules: eviction applies, oversized entries are skipped). Files that
+  /// fail to parse — corrupted, truncated, foreign — are skipped, not
+  /// fatal; `*skipped` (optional) counts them.
+  Status LoadFrom(const std::string& dir, size_t* skipped = nullptr);
+
+ private:
+  struct Entry {
+    StoreKey key;
+    std::shared_ptr<const fpm::PatternSet> patterns;
+    std::shared_ptr<const core::CompressedDb> cdb;  ///< May be null.
+    uint64_t num_transactions = 0;
+    size_t pattern_bytes = 0;
+    size_t cdb_bytes = 0;
+  };
+
+  // LRU list, most-recent first; the ledger tracks accounted bytes.
+  using EntryList = std::list<Entry>;
+
+  EntryList::iterator FindLocked(const StoreKey& key);
+  EntryList::const_iterator FindLocked(const StoreKey& key) const;
+  void TouchLocked(EntryList::iterator it);
+  /// Frees accounted bytes until `needed` fits under the budget; images
+  /// first (LRU order), then whole entries. `keep` survives eviction.
+  void EvictForLocked(size_t needed, const StoreKey* keep);
+  void DropEntryLocked(EntryList::iterator it);
+
+  Options options_;
+  mutable std::mutex mu_;
+  EntryList entries_;
+  /// Byte ledger (budget intentionally unarmed: the store enforces its
+  /// ceiling by eviction, not by tripping a stop flag).
+  RunContext ledger_;
+  uint64_t evictions_ = 0;
+  uint64_t image_evictions_ = 0;
+};
+
+/// Cost model used for the store's accounting, exposed for tests.
+size_t PatternSetCost(const fpm::PatternSet& fp);
+
+}  // namespace gogreen::serve
+
+#endif  // GOGREEN_SERVE_PATTERN_STORE_H_

@@ -1,0 +1,204 @@
+#include "serve/session.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/run_context.h"
+
+namespace gogreen::serve {
+
+namespace {
+
+constexpr const char* kHelp =
+    "commands:\n"
+    "  mine <s>        mine at support <s> (fraction < 1.0, else absolute)\n"
+    "  threads <n>     per-request thread count (0 = global pool)\n"
+    "  deadline <ms>   per-request deadline (0 = off)\n"
+    "  budget <mb>     per-request memory budget in MiB (0 = off)\n"
+    "  stats           route/timing of the most recent mine\n"
+    "  store           pattern-store contents and byte accounting\n"
+    "  save <dir>      persist the store as pattern files\n"
+    "  load <dir>      load pattern files into the store\n"
+    "  help            this list\n"
+    "  quit            end the session\n";
+
+/// Sticky per-session knobs applied to every subsequent mine.
+struct Knobs {
+  size_t threads = 0;
+  uint64_t deadline_ms = 0;
+  uint64_t budget_mb = 0;
+};
+
+Result<uint64_t> ParseCount(const std::string& word, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(word.c_str(), &end, 10);
+  if (word.empty() || word[0] == '-' || end == nullptr || *end != '\0' ||
+      errno == ERANGE) {
+    return Status::InvalidArgument(std::string(what) + " expects a number, "
+                                   "got '" + word + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<uint64_t> ParseSupport(const std::string& word,
+                              size_t num_transactions) {
+  char* end = nullptr;
+  errno = 0;
+  const double raw = std::strtod(word.c_str(), &end);
+  if (word.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      raw <= 0.0) {
+    return Status::InvalidArgument("mine expects a positive support, got '" +
+                                   word + "'");
+  }
+  if (raw < 1.0) return fpm::AbsoluteSupport(raw, num_transactions);
+  return static_cast<uint64_t>(raw);
+}
+
+Status DoMine(MiningService& service, const Knobs& knobs,
+              const std::string& arg, std::ostream& out,
+              SessionSummary* summary) {
+  GOGREEN_ASSIGN_OR_RETURN(
+      const uint64_t minsup,
+      ParseSupport(arg, service.db().NumTransactions()));
+  RunContext ctx;
+  fpm::MineRequest request = fpm::MineRequest::At(minsup);
+  request.threads = knobs.threads;
+  if (knobs.deadline_ms > 0 || knobs.budget_mb > 0) {
+    if (knobs.deadline_ms > 0) {
+      ctx.SetDeadlineAfterMillis(static_cast<int64_t>(knobs.deadline_ms));
+    }
+    if (knobs.budget_mb > 0) {
+      ctx.SetMemoryBudget(static_cast<size_t>(knobs.budget_mb) << 20);
+    }
+    request.run_context = &ctx;
+  }
+  GOGREEN_ASSIGN_OR_RETURN(const fpm::MineResult result,
+                           service.Mine(request));
+  ++summary->mines;
+  if (result.partial) ++summary->partials;
+  const ServeStats stats = service.last_stats();
+  out << "mined support=" << minsup
+      << " route=" << core::SeedRouteName(stats.route)
+      << " seed=" << stats.seed_support
+      << " patterns=" << result.patterns.size()
+      << " seconds=" << stats.seconds
+      << " partial=" << (result.partial ? 1 : 0);
+  if (result.partial) out << " frontier=" << result.frontier_support;
+  out << "\n";
+  return Status::OK();
+}
+
+void PrintStats(const ServeStats& stats, std::ostream& out) {
+  out << "last: route=" << core::SeedRouteName(stats.route)
+      << " seed=" << stats.seed_support
+      << " patterns=" << stats.patterns_returned
+      << " seconds=" << stats.seconds
+      << " compress_seconds=" << stats.compress_seconds
+      << " ratio=" << stats.compression_ratio
+      << " partial=" << (stats.partial ? 1 : 0) << "\n";
+}
+
+void PrintStore(const PatternStore& store, std::ostream& out) {
+  const StoreStats stats = store.stats();
+  out << "store: entries=" << stats.entries
+      << " images=" << stats.compressed_images
+      << " bytes=" << stats.bytes_in_use << "/" << stats.byte_budget
+      << " evictions=" << stats.evictions
+      << " image_evictions=" << stats.image_evictions << "\n";
+}
+
+/// One command line. Returns OK on success; errors are fatal only in
+/// strict mode (the caller decides).
+Status RunCommand(MiningService& service, Knobs* knobs,
+                  const std::string& verb, const std::string& arg,
+                  std::ostream& out, SessionSummary* summary) {
+  if (verb == "mine") {
+    return DoMine(service, *knobs, arg, out, summary);
+  }
+  if (verb == "threads") {
+    GOGREEN_ASSIGN_OR_RETURN(const uint64_t n, ParseCount(arg, "threads"));
+    if (n > 1024) {
+      return Status::InvalidArgument("threads must be <= 1024");
+    }
+    knobs->threads = static_cast<size_t>(n);
+    out << "threads=" << n << "\n";
+    return Status::OK();
+  }
+  if (verb == "deadline") {
+    GOGREEN_ASSIGN_OR_RETURN(knobs->deadline_ms, ParseCount(arg, "deadline"));
+    out << "deadline_ms=" << knobs->deadline_ms << "\n";
+    return Status::OK();
+  }
+  if (verb == "budget") {
+    GOGREEN_ASSIGN_OR_RETURN(knobs->budget_mb, ParseCount(arg, "budget"));
+    out << "budget_mb=" << knobs->budget_mb << "\n";
+    return Status::OK();
+  }
+  if (verb == "stats") {
+    PrintStats(service.last_stats(), out);
+    return Status::OK();
+  }
+  if (verb == "store") {
+    PrintStore(service.store(), out);
+    return Status::OK();
+  }
+  if (verb == "save") {
+    if (arg.empty()) return Status::InvalidArgument("save expects a dir");
+    GOGREEN_RETURN_NOT_OK(service.store().SaveTo(arg));
+    out << "saved " << service.store().stats().entries << " entries to "
+        << arg << "\n";
+    return Status::OK();
+  }
+  if (verb == "load") {
+    if (arg.empty()) return Status::InvalidArgument("load expects a dir");
+    size_t skipped = 0;
+    GOGREEN_RETURN_NOT_OK(service.store().LoadFrom(arg, &skipped));
+    out << "loaded store from " << arg << " ("
+        << service.store().stats().entries << " entries, " << skipped
+        << " skipped)\n";
+    return Status::OK();
+  }
+  if (verb == "help") {
+    out << kHelp;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown command '" + verb +
+                                 "' (try 'help')");
+}
+
+}  // namespace
+
+Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
+                                  std::ostream& out,
+                                  const SessionConfig& config) {
+  SessionSummary summary;
+  Knobs knobs;
+  std::string line;
+  if (config.interactive) out << "gogreen> " << std::flush;
+  while (std::getline(in, line)) {
+    std::istringstream words(line);
+    std::string verb;
+    std::string arg;
+    words >> verb >> arg;
+    if (!verb.empty() && verb[0] != '#') {
+      if (verb == "quit" || verb == "exit") break;
+      ++summary.commands;
+      const Status status =
+          RunCommand(service, &knobs, verb, arg, out, &summary);
+      if (!status.ok()) {
+        if (!config.interactive) return status;
+        ++summary.errors;
+        out << "error: " << status.ToString() << "\n";
+      }
+    }
+    if (config.interactive) out << "gogreen> " << std::flush;
+  }
+  if (config.interactive) out << "\n";
+  return summary;
+}
+
+}  // namespace gogreen::serve

@@ -1,0 +1,53 @@
+// Interactive / scripted driver for a MiningService: the `gogreen session`
+// REPL. Reads one command per line and answers against a persistent
+// pattern store, so a support sweep in one session exercises every route
+// (scratch, recycle, filter-down, exact hit) the way the paper's
+// interactive-mining story describes.
+//
+// Commands (blank lines and '#' comments are skipped):
+//   mine <s>        mine at support <s> (fraction < 1.0, else absolute)
+//   threads <n>     per-request thread count for following mines (0=global)
+//   deadline <ms>   per-request deadline for following mines (0=off)
+//   budget <mb>     per-request memory budget in MiB (0=off)
+//   stats           route/timing of the most recent mine
+//   store           pattern-store contents and byte accounting
+//   save <dir>      persist the store as pattern files
+//   load <dir>      load pattern files into the store
+//   help            command list
+//   quit            end the session
+
+#ifndef GOGREEN_SERVE_SESSION_H_
+#define GOGREEN_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "serve/mining_service.h"
+#include "util/status.h"
+
+namespace gogreen::serve {
+
+struct SessionConfig {
+  /// Interactive mode prompts and keeps going after a failed command;
+  /// script (batch) mode is strict — the first error aborts the session.
+  bool interactive = false;
+};
+
+/// What a finished session did, for exit-code decisions and tests.
+struct SessionSummary {
+  uint64_t commands = 0;
+  uint64_t mines = 0;
+  uint64_t partials = 0;  ///< Mines stopped early by a governor.
+  uint64_t errors = 0;    ///< Failed commands (interactive mode only).
+};
+
+/// Runs commands from `in` against `service`, writing results to `out`.
+/// Returns the summary, or the first error in strict (non-interactive)
+/// mode.
+Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
+                                  std::ostream& out,
+                                  const SessionConfig& config = {});
+
+}  // namespace gogreen::serve
+
+#endif  // GOGREEN_SERVE_SESSION_H_

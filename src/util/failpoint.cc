@@ -24,6 +24,8 @@ constexpr std::string_view kKnownSites[] = {
     "dat_io.open",   // dat_io.cc: dataset open
     "dat_io.read",   // dat_io.cc: dataset read
     "dat_io.write",  // dat_io.cc: dataset write
+    "pattern_io.rename",  // pattern_io.cc: atomic-publish commit
+    "pattern_io.write",   // pattern_io.cc: pattern-file write open
     "spill.finish",  // disk_recycle.cc: spill-partition finalize
     "spill.open",    // disk_recycle.cc: spill-partition open
     "spill.read",    // disk_recycle.cc: spill-partition read

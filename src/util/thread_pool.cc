@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <cstdlib>
+#include <map>
 
 #include "util/env.h"
 #include "util/logging.h"
@@ -23,6 +24,32 @@ GlobalPoolState& GlobalState() {
   // gogreen-lint: allow(naked-new): intentionally leaked process singleton
   static GlobalPoolState* state = new GlobalPoolState();
   return *state;
+}
+
+// Per-thread override installed by ThreadPool::ScopedThreads; consulted by
+// Global()/GlobalThreads() before the process-wide pool.
+thread_local std::shared_ptr<ThreadPool> tls_override_pool;
+
+// Cache of override pools keyed by lane count, so a service handling many
+// requests at the same few thread counts spawns each pool once. Bounded in
+// practice by the distinct counts callers ask for.
+struct OverridePoolCache {
+  std::mutex mu;
+  std::map<size_t, std::shared_ptr<ThreadPool>> pools;
+};
+
+OverridePoolCache& OverrideCache() {
+  // gogreen-lint: allow(naked-new): intentionally leaked process singleton
+  static OverridePoolCache* cache = new OverridePoolCache();
+  return *cache;
+}
+
+std::shared_ptr<ThreadPool> OverridePoolFor(size_t threads) {
+  OverridePoolCache& cache = OverrideCache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  std::shared_ptr<ThreadPool>& slot = cache.pools[threads];
+  if (!slot) slot = std::make_shared<ThreadPool>(threads);
+  return slot;
 }
 
 }  // namespace
@@ -207,6 +234,7 @@ void ThreadPool::ParallelFor(
 }
 
 std::shared_ptr<ThreadPool> ThreadPool::Global() {
+  if (tls_override_pool) return tls_override_pool;
   GlobalPoolState& state = GlobalState();
   std::lock_guard<std::mutex> lock(state.mu);
   if (!state.pool) {
@@ -230,9 +258,21 @@ void ThreadPool::SetGlobalThreads(size_t threads) {
 }
 
 size_t ThreadPool::GlobalThreads() {
+  if (tls_override_pool) return tls_override_pool->threads();
   GlobalPoolState& state = GlobalState();
   std::lock_guard<std::mutex> lock(state.mu);
   return state.pool ? state.pool->threads() : DefaultThreads();
+}
+
+ThreadPool::ScopedThreads::ScopedThreads(size_t threads) {
+  if (threads == 0) return;
+  active_ = true;
+  previous_ = std::move(tls_override_pool);
+  tls_override_pool = OverridePoolFor(threads);
+}
+
+ThreadPool::ScopedThreads::~ScopedThreads() {
+  if (active_) tls_override_pool = std::move(previous_);
 }
 
 size_t ThreadPool::DefaultThreads() {

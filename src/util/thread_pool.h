@@ -179,6 +179,29 @@ class ThreadPool {
   /// hardware_concurrency (at least 1).
   static size_t DefaultThreads();
 
+  /// Calling-thread-scoped parallelism override: while alive, Global() and
+  /// GlobalThreads() on *this thread* resolve to a pool of `threads` lanes
+  /// instead of the process-wide pool, so concurrent requests with
+  /// different thread counts (fpm::MineRequest::threads) never fight over
+  /// SetGlobalThreads. Pools are drawn from a small process-wide cache
+  /// keyed by lane count, so repeated overrides do not respawn workers.
+  /// `threads == 0` is a no-op (the global default stays in effect).
+  /// Scopes nest; the previous override is restored on destruction. The
+  /// override is only consulted by the requesting thread — pool workers
+  /// never resolve Global() — so it composes with the pinned-pool contract
+  /// of MineFirstLevelParallel.
+  class ScopedThreads {
+   public:
+    explicit ScopedThreads(size_t threads);
+    ~ScopedThreads();
+    ScopedThreads(const ScopedThreads&) = delete;
+    ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+   private:
+    std::shared_ptr<ThreadPool> previous_;
+    bool active_ = false;
+  };
+
  private:
   struct Task {
     std::function<void()> fn;

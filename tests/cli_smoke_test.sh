@@ -105,4 +105,44 @@ if "$BIN" mine -i "$DIR/data.dat" -s -0.5 >/dev/null 2>"$DIR/err"; then
 fi
 grep -q "positive support" "$DIR/err" || fail "negative -s: wrong error"
 
+# session mode: a scripted relax-support sweep must take every route through
+# the pattern store — scratch, recycle, exact hit, filter-down — and say so
+cat > "$DIR/session.txt" <<'EOF'
+# relax-support sweep over one database
+mine 0.05
+mine 0.02
+mine 0.05
+mine 0.03
+stats
+store
+EOF
+SESS_OUT="$DIR/session.out"
+"$BIN" session -i "$DIR/data.dat" --script "$DIR/session.txt" \
+    --store-dir "$DIR/store" --metrics-json "$DIR/session.json" \
+    > "$SESS_OUT" || fail "session script"
+grep -q "route=none" "$SESS_OUT" || fail "session: no scratch route"
+grep -q "route=recycle" "$SESS_OUT" || fail "session: no recycle route"
+grep -q "route=exact" "$SESS_OUT" || fail "session: no exact hit"
+grep -q "route=filter-down" "$SESS_OUT" || fail "session: no filter-down"
+grep -q "store: entries=" "$SESS_OUT" || fail "session: no store line"
+grep -q "session: 6 commands, 4 mines" "$SESS_OUT" || fail "session summary"
+grep -q '"serve.cache_hits":1' "$DIR/session.json" \
+    || fail "session: serve.cache_hits metric"
+grep -q '"serve.recycled":1' "$DIR/session.json" \
+    || fail "session: serve.recycled metric"
+ls "$DIR/store"/*.gpat >/dev/null 2>&1 || fail "session: store not persisted"
+
+# a second session over the persisted store answers from cache immediately
+printf 'mine 0.05\nmine 0.02\n' | "$BIN" session -i "$DIR/data.dat" \
+    --store-dir "$DIR/store" > "$SESS_OUT" || fail "session reload"
+grep -q "store: loaded" "$SESS_OUT" || fail "session: no store load line"
+ROUTES=$(grep -c "route=exact" "$SESS_OUT") || true
+[ "$ROUTES" -eq 2 ] || fail "session reload: expected 2 exact hits, got $ROUTES"
+
+# batch scripts are strict: an unknown command aborts with a usage error
+printf 'mine 0.05\nfrobnicate\n' > "$DIR/bad_session.txt"
+expect_exit 64 "$BIN" session -i "$DIR/data.dat" --script "$DIR/bad_session.txt"
+expect_exit 64 "$BIN" session -i "$DIR/data.dat" --store-mb 0  # bad budget
+expect_exit 74 "$BIN" session -i /nonexistent.dat --script "$DIR/session.txt"
+
 echo "cli smoke test passed"

@@ -1,0 +1,225 @@
+// Tests for the unified MineRequest/MineResult API: effective-support
+// resolution, equivalence with the legacy entry points it subsumes
+// (Mine/MineGoverned, MineCompressed/MineCompressedGoverned, the recycler's
+// support- and constraint-shaped calls), and per-request thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compressed_miner.h"
+#include "core/compressor.h"
+#include "core/recycler.h"
+#include "fpm/constraints.h"
+#include "fpm/miner.h"
+#include "fpm/pattern_set.h"
+#include "tests/test_util.h"
+#include "util/run_context.h"
+
+namespace gogreen {
+namespace {
+
+using fpm::ConstraintSet;
+using fpm::MineRequest;
+using fpm::MineResult;
+using fpm::PatternSet;
+using fpm::TransactionDb;
+
+void ExpectIdentical(const PatternSet& expected, const PatternSet& got,
+                     const char* what) {
+  ASSERT_EQ(expected.size(), got.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i], got[i]) << what << " diverges at " << i;
+  }
+}
+
+TEST(MineRequestTest, EffectiveMinSupportPicksTheMaximum) {
+  MineRequest request = MineRequest::At(5);
+  auto support = request.EffectiveMinSupport();
+  ASSERT_TRUE(support.ok());
+  EXPECT_EQ(support.value(), 5u);
+
+  ConstraintSet tighter(/*min_support=*/9);
+  request.constraints = &tighter;
+  support = request.EffectiveMinSupport();
+  ASSERT_TRUE(support.ok());
+  EXPECT_EQ(support.value(), 9u);
+
+  ConstraintSet looser(/*min_support=*/3);
+  request.constraints = &looser;
+  support = request.EffectiveMinSupport();
+  ASSERT_TRUE(support.ok());
+  EXPECT_EQ(support.value(), 5u);
+
+  // Either side alone may carry the threshold.
+  MineRequest from_constraints;
+  from_constraints.constraints = &tighter;
+  support = from_constraints.EffectiveMinSupport();
+  ASSERT_TRUE(support.ok());
+  EXPECT_EQ(support.value(), 9u);
+}
+
+TEST(MineRequestTest, EffectiveMinSupportRejectsZero) {
+  MineRequest request;
+  EXPECT_EQ(request.EffectiveMinSupport().status().code(),
+            StatusCode::kInvalidArgument);
+
+  ConstraintSet zero(/*min_support=*/0);
+  request.constraints = &zero;
+  EXPECT_EQ(request.EffectiveMinSupport().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MineRequestTest, UnifiedMineMatchesLegacyMine) {
+  const TransactionDb db = testutil::RandomDb(17, 300, 40, 6.0);
+  for (fpm::MinerKind kind :
+       {fpm::MinerKind::kApriori, fpm::MinerKind::kHMine,
+        fpm::MinerKind::kFpGrowth, fpm::MinerKind::kTreeProjection}) {
+    SCOPED_TRACE(fpm::MinerKindName(kind));
+    auto legacy = fpm::CreateMiner(kind)->Mine(db, 20);
+    ASSERT_TRUE(legacy.ok());
+
+    auto miner = fpm::CreateMiner(kind);
+    auto unified = miner->Mine(db, MineRequest::At(20));
+    ASSERT_TRUE(unified.ok());
+    EXPECT_FALSE(unified->partial);
+    EXPECT_EQ(unified->frontier_support, 20u);
+    EXPECT_TRUE(unified->stop_status.ok());
+    ExpectIdentical(legacy.value(), unified->patterns, "unified vs legacy");
+    // The result carries the run's own counters.
+    EXPECT_EQ(unified->stats.patterns_emitted, unified->patterns.size());
+  }
+}
+
+TEST(MineRequestTest, UnifiedMineAppliesConstraints) {
+  const TransactionDb db = testutil::PaperExampleDb();
+  ConstraintSet constraints(/*min_support=*/2);
+  constraints.Add(fpm::MakeMinLength(2));
+
+  auto miner = fpm::CreateMiner(fpm::MinerKind::kHMine);
+  MineRequest request = MineRequest::At(2);
+  request.constraints = &constraints;
+  auto result = miner->Mine(db, request);
+  ASSERT_TRUE(result.ok());
+
+  auto plain = fpm::CreateMiner(fpm::MinerKind::kHMine)->Mine(db, 2);
+  ASSERT_TRUE(plain.ok());
+  PatternSet expected = constraints.Filter(plain.value());
+  ExpectIdentical(expected, result->patterns, "constrained unified mine");
+  ASSERT_GT(result->patterns.size(), 0u);
+  for (const fpm::Pattern& p : result->patterns) {
+    EXPECT_GE(p.size(), 2u);
+  }
+}
+
+TEST(MineRequestTest, UnifiedMineMatchesMineGovernedWhenCancelled) {
+  const TransactionDb db = testutil::RandomDb(23, 300, 40, 6.0);
+
+  RunContext legacy_ctx;
+  legacy_ctx.RequestCancel();
+  auto legacy =
+      fpm::CreateMiner(fpm::MinerKind::kHMine)->MineGoverned(db, 15,
+                                                             &legacy_ctx);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(legacy->partial);
+
+  RunContext ctx;
+  ctx.RequestCancel();
+  MineRequest request = MineRequest::At(15);
+  request.run_context = &ctx;
+  auto unified = fpm::CreateMiner(fpm::MinerKind::kHMine)->Mine(db, request);
+  ASSERT_TRUE(unified.ok());
+  EXPECT_TRUE(unified->partial);
+  EXPECT_EQ(unified->frontier_support, legacy->frontier_support);
+  EXPECT_EQ(unified->stop_status.code(), StatusCode::kCancelled);
+  ExpectIdentical(legacy->patterns, unified->patterns,
+                  "governed unified vs MineGoverned");
+}
+
+TEST(MineRequestTest, ThreadsFieldIsLocalToTheRequestAndExact) {
+  const TransactionDb db = testutil::RandomDb(31, 400, 50, 7.0);
+  auto miner = fpm::CreateMiner(fpm::MinerKind::kFpGrowth);
+  auto sequential = miner->Mine(db, MineRequest::At(12));
+  ASSERT_TRUE(sequential.ok());
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    MineRequest request = MineRequest::At(12);
+    request.threads = threads;
+    auto parallel = fpm::CreateMiner(fpm::MinerKind::kFpGrowth)
+                        ->Mine(db, request);
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdentical(sequential->patterns, parallel->patterns,
+                    "per-request thread count");
+    EXPECT_EQ(sequential->stats.items_scanned,
+              parallel->stats.items_scanned);
+  }
+}
+
+TEST(MineRequestTest, CompressedMinerUnifiedMatchesLegacy) {
+  const TransactionDb db = testutil::RandomDb(41, 300, 40, 6.0);
+  auto fp_old = fpm::CreateMiner(fpm::MinerKind::kFpGrowth)->Mine(db, 30);
+  ASSERT_TRUE(fp_old.ok());
+  auto compressed = core::CompressDatabase(
+      db, fp_old.value(),
+      {core::CompressionStrategy::kMcp, core::MatcherKind::kAuto});
+  ASSERT_TRUE(compressed.ok());
+
+  for (core::RecycleAlgo algo :
+       {core::RecycleAlgo::kHMine, core::RecycleAlgo::kFpGrowth,
+        core::RecycleAlgo::kTreeProjection}) {
+    SCOPED_TRACE(core::RecycleAlgoName(algo));
+    auto legacy =
+        core::CreateCompressedMiner(algo)->MineCompressed(*compressed, 15);
+    ASSERT_TRUE(legacy.ok());
+
+    auto unified = core::CreateCompressedMiner(algo)->Mine(
+        *compressed, MineRequest::At(15));
+    ASSERT_TRUE(unified.ok());
+    EXPECT_FALSE(unified->partial);
+    EXPECT_EQ(unified->frontier_support, 15u);
+    ExpectIdentical(legacy.value(), unified->patterns,
+                    "compressed unified vs MineCompressed");
+  }
+}
+
+TEST(MineRequestTest, RecyclerUnifiedMatchesLegacySession) {
+  const TransactionDb db = testutil::RandomDb(53, 300, 40, 6.0);
+
+  core::RecyclingSession legacy(db);
+  core::RecyclingSession unified(db);
+  for (uint64_t minsup : {30u, 18u, 24u, 12u}) {
+    SCOPED_TRACE(testing::Message() << "minsup " << minsup);
+    auto a = legacy.Mine(minsup);
+    ASSERT_TRUE(a.ok());
+    auto b = unified.Mine(MineRequest::At(minsup));
+    ASSERT_TRUE(b.ok());
+    EXPECT_FALSE(b->partial);
+    ExpectIdentical(a.value(), b->patterns, "recycler unified vs legacy");
+    // Both sessions took the same route.
+    EXPECT_EQ(unified.last_stats().path, legacy.last_stats().path);
+  }
+}
+
+TEST(MineRequestTest, RecyclerUnifiedMatchesLegacyConstrainedSession) {
+  const TransactionDb db = testutil::RandomDb(59, 300, 40, 6.0);
+
+  ConstraintSet constraints(/*min_support=*/20);
+  constraints.Add(fpm::MakeMinLength(2));
+
+  core::RecyclingSession legacy(db);
+  auto a = legacy.Mine(constraints);
+  ASSERT_TRUE(a.ok());
+
+  core::RecyclingSession unified(db);
+  MineRequest request;
+  request.constraints = &constraints;
+  auto b = unified.Mine(request);
+  ASSERT_TRUE(b.ok());
+  ExpectIdentical(a.value(), b->patterns,
+                  "recycler constrained unified vs legacy");
+}
+
+}  // namespace
+}  // namespace gogreen

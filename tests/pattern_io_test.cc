@@ -1,15 +1,21 @@
-// Tests for pattern-set persistence (binary and text formats).
+// Tests for pattern-set persistence (binary and text formats), including
+// the crash-safety contract: writes publish atomically via a temp file and
+// rename, corruption anywhere in a binary file is caught by the checksum
+// trailer, and injected write/rename faults leave no temp debris and never
+// clobber a previously published file.
 
 #include "fpm/pattern_io.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "fpm/miner.h"
 #include "tests/test_util.h"
 #include "util/env.h"
+#include "util/failpoint.h"
 
 namespace gogreen::fpm {
 namespace {
@@ -99,6 +105,85 @@ TEST(PatternIoTest, EmptySetRoundTrips) {
   auto loaded = ReadPatternFile(path);
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(loaded->first.empty());
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, ChecksumCatchesSingleBitCorruption) {
+  const std::string path = TempPath("patio_bitflip_");
+  PatternSetHeader header;
+  header.min_support = 7;
+  header.source = "bitflip";
+  ASSERT_TRUE(WritePatternFile(SamplePatterns(), header, path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Flip one bit at every offset in turn: no single-bit corruption anywhere
+  // in the file — header, payload, or trailer — may read back as OK.
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x01);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    EXPECT_FALSE(ReadPatternFile(path).ok())
+        << "bit flip at offset " << pos << " went undetected";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, WriteLeavesNoTempFileBehind) {
+  const std::string path = TempPath("patio_notmp_");
+  ASSERT_TRUE(WritePatternFile(SamplePatterns(), {}, path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, InjectedWriteFaultLeavesNoDebris) {
+  const std::string path = TempPath("patio_failwrite_");
+  failpoint::ScopedFailpoints fp("pattern_io.write:ioerror");
+  EXPECT_FALSE(WritePatternFile(SamplePatterns(), {}, path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(PatternIoTest, InjectedRenameFaultPreservesThePublishedFile) {
+  const std::string path = TempPath("patio_failrename_");
+  // Publish a good file first.
+  PatternSetHeader header;
+  header.min_support = 7;
+  ASSERT_TRUE(WritePatternFile(SamplePatterns(), header, path).ok());
+
+  // A failed re-write must neither clobber it nor leave a temp file.
+  {
+    failpoint::ScopedFailpoints fp("pattern_io.rename:ioerror");
+    PatternSet other;
+    other.Add({8, 9}, 3);
+    EXPECT_FALSE(WritePatternFile(other, {}, path).ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto loaded = ReadPatternFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  PatternSet expected = SamplePatterns();
+  EXPECT_TRUE(PatternSet::Equal(&expected, &loaded->first));
+  EXPECT_EQ(loaded->second.min_support, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, TextWriteIsAlsoAtomic) {
+  const std::string path = TempPath("patio_txtatomic_");
+  ASSERT_TRUE(WritePatternText(SamplePatterns(), path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  {
+    failpoint::ScopedFailpoints fp("pattern_io.write:ioerror");
+    EXPECT_FALSE(WritePatternText(SamplePatterns(), path).ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto loaded = ReadPatternText(path);
+  EXPECT_TRUE(loaded.ok());
   std::remove(path.c_str());
 }
 

@@ -7,6 +7,9 @@
 //   gogreen summary  -p patterns.bin [--closed|--maximal]
 //   gogreen generate --kind quest|dense -n 100000 -o data.dat [...]
 //   gogreen stats    -i data.dat
+//   gogreen session  -i data.dat [--script cmds.txt] [--store-dir dir]
+//                    (interactive REPL on a tty; batch mode otherwise —
+//                    see serve/session.h for the command language)
 //
 // Every subcommand also accepts the observability flags:
 //   --metrics-json <path>   write a counters/gauges/histograms/spans JSON
@@ -25,11 +28,15 @@
 // Patterns files use the binary format of fpm/pattern_io.h (or the FIMI
 // text format when the file name ends in .txt).
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -46,6 +53,8 @@
 #include "fpm/summarize.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "serve/mining_service.h"
+#include "serve/session.h"
 #include "util/run_context.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -171,7 +180,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: gogreen <mine|recycle|compress|rules|summary|"
-               "generate|stats> [flags]\n"
+               "generate|stats|session> [flags]\n"
                "  mine     -i data.dat -s <frac|count> [-a apriori|eclat|"
                "h-mine|fp-growth|tree-projection] [-o patterns.{bin,txt}]\n"
                "  recycle  -i data.dat -p patterns.bin -s <frac|count> "
@@ -182,6 +191,8 @@ int Usage() {
                "  summary  -p patterns.bin [--closed] [--maximal]\n"
                "  generate --kind quest|dense -n <tuples> -o data.dat\n"
                "  stats    -i data.dat\n"
+               "  session  -i data.dat [--script cmds.txt] [--store-dir d]\n"
+               "           [--dataset-id name] [--store-mb n] [-a <algo>]\n"
                "observability flags (any subcommand):\n"
                "  --metrics-json <path>  write metric/span snapshot JSON\n"
                "  --trace <path>         write Chrome trace_event JSON\n"
@@ -269,7 +280,9 @@ gogreen::core::CompressionStrategy ParseStrategy(const std::string& name) {
 
 /// Shared partial-result epilogue for the governed subcommands: records the
 /// stop for the process exit code and names the frontier on stdout.
-void ReportPartial(const gogreen::fpm::MineOutcome& outcome) {
+/// Accepts fpm::MineOutcome and fpm::MineResult alike.
+template <typename Outcome>
+void ReportPartial(const Outcome& outcome) {
   if (!outcome.partial) return;
   g_partial = true;
   std::printf("partial result: %s; frontier support %llu\n",
@@ -284,8 +297,9 @@ Status CmdMine(const Args& args) {
 
   auto miner = gogreen::fpm::CreateMiner(ParseMiner(args.Get("a", "h-mine")));
   Timer timer;
-  GOGREEN_ASSIGN_OR_RETURN(auto outcome,
-                           miner->MineGoverned(db, minsup, g_governor));
+  gogreen::fpm::MineRequest request = gogreen::fpm::MineRequest::At(minsup);
+  request.run_context = g_governor;
+  GOGREEN_ASSIGN_OR_RETURN(const auto outcome, miner->Mine(db, request));
   const auto& fp = outcome.patterns;
   std::printf("%s: %zu patterns at support %llu in %.3fs\n",
               miner->name().c_str(), fp.size(),
@@ -323,9 +337,9 @@ Status CmdRecycle(const Args& args) {
   timer.Restart();
   auto miner = gogreen::core::CreateCompressedMiner(
       gogreen::core::RecycleAlgo::kHMine);
-  GOGREEN_ASSIGN_OR_RETURN(auto outcome,
-                           miner->MineCompressedGoverned(cdb, minsup,
-                                                         g_governor));
+  gogreen::fpm::MineRequest request = gogreen::fpm::MineRequest::At(minsup);
+  request.run_context = g_governor;
+  GOGREEN_ASSIGN_OR_RETURN(const auto outcome, miner->Mine(cdb, request));
   const auto& fp = outcome.patterns;
   std::printf("recycled %zu patterns -> %zu patterns at support %llu "
               "(compress %.3fs ratio %.3f, mine %.3fs)\n",
@@ -452,6 +466,69 @@ Status CmdStats(const Args& args) {
   return Status::OK();
 }
 
+Status CmdSession(const Args& args) {
+  GOGREEN_ASSIGN_OR_RETURN(auto db, LoadDb(args));
+
+  gogreen::serve::ServiceOptions options;
+  options.base_miner = ParseMiner(args.Get("a", "h-mine"));
+  options.strategy = ParseStrategy(args.Get("strategy", "MCP"));
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t store_mb,
+                           args.GetInt("store-mb", 64));
+  if (store_mb < 1) {
+    return Status::InvalidArgument("--store-mb must be >= 1");
+  }
+  options.store.byte_budget = static_cast<size_t>(store_mb) << 20;
+  // The dataset id keys the pattern store (and its persisted files); it
+  // defaults to the input path, so the same file round-trips naturally.
+  std::string dataset_id = args.Get("dataset-id");
+  if (dataset_id.empty()) dataset_id = args.Get("i");
+
+  gogreen::serve::MiningService service(std::move(db), dataset_id, options);
+
+  const std::string store_dir = args.Get("store-dir");
+  if (!store_dir.empty()) {
+    // A missing or empty directory just means a cold store.
+    size_t skipped = 0;
+    const Status loaded = service.store().LoadFrom(store_dir, &skipped);
+    if (loaded.ok()) {
+      std::printf("store: loaded %zu entries from %s (%zu skipped)\n",
+                  service.store().stats().entries, store_dir.c_str(),
+                  skipped);
+    }
+  }
+
+  gogreen::serve::SessionConfig config;
+  Result<gogreen::serve::SessionSummary> summary =
+      Status::Internal("session did not run");
+  const std::string script = args.Get("script");
+  if (!script.empty()) {
+    std::ifstream in(script);
+    if (!in.is_open()) {
+      return Status::IOError("cannot open script: " + script);
+    }
+    summary = gogreen::serve::RunSession(service, in, std::cout, config);
+  } else {
+    config.interactive = ::isatty(STDIN_FILENO) != 0;
+    summary = gogreen::serve::RunSession(service, std::cin, std::cout,
+                                         config);
+  }
+  GOGREEN_RETURN_NOT_OK(summary.status());
+
+  if (!store_dir.empty()) {
+    GOGREEN_RETURN_NOT_OK(service.store().SaveTo(store_dir));
+    std::printf("store: saved %zu entries to %s\n",
+                service.store().stats().entries, store_dir.c_str());
+  }
+  std::printf("session: %llu commands, %llu mines (%llu partial, %llu "
+              "errors)\n",
+              static_cast<unsigned long long>(summary->commands),
+              static_cast<unsigned long long>(summary->mines),
+              static_cast<unsigned long long>(summary->partials),
+              static_cast<unsigned long long>(summary->errors));
+  if (summary->partials > 0) g_partial = true;
+  return Status::OK();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -512,6 +589,8 @@ int main(int argc, char** argv) {
     status = CmdGenerate(args);
   } else if (cmd == "stats") {
     status = CmdStats(args);
+  } else if (cmd == "session") {
+    status = CmdSession(args);
   } else {
     return Usage();
   }
