@@ -26,18 +26,85 @@ std::string MetricsJson() {
   return os.str();
 }
 
-Status WriteMetricsJson(const std::string& path) {
+namespace {
+
+Status WriteAll(const std::string& text, const std::string& path,
+                const char* what) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    return Status::IOError("cannot open metrics file: " + path);
+    return Status::IOError(std::string("cannot open ") + what + " file: " +
+                           path);
   }
-  const std::string json = MetricsJson();
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
-  if (written != json.size()) {
-    return Status::IOError("short write to metrics file: " + path);
+  if (written != text.size()) {
+    return Status::IOError(std::string("short write to ") + what +
+                           " file: " + path);
   }
   return Status::OK();
+}
+
+/// `mine.items_scanned` -> `gogreen_mine_items_scanned`. Dots and dashes
+/// both map to underscores (Prometheus names are [a-zA-Z0-9_:]).
+std::string PromName(const std::string& name) {
+  std::string out = "gogreen_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    out += (c == '.' || c == '-') ? '_' : c;
+  }
+  return out;
+}
+
+std::string PromDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Status WriteMetricsJson(const std::string& path) {
+  return WriteAll(MetricsJson(), path, "metrics");
+}
+
+std::string MetricsProm() {
+  UpdateProcessGauges();
+  const MetricsSnapshot snap = MetricRegistry::Global().Snapshot();
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PromName(name) + "_total";
+    os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PromName(name);
+    os << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string prom = PromName(h.name);
+    os << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << prom << "_bucket{le=\"" << PromDouble(h.bounds[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << prom << "_sum " << PromDouble(h.sum) << "\n"
+       << prom << "_count " << h.count << "\n";
+  }
+  const auto spans = Tracer::Global().AggregateSeconds();
+  if (!spans.empty()) {
+    os << "# TYPE gogreen_span_seconds_total counter\n";
+    for (const auto& [name, seconds] : spans) {
+      os << "gogreen_span_seconds_total{name=\"" << JsonEscape(name)
+         << "\"} " << PromDouble(seconds) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Status WriteMetricsProm(const std::string& path) {
+  return WriteAll(MetricsProm(), path, "metrics");
 }
 
 }  // namespace gogreen::obs

@@ -20,6 +20,17 @@ std::string MetricsJson();
 /// Writes MetricsJson() to `path`.
 Status WriteMetricsJson(const std::string& path);
 
+/// Prometheus text-exposition rendering of the same state. Metric names
+/// are prefixed `gogreen_` with dots mapped to underscores; counters get a
+/// `_total` suffix, histograms the standard cumulative
+/// `_bucket{le=...}`/`_sum`/`_count` series, and span aggregates become one
+/// labeled family `gogreen_span_seconds_total{name="<span>"}`. Refreshes
+/// process gauges before snapshotting.
+std::string MetricsProm();
+
+/// Writes MetricsProm() to `path`.
+Status WriteMetricsProm(const std::string& path);
+
 }  // namespace gogreen::obs
 
 #endif  // GOGREEN_OBS_EXPORT_H_

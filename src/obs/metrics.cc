@@ -154,6 +154,25 @@ uint64_t MetricsSnapshot::CounterValue(std::string_view name,
   return dflt;
 }
 
+double MetricsSnapshot::HistogramData::Quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (cumulative + in_bucket >= rank && in_bucket > 0.0) {
+      if (i >= bounds.size()) return bounds.back();  // Overflow: clamp.
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      return lo + (hi - lo) * ((rank - cumulative) / in_bucket);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
 int64_t MetricsSnapshot::GaugeValue(std::string_view name,
                                     int64_t dflt) const {
   for (const auto& [n, v] : gauges) {
@@ -223,7 +242,9 @@ std::string MetricsSnapshot::ToJson() const {
       os << h.buckets[j];
     }
     os << "],\"count\":" << h.count << ",\"sum\":" << FormatDouble(h.sum)
-       << "}";
+       << ",\"p50\":" << FormatDouble(h.Quantile(0.50))
+       << ",\"p95\":" << FormatDouble(h.Quantile(0.95))
+       << ",\"p99\":" << FormatDouble(h.Quantile(0.99)) << "}";
   }
   os << "}}";
   return os.str();

@@ -99,6 +99,13 @@ struct MetricsSnapshot {
     std::vector<uint64_t> buckets;  ///< bounds.size() + 1 (overflow last).
     uint64_t count = 0;
     double sum = 0.0;
+
+    /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+    /// the bucket the rank falls in (Prometheus histogram_quantile
+    /// semantics): the first bucket interpolates from 0, and a rank in
+    /// the overflow bucket clamps to the largest finite bound. 0 when the
+    /// histogram is empty.
+    double Quantile(double q) const;
   };
 
   std::vector<std::pair<std::string, uint64_t>> counters;  // Name-sorted.

@@ -1,0 +1,132 @@
+#include "obs/request_log.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace gogreen::obs {
+
+namespace {
+
+/// Same formatting contract as the metrics JSON: plain decimal, enough
+/// digits to round-trip timings.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RequestEvent::SchemaKeys() {
+  // gogreen-lint: allow(naked-new): intentionally leaked process singleton
+  static const std::vector<std::string>* keys = new std::vector<std::string>{
+      "request_id",    "dataset",         "min_support", "fingerprint",
+      "route",         "cache_hit",       "seed_support", "evictions",
+      "image_evictions", "patterns",      "partial",     "frontier_support",
+      "outcome",       "seconds",         "bytes_peak",  "threads",
+      "phases",
+  };
+  return *keys;
+}
+
+std::string RequestEvent::ToJsonLine() const {
+  std::ostringstream os;
+  os << "{\"request_id\":" << request_id
+     << ",\"dataset\":\"" << JsonEscape(dataset) << "\""
+     << ",\"min_support\":" << min_support
+     << ",\"fingerprint\":\"" << JsonEscape(fingerprint) << "\""
+     << ",\"route\":\"" << JsonEscape(route) << "\""
+     << ",\"cache_hit\":" << (cache_hit ? "true" : "false")
+     << ",\"seed_support\":" << seed_support
+     << ",\"evictions\":" << evictions
+     << ",\"image_evictions\":" << image_evictions
+     << ",\"patterns\":" << patterns
+     << ",\"partial\":" << (partial ? "true" : "false")
+     << ",\"frontier_support\":" << frontier_support
+     << ",\"outcome\":\"" << JsonEscape(outcome) << "\""
+     << ",\"seconds\":" << FormatDouble(seconds)
+     << ",\"bytes_peak\":" << bytes_peak
+     << ",\"threads\":" << threads
+     << ",\"phases\":{";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(phases[i].first)
+       << "\":" << FormatDouble(phases[i].second);
+  }
+  os << "}}";
+  return os.str();
+}
+
+RequestLog& RequestLog::Global() {
+  // gogreen-lint: allow(naked-new): intentionally leaked process singleton
+  static RequestLog* log = new RequestLog();
+  return *log;
+}
+
+void RequestLog::Record(RequestEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    const std::string line = event.ToJsonLine();
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fputc('\n', sink_);
+    std::fflush(sink_);
+  }
+  ring_.push_back(std::move(event));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<RequestEvent> RequestLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t RequestLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t RequestLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void RequestLog::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity < 1 ? 1 : capacity;
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+Status RequestLog::AttachSink(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::IOError("cannot open request log: " + path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) std::fclose(sink_);
+  sink_ = f;
+  return Status::OK();
+}
+
+void RequestLog::DetachSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+}
+
+void RequestLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace gogreen::obs

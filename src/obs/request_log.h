@@ -1,0 +1,137 @@
+// Request-scoped observability: one structured "wide event" per served
+// MineRequest, capturing everything the process-global metrics cannot
+// attribute — which route answered the query, which cached seed it reused,
+// what the request evicted, how long each serve phase took, and how many
+// bytes the governed run charged at peak.
+//
+// The pipeline (see DESIGN.md "Request observability & perf trajectory"):
+//   - MiningService stamps a RequestContext (monotonic request id, dataset
+//     id, support, constraint fingerprint) on every request and threads the
+//     id through the existing RunContext plumbing.
+//   - On completion — success, partial, or error — it emits one
+//     RequestEvent into the global RequestLog.
+//   - The log is a bounded in-memory ring (default 256 events; oldest
+//     dropped first, with a drop counter) plus an optional append-only
+//     file sink (`gogreen --request-log <path>`) that writes each event as
+//     a single line of JSON, flushed per line so a crashed run keeps its
+//     tail.
+//
+// The event schema is fixed: every event serializes the same key set in
+// the same order regardless of route or outcome (RequestEvent::SchemaKeys
+// is the authoritative list; tests and the CI log validator check against
+// it). Only the *values* vary — an exact hit reports seed_support == its
+// own support, a scratch miss reports 0, and the `phases` object contains
+// whichever serve.* spans actually ran.
+
+#ifndef GOGREEN_OBS_REQUEST_LOG_H_
+#define GOGREEN_OBS_REQUEST_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gogreen::obs {
+
+/// Identity of one request, stamped by the service before routing. The id
+/// is process-unique and monotonic (RequestLog::NextRequestId), so log
+/// lines order and join with traces without a clock.
+struct RequestContext {
+  uint64_t request_id = 0;
+  std::string dataset_id;
+  std::string constraint_fingerprint;  ///< "" for support-only queries.
+  uint64_t min_support = 0;
+};
+
+/// One finished request, wide-event style: every dimension a post-hoc
+/// "why was this query slow?" investigation needs, in one record.
+struct RequestEvent {
+  uint64_t request_id = 0;
+  std::string dataset;
+  uint64_t min_support = 0;
+  std::string fingerprint;
+  std::string route;          ///< core::SeedRouteName: none|exact|....
+  bool cache_hit = false;     ///< True when the route was an exact hit.
+  uint64_t seed_support = 0;  ///< Support of the reused seed (0 = scratch).
+  uint64_t evictions = 0;     ///< Store evictions this request triggered.
+  uint64_t image_evictions = 0;
+  uint64_t patterns = 0;
+  bool partial = false;
+  uint64_t frontier_support = 0;  ///< Meaningful when partial.
+  std::string outcome;        ///< "ok" | "partial" | "error:<Code>".
+  double seconds = 0.0;       ///< End-to-end service wall time.
+  uint64_t bytes_peak = 0;    ///< Governor-accounted scratch high-water.
+  uint64_t threads = 0;       ///< Effective mining parallelism.
+  /// Wall seconds per serve-layer phase span (serve.exact, serve.scratch,
+  /// serve.compress, ...) for *this* request, from tracer aggregate deltas.
+  /// The phase spans are disjoint, so their sum approximates `seconds`
+  /// from below (the gap is routing/bookkeeping overhead). Empty when the
+  /// tracer is disabled; exact only for single-driver (serial) sessions.
+  std::vector<std::pair<std::string, double>> phases;
+
+  /// Single-line JSON with SchemaKeys() in order, no trailing newline.
+  std::string ToJsonLine() const;
+
+  /// The fixed top-level key set every event emits, in serialization
+  /// order. The golden-schema test and the CI log validator pin this.
+  static const std::vector<std::string>& SchemaKeys();
+};
+
+/// Process-global bounded event log. Thread-safe; Record() under one mutex
+/// is fine because the service emits once per request, not per item.
+class RequestLog {
+ public:
+  static RequestLog& Global();
+
+  RequestLog() = default;
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  /// Next process-unique request id (1, 2, 3, ...).
+  uint64_t NextRequestId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Appends one event to the ring (dropping the oldest past capacity) and
+  /// to the file sink when one is attached.
+  void Record(RequestEvent event);
+
+  /// Ring contents, oldest first.
+  std::vector<RequestEvent> Events() const;
+
+  /// Events rotated out of the ring since the last Clear().
+  uint64_t dropped() const;
+
+  size_t capacity() const;
+  /// Resizes the ring (>= 1), dropping oldest events if shrinking.
+  void SetCapacity(size_t capacity);
+
+  /// Opens `path` for appending and mirrors every subsequent event to it,
+  /// one JSON line each, flushed per line. Replaces any previous sink.
+  Status AttachSink(const std::string& path);
+  void DetachSink();
+
+  /// Drops ring contents and the drop counter. The id counter keeps
+  /// going: request ids stay unique for the process lifetime.
+  void Clear();
+
+ private:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  std::atomic<uint64_t> next_id_{0};
+  mutable std::mutex mu_;
+  std::deque<RequestEvent> ring_;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t dropped_ = 0;
+  std::FILE* sink_ = nullptr;
+};
+
+}  // namespace gogreen::obs
+
+#endif  // GOGREEN_OBS_REQUEST_LOG_H_

@@ -69,6 +69,22 @@ std::vector<std::pair<std::string, double>> Tracer::AggregateSeconds() const {
   return out;
 }
 
+Tracer::SpanSnapshot Tracer::AggregateSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aggregate_us_;
+}
+
+std::vector<std::pair<std::string, double>> Tracer::DeltaSeconds(
+    const SpanSnapshot& before, const SpanSnapshot& after) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, after_us] : after) {
+    const auto it = before.find(name);
+    const double delta_us = after_us - (it == before.end() ? 0.0 : it->second);
+    if (delta_us > 0.0) out.emplace_back(name, delta_us * 1e-6);
+  }
+  return out;
+}
+
 double Tracer::SecondsFor(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = aggregate_us_.find(name);

@@ -61,6 +61,19 @@ class Tracer {
   /// by name. Includes only spans finished since Enable()/Reset().
   std::vector<std::pair<std::string, double>> AggregateSeconds() const;
 
+  /// Point-in-time copy of the per-name aggregate microseconds. Two
+  /// snapshots bracket a unit of work; DeltaSeconds attributes the span
+  /// time in between to it. This is how the service keeps one request's
+  /// phase timings from including its predecessors' in a long session
+  /// (the aggregates themselves are cumulative for the process).
+  using SpanSnapshot = std::map<std::string, double, std::less<>>;
+  SpanSnapshot AggregateSnapshot() const;
+
+  /// Per-name seconds accumulated between `before` and `after`, sorted by
+  /// name; names whose delta is zero are omitted.
+  static std::vector<std::pair<std::string, double>> DeltaSeconds(
+      const SpanSnapshot& before, const SpanSnapshot& after);
+
   /// Total seconds recorded for one span name (0 if never seen).
   double SecondsFor(std::string_view name) const;
 

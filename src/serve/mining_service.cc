@@ -5,6 +5,7 @@
 
 #include "core/compressor.h"
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -13,7 +14,12 @@ namespace gogreen::serve {
 
 namespace {
 
-void RecordRoute(const ServeStats& stats) {
+/// Flushes the request into the serve.* counters. `serve.requests` and the
+/// per-route counters count only completed (ok or partial) requests, so
+/// the four route counters always sum to `serve.requests` exactly — the
+/// reconciliation the request-log validator checks. Failures go to
+/// `serve.errors` instead.
+void RecordRoute(const ServeStats& stats, bool ok) {
   using obs::MetricRegistry;
   static obs::Counter* requests =
       MetricRegistry::Global().GetCounter("serve.requests");
@@ -25,8 +31,14 @@ void RecordRoute(const ServeStats& stats) {
       MetricRegistry::Global().GetCounter("serve.recycled");
   static obs::Counter* scratch =
       MetricRegistry::Global().GetCounter("serve.scratch");
+  static obs::Counter* errors =
+      MetricRegistry::Global().GetCounter("serve.errors");
   static obs::Histogram* seconds =
       MetricRegistry::Global().GetHistogram("serve.seconds");
+  if (!ok) {
+    errors->Add(1);
+    return;
+  }
   requests->Add(1);
   switch (stats.route) {
     case core::SeedRoute::kExact:
@@ -45,6 +57,46 @@ void RecordRoute(const ServeStats& stats) {
   seconds->Observe(stats.seconds);
 }
 
+/// The serve-layer phase spans this request accumulated, from tracer
+/// aggregate deltas. The envelope span (serve.request) is excluded; the
+/// remaining serve.* spans are disjoint, so their sum approximates the
+/// request's wall time from below.
+std::vector<std::pair<std::string, double>> ServePhaseDeltas(
+    const obs::Tracer::SpanSnapshot& before,
+    const obs::Tracer::SpanSnapshot& after) {
+  std::vector<std::pair<std::string, double>> phases;
+  for (const auto& [name, seconds] :
+       obs::Tracer::DeltaSeconds(before, after)) {
+    if (name.rfind("serve.", 0) == 0 && name != "serve.request") {
+      phases.emplace_back(name, seconds);
+    }
+  }
+  return phases;
+}
+
+obs::RequestEvent BuildEvent(const obs::RequestContext& rctx,
+                             const ServeStats& stats) {
+  obs::RequestEvent event;
+  event.request_id = rctx.request_id;
+  event.dataset = rctx.dataset_id;
+  event.min_support = rctx.min_support;
+  event.fingerprint = rctx.constraint_fingerprint;
+  event.route = core::SeedRouteName(stats.route);
+  event.cache_hit = stats.route == core::SeedRoute::kExact;
+  event.seed_support = stats.seed_support;
+  event.evictions = stats.evictions;
+  event.image_evictions = stats.image_evictions;
+  event.patterns = stats.patterns_returned;
+  event.partial = stats.partial;
+  event.frontier_support = stats.frontier_support;
+  event.outcome = stats.outcome;
+  event.seconds = stats.seconds;
+  event.bytes_peak = stats.bytes_peak;
+  event.threads = stats.threads;
+  event.phases = stats.phases;
+  return event;
+}
+
 }  // namespace
 
 MiningService::MiningService(fpm::TransactionDb db, std::string dataset_id,
@@ -57,52 +109,98 @@ MiningService::MiningService(fpm::TransactionDb db, std::string dataset_id,
 Result<fpm::MineResult> MiningService::Mine(const fpm::MineRequest& request) {
   GOGREEN_ASSIGN_OR_RETURN(const uint64_t minsup,
                            request.EffectiveMinSupport());
-  GOGREEN_TRACE_SPAN("serve.request");
-  Timer total;
-  // One install up front; the per-stage sub-requests inherit it (they run
-  // on this thread, where the override is visible).
-  const ThreadPool::ScopedThreads scoped_threads(request.threads);
-  ServeStats stats;
   const bool constrained = request.constraints != nullptr &&
                            request.constraints->NumConstraints() > 0;
   const std::string fingerprint =
       constrained ? request.constraints->Fingerprint() : std::string();
 
-  // Exact hit on the (possibly constrained) key: no mining, no filtering.
-  const StoreKey exact_key{dataset_id_, fingerprint, minsup};
-  if (auto cached = store_.Get(exact_key); cached != nullptr) {
-    fpm::MineResult result;
-    result.patterns = *cached;
-    result.frontier_support = minsup;
-    stats.route = core::SeedRoute::kExact;
-    stats.seed_support = minsup;
-    stats.patterns_returned = result.patterns.size();
-    stats.seconds = total.ElapsedSeconds();
-    RecordRoute(stats);
+  // Request identity, stamped before any routing so every span, metric
+  // delta, and governor outcome below attributes to this id.
+  obs::RequestContext rctx;
+  rctx.request_id = obs::RequestLog::Global().NextRequestId();
+  rctx.dataset_id = dataset_id_;
+  rctx.constraint_fingerprint = fingerprint;
+  rctx.min_support = minsup;
+
+  // Ungoverned requests still get a context: it carries the request id
+  // down the miner/compressor plumbing and collects the byte accounting
+  // for the wide event, without arming any limit.
+  RunContext local_ctx;
+  RunContext* ctx =
+      request.run_context != nullptr ? request.run_context : &local_ctx;
+  ctx->SetRequestId(rctx.request_id);
+
+  const obs::Tracer::SpanSnapshot spans_before =
+      obs::Tracer::Global().AggregateSnapshot();
+  const StoreStats store_before = store_.stats();
+  ServeStats stats;
+  stats.request_id = rctx.request_id;
+  Timer total;
+  Result<fpm::MineResult> outcome = [&]() -> Result<fpm::MineResult> {
+    // Inner scope so the envelope span has closed (and flushed into the
+    // aggregates) before the after-snapshot below.
+    GOGREEN_TRACE_SPAN("serve.request");
+    // One thread-override install up front; the per-stage sub-requests
+    // inherit it (they run on this thread, where the override is visible).
+    const ThreadPool::ScopedThreads scoped_threads(request.threads);
+    stats.threads = ThreadPool::GlobalThreads();
+    return MineRouted(minsup, request, fingerprint, ctx, &stats);
+  }();
+  stats.seconds = total.ElapsedSeconds();
+  stats.phases = ServePhaseDeltas(spans_before,
+                                  obs::Tracer::Global().AggregateSnapshot());
+  const StoreStats store_after = store_.stats();
+  stats.evictions = store_after.evictions - store_before.evictions;
+  stats.image_evictions =
+      store_after.image_evictions - store_before.image_evictions;
+  stats.bytes_peak = ctx->bytes_peak();
+  if (outcome.ok()) {
+    stats.partial = outcome->partial;
+    stats.frontier_support = outcome->frontier_support;
+    stats.patterns_returned = outcome->patterns.size();
+    stats.outcome = outcome->partial ? "partial" : "ok";
+  } else {
+    stats.outcome = std::string("error:") +
+                    StatusCodeToString(outcome.status().code());
+  }
+  RecordRoute(stats, outcome.ok());
+  obs::RequestLog::Global().Record(BuildEvent(rctx, stats));
+  if (outcome.ok()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     last_stats_ = stats;
-    return result;
+  }
+  return outcome;
+}
+
+Result<fpm::MineResult> MiningService::MineRouted(
+    uint64_t min_support, const fpm::MineRequest& request,
+    const std::string& fingerprint, RunContext* ctx, ServeStats* stats) {
+  // Exact hit on the (possibly constrained) key: no mining, no filtering.
+  {
+    GOGREEN_TRACE_SPAN("serve.lookup");
+    const StoreKey exact_key{dataset_id_, fingerprint, min_support};
+    if (auto cached = store_.Get(exact_key); cached != nullptr) {
+      fpm::MineResult result;
+      result.patterns = *cached;
+      result.frontier_support = min_support;
+      stats->route = core::SeedRoute::kExact;
+      stats->seed_support = min_support;
+      return result;
+    }
   }
 
-  GOGREEN_ASSIGN_OR_RETURN(
-      fpm::MineResult result,
-      MineSupportComplete(minsup, request.run_context, &stats));
-  if (constrained) {
+  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result,
+                           MineSupportComplete(min_support, ctx, stats));
+  if (request.constraints != nullptr &&
+      request.constraints->NumConstraints() > 0) {
+    GOGREEN_TRACE_SPAN("serve.constrain");
     result.patterns = request.constraints->Filter(result.patterns);
     // Cache the filtered set under its fingerprint for exact repeats; only
     // a complete-at-minsup set is a valid entry at this key.
     if (!result.partial) {
-      store_.Put({dataset_id_, fingerprint, minsup}, result.patterns,
+      store_.Put({dataset_id_, fingerprint, min_support}, result.patterns,
                  db_.NumTransactions());
     }
-  }
-  stats.partial = result.partial;
-  stats.patterns_returned = result.patterns.size();
-  stats.seconds = total.ElapsedSeconds();
-  RecordRoute(stats);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    last_stats_ = stats;
   }
   return result;
 }
@@ -115,13 +213,16 @@ ServeStats MiningService::last_stats() const {
 Result<fpm::MineResult> MiningService::MineSupportComplete(
     uint64_t min_support, RunContext* ctx, ServeStats* stats) {
   const StoreKey key{dataset_id_, "", min_support};
-  if (auto cached = store_.Get(key); cached != nullptr) {
-    fpm::MineResult result;
-    result.patterns = *cached;
-    result.frontier_support = min_support;
-    stats->route = core::SeedRoute::kExact;
-    stats->seed_support = min_support;
-    return result;
+  {
+    GOGREEN_TRACE_SPAN("serve.lookup");
+    if (auto cached = store_.Get(key); cached != nullptr) {
+      fpm::MineResult result;
+      result.patterns = *cached;
+      result.frontier_support = min_support;
+      stats->route = core::SeedRoute::kExact;
+      stats->seed_support = min_support;
+      return result;
+    }
   }
 
   const core::SeedChoice choice =
@@ -158,8 +259,11 @@ Result<fpm::MineResult> MiningService::MineSupportComplete(
   stats->seed_support = 0;
   // A governed early stop still yields the exact set at the frontier; that
   // is what gets cached (and what the next relaxation recycles).
-  store_.Put({dataset_id_, "", result.frontier_support}, result.patterns,
-             db_.NumTransactions());
+  {
+    GOGREEN_TRACE_SPAN("serve.store_put");
+    store_.Put({dataset_id_, "", result.frontier_support}, result.patterns,
+               db_.NumTransactions());
+  }
   return result;
 }
 

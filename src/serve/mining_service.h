@@ -30,6 +30,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/recycler.h"
 #include "core/seed_selection.h"
@@ -52,7 +54,11 @@ struct ServiceOptions {
 };
 
 /// How the service answered one request, for tests and the session REPL.
+/// This is also the payload of the per-request wide event (obs::RequestLog):
+/// Mine() fills it from route bookkeeping plus tracer/store/governor deltas
+/// taken across the request.
 struct ServeStats {
+  uint64_t request_id = 0;    ///< obs::RequestLog id stamped on the request.
   core::SeedRoute route = core::SeedRoute::kNone;
   uint64_t seed_support = 0;  ///< Support of the seed entry (0 on scratch).
   double seconds = 0.0;       ///< End-to-end service time.
@@ -60,6 +66,15 @@ struct ServeStats {
   double compression_ratio = 1.0;
   uint64_t patterns_returned = 0;
   bool partial = false;
+  uint64_t frontier_support = 0;  ///< Meaningful when partial.
+  uint64_t bytes_peak = 0;    ///< Governor-accounted scratch high-water.
+  uint64_t threads = 0;       ///< Effective mining parallelism.
+  uint64_t evictions = 0;     ///< Store evictions this request triggered.
+  uint64_t image_evictions = 0;
+  std::string outcome;        ///< "ok" | "partial" | "error:<Code>".
+  /// Per-request wall seconds of the disjoint serve.* phase spans (empty
+  /// when the tracer is disabled). See obs::RequestEvent::phases.
+  std::vector<std::pair<std::string, double>> phases;
 };
 
 class MiningService {
@@ -83,6 +98,14 @@ class MiningService {
   const ServiceOptions& options() const { return options_; }
 
  private:
+  /// The route plan from the file comment: exact-key lookup, then the
+  /// support-complete ladder, then constraint post-filtering. Runs inside
+  /// Mine()'s observability envelope (which owns timing, deltas, and the
+  /// wide-event emission).
+  Result<fpm::MineResult> MineRouted(uint64_t min_support,
+                                     const fpm::MineRequest& request,
+                                     const std::string& fingerprint,
+                                     RunContext* ctx, ServeStats* stats);
   /// The support-complete set at `min_support` (fingerprint ""), via the
   /// cheapest route. `stats` accumulates route bookkeeping.
   Result<fpm::MineResult> MineSupportComplete(uint64_t min_support,

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/export.h"
 #include "util/run_context.h"
 
 namespace gogreen::serve {
@@ -19,6 +20,7 @@ constexpr const char* kHelp =
     "  deadline <ms>   per-request deadline (0 = off)\n"
     "  budget <mb>     per-request memory budget in MiB (0 = off)\n"
     "  stats           route/timing of the most recent mine\n"
+    "  \\stats          process-wide metrics (Prometheus text format)\n"
     "  store           pattern-store contents and byte accounting\n"
     "  save <dir>      persist the store as pattern files\n"
     "  load <dir>      load pattern files into the store\n"
@@ -99,7 +101,15 @@ void PrintStats(const ServeStats& stats, std::ostream& out) {
       << " seconds=" << stats.seconds
       << " compress_seconds=" << stats.compress_seconds
       << " ratio=" << stats.compression_ratio
-      << " partial=" << (stats.partial ? 1 : 0) << "\n";
+      << " partial=" << (stats.partial ? 1 : 0)
+      // Appended fields only (scripts grep the prefix above): the wide-
+      // event view of the same request.
+      << " request=" << stats.request_id
+      << " threads=" << stats.threads
+      << " bytes_peak=" << stats.bytes_peak
+      << " evictions=" << stats.evictions
+      << " outcome=" << (stats.outcome.empty() ? "none" : stats.outcome)
+      << "\n";
 }
 
 void PrintStore(const PatternStore& store, std::ostream& out) {
@@ -140,6 +150,10 @@ Status RunCommand(MiningService& service, Knobs* knobs,
   }
   if (verb == "stats") {
     PrintStats(service.last_stats(), out);
+    return Status::OK();
+  }
+  if (verb == "\\stats") {
+    out << obs::MetricsProm();
     return Status::OK();
   }
   if (verb == "store") {

@@ -10,6 +10,7 @@
 //   deadline <ms>   per-request deadline for following mines (0=off)
 //   budget <mb>     per-request memory budget in MiB (0=off)
 //   stats           route/timing of the most recent mine
+//   \stats          process-wide metrics (Prometheus text format)
 //   store           pattern-store contents and byte accounting
 //   save <dir>      persist the store as pattern files
 //   load <dir>      load pattern files into the store

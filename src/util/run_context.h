@@ -67,6 +67,12 @@ class RunContext {
   /// Arms a budget on cooperatively-accounted bytes. 0 disarms.
   void SetMemoryBudget(size_t bytes) { budget_ = bytes; }
 
+  /// Tags this run with the serving-layer request id so trace spans,
+  /// metric deltas, and governor outcomes attribute back to one wide
+  /// event (obs::RequestLog). 0 = not request-scoped.
+  void SetRequestId(uint64_t id) { request_id_ = id; }
+  uint64_t request_id() const { return request_id_; }
+
   // --- Cancellation (thread-safe). ---
 
   /// Requests cooperative cancellation; workers stop at their next check.
@@ -173,6 +179,7 @@ class RunContext {
   std::atomic<uint64_t> frontier_{0};
 
   // Written once before the run; read-only from worker lanes.
+  uint64_t request_id_ = 0;
   size_t budget_ = 0;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};

@@ -172,6 +172,80 @@ TEST(SnapshotJsonTest, ContainsSerializedValues) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  MetricsSnapshot::HistogramData h;
+  h.bounds = {1.0, 2.0, 4.0};
+  // 10 observations in (1, 2], none elsewhere.
+  h.buckets = {0, 10, 0, 0};
+  h.count = 10;
+  // Rank q*10 lands in bucket (1, 2]: linear interpolation inside it.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+  // First bucket interpolates from zero.
+  h.buckets = {10, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.5);
+  // Overflow bucket clamps to the largest finite bound.
+  h.buckets = {0, 0, 0, 10};
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 4.0);
+  // Empty histogram: 0, not NaN.
+  h.buckets = {0, 0, 0, 0};
+  h.count = 0;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, SplitAcrossBuckets) {
+  MetricsSnapshot::HistogramData h;
+  h.bounds = {1.0, 2.0};
+  h.buckets = {5, 5, 0};  // p50 is exactly the first bound.
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 1.9);
+}
+
+// The JSON histogram document gains p50/p95/p99 while keeping the original
+// bounds/buckets/count/sum fields (backward compatibility for scripts).
+TEST(SnapshotJsonTest, HistogramsIncludeQuantiles) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("mine.seconds", {1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h->Observe(1.5);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"bounds\":[1,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":15"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":1.95"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":1.99"), std::string::npos);
+}
+
+TEST(MetricsPromTest, ExposesCountersGaugesAndHistograms) {
+  // The global registry may carry instruments from other tests in this
+  // binary; assert on fragments, not the whole document.
+  MetricRegistry::Global().GetCounter("serve.requests")->Add(3);
+  MetricRegistry::Global().GetGauge("serve.store_bytes")->Set(1024);
+  Histogram* h = MetricRegistry::Global().GetHistogram("serve.seconds");
+  h->Observe(0.002);
+  h->Observe(50.0);
+  const std::string prom = MetricsProm();
+  EXPECT_NE(prom.find("# TYPE gogreen_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gogreen_serve_requests_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE gogreen_serve_store_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE gogreen_serve_seconds histogram"),
+            std::string::npos);
+  // Cumulative buckets: the 0.003 bucket holds the 0.002 observation, the
+  // +Inf bucket the total count.
+  EXPECT_NE(prom.find("gogreen_serve_seconds_bucket{le=\"0.003\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gogreen_serve_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gogreen_serve_seconds_count 2"), std::string::npos);
+  // Process gauges refresh on render, and no raw dotted metric name leaks
+  // out (dots are only legal inside span labels).
+  EXPECT_NE(prom.find("gogreen_process_peak_rss_bytes"), std::string::npos);
+  EXPECT_EQ(prom.find("serve.requests"), std::string::npos);
+}
+
 TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
@@ -260,6 +334,32 @@ TEST_F(TracerTest, ResetDropsSpansButKeepsEnabled) {
   EXPECT_TRUE(Tracer::Global().enabled());
   EXPECT_TRUE(Tracer::Global().Events().empty());
   EXPECT_EQ(Tracer::Global().SecondsFor("test.phase"), 0.0);
+}
+
+// Per-request phase attribution: aggregates are cumulative, so a second
+// unit of work brackets itself with snapshots and reads only its own
+// delta, not its predecessors' (the long-session leak this API fixes).
+TEST_F(TracerTest, SnapshotDeltaIsolatesConsecutiveWork) {
+  {
+    GOGREEN_TRACE_SPAN("test.phase");
+  }
+  const auto before = Tracer::Global().AggregateSnapshot();
+  const double earlier = Tracer::Global().SecondsFor("test.phase");
+  {
+    GOGREEN_TRACE_SPAN("test.phase");
+    GOGREEN_TRACE_SPAN("test.second_only");
+  }
+  const auto after = Tracer::Global().AggregateSnapshot();
+  const auto delta = Tracer::DeltaSeconds(before, after);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].first, "test.phase");
+  EXPECT_EQ(delta[1].first, "test.second_only");
+  // The delta excludes the first span's time even though the aggregate
+  // includes it.
+  EXPECT_LT(delta[0].second, Tracer::Global().SecondsFor("test.phase"));
+  EXPECT_GT(Tracer::Global().SecondsFor("test.phase"), earlier);
+  // Identical snapshots -> empty delta (zero-change names are omitted).
+  EXPECT_TRUE(Tracer::DeltaSeconds(after, after).empty());
 }
 
 TEST_F(TracerTest, MetricsJsonSplicesSpans) {

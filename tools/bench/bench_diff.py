@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench JSON against a committed baseline.
+
+Two classes of comparison (DESIGN.md §12, EXPERIMENTS.md):
+
+* **Structural** fields — everything except wall-clock timings and the
+  `threads` field — must match exactly. Pattern counts, routes, and the
+  deterministic work counters (`mine.items_scanned`,
+  `mine.projections_built`) are machine-independent: the datasets are
+  seeded synthetic and the counters are bit-identical at any thread
+  count, so any drift is a real behavior change. One mismatch fails.
+
+* **Timing** fields (`seconds`, `mine_seconds`, `compress_seconds`) are
+  compared as each row's share of the file's total `seconds` by default,
+  which cancels machine-speed differences between the box that committed
+  the baseline and a CI runner (`--absolute` compares raw seconds
+  instead). Rows whose baseline timing is below `--min-seconds` are
+  skipped — microsecond rows are all noise. Drift beyond `--warn-pct`
+  warns, beyond `--fail-pct` fails.
+
+Exit status: 0 clean (warnings allowed), 1 structural mismatch or timing
+drift beyond the fail band, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_KEYS = ("seconds", "mine_seconds", "compress_seconds")
+EXCLUDED_KEYS = {"threads"}  # machine-dependent, not part of the contract
+
+
+def is_timing_key(key):
+    """Wall-clock fields: row timings plus one-shot header timings like
+    old_mine_seconds / compress_mcp_seconds."""
+    return key == "seconds" or key.endswith("_seconds")
+
+
+def row_label(index, row):
+    """Human label for a row: its identity fields, not its timings."""
+    parts = []
+    for key in ("algorithm", "dataset", "xi_new", "xi", "min_support"):
+        if key in row:
+            parts.append(f"{key}={row[key]}")
+    ident = " ".join(parts) if parts else "?"
+    return f"row {index} ({ident})"
+
+
+def structural_view(value):
+    """Recursively drop timing and excluded keys; what remains must match."""
+    if isinstance(value, dict):
+        return {
+            k: structural_view(v)
+            for k, v in value.items()
+            if not is_timing_key(k) and k not in EXCLUDED_KEYS
+        }
+    if isinstance(value, list):
+        return [structural_view(v) for v in value]
+    return value
+
+
+def diff_structural(label, baseline, fresh, out):
+    """Reports per-key structural mismatches; returns the mismatch count."""
+    base_view = structural_view(baseline)
+    fresh_view = structural_view(fresh)
+    if base_view == fresh_view:
+        return 0
+    mismatches = 0
+    keys = sorted(set(base_view) | set(fresh_view))
+    for key in keys:
+        b = base_view.get(key, "<missing>")
+        f = fresh_view.get(key, "<missing>")
+        if b != f:
+            out.append(f"STRUCT {label}: {key} baseline={b!r} fresh={f!r}")
+            mismatches += 1
+    return mismatches
+
+
+def total_seconds(doc):
+    return sum(float(row.get("seconds", 0.0)) for row in doc.get("rows", []))
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff a fresh bench JSON against a committed baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="committed reference JSON (bench/baselines/)")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced JSON to validate")
+    parser.add_argument("--warn-pct", type=float, default=10.0,
+                        help="timing drift that prints a warning "
+                             "(default %(default)s)")
+    parser.add_argument("--fail-pct", type=float, default=25.0,
+                        help="timing drift that fails the diff "
+                             "(default %(default)s)")
+    parser.add_argument("--min-seconds", type=float, default=0.01,
+                        help="skip timing checks for rows whose baseline "
+                             "seconds are below this (default %(default)s)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw seconds instead of "
+                             "share-of-total-run")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    out = []
+    failures = 0
+    warnings = 0
+
+    # Top-level context (figure tag, scale, dataset, xi_old, ...) is
+    # structural: a baseline produced at another scale must not compare.
+    base_top = {k: v for k, v in baseline.items() if k != "rows"}
+    fresh_top = {k: v for k, v in fresh.items() if k != "rows"}
+    failures += diff_structural("header", base_top, fresh_top, out)
+
+    base_rows = baseline.get("rows", [])
+    fresh_rows = fresh.get("rows", [])
+    if len(base_rows) != len(fresh_rows):
+        out.append(f"STRUCT rows: baseline has {len(base_rows)} rows, "
+                   f"fresh has {len(fresh_rows)}")
+        failures += 1
+    else:
+        base_total = total_seconds(baseline)
+        fresh_total = total_seconds(fresh)
+        for i, (brow, frow) in enumerate(zip(base_rows, fresh_rows)):
+            label = row_label(i, brow)
+            failures += diff_structural(label, brow, frow, out)
+            for key in TIMING_KEYS:
+                if key not in brow or key not in frow:
+                    continue
+                bval, fval = float(brow[key]), float(frow[key])
+                if bval < args.min_seconds:
+                    continue  # noise floor, applied per timing field
+                if not args.absolute:
+                    bval = bval / base_total if base_total > 0 else 0.0
+                    fval = fval / fresh_total if fresh_total > 0 else 0.0
+                if bval <= 0.0:
+                    continue
+                drift = (fval - bval) / bval * 100.0
+                unit = "s" if args.absolute else " share"
+                if abs(drift) > args.fail_pct:
+                    out.append(f"TIME {label}: {key} baseline={bval:.4g}"
+                               f"{unit} fresh={fval:.4g}{unit} "
+                               f"({drift:+.1f}%) FAIL")
+                    failures += 1
+                elif abs(drift) > args.warn_pct:
+                    out.append(f"TIME {label}: {key} baseline={bval:.4g}"
+                               f"{unit} fresh={fval:.4g}{unit} "
+                               f"({drift:+.1f}%) warn")
+                    warnings += 1
+
+    for line in out:
+        print(line)
+    verdict = "FAIL" if failures else "ok"
+    print(f"bench_diff: {args.fresh} vs {args.baseline}: "
+          f"{failures} failure(s), {warnings} warning(s) [{verdict}]")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,8 +14,13 @@
 // Every subcommand also accepts the observability flags:
 //   --metrics-json <path>   write a counters/gauges/histograms/spans JSON
 //                           snapshot of the run (obs::MetricsJson)
+//   --stats-json <path>     alias of --metrics-json (dump-on-exit naming)
+//   --stats-prom <path>     write the same state in Prometheus text
+//                           exposition format (obs::MetricsProm)
 //   --trace <path>          write Chrome trace_event JSON of the phase
 //                           spans (open at chrome://tracing)
+//   --request-log <path>    append one JSON line per served MineRequest
+//                           (session subcommand; obs::RequestLog schema)
 // and the run-governor flags (honored by mine/recycle):
 //   --timeout-ms <n>        stop mining after n milliseconds and return the
 //                           partial (but exact-at-frontier) pattern set
@@ -52,6 +57,7 @@
 #include "fpm/rules.h"
 #include "fpm/summarize.h"
 #include "obs/export.h"
+#include "obs/request_log.h"
 #include "obs/trace.h"
 #include "serve/mining_service.h"
 #include "serve/session.h"
@@ -195,7 +201,11 @@ int Usage() {
                "           [--dataset-id name] [--store-mb n] [-a <algo>]\n"
                "observability flags (any subcommand):\n"
                "  --metrics-json <path>  write metric/span snapshot JSON\n"
+               "  --stats-json <path>    alias of --metrics-json\n"
+               "  --stats-prom <path>    write Prometheus text exposition\n"
                "  --trace <path>         write Chrome trace_event JSON\n"
+               "  --request-log <path>   append one JSON line per served\n"
+               "                         request (session subcommand)\n"
                "execution flags (any subcommand):\n"
                "  --threads <n>          mining/compression thread count\n"
                "                         (default: GOGREEN_THREADS or all "
@@ -536,13 +546,23 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const std::string cmd = argv[1];
 
-  // Observability sinks: when either flag is present, turn the span tracer
-  // on before the command runs (full event recording only when a trace
-  // file was requested; metrics-only runs just keep aggregates).
-  const std::string metrics_path = args.Get("metrics-json");
+  // Observability sinks: when any sink flag is present, turn the span
+  // tracer on before the command runs (full event recording only when a
+  // trace file was requested; other sinks just keep aggregates — the
+  // request log needs them for its per-request phase timings).
+  std::string metrics_path = args.Get("metrics-json");
+  if (metrics_path.empty()) metrics_path = args.Get("stats-json");
+  const std::string prom_path = args.Get("stats-prom");
   const std::string trace_path = args.Get("trace");
-  if (!metrics_path.empty() || !trace_path.empty()) {
+  const std::string request_log_path = args.Get("request-log");
+  if (!metrics_path.empty() || !prom_path.empty() || !trace_path.empty() ||
+      !request_log_path.empty()) {
     gogreen::obs::Tracer::Global().Enable(!trace_path.empty());
+  }
+  if (!request_log_path.empty()) {
+    const Status attached =
+        gogreen::obs::RequestLog::Global().AttachSink(request_log_path);
+    if (!attached.ok()) return Fail(attached);
   }
 
   // Parallelism: --threads beats GOGREEN_THREADS beats hardware default.
@@ -604,6 +624,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
     }
   }
+  if (!prom_path.empty()) {
+    const Status w = gogreen::obs::WriteMetricsProm(prom_path);
+    if (!w.ok()) {
+      rc = Fail(w);
+    } else {
+      std::fprintf(stderr, "wrote metrics to %s\n", prom_path.c_str());
+    }
+  }
   if (!trace_path.empty()) {
     const Status w =
         gogreen::obs::Tracer::Global().WriteChromeTrace(trace_path);
@@ -612,6 +640,9 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "wrote trace to %s\n", trace_path.c_str());
     }
+  }
+  if (!request_log_path.empty()) {
+    gogreen::obs::RequestLog::Global().DetachSink();
   }
   return rc;
 }

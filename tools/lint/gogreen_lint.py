@@ -19,6 +19,12 @@ cannot express:
                       make_unique/make_shared/containers; the few
                       intentionally leaked process singletons carry inline
                       suppressions.
+  metric-naming       Every literal metric name passed to GetCounter/
+                      GetGauge/GetHistogram follows the `<subsystem>.<what>`
+                      snake_case scheme AND is listed (backticked) in the
+                      DESIGN.md metrics table, so the documented inventory
+                      is the emitted inventory. Dynamically-built names
+                      (non-literal first argument) are out of scope.
 
 A violation can be suppressed for one line with a comment on that line or
 the line above:
@@ -43,6 +49,7 @@ SCAN_DIRS = ("src", "tools", "bench")
 CXX_EXTENSIONS = (".cc", ".h")
 
 REGISTRY_FILE = os.path.join("src", "util", "failpoint.cc")
+DESIGN_FILE = "DESIGN.md"
 
 # Files exempt from a rule (repo-relative, forward slashes).
 RULE_EXEMPT = {
@@ -58,6 +65,15 @@ MAYBE_FAIL_RE = re.compile(r'MaybeFail\(\s*"([^"]*)"')
 KNOWN_SITES_RE = re.compile(
     r"kKnownSites\[\]\s*=\s*\{(.*?)\};", re.DOTALL)
 STRING_RE = re.compile(r'"([^"\\]|\\.)*"')
+
+METRIC_GET_RE = re.compile(
+    r'Get(?:Counter|Gauge|Histogram)\(\s*"([^"]+)"')
+# <subsystem>.<what> in snake_case; at least one dot.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+# Backticked tokens in DESIGN.md; membership set for the metrics table.
+# Applied per line: ``` code fences would otherwise flip the pairing
+# parity of every inline span after them.
+BACKTICK_RE = re.compile(r"`([^`]+)`")
 
 ENV_ACCESS_RE = re.compile(r"\b(?:std::)?(?:getenv|secure_getenv|setenv|"
                            r"putenv|unsetenv)\s*\(")
@@ -188,7 +204,37 @@ def check_failpoints(files, registry_text):
     return violations
 
 
-def run_checks(files, registry_text):
+def check_metric_naming(files, design_text):
+    """Literal Get{Counter,Gauge,Histogram} names: naming scheme plus
+    DESIGN.md metrics-table membership."""
+    documented = set()
+    for design_line in design_text.splitlines():
+        documented.update(BACKTICK_RE.findall(design_line))
+    violations = []
+    for path, raw_text in files:
+        if path in RULE_EXEMPT.get("metric-naming", set()):
+            continue
+        stripped = strip_comments_and_strings(raw_text, keep_strings=True)
+        suppressed = suppressed_lines(raw_text, "metric-naming")
+        for m in METRIC_GET_RE.finditer(stripped):
+            name = m.group(1)
+            line = line_of(stripped, m.start())
+            if line in suppressed:
+                continue
+            if not METRIC_NAME_RE.match(name):
+                violations.append(Violation(
+                    path, line, "metric-naming",
+                    f"metric name '{name}' does not follow the "
+                    "<subsystem>.<what> snake_case scheme"))
+            elif name not in documented:
+                violations.append(Violation(
+                    path, line, "metric-naming",
+                    f"metric name '{name}' is not listed in the DESIGN.md "
+                    "metrics table"))
+    return violations
+
+
+def run_checks(files, registry_text, design_text=""):
     """All rules over (path, text) pairs; returns the violation list."""
     violations = []
     for path, raw_text in files:
@@ -206,6 +252,7 @@ def run_checks(files, registry_text):
             "(use make_unique/containers, or suppress for a deliberate "
             "singleton leak)")
     violations += check_failpoints(files, registry_text)
+    violations += check_metric_naming(files, design_text)
     return violations
 
 
@@ -230,6 +277,8 @@ def self_test():
                 '    "io.read",  // reader\n'
                 '    "io.stale",\n'
                 '};\n')
+    design = ("| `io.counter` | documented counter |\n"
+              "| `mine.items_scanned` | documented counter |\n")
     cases = [
         # (rule, file name, content, expect_violation)
         ("env-access", "src/a.cc", 'char* v = std::getenv("X");\n', True),
@@ -251,13 +300,26 @@ def self_test():
          'MaybeFail("io.bogus");\n', True),
         ("failpoint-registry", "src/a.cc",
          '// MaybeFail("io.bogus") in a comment\n', False),
+        ("metric-naming", "src/a.cc",
+         'reg.GetCounter("io.counter");\n', False),
+        ("metric-naming", "src/a.cc",
+         'reg.GetHistogram("BadName");\n', True),
+        ("metric-naming", "src/a.cc",
+         'reg.GetCounter("io.undocumented");\n', True),
+        ("metric-naming", "src/a.cc",
+         "reg.GetCounter(dynamic_name);\n", False),
+        ("metric-naming", "src/a.cc",
+         '// reg.GetCounter("io.undocumented") in a comment\n', False),
+        ("metric-naming", "src/a.cc",
+         "// gogreen-lint: allow(metric-naming): probe instrument\n"
+         'reg.GetCounter("io.undocumented");\n', False),
     ]
     failures = []
     for rule, path, content, expect in cases:
         base = [(path, content),
                 ("src/b.cc", 'MaybeFail("io.read");\n'
                              'MaybeFail("io.stale");\n')]
-        found = [v for v in run_checks(base, registry)
+        found = [v for v in run_checks(base, registry, design)
                  if v.rule == rule and v.path == path]
         if bool(found) != expect:
             failures.append(
@@ -266,7 +328,7 @@ def self_test():
                 f"{[str(v) for v in found] or 'clean'}")
     # Stale-entry detection: registry lists a site nobody calls.
     stale = [v for v in run_checks([("src/b.cc", 'MaybeFail("io.read");\n')],
-                                   registry)
+                                   registry, design)
              if v.rule == "failpoint-registry"]
     if not any("io.stale" in v.message for v in stale):
         failures.append("stale kKnownSites entry not reported")
@@ -299,8 +361,15 @@ def main():
         return 2
     with open(registry_path, encoding="utf-8") as f:
         registry_text = f.read()
+    design_path = os.path.join(root, DESIGN_FILE)
+    if not os.path.isfile(design_path):
+        print(f"error: {design_path} not found (wrong --root?)",
+              file=sys.stderr)
+        return 2
+    with open(design_path, encoding="utf-8") as f:
+        design_text = f.read()
 
-    violations = run_checks(collect_files(root), registry_text)
+    violations = run_checks(collect_files(root), registry_text, design_text)
     for v in sorted(violations, key=lambda v: (v.path, v.line)):
         print(v)
     if violations:

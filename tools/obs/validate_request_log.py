@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate a --request-log file against the wide-event contract.
+
+Checks (DESIGN.md §12):
+
+1. Every line is one valid JSON object whose keys are exactly the
+   documented schema, in the documented order.
+2. Request ids are unique and strictly increasing.
+3. `route`/`outcome` values come from their documented enums, and
+   `cache_hit` is true iff the route is `exact`.
+4. Per-request phase seconds sum to at most the wall seconds, and to at
+   least wall minus `--wall-slack-pct` (with a 2 ms absolute floor for
+   microsecond-scale exact hits).
+5. With `--metrics <metrics.json>`: completed-request route counts
+   reconcile exactly with the `serve.*` counters.
+
+Exit status: 0 valid, 1 violation, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_KEYS = [
+    "request_id", "dataset", "min_support", "fingerprint", "route",
+    "cache_hit", "seed_support", "evictions", "image_evictions",
+    "patterns", "partial", "frontier_support", "outcome", "seconds",
+    "bytes_peak", "threads", "phases",
+]
+ROUTES = {"none", "exact", "filter-down", "recycle"}
+ROUTE_COUNTER = {
+    "exact": "serve.cache_hits",
+    "filter-down": "serve.filter_down",
+    "recycle": "serve.recycled",
+    "none": "serve.scratch",
+}
+
+
+def fail(errors, line_no, message):
+    errors.append(f"line {line_no}: {message}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate a gogreen --request-log file.")
+    parser.add_argument("log", help="request log (one JSON object per line)")
+    parser.add_argument("--metrics", default=None,
+                        help="metrics JSON snapshot from the same run; "
+                             "route counts must reconcile exactly")
+    parser.add_argument("--wall-slack-pct", type=float, default=5.0,
+                        help="allowed gap between wall seconds and the "
+                             "phase sum (default %(default)s%%)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.log, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as err:
+        print(f"validate_request_log: cannot read {args.log}: {err}",
+              file=sys.stderr)
+        return 2
+    if not lines:
+        print(f"validate_request_log: {args.log} is empty", file=sys.stderr)
+        return 2
+
+    errors = []
+    events = []
+    for i, line in enumerate(lines, 1):
+        try:
+            pairs = json.loads(line, object_pairs_hook=list)
+        except ValueError as err:
+            fail(errors, i, f"not valid JSON: {err}")
+            continue
+        keys = [k for k, _ in pairs]
+        if keys != SCHEMA_KEYS:
+            fail(errors, i, f"key set/order {keys} != schema {SCHEMA_KEYS}")
+            continue
+        events.append((i, dict(pairs)))
+
+    last_id = 0
+    seen_ids = set()
+    for i, ev in events:
+        rid = ev["request_id"]
+        if rid in seen_ids:
+            fail(errors, i, f"duplicate request_id {rid}")
+        if rid <= last_id:
+            fail(errors, i, f"request_id {rid} not strictly increasing "
+                            f"(previous {last_id})")
+        seen_ids.add(rid)
+        last_id = max(last_id, rid)
+
+        if ev["route"] not in ROUTES:
+            fail(errors, i, f"unknown route '{ev['route']}'")
+        if ev["cache_hit"] != (ev["route"] == "exact"):
+            fail(errors, i, f"cache_hit={ev['cache_hit']} inconsistent "
+                            f"with route '{ev['route']}'")
+        outcome = ev["outcome"]
+        if outcome not in ("ok", "partial") and \
+                not outcome.startswith("error:"):
+            fail(errors, i, f"unknown outcome '{outcome}'")
+        if (outcome == "partial") != bool(ev["partial"]):
+            fail(errors, i, f"outcome '{outcome}' inconsistent with "
+                            f"partial={ev['partial']}")
+
+        wall = float(ev["seconds"])
+        # phases parsed with object_pairs_hook: a list of (name, seconds).
+        phase_sum = sum(float(v) for _, v in ev["phases"])
+        slack = max(wall * args.wall_slack_pct / 100.0, 0.002)
+        if phase_sum > wall + 1e-6:
+            fail(errors, i, f"phase sum {phase_sum:.6f}s exceeds wall "
+                            f"{wall:.6f}s")
+        if phase_sum < wall - slack:
+            fail(errors, i, f"phase sum {phase_sum:.6f}s under-attributes "
+                            f"wall {wall:.6f}s (slack {slack:.6f}s)")
+
+    if args.metrics is not None:
+        try:
+            with open(args.metrics, encoding="utf-8") as f:
+                counters = json.load(f).get("counters", {})
+        except (OSError, ValueError) as err:
+            print(f"validate_request_log: cannot read {args.metrics}: {err}",
+                  file=sys.stderr)
+            return 2
+        completed = [ev for _, ev in events
+                     if ev["outcome"] in ("ok", "partial")]
+        if counters.get("serve.requests", 0) != len(completed):
+            errors.append(f"serve.requests={counters.get('serve.requests')} "
+                          f"!= {len(completed)} completed events")
+        for route, counter in ROUTE_COUNTER.items():
+            want = sum(1 for ev in completed if ev["route"] == route)
+            got = counters.get(counter, 0)
+            if got != want:
+                errors.append(f"{counter}={got} != {want} completed "
+                              f"'{route}' events")
+        failed = sum(1 for _, ev in events
+                     if ev["outcome"].startswith("error:"))
+        if counters.get("serve.errors", 0) != failed:
+            errors.append(f"serve.errors={counters.get('serve.errors')} "
+                          f"!= {failed} error events")
+
+    for err in errors:
+        print(f"validate_request_log: {err}")
+    print(f"validate_request_log: {args.log}: {len(events)} event(s), "
+          f"{len(errors)} violation(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
