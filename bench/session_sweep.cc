@@ -40,9 +40,9 @@ struct SweepRow {
 
 Status ServeOne(serve::MiningService& service, double xi,
                 uint64_t min_support, std::vector<SweepRow>* rows) {
+  serve::ServeStats stats;
   GOGREEN_RETURN_NOT_OK(
-      service.Mine(fpm::MineRequest::At(min_support)).status());
-  const serve::ServeStats stats = service.last_stats();
+      service.Mine(fpm::MineRequest::At(min_support), &stats).status());
   SweepRow row;
   row.dataset = service.dataset_id();
   row.xi = xi;

@@ -23,10 +23,10 @@ const std::vector<std::string>& RequestEvent::SchemaKeys() {
   // gogreen-lint: allow(naked-new): intentionally leaked process singleton
   static const std::vector<std::string>* keys = new std::vector<std::string>{
       "request_id",    "dataset",         "min_support", "fingerprint",
-      "route",         "cache_hit",       "seed_support", "evictions",
-      "image_evictions", "patterns",      "partial",     "frontier_support",
-      "outcome",       "seconds",         "bytes_peak",  "threads",
-      "phases",
+      "route",         "cache_hit",       "coalesced",   "seed_support",
+      "evictions",     "image_evictions", "patterns",    "partial",
+      "frontier_support", "outcome",      "seconds",     "bytes_peak",
+      "threads",       "phases",
   };
   return *keys;
 }
@@ -39,6 +39,7 @@ std::string RequestEvent::ToJsonLine() const {
      << ",\"fingerprint\":\"" << JsonEscape(fingerprint) << "\""
      << ",\"route\":\"" << JsonEscape(route) << "\""
      << ",\"cache_hit\":" << (cache_hit ? "true" : "false")
+     << ",\"coalesced\":" << (coalesced ? "true" : "false")
      << ",\"seed_support\":" << seed_support
      << ",\"evictions\":" << evictions
      << ",\"image_evictions\":" << image_evictions

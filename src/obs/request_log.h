@@ -58,6 +58,8 @@ struct RequestEvent {
   std::string fingerprint;
   std::string route;          ///< core::SeedRouteName: none|exact|....
   bool cache_hit = false;     ///< True when the route was an exact hit.
+  bool coalesced = false;     ///< Adopted a concurrent identical mine
+                              ///< (single-flight follower; implies exact).
   uint64_t seed_support = 0;  ///< Support of the reused seed (0 = scratch).
   uint64_t evictions = 0;     ///< Store evictions this request triggered.
   uint64_t image_evictions = 0;

@@ -1,5 +1,6 @@
 #include "serve/mining_service.h"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -7,6 +8,8 @@
 #include "obs/metrics.h"
 #include "obs/request_log.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
+#include "util/run_context.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -74,6 +77,23 @@ std::vector<std::pair<std::string, double>> ServePhaseDeltas(
   return phases;
 }
 
+void RecordCoalesced() {
+  static obs::Counter* coalesced =
+      obs::MetricRegistry::Global().GetCounter("serve.coalesced");
+  coalesced->Add(1);
+}
+
+/// Coalesce-key suffix classifying the request's governor: requests only
+/// rendezvous within the same class, so an ungoverned request can never
+/// adopt the partial result of a deadline- or budget-limited leader.
+std::string GovernorClassOf(const RunContext* ctx) {
+  if (ctx == nullptr) return "";
+  std::string cls = "g";
+  if (ctx->has_deadline()) cls += "d";
+  if (ctx->memory_budget() > 0) cls += "m";
+  return cls;
+}
+
 obs::RequestEvent BuildEvent(const obs::RequestContext& rctx,
                              const ServeStats& stats) {
   obs::RequestEvent event;
@@ -83,6 +103,7 @@ obs::RequestEvent BuildEvent(const obs::RequestContext& rctx,
   event.fingerprint = rctx.constraint_fingerprint;
   event.route = core::SeedRouteName(stats.route);
   event.cache_hit = stats.route == core::SeedRoute::kExact;
+  event.coalesced = stats.coalesced;
   event.seed_support = stats.seed_support;
   event.evictions = stats.evictions;
   event.image_evictions = stats.image_evictions;
@@ -106,7 +127,8 @@ MiningService::MiningService(fpm::TransactionDb db, std::string dataset_id,
       options_(options),
       store_(options.store) {}
 
-Result<fpm::MineResult> MiningService::Mine(const fpm::MineRequest& request) {
+Result<fpm::MineResult> MiningService::Mine(const fpm::MineRequest& request,
+                                            ServeStats* stats_out) {
   GOGREEN_ASSIGN_OR_RETURN(const uint64_t minsup,
                            request.EffectiveMinSupport());
   const bool constrained = request.constraints != nullptr &&
@@ -144,7 +166,7 @@ Result<fpm::MineResult> MiningService::Mine(const fpm::MineRequest& request) {
     // inherit it (they run on this thread, where the override is visible).
     const ThreadPool::ScopedThreads scoped_threads(request.threads);
     stats.threads = ThreadPool::GlobalThreads();
-    return MineRouted(minsup, request, fingerprint, ctx, &stats);
+    return MineCoalesced(minsup, request, fingerprint, ctx, &stats);
   }();
   stats.seconds = total.ElapsedSeconds();
   stats.phases = ServePhaseDeltas(spans_before,
@@ -165,11 +187,146 @@ Result<fpm::MineResult> MiningService::Mine(const fpm::MineRequest& request) {
   }
   RecordRoute(stats, outcome.ok());
   obs::RequestLog::Global().Record(BuildEvent(rctx, stats));
-  if (outcome.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    last_stats_ = stats;
-  }
+  if (stats_out != nullptr) *stats_out = stats;
   return outcome;
+}
+
+size_t MiningService::CoalesceWaitersForTest() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  size_t waiters = 0;
+  for (const auto& [key, flight] : inflight_) {
+    std::lock_guard<std::mutex> flight_lock(flight->mu);
+    waiters += flight->waiters;
+  }
+  return waiters;
+}
+
+Result<fpm::MineResult> MiningService::MineCoalesced(
+    uint64_t min_support, const fpm::MineRequest& request,
+    const std::string& fingerprint, RunContext* ctx, ServeStats* stats) {
+  // Fast path: an exact cached answer needs no rendezvous.
+  {
+    GOGREEN_TRACE_SPAN("serve.lookup");
+    const StoreKey exact_key{dataset_id_, fingerprint, min_support};
+    if (auto cached = store_.Get(exact_key); cached != nullptr) {
+      fpm::MineResult result;
+      result.patterns = *cached;
+      result.frontier_support = min_support;
+      stats->route = core::SeedRoute::kExact;
+      stats->seed_support = min_support;
+      return result;
+    }
+  }
+
+  // The rendezvous key classifies the governor from the *caller's* context
+  // (request.run_context; `ctx` may be the envelope's ungoverned local).
+  const std::string key = fingerprint + "\n" + std::to_string(min_support) +
+                          "\n" + GovernorClassOf(request.run_context);
+  while (true) {
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      std::shared_ptr<InFlight>& slot = inflight_[key];
+      if (slot == nullptr) {
+        slot = std::make_shared<InFlight>();
+        leader = true;
+      }
+      flight = slot;
+    }
+
+    if (leader) {
+      if (leader_hold_for_test_) leader_hold_for_test_();
+      Result<fpm::MineResult> outcome = [&]() -> Result<fpm::MineResult> {
+        // Leader-failure seam: an injected error here kills the leader
+        // (its caller sees the error) without touching the followers, who
+        // elect a new leader.
+        GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("coalesce.leader"));
+        return MineRouted(min_support, request, fingerprint, ctx, stats);
+      }();
+      // Retire the flight before publishing: requests arriving from here
+      // on start a fresh flight instead of adopting a finished one.
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->done = true;
+        flight->ok = outcome.ok();
+        if (outcome.ok()) {
+          flight->result = *outcome;
+        } else {
+          flight->status = outcome.status();
+        }
+        flight->cv.notify_all();
+      }
+      return outcome;
+    }
+
+    // Follower: park on the leader, deadline-aware. The governed context's
+    // wakeup hook covers cancellation and budget trips from other threads;
+    // the timed wait covers the deadline itself (nobody polls the clock
+    // for a parked thread). Lock order: RunContext wake mutex, then
+    // flight->mu — so the wakeup is registered before flight->mu is taken
+    // and cleared after it is released.
+    bool leader_failed = false;
+    bool adopted = false;
+    fpm::MineResult result;
+    {
+      GOGREEN_TRACE_SPAN("serve.coalesce_wait");
+      RunContext* governed = request.run_context;
+      ScopedWakeup wakeup(governed, [flight] {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->cv.notify_all();
+      });
+      std::unique_lock<std::mutex> lock(flight->mu);
+      ++flight->waiters;
+      while (!flight->done &&
+             (governed == nullptr || !governed->stopped())) {
+        if (governed != nullptr && governed->has_deadline()) {
+          if (flight->cv.wait_until(lock, governed->deadline()) ==
+              std::cv_status::timeout) {
+            // Trip the deadline ourselves — without holding flight->mu,
+            // because the trip synchronously invokes the wakeup hook
+            // above, which takes it.
+            lock.unlock();
+            governed->PollNow();
+            lock.lock();
+          }
+        } else {
+          flight->cv.wait(lock);
+        }
+      }
+      --flight->waiters;
+      if (flight->done) {
+        if (flight->ok) {
+          adopted = true;
+          result = flight->result;
+        } else {
+          leader_failed = true;
+        }
+      }
+      // Neither done nor failed: our own governor tripped while waiting —
+      // fall through to mine with the tripped context below.
+    }
+
+    if (adopted) {
+      stats->route = core::SeedRoute::kExact;
+      stats->seed_support = min_support;
+      stats->coalesced = true;
+      RecordCoalesced();
+      return result;
+    }
+    if (leader_failed) continue;  // Elect a new leader (maybe us).
+
+    // The follower's own governor tripped. Mining with the already-tripped
+    // context yields an immediate exact-at-frontier partial result through
+    // the normal governed machinery — the follower's deadline fires even
+    // though the leader is still mining.
+    return MineRouted(min_support, request, fingerprint, ctx, stats);
+  }
 }
 
 Result<fpm::MineResult> MiningService::MineRouted(
@@ -203,11 +360,6 @@ Result<fpm::MineResult> MiningService::MineRouted(
     }
   }
   return result;
-}
-
-ServeStats MiningService::last_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return last_stats_;
 }
 
 Result<fpm::MineResult> MiningService::MineSupportComplete(

@@ -20,16 +20,27 @@
 // from support-complete sets and post-filtered; the filtered set is also
 // cached under its fingerprint for exact repeats.
 //
-// Thread-safe: concurrent Mine() calls share the store under its lock and
-// mine outside it (two identical concurrent misses may both mine — wasted
-// work, never a wrong answer). Per-request parallelism and governance come
-// in through the request (threads / run_context).
+// Thread-safe and single-flight (DESIGN.md §13): concurrent Mine() calls
+// share the sharded store, and identical in-flight requests — same
+// (dataset, constraint fingerprint, support, governor class) — rendezvous
+// on an in-flight table. Exactly one leader mines; followers wait on the
+// leader's result (deadline-aware: a waiting follower's RunContext
+// deadline still fires, yielding its own partial answer) and report route
+// `exact` with `coalesced` set. A failed leader propagates its error to
+// its own caller; followers elect a new leader instead of inheriting the
+// failure. The `coalesce.leader` failpoint injects a leader failure for
+// testing that election.
 
 #ifndef GOGREEN_SERVE_MINING_SERVICE_H_
 #define GOGREEN_SERVE_MINING_SERVICE_H_
 
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -61,6 +72,7 @@ struct ServeStats {
   uint64_t request_id = 0;    ///< obs::RequestLog id stamped on the request.
   core::SeedRoute route = core::SeedRoute::kNone;
   uint64_t seed_support = 0;  ///< Support of the seed entry (0 on scratch).
+  bool coalesced = false;     ///< Adopted a concurrent identical mine.
   double seconds = 0.0;       ///< End-to-end service time.
   double compress_seconds = 0.0;  ///< Recycle route only.
   double compression_ratio = 1.0;
@@ -85,23 +97,53 @@ class MiningService {
   MiningService(fpm::TransactionDb db, std::string dataset_id,
                 ServiceOptions options = {});
 
-  /// Answers one query; see the file comment for the route plan.
-  Result<fpm::MineResult> Mine(const fpm::MineRequest& request);
-
-  /// Stats of the most recent completed Mine() call. Racy under concurrent
-  /// requests (last writer wins) — intended for single-driver sessions.
-  ServeStats last_stats() const;
+  /// Answers one query; see the file comment for the route plan. When
+  /// `stats` is non-null it receives this call's per-request stats (always
+  /// filled, including on error) — per-call by construction, so concurrent
+  /// callers never read each other's stats.
+  Result<fpm::MineResult> Mine(const fpm::MineRequest& request,
+                               ServeStats* stats = nullptr);
 
   PatternStore& store() { return store_; }
   const fpm::TransactionDb& db() const { return db_; }
   const std::string& dataset_id() const { return dataset_id_; }
   const ServiceOptions& options() const { return options_; }
 
+  // --- Test seams for the coalescing protocol (set before concurrent
+  // traffic starts; never in production paths). ---
+
+  /// Invoked on the leader thread right after it wins the in-flight slot
+  /// and before it mines — a rendezvous window: tests block here until the
+  /// expected followers have parked.
+  void SetLeaderHoldForTest(std::function<void()> hook) {
+    leader_hold_for_test_ = std::move(hook);
+  }
+
+  /// Followers currently parked on in-flight leaders, across all keys.
+  size_t CoalesceWaitersForTest() const;
+
  private:
+  /// One in-flight mine: the leader publishes into `result`/`status` and
+  /// flips `done` under `mu`; followers park on `cv` (deadline-aware).
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    Status status = Status::OK();
+    fpm::MineResult result;
+    size_t waiters = 0;
+  };
+
+  /// Single-flight rendezvous around MineRouted: elect a leader per
+  /// coalesce key, park followers, propagate/elect on failure. Runs inside
+  /// Mine()'s observability envelope.
+  Result<fpm::MineResult> MineCoalesced(uint64_t min_support,
+                                        const fpm::MineRequest& request,
+                                        const std::string& fingerprint,
+                                        RunContext* ctx, ServeStats* stats);
   /// The route plan from the file comment: exact-key lookup, then the
-  /// support-complete ladder, then constraint post-filtering. Runs inside
-  /// Mine()'s observability envelope (which owns timing, deltas, and the
-  /// wide-event emission).
+  /// support-complete ladder, then constraint post-filtering.
   Result<fpm::MineResult> MineRouted(uint64_t min_support,
                                      const fpm::MineRequest& request,
                                      const std::string& fingerprint,
@@ -121,8 +163,9 @@ class MiningService {
   std::string dataset_id_;
   ServiceOptions options_;
   PatternStore store_;
-  mutable std::mutex stats_mu_;
-  ServeStats last_stats_;
+  mutable std::mutex inflight_mu_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  std::function<void()> leader_hold_for_test_;
 };
 
 }  // namespace gogreen::serve

@@ -1,7 +1,9 @@
 #include "serve/pattern_store.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <functional>
+#include <limits>
 #include <utility>
 
 #include "fpm/pattern.h"
@@ -26,6 +28,12 @@ void RecordEviction(bool whole_entry) {
   static obs::Counter* images =
       obs::MetricRegistry::Global().GetCounter("serve.image_evictions");
   (whole_entry ? entries : images)->Add(1);
+}
+
+void RecordShardContention() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("serve.shard_contention");
+  counter->Add(1);
 }
 
 /// Filename for one persisted entry: a sanitized dataset id and the support
@@ -81,80 +89,173 @@ size_t PatternSetCost(const fpm::PatternSet& fp) {
 
 PatternStore::PatternStore() : PatternStore(Options()) {}
 
-PatternStore::PatternStore(Options options) : options_(options) {}
+PatternStore::PatternStore(Options options) : options_(options) {
+  const size_t count = std::max<size_t>(1, options_.shards);
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
-PatternStore::EntryList::iterator PatternStore::FindLocked(
-    const StoreKey& key) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+PatternStore::Shard& PatternStore::ShardOf(const StoreKey& key) const {
+  const size_t hash = std::hash<std::string>{}(
+      key.dataset_id + "\n" + key.constraint_fingerprint + "\n" +
+      std::to_string(key.min_support));
+  return *shards_[hash % shards_.size()];
+}
+
+std::unique_lock<std::mutex> PatternStore::LockShard(
+    const Shard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    RecordShardContention();
+    lock.lock();
+  }
+  return lock;
+}
+
+PatternStore::EntryList::iterator PatternStore::FindInShard(
+    Shard& shard, const StoreKey& key) {
+  for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
     if (it->key == key) return it;
   }
-  return entries_.end();
+  return shard.entries.end();
 }
 
-PatternStore::EntryList::const_iterator PatternStore::FindLocked(
-    const StoreKey& key) const {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->key == key) return it;
-  }
-  return entries_.end();
+void PatternStore::TouchLocked(Shard& shard, EntryList::iterator it) {
+  it->stamp = NextStamp();
+  shard.entries.splice(shard.entries.begin(), shard.entries, it);
 }
 
-void PatternStore::TouchLocked(EntryList::iterator it) {
-  entries_.splice(entries_.begin(), entries_, it);
+void PatternStore::DropEntryLocked(Shard& shard, EntryList::iterator it) {
+  bytes_.fetch_sub(it->pattern_bytes + it->cdb_bytes,
+                   std::memory_order_relaxed);
+  shard.entries.erase(it);
 }
 
-void PatternStore::DropEntryLocked(EntryList::iterator it) {
-  ledger_.ReleaseBytes(it->pattern_bytes + it->cdb_bytes);
-  entries_.erase(it);
-}
-
-void PatternStore::EvictForLocked(size_t needed, const StoreKey* keep) {
-  if (needed > options_.byte_budget) return;  // Caller rejects the insert.
-  // Pass 1: drop memoized images, least-recently-used first.
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (ledger_.bytes_in_use() + needed <= options_.byte_budget) return;
-    if (it->cdb == nullptr) continue;
-    if (keep != nullptr && it->key == *keep) continue;
-    ledger_.ReleaseBytes(it->cdb_bytes);
+bool PatternStore::EvictOneImage(const StoreKey* keep) {
+  while (true) {
+    // Phase 1: find the globally least-recently-used entry holding an
+    // image, locking one shard at a time. Within a shard the list is LRU
+    // ordered, so the tail-most image is that shard's minimum.
+    bool found = false;
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    size_t victim_shard = 0;
+    StoreKey victim_key;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      auto lock = LockShard(*shards_[i]);
+      for (auto it = shards_[i]->entries.rbegin();
+           it != shards_[i]->entries.rend(); ++it) {
+        if (it->cdb == nullptr) continue;
+        if (keep != nullptr && it->key == *keep) continue;
+        if (it->stamp < best) {
+          best = it->stamp;
+          victim_shard = i;
+          victim_key = it->key;
+          found = true;
+        }
+        break;
+      }
+    }
+    if (!found) return false;
+    // Phase 2: re-lock the winner and evict, unless a concurrent op raced
+    // the image away — then rescan.
+    Shard& shard = *shards_[victim_shard];
+    auto lock = LockShard(shard);
+    auto it = FindInShard(shard, victim_key);
+    if (it == shard.entries.end() || it->cdb == nullptr) continue;
+    bytes_.fetch_sub(it->cdb_bytes, std::memory_order_relaxed);
     it->cdb.reset();
     it->cdb_bytes = 0;
-    ++image_evictions_;
+    image_evictions_.fetch_add(1, std::memory_order_relaxed);
     RecordEviction(/*whole_entry=*/false);
+    return true;
   }
-  // Pass 2: drop whole entries, least-recently-used first.
-  while (ledger_.bytes_in_use() + needed > options_.byte_budget &&
-         !entries_.empty()) {
-    auto victim = std::prev(entries_.end());
-    if (keep != nullptr && victim->key == *keep) {
-      if (victim == entries_.begin()) break;  // Only the protected entry left.
-      victim = std::prev(victim);
+}
+
+bool PatternStore::EvictOneEntry(const StoreKey* keep) {
+  while (true) {
+    bool found = false;
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    size_t victim_shard = 0;
+    StoreKey victim_key;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      auto lock = LockShard(*shards_[i]);
+      for (auto it = shards_[i]->entries.rbegin();
+           it != shards_[i]->entries.rend(); ++it) {
+        if (keep != nullptr && it->key == *keep) continue;
+        if (it->stamp < best) {
+          best = it->stamp;
+          victim_shard = i;
+          victim_key = it->key;
+          found = true;
+        }
+        break;
+      }
     }
-    ++evictions_;
+    if (!found) return false;
+    Shard& shard = *shards_[victim_shard];
+    auto lock = LockShard(shard);
+    auto it = FindInShard(shard, victim_key);
+    if (it == shard.entries.end()) continue;  // Raced away; rescan.
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     RecordEviction(/*whole_entry=*/true);
-    DropEntryLocked(victim);
+    DropEntryLocked(shard, it);
+    return true;
+  }
+}
+
+bool PatternStore::ReserveBytes(size_t cost, const StoreKey* keep) {
+  while (true) {
+    size_t current = bytes_.load(std::memory_order_relaxed);
+    if (current + cost <= options_.byte_budget) {
+      if (bytes_.compare_exchange_weak(current, current + cost,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+      continue;  // Lost the CAS; re-read and retry.
+    }
+    // Over budget: evict the globally-LRU victim — memoized images first
+    // (cheap to rebuild), then whole entries.
+    if (EvictOneImage(keep)) continue;
+    if (EvictOneEntry(keep)) continue;
+    return false;  // Nothing evictable remains.
   }
 }
 
 bool PatternStore::Put(const StoreKey& key, fpm::PatternSet patterns,
                        uint64_t num_transactions) {
   const size_t cost = PatternSetCost(patterns);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto existing = FindLocked(key);
-  if (existing != entries_.end()) DropEntryLocked(existing);
+  Shard& shard = ShardOf(key);
+  {
+    auto lock = LockShard(shard);
+    auto existing = FindInShard(shard, key);
+    if (existing != shard.entries.end()) DropEntryLocked(shard, existing);
+  }
   if (cost > options_.byte_budget) {
-    RecordStoreBytes(ledger_.bytes_in_use());
+    RecordStoreBytes(bytes_in_use());
     return false;
   }
-  EvictForLocked(cost, /*keep=*/nullptr);
+  if (!ReserveBytes(cost, /*keep=*/nullptr)) {
+    RecordStoreBytes(bytes_in_use());
+    return false;
+  }
   Entry entry;
   entry.key = key;
   entry.patterns =
       std::make_shared<const fpm::PatternSet>(std::move(patterns));
   entry.num_transactions = num_transactions;
   entry.pattern_bytes = cost;
-  ledger_.AddBytes(cost);
-  entries_.push_front(std::move(entry));
-  RecordStoreBytes(ledger_.bytes_in_use());
+  entry.stamp = NextStamp();
+  {
+    auto lock = LockShard(shard);
+    // A concurrent Put of the same key may have raced in after the drop
+    // above; last writer wins.
+    auto existing = FindInShard(shard, key);
+    if (existing != shard.entries.end()) DropEntryLocked(shard, existing);
+    shard.entries.push_front(std::move(entry));
+  }
+  RecordStoreBytes(bytes_in_use());
   return true;
 }
 
@@ -162,94 +263,112 @@ void PatternStore::PutCompressed(
     const StoreKey& key, std::shared_ptr<const core::CompressedDb> cdb) {
   if (cdb == nullptr) return;
   const size_t cost = cdb->MemoryUsage();
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = FindLocked(key);
-  if (it == entries_.end()) return;
-  if (it->cdb != nullptr) {
-    ledger_.ReleaseBytes(it->cdb_bytes);
-    it->cdb.reset();
-    it->cdb_bytes = 0;
+  Shard& shard = ShardOf(key);
+  {
+    auto lock = LockShard(shard);
+    auto it = FindInShard(shard, key);
+    if (it == shard.entries.end()) return;
+    if (it->cdb != nullptr) {
+      bytes_.fetch_sub(it->cdb_bytes, std::memory_order_relaxed);
+      it->cdb.reset();
+      it->cdb_bytes = 0;
+    }
+    // The image must fit next to its own pattern set; if evicting *other*
+    // entries cannot make room, skip the memoization.
+    if (it->pattern_bytes + cost > options_.byte_budget) return;
   }
-  // The image must fit next to its own pattern set; if evicting *other*
-  // entries cannot make room, skip the memoization.
-  if (it->pattern_bytes + cost > options_.byte_budget) return;
-  EvictForLocked(cost, /*keep=*/&key);
-  if (ledger_.bytes_in_use() + cost > options_.byte_budget) return;
-  it->cdb = std::move(cdb);
-  it->cdb_bytes = cost;
-  ledger_.AddBytes(cost);
-  TouchLocked(it);
-  RecordStoreBytes(ledger_.bytes_in_use());
+  if (!ReserveBytes(cost, /*keep=*/&key)) return;
+  {
+    auto lock = LockShard(shard);
+    auto it = FindInShard(shard, key);
+    if (it == shard.entries.end() || it->cdb != nullptr) {
+      // The entry was evicted (or another thread memoized first) while we
+      // held the reservation; give the bytes back.
+      bytes_.fetch_sub(cost, std::memory_order_relaxed);
+      return;
+    }
+    it->cdb = std::move(cdb);
+    it->cdb_bytes = cost;
+    TouchLocked(shard, it);
+  }
+  RecordStoreBytes(bytes_in_use());
 }
 
 std::shared_ptr<const fpm::PatternSet> PatternStore::Get(const StoreKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = FindLocked(key);
-  if (it == entries_.end()) return nullptr;
-  TouchLocked(it);
+  Shard& shard = ShardOf(key);
+  auto lock = LockShard(shard);
+  auto it = FindInShard(shard, key);
+  if (it == shard.entries.end()) return nullptr;
+  TouchLocked(shard, it);
   return it->patterns;
 }
 
 std::shared_ptr<const core::CompressedDb> PatternStore::GetCompressed(
     const StoreKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = FindLocked(key);
-  if (it == entries_.end()) return nullptr;
-  TouchLocked(it);
+  Shard& shard = ShardOf(key);
+  auto lock = LockShard(shard);
+  auto it = FindInShard(shard, key);
+  if (it == shard.entries.end()) return nullptr;
+  TouchLocked(shard, it);
   return it->cdb;
 }
 
 uint64_t PatternStore::NumTransactionsOf(const StoreKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = FindLocked(key);
-  return it == entries_.end() ? 0 : it->num_transactions;
+  Shard& shard = ShardOf(key);
+  auto lock = LockShard(shard);
+  auto it = FindInShard(shard, key);
+  return it == shard.entries.end() ? 0 : it->num_transactions;
 }
 
 std::vector<core::SeedCandidate> PatternStore::Candidates(
     const std::string& dataset_id, const std::string& fingerprint) const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<core::SeedCandidate> candidates;
-  // Recency from list position: the list is most-recent-first.
-  uint64_t recency = entries_.size();
-  for (const Entry& entry : entries_) {
-    --recency;
-    if (entry.key.dataset_id != dataset_id ||
-        entry.key.constraint_fingerprint != fingerprint) {
-      continue;
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    for (const Entry& entry : shard->entries) {
+      if (entry.key.dataset_id != dataset_id ||
+          entry.key.constraint_fingerprint != fingerprint) {
+        continue;
+      }
+      core::SeedCandidate cand;
+      cand.min_support = entry.key.min_support;
+      cand.has_compressed = entry.cdb != nullptr;
+      cand.last_used = entry.stamp;  // Global recency: bigger = fresher.
+      cand.tag = static_cast<size_t>(entry.key.min_support);
+      candidates.push_back(cand);
     }
-    core::SeedCandidate cand;
-    cand.min_support = entry.key.min_support;
-    cand.has_compressed = entry.cdb != nullptr;
-    cand.last_used = recency + 1;
-    cand.tag = static_cast<size_t>(entry.key.min_support);
-    candidates.push_back(cand);
   }
   return candidates;
 }
 
 void PatternStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  while (!entries_.empty()) DropEntryLocked(entries_.begin());
-  RecordStoreBytes(0);
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    while (!shard->entries.empty()) {
+      DropEntryLocked(*shard, shard->entries.begin());
+    }
+  }
+  RecordStoreBytes(bytes_in_use());
 }
 
 StoreStats PatternStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   StoreStats stats;
-  stats.entries = entries_.size();
-  for (const Entry& entry : entries_) {
-    if (entry.cdb != nullptr) ++stats.compressed_images;
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    stats.entries += shard->entries.size();
+    for (const Entry& entry : shard->entries) {
+      if (entry.cdb != nullptr) ++stats.compressed_images;
+    }
   }
-  stats.bytes_in_use = ledger_.bytes_in_use();
+  stats.bytes_in_use = bytes_in_use();
   stats.byte_budget = options_.byte_budget;
-  stats.evictions = evictions_;
-  stats.image_evictions = image_evictions_;
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.image_evictions = image_evictions_.load(std::memory_order_relaxed);
   return stats;
 }
 
 size_t PatternStore::bytes_in_use() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ledger_.bytes_in_use();
+  return bytes_.load(std::memory_order_relaxed);
 }
 
 Status PatternStore::SaveTo(const std::string& dir) const {
@@ -259,8 +378,14 @@ Status PatternStore::SaveTo(const std::string& dir) const {
     return Status::IOError("cannot create store directory " + dir + ": " +
                            ec.message());
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const Entry& entry : entries_) {
+  // Snapshot the entries under the shard locks (shared_ptr copies are
+  // cheap), then write without holding any lock across file IO.
+  std::vector<Entry> snapshot;
+  for (const auto& shard : shards_) {
+    auto lock = LockShard(*shard);
+    for (const Entry& entry : shard->entries) snapshot.push_back(entry);
+  }
+  for (const Entry& entry : snapshot) {
     fpm::PatternSetHeader header;
     header.min_support = entry.key.min_support;
     header.num_transactions = entry.num_transactions;

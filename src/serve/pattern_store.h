@@ -7,17 +7,22 @@
 // property.
 //
 // Values are handed out as shared_ptr-to-const: eviction drops the store's
-// reference, never a reader's. Entry costs are charged to an internal
-// RunContext ledger (the same cooperative accounting the miners use), so
-// `bytes_in_use()` is exactly the sum of live entry costs and the
-// byte_budget is a hard ceiling — inserting evicts least-recently-used
-// entries first (their memoized compressed images go before the pattern
-// sets; images are cheap to rebuild) and an entry that alone exceeds the
-// budget is rejected outright.
+// reference, never a reader's. The store is lock-striped: entries hash to
+// one of N shards (each a mutex + LRU list), so lookups on different keys
+// never contend. Byte accounting lives in one global atomic ledger with a
+// reserve-before-insert protocol — bytes are charged by a CAS that only
+// succeeds while the total stays under the budget, so `bytes_in_use()`
+// never exceeds the byte_budget at any observable instant, even mid-insert
+// under concurrency. Eviction preserves the global LRU order across shards
+// via per-entry recency stamps from a shared clock: the globally
+// least-recently-used victim goes first (memoized compressed images before
+// whole pattern sets; images are cheap to rebuild), and an entry that alone
+// exceeds the budget is rejected outright.
 
 #ifndef GOGREEN_SERVE_PATTERN_STORE_H_
 #define GOGREEN_SERVE_PATTERN_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -28,7 +33,6 @@
 #include "core/compressed_db.h"
 #include "core/seed_selection.h"
 #include "fpm/pattern_set.h"
-#include "util/run_context.h"
 #include "util/status.h"
 
 namespace gogreen::serve {
@@ -55,14 +59,18 @@ struct StoreStats {
   uint64_t image_evictions = 0; ///< Compressed images dropped to make room.
 };
 
-/// Bounded LRU cache of complete pattern sets. Thread-safe; lookups bump
-/// recency. See the file comment for the eviction contract.
+/// Bounded, sharded LRU cache of complete pattern sets. Thread-safe;
+/// lookups bump recency. See the file comment for the eviction and
+/// budget contracts.
 class PatternStore {
  public:
   struct Options {
     /// Hard ceiling on the summed cost of cached pattern sets + compressed
     /// images. The store never holds more than this many accounted bytes.
     size_t byte_budget = size_t{64} << 20;
+    /// Number of lock stripes. Keys hash across shards; 1 degenerates to
+    /// the old single-mutex store (useful for tests).
+    size_t shards = 8;
   };
 
   PatternStore();  ///< Default Options.
@@ -122,27 +130,47 @@ class PatternStore {
     uint64_t num_transactions = 0;
     size_t pattern_bytes = 0;
     size_t cdb_bytes = 0;
+    /// Global recency stamp (bigger = more recently used). Eviction picks
+    /// the smallest stamp across all shards, preserving the global LRU
+    /// order the single-mutex store had.
+    uint64_t stamp = 0;
   };
 
-  // LRU list, most-recent first; the ledger tracks accounted bytes.
+  // Each shard: one mutex over one LRU list (most-recent first).
   using EntryList = std::list<Entry>;
+  struct Shard {
+    mutable std::mutex mu;
+    EntryList entries;
+  };
 
-  EntryList::iterator FindLocked(const StoreKey& key);
-  EntryList::const_iterator FindLocked(const StoreKey& key) const;
-  void TouchLocked(EntryList::iterator it);
-  /// Frees accounted bytes until `needed` fits under the budget; images
-  /// first (LRU order), then whole entries. `keep` survives eviction.
-  void EvictForLocked(size_t needed, const StoreKey* keep);
-  void DropEntryLocked(EntryList::iterator it);
+  Shard& ShardOf(const StoreKey& key) const;
+  /// Locks a shard, counting `serve.shard_contention` when the lock was
+  /// not immediately available.
+  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
+
+  static EntryList::iterator FindInShard(Shard& shard, const StoreKey& key);
+  void TouchLocked(Shard& shard, EntryList::iterator it);
+  void DropEntryLocked(Shard& shard, EntryList::iterator it);
+
+  /// Charges `cost` bytes against the global ledger, evicting globally-LRU
+  /// victims (images first, then whole entries; `keep` survives) until the
+  /// CAS succeeds. Returns false — with nothing charged — when eviction
+  /// cannot make room. Never holds more than one shard lock at a time.
+  bool ReserveBytes(size_t cost, const StoreKey* keep);
+  bool EvictOneImage(const StoreKey* keep);
+  bool EvictOneEntry(const StoreKey* keep);
+
+  uint64_t NextStamp() { return 1 + clock_.fetch_add(1); }
 
   Options options_;
-  mutable std::mutex mu_;
-  EntryList entries_;
-  /// Byte ledger (budget intentionally unarmed: the store enforces its
-  /// ceiling by eviction, not by tripping a stop flag).
-  RunContext ledger_;
-  uint64_t evictions_ = 0;
-  uint64_t image_evictions_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Global byte ledger: the sum of live entry costs plus in-flight
+  /// reservations. Only ever grows via the budget-checked CAS in
+  /// ReserveBytes, so it can never exceed options_.byte_budget.
+  std::atomic<size_t> bytes_{0};
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> image_evictions_{0};
 };
 
 /// Cost model used for the store's accounting, exposed for tests.

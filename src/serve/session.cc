@@ -62,7 +62,7 @@ Result<uint64_t> ParseSupport(const std::string& word,
 
 Status DoMine(MiningService& service, const Knobs& knobs,
               const std::string& arg, std::ostream& out,
-              SessionSummary* summary) {
+              SessionSummary* summary, ServeStats* last) {
   GOGREEN_ASSIGN_OR_RETURN(
       const uint64_t minsup,
       ParseSupport(arg, service.db().NumTransactions()));
@@ -78,11 +78,12 @@ Status DoMine(MiningService& service, const Knobs& knobs,
     }
     request.run_context = &ctx;
   }
+  ServeStats stats;
   GOGREEN_ASSIGN_OR_RETURN(const fpm::MineResult result,
-                           service.Mine(request));
+                           service.Mine(request, &stats));
   ++summary->mines;
   if (result.partial) ++summary->partials;
-  const ServeStats stats = service.last_stats();
+  *last = stats;
   out << "mined support=" << minsup
       << " route=" << core::SeedRouteName(stats.route)
       << " seed=" << stats.seed_support
@@ -109,6 +110,7 @@ void PrintStats(const ServeStats& stats, std::ostream& out) {
       << " bytes_peak=" << stats.bytes_peak
       << " evictions=" << stats.evictions
       << " outcome=" << (stats.outcome.empty() ? "none" : stats.outcome)
+      << " coalesced=" << (stats.coalesced ? 1 : 0)
       << "\n";
 }
 
@@ -125,9 +127,10 @@ void PrintStore(const PatternStore& store, std::ostream& out) {
 /// strict mode (the caller decides).
 Status RunCommand(MiningService& service, Knobs* knobs,
                   const std::string& verb, const std::string& arg,
-                  std::ostream& out, SessionSummary* summary) {
+                  std::ostream& out, SessionSummary* summary,
+                  ServeStats* last) {
   if (verb == "mine") {
-    return DoMine(service, *knobs, arg, out, summary);
+    return DoMine(service, *knobs, arg, out, summary, last);
   }
   if (verb == "threads") {
     GOGREEN_ASSIGN_OR_RETURN(const uint64_t n, ParseCount(arg, "threads"));
@@ -149,7 +152,7 @@ Status RunCommand(MiningService& service, Knobs* knobs,
     return Status::OK();
   }
   if (verb == "stats") {
-    PrintStats(service.last_stats(), out);
+    PrintStats(*last, out);
     return Status::OK();
   }
   if (verb == "\\stats") {
@@ -191,6 +194,10 @@ Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
                                   const SessionConfig& config) {
   SessionSummary summary;
   Knobs knobs;
+  // Per-session "most recent mine" stats for the `stats` verb: Mine()
+  // returns stats by value, so this single-driver snapshot is race-free
+  // even when other sessions share the service.
+  ServeStats last;
   std::string line;
   if (config.interactive) out << "gogreen> " << std::flush;
   while (std::getline(in, line)) {
@@ -202,7 +209,7 @@ Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
       if (verb == "quit" || verb == "exit") break;
       ++summary.commands;
       const Status status =
-          RunCommand(service, &knobs, verb, arg, out, &summary);
+          RunCommand(service, &knobs, verb, arg, out, &summary, &last);
       if (!status.ok()) {
         if (!config.interactive) return status;
         ++summary.errors;

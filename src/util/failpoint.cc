@@ -21,6 +21,7 @@ namespace {
 // adding or removing a seam.
 constexpr std::string_view kKnownSites[] = {
     "alloc.charge",  // run_context.cc: cooperative byte charge
+    "coalesce.leader",  // mining_service.cc: single-flight leader mine
     "dat_io.open",   // dat_io.cc: dataset open
     "dat_io.read",   // dat_io.cc: dataset read
     "dat_io.write",  // dat_io.cc: dataset write

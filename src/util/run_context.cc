@@ -32,6 +32,26 @@ Status RunContext::StopStatus() const {
   return Status::Internal("unknown stop reason");
 }
 
+void RunContext::SetWakeup(std::function<void()> wakeup) {
+  bool fire_now = false;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wakeup_ = std::move(wakeup);
+    fire_now = wakeup_ != nullptr && stopped();
+  }
+  // Registered after the trip: deliver the (single) wakeup immediately so
+  // the caller never parks waiting for a notification that already fired.
+  if (fire_now) NotifyWakeup();
+}
+
+void RunContext::NotifyWakeup() {
+  // Invoke under wake_mu_: SetWakeup(nullptr) then blocks until the
+  // callback returns, which is what makes ScopedWakeup's captures safe to
+  // destroy after scope exit. Callbacks must therefore stay tiny.
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  if (wakeup_) wakeup_();
+}
+
 void RunContext::AddBytes(size_t n) {
   const size_t now = bytes_.fetch_add(n, std::memory_order_relaxed) + n;
   size_t peak = peak_.load(std::memory_order_relaxed);

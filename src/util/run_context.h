@@ -30,6 +30,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
 
 #include "util/status.h"
 
@@ -67,6 +70,15 @@ class RunContext {
   /// Arms a budget on cooperatively-accounted bytes. 0 disarms.
   void SetMemoryBudget(size_t bytes) { budget_ = bytes; }
 
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Meaningful only when has_deadline(): the armed absolute deadline, for
+  /// waiters that want to sleep until it (rather than poll ShouldStop).
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+  /// The armed byte budget; 0 when disarmed.
+  size_t memory_budget() const { return budget_; }
+
   /// Tags this run with the serving-layer request id so trace spans,
   /// metric deltas, and governor outcomes attribute back to one wide
   /// event (obs::RequestLog). 0 = not request-scoped.
@@ -77,6 +89,17 @@ class RunContext {
 
   /// Requests cooperative cancellation; workers stop at their next check.
   void RequestCancel() { Trip(StopReason::kCancelled); }
+
+  /// Registers a callback invoked exactly once when the stop flag trips
+  /// (from whichever thread trips it), so blocked waiters — e.g. a
+  /// coalesced follower parked on a condition variable — can be woken
+  /// instead of polling. If the context is already stopped the callback
+  /// fires immediately. Pass nullptr to clear; clearing blocks until any
+  /// in-flight invocation returns, so after SetWakeup(nullptr) the
+  /// callback's captures are safe to destroy. The callback runs under an
+  /// internal mutex: keep it tiny (lock + notify) and never call back
+  /// into SetWakeup from inside it.
+  void SetWakeup(std::function<void()> wakeup);
 
   // --- Polling (thread-safe; called from worker lanes). ---
 
@@ -167,9 +190,17 @@ class RunContext {
 
   void Trip(StopReason reason) {
     uint8_t expected = static_cast<uint8_t>(StopReason::kNone);
-    reason_.compare_exchange_strong(expected, static_cast<uint8_t>(reason),
-                                    std::memory_order_acq_rel);
+    if (reason_.compare_exchange_strong(expected,
+                                        static_cast<uint8_t>(reason),
+                                        std::memory_order_acq_rel)) {
+      NotifyWakeup();  // First (and only) trip wakes any parked waiter.
+    }
   }
+
+  void NotifyWakeup();
+
+  std::mutex wake_mu_;
+  std::function<void()> wakeup_;  ///< Guarded by wake_mu_.
 
   std::atomic<uint8_t> reason_{static_cast<uint8_t>(StopReason::kNone)};
   std::atomic<size_t> bytes_{0};
@@ -183,6 +214,25 @@ class RunContext {
   size_t budget_ = 0;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// RAII wakeup registration against a (possibly null) RunContext: clears
+/// the callback on scope exit (blocking until any in-flight invocation
+/// returns), so captures never outlive the scope. No-op with a null
+/// context.
+class ScopedWakeup {
+ public:
+  ScopedWakeup(RunContext* ctx, std::function<void()> wakeup) : ctx_(ctx) {
+    if (ctx_ != nullptr) ctx_->SetWakeup(std::move(wakeup));
+  }
+  ~ScopedWakeup() {
+    if (ctx_ != nullptr) ctx_->SetWakeup(nullptr);
+  }
+  ScopedWakeup(const ScopedWakeup&) = delete;
+  ScopedWakeup& operator=(const ScopedWakeup&) = delete;
+
+ private:
+  RunContext* ctx_;
 };
 
 /// RAII byte charge against a (possibly null) RunContext. With a null

@@ -53,10 +53,11 @@ void ExpectCanonicallyEqual(PatternSet expected, PatternSet got,
       << " patterns";
 }
 
-MineResult ServeAt(MiningService& service, uint64_t minsup, size_t threads) {
+MineResult ServeAt(MiningService& service, uint64_t minsup, size_t threads,
+                   ServeStats* stats = nullptr) {
   MineRequest request = MineRequest::At(minsup);
   request.threads = threads;
-  auto result = service.Mine(request);
+  auto result = service.Mine(request, stats);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   return std::move(result).value();
 }
@@ -98,31 +99,32 @@ TEST_P(ServeDifferentialTest, AllRoutesMatchDirectMining) {
   MiningService service(db, spec.name);
 
   // Route 1: cold store -> scratch.
-  MineResult scratch = ServeAt(service, xi_hi, p.threads);
-  EXPECT_EQ(service.last_stats().route, SeedRoute::kNone);
+  ServeStats stats;
+  MineResult scratch = ServeAt(service, xi_hi, p.threads, &stats);
+  EXPECT_EQ(stats.route, SeedRoute::kNone);
   EXPECT_FALSE(scratch.partial);
   ExpectCanonicallyEqual(DirectMine(db, xi_hi), std::move(scratch.patterns),
                          "scratch route");
 
   // Route 2: relaxed support -> recycle from the xi_hi set.
-  MineResult recycled = ServeAt(service, xi_lo, p.threads);
-  EXPECT_EQ(service.last_stats().route, SeedRoute::kRecycle);
-  EXPECT_EQ(service.last_stats().seed_support, xi_hi);
+  MineResult recycled = ServeAt(service, xi_lo, p.threads, &stats);
+  EXPECT_EQ(stats.route, SeedRoute::kRecycle);
+  EXPECT_EQ(stats.seed_support, xi_hi);
   ExpectCanonicallyEqual(DirectMine(db, xi_lo), std::move(recycled.patterns),
                          "recycle route");
 
   // Route 3: between the two cached sets -> filter-down from xi_lo.
-  MineResult filtered = ServeAt(service, xi_mid, p.threads);
-  EXPECT_EQ(service.last_stats().route, SeedRoute::kFilterDown);
-  EXPECT_EQ(service.last_stats().seed_support, xi_lo);
+  MineResult filtered = ServeAt(service, xi_mid, p.threads, &stats);
+  EXPECT_EQ(stats.route, SeedRoute::kFilterDown);
+  EXPECT_EQ(stats.seed_support, xi_lo);
   ExpectCanonicallyEqual(DirectMine(db, xi_mid), std::move(filtered.patterns),
                          "filter-down route");
 
   // Route 4: repeat queries -> exact cache hits, still the same answers.
   for (uint64_t minsup : {xi_hi, xi_lo, xi_mid}) {
-    MineResult hit = ServeAt(service, minsup, p.threads);
-    EXPECT_EQ(service.last_stats().route, SeedRoute::kExact);
-    EXPECT_EQ(service.last_stats().seed_support, minsup);
+    MineResult hit = ServeAt(service, minsup, p.threads, &stats);
+    EXPECT_EQ(stats.route, SeedRoute::kExact);
+    EXPECT_EQ(stats.seed_support, minsup);
     ExpectCanonicallyEqual(DirectMine(db, minsup), std::move(hit.patterns),
                            "exact-hit route");
   }
@@ -161,18 +163,19 @@ TEST_F(ServeBehaviorTest, ConstrainedRequestsShareSupportCompleteSeeds) {
   constraints.Add(fpm::MakeMinLength(2));
   MineRequest request = MineRequest::At(2);
   request.constraints = &constraints;
-  auto result = service.Mine(request);
+  ServeStats stats;
+  auto result = service.Mine(request, &stats);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   // Served from the cached support-complete set, then filtered.
-  EXPECT_EQ(service.last_stats().route, SeedRoute::kExact);
+  EXPECT_EQ(stats.route, SeedRoute::kExact);
   PatternSet expected = DirectMine(db_, 2).FilterByMinLength(2);
   ExpectCanonicallyEqual(std::move(expected), std::move(result->patterns),
                          "constrained request");
 
   // The filtered set was cached under its fingerprint: an exact repeat hits.
-  auto repeat = service.Mine(request);
+  auto repeat = service.Mine(request, &stats);
   ASSERT_TRUE(repeat.ok());
-  EXPECT_EQ(service.last_stats().route, SeedRoute::kExact);
+  EXPECT_EQ(stats.route, SeedRoute::kExact);
 }
 
 TEST_F(ServeBehaviorTest, SupportOnlyAndConstrainedEntriesDoNotCollide) {
@@ -197,11 +200,12 @@ TEST_F(ServeBehaviorTest, PartialGovernedResultIsCachedAtFrontier) {
   ctx.RequestCancel();  // Deterministic immediate stop.
   MineRequest request = MineRequest::At(2);
   request.run_context = &ctx;
-  auto result = service.Mine(request);
+  ServeStats stats;
+  auto result = service.Mine(request, &stats);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->partial);
   EXPECT_GT(result->frontier_support, 2u);
-  EXPECT_TRUE(service.last_stats().partial);
+  EXPECT_TRUE(stats.partial);
 
   // The partial set is exact at its frontier, so the store keeps it there —
   // and a later query at the frontier support is an exact hit.
@@ -209,8 +213,8 @@ TEST_F(ServeBehaviorTest, PartialGovernedResultIsCachedAtFrontier) {
   key.dataset_id = "paper";
   key.min_support = result->frontier_support;
   EXPECT_NE(service.store().Get(key), nullptr);
-  MineResult later = ServeAt(service, result->frontier_support, 0);
-  EXPECT_EQ(service.last_stats().route, SeedRoute::kExact);
+  MineResult later = ServeAt(service, result->frontier_support, 0, &stats);
+  EXPECT_EQ(stats.route, SeedRoute::kExact);
   ExpectCanonicallyEqual(DirectMine(db_, result->frontier_support),
                          std::move(later.patterns),
                          "query at cached frontier");
@@ -219,9 +223,11 @@ TEST_F(ServeBehaviorTest, PartialGovernedResultIsCachedAtFrontier) {
 TEST_F(ServeBehaviorTest, RecycleMemoizesTheCompressedImage) {
   MiningService service(db_, "paper");
   (void)ServeAt(service, 4, /*threads=*/0);  // Scratch at xi_old = 4.
-  (void)ServeAt(service, 3, /*threads=*/0);  // Recycle: builds + memoizes image.
-  EXPECT_EQ(service.last_stats().route, SeedRoute::kRecycle);
-  EXPECT_EQ(service.last_stats().seed_support, 4u);
+  ServeStats stats;
+  // Recycle: builds + memoizes the image.
+  (void)ServeAt(service, 3, /*threads=*/0, &stats);
+  EXPECT_EQ(stats.route, SeedRoute::kRecycle);
+  EXPECT_EQ(stats.seed_support, 4u);
   EXPECT_EQ(service.store().stats().compressed_images, 1u);
 }
 
@@ -242,11 +248,12 @@ TEST_F(ServeBehaviorTest, RecycleReusesAMemoizedImageWithoutRecompressing) {
       key, std::make_shared<const core::CompressedDb>(
                std::move(compressed).value()));
 
-  MineResult result = ServeAt(service, 2, /*threads=*/0);
-  EXPECT_EQ(service.last_stats().route, SeedRoute::kRecycle);
-  EXPECT_EQ(service.last_stats().seed_support, 4u);
+  ServeStats stats;
+  MineResult result = ServeAt(service, 2, /*threads=*/0, &stats);
+  EXPECT_EQ(stats.route, SeedRoute::kRecycle);
+  EXPECT_EQ(stats.seed_support, 4u);
   // The memoized image skipped the compression pass entirely.
-  EXPECT_EQ(service.last_stats().compress_seconds, 0.0);
+  EXPECT_EQ(stats.compress_seconds, 0.0);
   ExpectCanonicallyEqual(DirectMine(db_, 2), std::move(result.patterns),
                          "recycle from memoized image");
 }
@@ -256,9 +263,10 @@ TEST_F(ServeBehaviorTest, TinyBudgetServiceStaysCorrectUnderEviction) {
   options.store.byte_budget = 1;  // Nothing fits: every Put is rejected.
   MiningService service(db_, "paper", options);
   for (uint64_t minsup : {4u, 2u, 3u, 2u}) {
-    MineResult result = ServeAt(service, minsup, 0);
+    ServeStats stats;
+    MineResult result = ServeAt(service, minsup, 0, &stats);
     // With no cache every query falls back to scratch — and stays right.
-    EXPECT_EQ(service.last_stats().route, SeedRoute::kNone);
+    EXPECT_EQ(stats.route, SeedRoute::kNone);
     ExpectCanonicallyEqual(DirectMine(db_, minsup),
                            std::move(result.patterns),
                            "mining with a zero-capacity store");

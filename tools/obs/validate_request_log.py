@@ -5,14 +5,18 @@ Checks (DESIGN.md §12):
 
 1. Every line is one valid JSON object whose keys are exactly the
    documented schema, in the documented order.
-2. Request ids are unique and strictly increasing.
-3. `route`/`outcome` values come from their documented enums, and
-   `cache_hit` is true iff the route is `exact`.
+2. Request ids are unique and strictly increasing (with `--concurrent`:
+   unique only — concurrent drivers interleave in file order).
+3. `route`/`outcome` values come from their documented enums, `cache_hit`
+   is true iff the route is `exact`, and `coalesced` (a single-flight
+   follower adopting a concurrent identical mine) implies route `exact`.
 4. Per-request phase seconds sum to at most the wall seconds, and to at
    least wall minus `--wall-slack-pct` (with a 2 ms absolute floor for
-   microsecond-scale exact hits).
+   microsecond-scale exact hits). Skipped under `--concurrent`: phase
+   attribution is exact only for single-driver sessions (DESIGN.md §12).
 5. With `--metrics <metrics.json>`: completed-request route counts
-   reconcile exactly with the `serve.*` counters.
+   reconcile exactly with the `serve.*` counters, including
+   `serve.coalesced` against the coalesced-true events.
 
 Exit status: 0 valid, 1 violation, 2 usage/parse error.
 """
@@ -23,9 +27,9 @@ import sys
 
 SCHEMA_KEYS = [
     "request_id", "dataset", "min_support", "fingerprint", "route",
-    "cache_hit", "seed_support", "evictions", "image_evictions",
-    "patterns", "partial", "frontier_support", "outcome", "seconds",
-    "bytes_peak", "threads", "phases",
+    "cache_hit", "coalesced", "seed_support", "evictions",
+    "image_evictions", "patterns", "partial", "frontier_support",
+    "outcome", "seconds", "bytes_peak", "threads", "phases",
 ]
 ROUTES = {"none", "exact", "filter-down", "recycle"}
 ROUTE_COUNTER = {
@@ -47,6 +51,10 @@ def main():
     parser.add_argument("--metrics", default=None,
                         help="metrics JSON snapshot from the same run; "
                              "route counts must reconcile exactly")
+    parser.add_argument("--concurrent", action="store_true",
+                        help="log written by concurrent drivers: ids must "
+                             "be unique but may interleave, and per-request "
+                             "phase attribution is not checked")
     parser.add_argument("--wall-slack-pct", type=float, default=5.0,
                         help="allowed gap between wall seconds and the "
                              "phase sum (default %(default)s%%)")
@@ -83,7 +91,7 @@ def main():
         rid = ev["request_id"]
         if rid in seen_ids:
             fail(errors, i, f"duplicate request_id {rid}")
-        if rid <= last_id:
+        if not args.concurrent and rid <= last_id:
             fail(errors, i, f"request_id {rid} not strictly increasing "
                             f"(previous {last_id})")
         seen_ids.add(rid)
@@ -94,6 +102,11 @@ def main():
         if ev["cache_hit"] != (ev["route"] == "exact"):
             fail(errors, i, f"cache_hit={ev['cache_hit']} inconsistent "
                             f"with route '{ev['route']}'")
+        if not isinstance(ev["coalesced"], bool):
+            fail(errors, i, f"coalesced={ev['coalesced']!r} is not a bool")
+        elif ev["coalesced"] and ev["route"] != "exact":
+            fail(errors, i, f"coalesced event has route '{ev['route']}' "
+                            f"(followers report exact)")
         outcome = ev["outcome"]
         if outcome not in ("ok", "partial") and \
                 not outcome.startswith("error:"):
@@ -102,6 +115,8 @@ def main():
             fail(errors, i, f"outcome '{outcome}' inconsistent with "
                             f"partial={ev['partial']}")
 
+        if args.concurrent:
+            continue  # Phase spans attribute exactly only single-driver.
         wall = float(ev["seconds"])
         # phases parsed with object_pairs_hook: a list of (name, seconds).
         phase_sum = sum(float(v) for _, v in ev["phases"])
@@ -132,6 +147,11 @@ def main():
             if got != want:
                 errors.append(f"{counter}={got} != {want} completed "
                               f"'{route}' events")
+        coalesced = sum(1 for ev in completed if ev["coalesced"] is True)
+        if counters.get("serve.coalesced", 0) != coalesced:
+            errors.append(
+                f"serve.coalesced={counters.get('serve.coalesced', 0)} "
+                f"!= {coalesced} coalesced events")
         failed = sum(1 for _, ev in events
                      if ev["outcome"].startswith("error:"))
         if counters.get("serve.errors", 0) != failed:
