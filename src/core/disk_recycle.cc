@@ -13,6 +13,7 @@
 #include "util/env.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/retry.h"
 #include "util/timer.h"
 
 namespace gogreen::core {
@@ -21,12 +22,14 @@ namespace {
 
 using fpm::Rank;
 
-// Transient spill-IO failures are retried this many times total, sleeping
-// 1/2/4... ms between attempts.
-constexpr int kMaxIoAttempts = 3;
-
-void BackoffBeforeRetry(int attempt) {
-  std::this_thread::sleep_for(std::chrono::milliseconds(1 << (attempt - 1)));
+// Transient spill-IO failures are retried under the shared policy
+// (util/retry.h): 3 attempts total with ~1/2 ms exponential backoff, the
+// same schedule the old local loop used. Only transient failures retry;
+// anything else propagates on the first occurrence.
+RetryPolicy SpillRetryPolicy() {
+  RetryPolicy policy;
+  policy.jitter_seed = 0x5917117e5ULL;  // Stable, distinct from pattern_io's.
+  return policy;
 }
 
 /// Serializes slices to per-rank spill files.
@@ -65,13 +68,9 @@ class SliceSpillWriter {
       }
       used_.push_back(r);
     }
-    Status st;
-    for (int attempt = 1; attempt <= kMaxIoAttempts; ++attempt) {
-      if (attempt > 1) BackoffBeforeRetry(attempt - 1);
-      st = AppendOnce(files_[r], r, slice);
-      if (st.ok()) return st;
-    }
-    return st;
+    return RetryTransient(SpillRetryPolicy(), [this, r, &slice] {
+      return AppendOnce(files_[r], r, slice);
+    });
   }
 
   Status Finish() {
@@ -175,12 +174,8 @@ Result<std::vector<Slice>> ReadSliceSpillOnce(const std::string& path) {
 /// Reads one spill partition, retrying transient failures whole-call (each
 /// attempt reopens and rescans from the start, so retries are idempotent).
 Result<std::vector<Slice>> ReadSliceSpill(const std::string& path) {
-  Result<std::vector<Slice>> result = ReadSliceSpillOnce(path);
-  for (int attempt = 1; !result.ok() && attempt < kMaxIoAttempts; ++attempt) {
-    BackoffBeforeRetry(attempt);
-    result = ReadSliceSpillOnce(path);
-  }
-  return result;
+  return RetryTransientResult<std::vector<Slice>>(
+      SpillRetryPolicy(), [&path] { return ReadSliceSpillOnce(path); });
 }
 
 struct SliceTotals {

@@ -81,6 +81,14 @@ struct MineRequest {
   /// override, see ThreadPool::ScopedThreads) without touching the global
   /// configuration. The mined set is identical at any count.
   size_t threads = 0;
+  /// Serving-layer tenant identity ("" = anonymous/default tenant). Mining
+  /// ignores it; serve::AdmissionController keys its token buckets on it
+  /// and the wide event reports it.
+  std::string tenant;
+  /// Milliseconds this request waited in the admission queue before being
+  /// dispatched (stamped by the admission layer; 0 when it bypassed the
+  /// queue). Observability only — mining ignores it.
+  uint64_t queued_ms = 0;
 
   /// Shorthand for a plain support-only query.
   static MineRequest At(uint64_t support) {

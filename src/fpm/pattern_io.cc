@@ -9,12 +9,23 @@
 
 #include "fpm/pattern.h"
 #include "util/failpoint.h"
+#include "util/retry.h"
 
 namespace gogreen::fpm {
 
 namespace {
 
 constexpr uint64_t kMagic = 0x544150474F474F47ULL;  // "GOGOGPAT"
+
+/// Writes retry under the shared transient-only policy (util/retry.h): each
+/// attempt rebuilds the temp file from scratch (O_TRUNC), so retries are
+/// idempotent. A non-transient failure — e.g. an InvalidArgument — returns
+/// immediately; only IO faults get the extra attempts.
+RetryPolicy WriteRetryPolicy() {
+  RetryPolicy policy;
+  policy.jitter_seed = 0x9a77e121700ULL;
+  return policy;
+}
 
 /// FNV-1a over every payload byte; stored as the file's trailer so a torn
 /// or bit-flipped file is rejected instead of silently mis-seeding a cache.
@@ -57,11 +68,9 @@ Status CommitTempFile(const std::string& tmp, const std::string& path) {
   return SyncFd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY), dir);
 }
 
-}  // namespace
-
-Result<uint64_t> WritePatternFile(const PatternSet& fp,
-                                  const PatternSetHeader& header,
-                                  const std::string& path) {
+Result<uint64_t> WritePatternFileOnce(const PatternSet& fp,
+                                      const PatternSetHeader& header,
+                                      const std::string& path) {
   GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("pattern_io.write"));
   const std::string tmp = path + ".tmp";
   uint64_t bytes = 0;
@@ -102,6 +111,16 @@ Result<uint64_t> WritePatternFile(const PatternSet& fp,
   }
   GOGREEN_RETURN_NOT_OK(CommitTempFile(tmp, path));
   return bytes;
+}
+
+}  // namespace
+
+Result<uint64_t> WritePatternFile(const PatternSet& fp,
+                                  const PatternSetHeader& header,
+                                  const std::string& path) {
+  return RetryTransientResult<uint64_t>(WriteRetryPolicy(), [&] {
+    return WritePatternFileOnce(fp, header, path);
+  });
 }
 
 Result<std::pair<PatternSet, PatternSetHeader>> ReadPatternFile(
@@ -161,8 +180,10 @@ Result<std::pair<PatternSet, PatternSetHeader>> ReadPatternFile(
   return std::make_pair(std::move(fp), std::move(header));
 }
 
-Result<uint64_t> WritePatternText(const PatternSet& fp,
-                                  const std::string& path) {
+namespace {
+
+Result<uint64_t> WritePatternTextOnce(const PatternSet& fp,
+                                      const std::string& path) {
   GOGREEN_RETURN_NOT_OK(failpoint::MaybeFail("pattern_io.write"));
   const std::string tmp = path + ".tmp";
   uint64_t bytes = 0;
@@ -192,6 +213,15 @@ Result<uint64_t> WritePatternText(const PatternSet& fp,
   }
   GOGREEN_RETURN_NOT_OK(CommitTempFile(tmp, path));
   return bytes;
+}
+
+}  // namespace
+
+Result<uint64_t> WritePatternText(const PatternSet& fp,
+                                  const std::string& path) {
+  return RetryTransientResult<uint64_t>(
+      WriteRetryPolicy(),
+      [&fp, &path] { return WritePatternTextOnce(fp, path); });
 }
 
 Result<PatternSet> ReadPatternText(const std::string& path) {

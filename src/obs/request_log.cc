@@ -26,7 +26,8 @@ const std::vector<std::string>& RequestEvent::SchemaKeys() {
       "route",         "cache_hit",       "coalesced",   "seed_support",
       "evictions",     "image_evictions", "patterns",    "partial",
       "frontier_support", "outcome",      "seconds",     "bytes_peak",
-      "threads",       "phases",
+      "threads",       "tenant",          "queued_ms",   "degraded",
+      "shed",          "phases",
   };
   return *keys;
 }
@@ -50,6 +51,10 @@ std::string RequestEvent::ToJsonLine() const {
      << ",\"seconds\":" << FormatDouble(seconds)
      << ",\"bytes_peak\":" << bytes_peak
      << ",\"threads\":" << threads
+     << ",\"tenant\":\"" << JsonEscape(tenant) << "\""
+     << ",\"queued_ms\":" << queued_ms
+     << ",\"degraded\":" << (degraded ? "true" : "false")
+     << ",\"shed\":" << (shed ? "true" : "false")
      << ",\"phases\":{";
   for (size_t i = 0; i < phases.size(); ++i) {
     if (i > 0) os << ",";

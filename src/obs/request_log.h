@@ -66,10 +66,16 @@ struct RequestEvent {
   uint64_t patterns = 0;
   bool partial = false;
   uint64_t frontier_support = 0;  ///< Meaningful when partial.
-  std::string outcome;        ///< "ok" | "partial" | "error:<Code>".
+  std::string outcome;        ///< "ok" | "partial" | "degraded" | "shed"
+                              ///< | "error:<Code>".
   double seconds = 0.0;       ///< End-to-end service wall time.
   uint64_t bytes_peak = 0;    ///< Governor-accounted scratch high-water.
   uint64_t threads = 0;       ///< Effective mining parallelism.
+  std::string tenant;         ///< Tenant id ("" = anonymous/default).
+  uint64_t queued_ms = 0;     ///< Admission-queue wait before dispatch.
+  bool degraded = false;      ///< Stale/frontier store entry served under
+                              ///< shed pressure or an open breaker.
+  bool shed = false;          ///< Rejected by admission (no mining ran).
   /// Wall seconds per serve-layer phase span (serve.exact, serve.scratch,
   /// serve.compress, ...) for *this* request, from tracer aggregate deltas.
   /// The phase spans are disjoint, so their sum approximates `seconds`

@@ -114,6 +114,10 @@ obs::RequestEvent BuildEvent(const obs::RequestContext& rctx,
   event.seconds = stats.seconds;
   event.bytes_peak = stats.bytes_peak;
   event.threads = stats.threads;
+  event.tenant = stats.tenant;
+  event.queued_ms = stats.queued_ms;
+  event.degraded = stats.degraded;
+  event.shed = stats.shed;
   event.phases = stats.phases;
   return event;
 }
@@ -157,6 +161,8 @@ Result<fpm::MineResult> MiningService::Mine(const fpm::MineRequest& request,
   const StoreStats store_before = store_.stats();
   ServeStats stats;
   stats.request_id = rctx.request_id;
+  stats.tenant = request.tenant;
+  stats.queued_ms = request.queued_ms;
   Timer total;
   Result<fpm::MineResult> outcome = [&]() -> Result<fpm::MineResult> {
     // Inner scope so the envelope span has closed (and flushed into the

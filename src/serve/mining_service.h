@@ -83,7 +83,14 @@ struct ServeStats {
   uint64_t threads = 0;       ///< Effective mining parallelism.
   uint64_t evictions = 0;     ///< Store evictions this request triggered.
   uint64_t image_evictions = 0;
-  std::string outcome;        ///< "ok" | "partial" | "error:<Code>".
+  std::string tenant;         ///< Tenant id ("" = anonymous/default).
+  uint64_t queued_ms = 0;     ///< Admission-queue wait (0 = no queueing).
+  bool degraded = false;      ///< Served a stale/frontier store entry
+                              ///< instead of mining (admission layer).
+  bool shed = false;          ///< Rejected by admission control.
+  uint64_t retry_after_ms = 0;  ///< Hint accompanying a shed rejection.
+  std::string outcome;        ///< "ok" | "partial" | "degraded" | "shed"
+                              ///< | "error:<Code>".
   /// Per-request wall seconds of the disjoint serve.* phase spans (empty
   /// when the tracer is disabled). See obs::RequestEvent::phases.
   std::vector<std::pair<std::string, double>> phases;

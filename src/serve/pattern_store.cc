@@ -89,7 +89,8 @@ size_t PatternSetCost(const fpm::PatternSet& fp) {
 
 PatternStore::PatternStore() : PatternStore(Options()) {}
 
-PatternStore::PatternStore(Options options) : options_(options) {
+PatternStore::PatternStore(Options options)
+    : options_(options), budget_(options.byte_budget) {
   const size_t count = std::max<size_t>(1, options_.shards);
   shards_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
@@ -208,7 +209,7 @@ bool PatternStore::EvictOneEntry(const StoreKey* keep) {
 bool PatternStore::ReserveBytes(size_t cost, const StoreKey* keep) {
   while (true) {
     size_t current = bytes_.load(std::memory_order_relaxed);
-    if (current + cost <= options_.byte_budget) {
+    if (current + cost <= budget_.load(std::memory_order_relaxed)) {
       if (bytes_.compare_exchange_weak(current, current + cost,
                                        std::memory_order_relaxed)) {
         return true;
@@ -232,7 +233,7 @@ bool PatternStore::Put(const StoreKey& key, fpm::PatternSet patterns,
     auto existing = FindInShard(shard, key);
     if (existing != shard.entries.end()) DropEntryLocked(shard, existing);
   }
-  if (cost > options_.byte_budget) {
+  if (cost > byte_budget()) {
     RecordStoreBytes(bytes_in_use());
     return false;
   }
@@ -275,7 +276,7 @@ void PatternStore::PutCompressed(
     }
     // The image must fit next to its own pattern set; if evicting *other*
     // entries cannot make room, skip the memoization.
-    if (it->pattern_bytes + cost > options_.byte_budget) return;
+    if (it->pattern_bytes + cost > byte_budget()) return;
   }
   if (!ReserveBytes(cost, /*keep=*/&key)) return;
   {
@@ -361,7 +362,7 @@ StoreStats PatternStore::stats() const {
     }
   }
   stats.bytes_in_use = bytes_in_use();
-  stats.byte_budget = options_.byte_budget;
+  stats.byte_budget = byte_budget();
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.image_evictions = image_evictions_.load(std::memory_order_relaxed);
   return stats;
@@ -369,6 +370,18 @@ StoreStats PatternStore::stats() const {
 
 size_t PatternStore::bytes_in_use() const {
   return bytes_.load(std::memory_order_relaxed);
+}
+
+void PatternStore::SetByteBudget(size_t byte_budget) {
+  budget_.store(byte_budget, std::memory_order_relaxed);
+  // Shrink: evict (images first, then whole entries) until the ledger fits
+  // the new budget. Nothing-evictable only happens once the store is
+  // empty, at which point the ledger is 0 <= any budget.
+  while (bytes_in_use() > byte_budget) {
+    if (EvictOneImage(/*keep=*/nullptr)) continue;
+    if (!EvictOneEntry(/*keep=*/nullptr)) break;
+  }
+  RecordStoreBytes(bytes_in_use());
 }
 
 Status PatternStore::SaveTo(const std::string& dir) const {

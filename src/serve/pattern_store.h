@@ -109,7 +109,17 @@ class PatternStore {
 
   StoreStats stats() const;
   size_t bytes_in_use() const;
-  size_t byte_budget() const { return options_.byte_budget; }
+  size_t byte_budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the byte budget at runtime. Shrinking below the current usage
+  /// evicts globally-LRU victims (images first, then entries) until the
+  /// ledger fits the new budget; growing takes effect immediately. The
+  /// budget invariant — bytes_in_use() <= byte_budget() at every instant —
+  /// holds again once this returns (concurrent inserts racing the shrink
+  /// are bounded by whichever budget value their CAS observed).
+  void SetByteBudget(size_t byte_budget);
 
   /// Persists every entry as a pattern file under `dir` (created if
   /// missing), one crash-safe file per entry. Compressed images are not
@@ -163,6 +173,10 @@ class PatternStore {
   uint64_t NextStamp() { return 1 + clock_.fetch_add(1); }
 
   Options options_;
+  /// Live byte budget; starts at options_.byte_budget, re-armed by
+  /// SetByteBudget. Atomic so the ReserveBytes CAS loop and concurrent
+  /// readers see one coherent value.
+  std::atomic<size_t> budget_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Global byte ledger: the sum of live entry costs plus in-flight
   /// reservations. Only ever grows via the budget-checked CAS in

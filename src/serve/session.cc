@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/export.h"
+#include "serve/admission.h"
 #include "util/run_context.h"
 
 namespace gogreen::serve {
@@ -19,6 +20,7 @@ constexpr const char* kHelp =
     "  threads <n>     per-request thread count (0 = global pool)\n"
     "  deadline <ms>   per-request deadline (0 = off)\n"
     "  budget <mb>     per-request memory budget in MiB (0 = off)\n"
+    "  tenant <name>   tenant id for following mines (admission quotas)\n"
     "  stats           route/timing of the most recent mine\n"
     "  \\stats          process-wide metrics (Prometheus text format)\n"
     "  store           pattern-store contents and byte accounting\n"
@@ -32,6 +34,7 @@ struct Knobs {
   size_t threads = 0;
   uint64_t deadline_ms = 0;
   uint64_t budget_mb = 0;
+  std::string tenant;
 };
 
 Result<uint64_t> ParseCount(const std::string& word, const char* what) {
@@ -60,8 +63,8 @@ Result<uint64_t> ParseSupport(const std::string& word,
   return static_cast<uint64_t>(raw);
 }
 
-Status DoMine(MiningService& service, const Knobs& knobs,
-              const std::string& arg, std::ostream& out,
+Status DoMine(MiningService& service, AdmissionController* admission,
+              const Knobs& knobs, const std::string& arg, std::ostream& out,
               SessionSummary* summary, ServeStats* last) {
   GOGREEN_ASSIGN_OR_RETURN(
       const uint64_t minsup,
@@ -69,6 +72,7 @@ Status DoMine(MiningService& service, const Knobs& knobs,
   RunContext ctx;
   fpm::MineRequest request = fpm::MineRequest::At(minsup);
   request.threads = knobs.threads;
+  request.tenant = knobs.tenant;
   if (knobs.deadline_ms > 0 || knobs.budget_mb > 0) {
     if (knobs.deadline_ms > 0) {
       ctx.SetDeadlineAfterMillis(static_cast<int64_t>(knobs.deadline_ms));
@@ -80,7 +84,9 @@ Status DoMine(MiningService& service, const Knobs& knobs,
   }
   ServeStats stats;
   GOGREEN_ASSIGN_OR_RETURN(const fpm::MineResult result,
-                           service.Mine(request, &stats));
+                           admission != nullptr
+                               ? admission->Mine(request, &stats)
+                               : service.Mine(request, &stats));
   ++summary->mines;
   if (result.partial) ++summary->partials;
   *last = stats;
@@ -111,6 +117,10 @@ void PrintStats(const ServeStats& stats, std::ostream& out) {
       << " evictions=" << stats.evictions
       << " outcome=" << (stats.outcome.empty() ? "none" : stats.outcome)
       << " coalesced=" << (stats.coalesced ? 1 : 0)
+      << " tenant=" << (stats.tenant.empty() ? "-" : stats.tenant)
+      << " queued_ms=" << stats.queued_ms
+      << " degraded=" << (stats.degraded ? 1 : 0)
+      << " shed=" << (stats.shed ? 1 : 0)
       << "\n";
 }
 
@@ -125,12 +135,12 @@ void PrintStore(const PatternStore& store, std::ostream& out) {
 
 /// One command line. Returns OK on success; errors are fatal only in
 /// strict mode (the caller decides).
-Status RunCommand(MiningService& service, Knobs* knobs,
-                  const std::string& verb, const std::string& arg,
-                  std::ostream& out, SessionSummary* summary,
-                  ServeStats* last) {
+Status RunCommand(MiningService& service, AdmissionController* admission,
+                  Knobs* knobs, const std::string& verb,
+                  const std::string& arg, std::ostream& out,
+                  SessionSummary* summary, ServeStats* last) {
   if (verb == "mine") {
-    return DoMine(service, *knobs, arg, out, summary, last);
+    return DoMine(service, admission, *knobs, arg, out, summary, last);
   }
   if (verb == "threads") {
     GOGREEN_ASSIGN_OR_RETURN(const uint64_t n, ParseCount(arg, "threads"));
@@ -149,6 +159,11 @@ Status RunCommand(MiningService& service, Knobs* knobs,
   if (verb == "budget") {
     GOGREEN_ASSIGN_OR_RETURN(knobs->budget_mb, ParseCount(arg, "budget"));
     out << "budget_mb=" << knobs->budget_mb << "\n";
+    return Status::OK();
+  }
+  if (verb == "tenant") {
+    knobs->tenant = arg;  // Empty arg resets to the anonymous tenant.
+    out << "tenant=" << (arg.empty() ? "-" : arg) << "\n";
     return Status::OK();
   }
   if (verb == "stats") {
@@ -194,6 +209,7 @@ Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
                                   const SessionConfig& config) {
   SessionSummary summary;
   Knobs knobs;
+  knobs.tenant = config.tenant;
   // Per-session "most recent mine" stats for the `stats` verb: Mine()
   // returns stats by value, so this single-driver snapshot is race-free
   // even when other sessions share the service.
@@ -208,8 +224,8 @@ Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
     if (!verb.empty() && verb[0] != '#') {
       if (verb == "quit" || verb == "exit") break;
       ++summary.commands;
-      const Status status =
-          RunCommand(service, &knobs, verb, arg, out, &summary, &last);
+      const Status status = RunCommand(service, config.admission, &knobs,
+                                       verb, arg, out, &summary, &last);
       if (!status.ok()) {
         if (!config.interactive) return status;
         ++summary.errors;

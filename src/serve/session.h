@@ -9,6 +9,7 @@
 //   threads <n>     per-request thread count for following mines (0=global)
 //   deadline <ms>   per-request deadline for following mines (0=off)
 //   budget <mb>     per-request memory budget in MiB (0=off)
+//   tenant <name>   tenant id stamped on following mines (admission quotas)
 //   stats           route/timing of the most recent mine
 //   \stats          process-wide metrics (Prometheus text format)
 //   store           pattern-store contents and byte accounting
@@ -22,16 +23,26 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "serve/mining_service.h"
 #include "util/status.h"
 
 namespace gogreen::serve {
 
+class AdmissionController;
+
 struct SessionConfig {
   /// Interactive mode prompts and keeps going after a failed command;
   /// script (batch) mode is strict — the first error aborts the session.
   bool interactive = false;
+  /// When set, mines route through this admission controller (queueing,
+  /// quotas, breaker, degradation) instead of calling the service
+  /// directly. Borrowed; must outlive the session.
+  AdmissionController* admission = nullptr;
+  /// Initial tenant id stamped on mine requests (the `tenant` verb
+  /// overrides it mid-session). "" = anonymous/default tenant.
+  std::string tenant;
 };
 
 /// What a finished session did, for exit-code decisions and tests.

@@ -20,7 +20,10 @@ namespace {
 // cross-checks the call-site literals against this list; update both when
 // adding or removing a seam.
 constexpr std::string_view kKnownSites[] = {
+    "admission.queue",  // admission.cc: wait-queue admission decision
+    "admission.quota",  // admission.cc: per-tenant token-bucket check
     "alloc.charge",  // run_context.cc: cooperative byte charge
+    "breaker.trip",  // admission.cc: forced failure of a dispatched mine
     "coalesce.leader",  // mining_service.cc: single-flight leader mine
     "dat_io.open",   // dat_io.cc: dataset open
     "dat_io.read",   // dat_io.cc: dataset read

@@ -1,0 +1,107 @@
+// Bounded retry with exponential backoff and deterministic jitter,
+// generalized from the ad-hoc spill-IO loop that used to live in
+// disk_recycle.cc. Shared by the spill writer/reader, pattern_io's write
+// path, and any future IO seam that wants the same policy.
+//
+// The contract that matters: only *transient* failures are retried.
+// `IsTransient` classifies IOError and ResourceExhausted as worth another
+// attempt; InvalidArgument, NotFound, and the rest can never succeed on a
+// retry, so the first such status is returned immediately (retrying an
+// InvalidArgument was the bug this header's extraction fixed).
+//
+// Backoff is exponential (base * 2^(attempt-1), capped) plus a
+// deterministic jitter derived from a splitmix64 hash of (seed, attempt):
+// two retry loops armed with different seeds desynchronize instead of
+// thundering in lockstep, yet a fixed seed reproduces the exact sleep
+// schedule — tests stay deterministic.
+
+#ifndef GOGREEN_UTIL_RETRY_H_
+#define GOGREEN_UTIL_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "util/status.h"
+
+namespace gogreen {
+
+/// Policy for one retry loop. The defaults reproduce the historical spill
+/// policy: 3 attempts total, sleeping ~1/2 ms between them.
+struct RetryPolicy {
+  /// Total attempts, including the first (>= 1). 3 means "retry twice".
+  int max_attempts = 3;
+  /// Backoff before the first retry; doubles per subsequent retry.
+  std::chrono::milliseconds base_backoff{1};
+  /// Ceiling on a single backoff sleep (pre-jitter).
+  std::chrono::milliseconds max_backoff{64};
+  /// Seed for the deterministic jitter. Loops with distinct seeds spread
+  /// out; a fixed seed gives a reproducible sleep schedule.
+  uint64_t jitter_seed = 0;
+};
+
+/// True for failures a retry can plausibly outlast: transient IO errors and
+/// resource exhaustion. Everything else — malformed input, missing files,
+/// programmer errors — fails the loop on the first occurrence.
+inline bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+/// The backoff to sleep before retry number `retry` (1-based): exponential
+/// in the retry index, capped, plus up to +50% deterministic jitter.
+inline std::chrono::milliseconds BackoffDelay(const RetryPolicy& policy,
+                                              int retry) {
+  int64_t base = policy.base_backoff.count();
+  for (int i = 1; i < retry && base < policy.max_backoff.count(); ++i) {
+    base *= 2;
+  }
+  if (base > policy.max_backoff.count()) base = policy.max_backoff.count();
+  // splitmix64 over (seed, retry): platform-stable, stateless.
+  uint64_t z = policy.jitter_seed + 0x9e3779b97f4a7c15ULL *
+                                        static_cast<uint64_t>(retry);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const int64_t jitter =
+      base > 0 ? static_cast<int64_t>(z % (static_cast<uint64_t>(base) / 2 +
+                                           1))
+               : 0;
+  return std::chrono::milliseconds(base + jitter);
+}
+
+/// Runs `fn` (returning Status) up to `policy.max_attempts` times, sleeping
+/// the backoff between attempts. Returns the first success, the first
+/// non-transient failure, or the last transient failure once attempts are
+/// exhausted.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, Fn&& fn) {
+  Status status = Status::OK();
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    if (attempt > 1) std::this_thread::sleep_for(BackoffDelay(policy,
+                                                              attempt - 1));
+    status = fn();
+    if (status.ok() || !IsTransient(status)) return status;
+  }
+  return status;
+}
+
+/// Result<T> flavor of RetryTransient: `fn` returns Result<T>; the same
+/// transient-only retry rules apply to its status.
+template <typename T, typename Fn>
+Result<T> RetryTransientResult(const RetryPolicy& policy, Fn&& fn) {
+  Result<T> result = fn();
+  for (int attempt = 2;
+       !result.ok() && IsTransient(result.status()) &&
+       attempt <= policy.max_attempts;
+       ++attempt) {
+    std::this_thread::sleep_for(BackoffDelay(policy, attempt - 1));
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_RETRY_H_

@@ -413,5 +413,66 @@ TEST(PatternStoreTest, ConcurrentMixedOperationsHoldBudgetInvariant) {
   EXPECT_EQ(store.bytes_in_use(), 0u);
 }
 
+TEST(PatternStoreTest, ZeroBudgetRejectsEverything) {
+  PatternStore::Options options;
+  options.byte_budget = 0;
+  PatternStore store(options);
+  EXPECT_FALSE(store.Put(Key(10), SetOfSize(1), 1));
+  EXPECT_EQ(store.Get(Key(10)), nullptr);
+  EXPECT_EQ(store.bytes_in_use(), 0u);
+  EXPECT_EQ(store.stats().entries, 0u);
+  // A degenerate store still answers the read-side API coherently.
+  EXPECT_TRUE(store.Candidates("db", "").empty());
+  store.Clear();
+  EXPECT_EQ(store.bytes_in_use(), 0u);
+}
+
+TEST(PatternStoreTest, TinyBudgetAdmitsOnlyWhatFits) {
+  PatternStore::Options options;
+  options.byte_budget = PatternSetCost(SetOfSize(2));
+  PatternStore store(options);
+  ASSERT_TRUE(store.Put(Key(10), SetOfSize(2), 1));   // Exactly fits.
+  EXPECT_FALSE(store.Put(Key(20), SetOfSize(3), 1));  // Alone too big.
+  EXPECT_NE(store.Get(Key(10)), nullptr);
+  EXPECT_EQ(store.bytes_in_use(), PatternSetCost(SetOfSize(2)));
+}
+
+TEST(PatternStoreTest, ShrinkBelowUsageEvictsLruToFit) {
+  PatternStore store;  // Default (ample) budget.
+  ASSERT_TRUE(store.Put(Key(10), SetOfSize(4), 1));
+  ASSERT_TRUE(store.Put(Key(20), SetOfSize(4), 1));
+  ASSERT_TRUE(store.Put(Key(30), SetOfSize(4), 1));
+  // Touch the oldest so the middle entry is the global LRU victim.
+  ASSERT_NE(store.Get(Key(10)), nullptr);
+  const size_t per_entry = PatternSetCost(SetOfSize(4));
+  ASSERT_EQ(store.bytes_in_use(), 3 * per_entry);
+
+  store.SetByteBudget(2 * per_entry);
+  EXPECT_EQ(store.byte_budget(), 2 * per_entry);
+  EXPECT_LE(store.bytes_in_use(), 2 * per_entry);
+  EXPECT_EQ(store.Get(Key(20)), nullptr) << "LRU entry should be evicted";
+  EXPECT_NE(store.Get(Key(10)), nullptr);
+  EXPECT_NE(store.Get(Key(30)), nullptr);
+  EXPECT_GE(store.stats().evictions, 1u);
+}
+
+TEST(PatternStoreTest, ShrinkToZeroEmptiesStoreAndRegrowReadmits) {
+  PatternStore store;
+  ASSERT_TRUE(store.Put(Key(10), SetOfSize(3), 1));
+  ASSERT_TRUE(store.Put(Key(20), SetOfSize(3), 1));
+
+  store.SetByteBudget(0);
+  EXPECT_EQ(store.byte_budget(), 0u);
+  EXPECT_EQ(store.bytes_in_use(), 0u);
+  EXPECT_EQ(store.stats().entries, 0u);
+  EXPECT_FALSE(store.Put(Key(30), SetOfSize(1), 1));  // Still zero budget.
+
+  // Regrowing takes effect immediately: inserts admit again.
+  store.SetByteBudget(size_t{1} << 20);
+  ASSERT_TRUE(store.Put(Key(30), SetOfSize(3), 1));
+  EXPECT_NE(store.Get(Key(30)), nullptr);
+  EXPECT_LE(store.bytes_in_use(), store.byte_budget());
+}
+
 }  // namespace
 }  // namespace gogreen

@@ -1,0 +1,138 @@
+// Tests for util/retry.h — the bounded transient-retry loop generalized
+// from the ad-hoc spill-IO retry. The load-bearing contract is the
+// transient/permanent split: IOError and ResourceExhausted earn more
+// attempts, while InvalidArgument (and friends) fail immediately —
+// retrying a malformed-input error was the bug the extraction fixed in
+// pattern_io's write path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace gogreen {
+namespace {
+
+TEST(RetryTest, TransientIoErrorIsRetriedUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = std::chrono::milliseconds(0);
+  int calls = 0;
+  const Status status = RetryTransient(policy, [&] {
+    ++calls;
+    if (calls < 3) return Status::IOError("flaky disk");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, ResourceExhaustedIsTransient) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_backoff = std::chrono::milliseconds(0);
+  int calls = 0;
+  const Status status = RetryTransient(policy, [&] {
+    ++calls;
+    if (calls < 2) return Status::ResourceExhausted("allocator pressure");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, InvalidArgumentFailsOnFirstAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff = std::chrono::milliseconds(0);
+  int calls = 0;
+  const Status status = RetryTransient(policy, [&] {
+    ++calls;
+    return Status::InvalidArgument("malformed pattern line");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);  // Never retried: it can never succeed.
+}
+
+TEST(RetryTest, ExhaustedAttemptsReturnLastTransientFailure) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = std::chrono::milliseconds(0);
+  int calls = 0;
+  const Status status = RetryTransient(policy, [&] {
+    ++calls;
+    return Status::IOError("attempt " + std::to_string(calls));
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_NE(status.ToString().find("attempt 3"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(RetryTest, ResultFlavorRetriesTransientOnly) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff = std::chrono::milliseconds(0);
+
+  int calls = 0;
+  Result<int> ok = RetryTransientResult<int>(policy, [&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::IOError("flaky");
+    return 42;
+  });
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(calls, 2);
+
+  calls = 0;
+  Result<int> bad = RetryTransientResult<int>(policy, [&]() -> Result<int> {
+    ++calls;
+    return Status::NotFound("no such seed");
+  });
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, IsTransientClassification) {
+  EXPECT_TRUE(IsTransient(Status::IOError("x")));
+  EXPECT_TRUE(IsTransient(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsTransient(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsTransient(Status::NotFound("x")));
+  EXPECT_FALSE(IsTransient(Status::Internal("x")));
+  EXPECT_FALSE(IsTransient(Status::OK()));
+}
+
+TEST(RetryTest, BackoffIsDeterministicExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.base_backoff = std::chrono::milliseconds(2);
+  policy.max_backoff = std::chrono::milliseconds(16);
+  policy.jitter_seed = 99;
+
+  // Deterministic: the same (policy, retry) always yields the same delay.
+  for (int retry = 1; retry <= 8; ++retry) {
+    EXPECT_EQ(BackoffDelay(policy, retry), BackoffDelay(policy, retry))
+        << "retry " << retry;
+  }
+  // Exponential pre-jitter base doubles 2, 4, 8, 16 then caps: every delay
+  // stays within [base, cap + cap/2] (jitter adds at most +50%).
+  for (int retry = 1; retry <= 8; ++retry) {
+    const auto delay = BackoffDelay(policy, retry);
+    EXPECT_GE(delay.count(), 2) << "retry " << retry;
+    EXPECT_LE(delay.count(), 16 + 8) << "retry " << retry;
+  }
+  // Distinct seeds desynchronize (not required for every retry index, but
+  // across a handful at least one delay must differ).
+  RetryPolicy other = policy;
+  other.jitter_seed = 100;
+  bool differs = false;
+  for (int retry = 1; retry <= 8 && !differs; ++retry) {
+    differs = BackoffDelay(policy, retry) != BackoffDelay(other, retry);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace gogreen

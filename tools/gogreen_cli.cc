@@ -43,6 +43,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,7 @@
 #include "obs/export.h"
 #include "obs/request_log.h"
 #include "obs/trace.h"
+#include "serve/admission.h"
 #include "serve/mining_service.h"
 #include "serve/session.h"
 #include "util/run_context.h"
@@ -199,6 +201,11 @@ int Usage() {
                "  stats    -i data.dat\n"
                "  session  -i data.dat [--script cmds.txt] [--store-dir d]\n"
                "           [--dataset-id name] [--store-mb n] [-a <algo>]\n"
+               "           [--tenant name] [--max-queue n] [--quota-qps f]\n"
+               "           (--max-queue/--quota-qps arm admission control:\n"
+               "            bounded wait queue, per-tenant token buckets,\n"
+               "            degraded serves under overload; see DESIGN.md\n"
+               "            §14)\n"
                "observability flags (any subcommand):\n"
                "  --metrics-json <path>  write metric/span snapshot JSON\n"
                "  --stats-json <path>    alias of --metrics-json\n"
@@ -508,6 +515,26 @@ Status CmdSession(const Args& args) {
   }
 
   gogreen::serve::SessionConfig config;
+  config.tenant = args.Get("tenant");
+  // Admission control is opt-in: arming either flag puts the bounded
+  // queue, tenant quotas, breaker, and degraded serves in front of every
+  // mine this session issues.
+  std::unique_ptr<gogreen::serve::AdmissionController> admission;
+  if (args.Has("max-queue") || args.Has("quota-qps")) {
+    gogreen::serve::AdmissionOptions admission_options;
+    GOGREEN_ASSIGN_OR_RETURN(const uint64_t max_queue,
+                             args.GetInt("max-queue", 16));
+    admission_options.max_queue = static_cast<size_t>(max_queue);
+    GOGREEN_ASSIGN_OR_RETURN(const double quota_qps,
+                             args.GetDouble("quota-qps", 0.0));
+    if (quota_qps < 0.0) {
+      return Status::InvalidArgument("--quota-qps must be >= 0");
+    }
+    admission_options.default_quota.qps = quota_qps;
+    admission = std::make_unique<gogreen::serve::AdmissionController>(
+        service, admission_options);
+    config.admission = admission.get();
+  }
   Result<gogreen::serve::SessionSummary> summary =
       Status::Internal("session did not run");
   const std::string script = args.Get("script");

@@ -1,22 +1,33 @@
 #!/usr/bin/env python3
 """Validate a --request-log file against the wide-event contract.
 
-Checks (DESIGN.md §12):
+Checks (DESIGN.md §12, admission fields §14):
 
 1. Every line is one valid JSON object whose keys are exactly the
-   documented schema, in the documented order.
+   documented schema, in the documented order. Unknown top-level keys are
+   a hard failure (named individually), as are missing or reordered ones.
 2. Request ids are unique and strictly increasing (with `--concurrent`:
    unique only — concurrent drivers interleave in file order).
 3. `route`/`outcome` values come from their documented enums, `cache_hit`
    is true iff the route is `exact`, and `coalesced` (a single-flight
    follower adopting a concurrent identical mine) implies route `exact`.
-4. Per-request phase seconds sum to at most the wall seconds, and to at
+4. Admission consistency: `shed` is true iff the outcome is "shed" (route
+   `none`, not coalesced, not partial); `degraded` is true iff the
+   outcome is "degraded" (route `exact`: a stale store serve).
+5. Per-request phase seconds sum to at most the wall seconds, and to at
    least wall minus `--wall-slack-pct` (with a 2 ms absolute floor for
    microsecond-scale exact hits). Skipped under `--concurrent`: phase
    attribution is exact only for single-driver sessions (DESIGN.md §12).
-5. With `--metrics <metrics.json>`: completed-request route counts
+   Shed/degraded events never mined, so they carry no phases and are
+   skipped too.
+6. With `--metrics <metrics.json>`: completed-request route counts
    reconcile exactly with the `serve.*` counters, including
-   `serve.coalesced` against the coalesced-true events.
+   `serve.coalesced` against the coalesced-true events. When the snapshot
+   carries admission counters, the overload ledger must balance exactly:
+   `serve.admitted` == ok|partial|degraded events, `serve.shed` == shed
+   events, `serve.degraded` == degraded events, and
+   `serve.admitted + serve.shed + serve.errors` == every event in the
+   log (DESIGN.md §14).
 
 Exit status: 0 valid, 1 violation, 2 usage/parse error.
 """
@@ -29,7 +40,8 @@ SCHEMA_KEYS = [
     "request_id", "dataset", "min_support", "fingerprint", "route",
     "cache_hit", "coalesced", "seed_support", "evictions",
     "image_evictions", "patterns", "partial", "frontier_support",
-    "outcome", "seconds", "bytes_peak", "threads", "phases",
+    "outcome", "seconds", "bytes_peak", "threads", "tenant", "queued_ms",
+    "degraded", "shed", "phases",
 ]
 ROUTES = {"none", "exact", "filter-down", "recycle"}
 ROUTE_COUNTER = {
@@ -81,7 +93,17 @@ def main():
             continue
         keys = [k for k, _ in pairs]
         if keys != SCHEMA_KEYS:
-            fail(errors, i, f"key set/order {keys} != schema {SCHEMA_KEYS}")
+            # Name the offenders: unknown keys are the dangerous drift
+            # (silently unvalidated data), so they fail loudest.
+            unknown = [k for k in keys if k not in SCHEMA_KEYS]
+            missing = [k for k in SCHEMA_KEYS if k not in keys]
+            if unknown:
+                fail(errors, i, f"unknown top-level key(s) {unknown} "
+                                f"(not in the documented schema)")
+            if missing:
+                fail(errors, i, f"missing schema key(s) {missing}")
+            if not unknown and not missing:
+                fail(errors, i, f"key order {keys} != schema {SCHEMA_KEYS}")
             continue
         events.append((i, dict(pairs)))
 
@@ -108,15 +130,47 @@ def main():
             fail(errors, i, f"coalesced event has route '{ev['route']}' "
                             f"(followers report exact)")
         outcome = ev["outcome"]
-        if outcome not in ("ok", "partial") and \
+        if outcome not in ("ok", "partial", "degraded", "shed") and \
                 not outcome.startswith("error:"):
             fail(errors, i, f"unknown outcome '{outcome}'")
-        if (outcome == "partial") != bool(ev["partial"]):
+        if outcome in ("ok", "partial") and \
+                (outcome == "partial") != bool(ev["partial"]):
             fail(errors, i, f"outcome '{outcome}' inconsistent with "
                             f"partial={ev['partial']}")
 
+        # Admission fields (DESIGN.md §14): the typed-outcome flags and
+        # the outcome string must tell the same story.
+        if not isinstance(ev["shed"], bool):
+            fail(errors, i, f"shed={ev['shed']!r} is not a bool")
+        elif ev["shed"] != (outcome == "shed"):
+            fail(errors, i, f"shed={ev['shed']} inconsistent with "
+                            f"outcome '{outcome}'")
+        if not isinstance(ev["degraded"], bool):
+            fail(errors, i, f"degraded={ev['degraded']!r} is not a bool")
+        elif ev["degraded"] != (outcome == "degraded"):
+            fail(errors, i, f"degraded={ev['degraded']} inconsistent with "
+                            f"outcome '{outcome}'")
+        if outcome == "shed":
+            if ev["route"] != "none":
+                fail(errors, i, f"shed event has route '{ev['route']}' "
+                                f"(never dispatched: must be 'none')")
+            if ev["coalesced"]:
+                fail(errors, i, "shed event marked coalesced")
+            if ev["partial"]:
+                fail(errors, i, "shed event marked partial")
+        if outcome == "degraded" and ev["route"] != "exact":
+            fail(errors, i, f"degraded event has route '{ev['route']}' "
+                            f"(stale store serve: must be 'exact')")
+        if not isinstance(ev["queued_ms"], int) or ev["queued_ms"] < 0:
+            fail(errors, i, f"queued_ms={ev['queued_ms']!r} is not a "
+                            f"non-negative integer")
+        if not isinstance(ev["tenant"], str):
+            fail(errors, i, f"tenant={ev['tenant']!r} is not a string")
+
         if args.concurrent:
             continue  # Phase spans attribute exactly only single-driver.
+        if outcome in ("shed", "degraded"):
+            continue  # Never mined: no phases to attribute.
         wall = float(ev["seconds"])
         # phases parsed with object_pairs_hook: a list of (name, seconds).
         phase_sum = sum(float(v) for _, v in ev["phases"])
@@ -157,6 +211,32 @@ def main():
         if counters.get("serve.errors", 0) != failed:
             errors.append(f"serve.errors={counters.get('serve.errors')} "
                           f"!= {failed} error events")
+        # Admission-ledger reconciliation (DESIGN.md §14) — only when the
+        # run had an admission controller (the counters exist): every
+        # event is exactly one of admitted, shed, or error.
+        if "serve.admitted" in counters:
+            degraded = sum(1 for _, ev in events
+                           if ev["outcome"] == "degraded")
+            shed = sum(1 for _, ev in events if ev["outcome"] == "shed")
+            admitted = len(completed) + degraded
+            if counters.get("serve.admitted", 0) != admitted:
+                errors.append(
+                    f"serve.admitted={counters.get('serve.admitted')} "
+                    f"!= {admitted} ok|partial|degraded events")
+            if counters.get("serve.shed", 0) != shed:
+                errors.append(f"serve.shed={counters.get('serve.shed', 0)} "
+                              f"!= {shed} shed events")
+            if counters.get("serve.degraded", 0) != degraded:
+                errors.append(
+                    f"serve.degraded={counters.get('serve.degraded', 0)} "
+                    f"!= {degraded} degraded events")
+            total = (counters.get("serve.admitted", 0) +
+                     counters.get("serve.shed", 0) +
+                     counters.get("serve.errors", 0))
+            if total != len(events):
+                errors.append(
+                    f"serve.admitted + serve.shed + serve.errors = {total} "
+                    f"!= {len(events)} events issued")
 
     for err in errors:
         print(f"validate_request_log: {err}")
