@@ -4,6 +4,11 @@
 // parallel projection — every slice is written, projected, to the partition
 // of each frequent item it touches — and the partitions are mined one at a
 // time with the in-memory Recycle-HM core.
+//
+// Lock-discipline audit (DESIGN.md §15): lock-free by construction — the
+// run directory is private to one request (atomic spill-id counter), and
+// partitions are mined sequentially within the run; cancellation flows
+// through RunContext atomics. Checked by the thread-safety build.
 
 #ifndef GOGREEN_CORE_DISK_RECYCLE_H_
 #define GOGREEN_CORE_DISK_RECYCLE_H_

@@ -7,6 +7,13 @@
 // (PatternSet, MiningStats) shard, and merges the shards back in ascending
 // extension order — exactly the order the sequential loop emits — so the
 // result is bit-identical for every thread count.
+//
+// Lock-discipline audit (DESIGN.md §15): this layer holds no mutex of its
+// own. Each shard is written by exactly one lane (the ThreadPool lane-
+// exclusivity contract) and merged only after the WaitGroup barrier; the
+// shared cursor is a relaxed atomic. The thread-safety build verifies the
+// layer stays that way — any future guarded state must come through
+// util/thread_annotations.h.
 
 #ifndef GOGREEN_FPM_PARALLEL_MINE_H_
 #define GOGREEN_FPM_PARALLEL_MINE_H_

@@ -6,6 +6,11 @@
 // variant the paper adopts over partition-based projection), projected to
 // the item's suffix. Each partition is then mined independently — loading
 // it whole if it fits the budget, or recursively partitioning it again.
+//
+// Lock-discipline audit (DESIGN.md §15): lock-free by construction — the
+// spill files are run-private (unique spill ids from one atomic counter)
+// and each partition is owned by a single mining pass, so there is no
+// shared mutable state to guard. Checked by the thread-safety build.
 
 #ifndef GOGREEN_FPM_PARTITION_H_
 #define GOGREEN_FPM_PARTITION_H_

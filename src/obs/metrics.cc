@@ -81,7 +81,7 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 Counter* MetricRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -91,7 +91,7 @@ Counter* MetricRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -101,7 +101,7 @@ Gauge* MetricRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricRegistry::GetHistogram(std::string_view name,
                                         std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -113,7 +113,7 @@ Histogram* MetricRegistry::GetHistogram(std::string_view name,
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -140,7 +140,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 void MetricRegistry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -72,7 +72,7 @@ RequestLog& RequestLog::Global() {
 }
 
 void RequestLog::Record(RequestEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sink_ != nullptr) {
     const std::string line = event.ToJsonLine();
     std::fwrite(line.data(), 1, line.size(), sink_);
@@ -87,22 +87,22 @@ void RequestLog::Record(RequestEvent event) {
 }
 
 std::vector<RequestEvent> RequestLog::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 uint64_t RequestLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 size_t RequestLog::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_;
 }
 
 void RequestLog::SetCapacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = capacity < 1 ? 1 : capacity;
   while (ring_.size() > capacity_) {
     ring_.pop_front();
@@ -115,14 +115,14 @@ Status RequestLog::AttachSink(const std::string& path) {
   if (f == nullptr) {
     return Status::IOError("cannot open request log: " + path);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sink_ != nullptr) std::fclose(sink_);
   sink_ = f;
   return Status::OK();
 }
 
 void RequestLog::DetachSink() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sink_ != nullptr) {
     std::fclose(sink_);
     sink_ = nullptr;
@@ -130,7 +130,7 @@ void RequestLog::DetachSink() {
 }
 
 void RequestLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   dropped_ = 0;
 }

@@ -30,12 +30,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gogreen::obs {
 
@@ -108,7 +108,7 @@ class RequestLog {
 
   /// Appends one event to the ring (dropping the oldest past capacity) and
   /// to the file sink when one is attached.
-  void Record(RequestEvent event);
+  void Record(RequestEvent event) EXCLUDES(mu_);
 
   /// Ring contents, oldest first.
   std::vector<RequestEvent> Events() const;
@@ -133,11 +133,13 @@ class RequestLog {
   static constexpr size_t kDefaultCapacity = 256;
 
   std::atomic<uint64_t> next_id_{0};
-  mutable std::mutex mu_;
-  std::deque<RequestEvent> ring_;
-  size_t capacity_ = kDefaultCapacity;
-  uint64_t dropped_ = 0;
-  std::FILE* sink_ = nullptr;
+  mutable Mutex mu_;
+  std::deque<RequestEvent> ring_ GUARDED_BY(mu_);
+  size_t capacity_ GUARDED_BY(mu_) = kDefaultCapacity;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  /// The FILE handle itself is swapped under mu_ and only ever written
+  /// under mu_ (per-line flush), hence guarded rather than pt-guarded.
+  std::FILE* sink_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace gogreen::obs

@@ -37,7 +37,7 @@ double Tracer::NowMicros() const {
 
 void Tracer::Enable(bool record_events) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     record_events_ = record_events;
   }
   enabled_.store(true, std::memory_order_relaxed);
@@ -47,7 +47,7 @@ void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 void Tracer::Record(const char* name, double start_us, double dur_us,
                     uint32_t depth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = aggregate_us_.find(name);
   if (it == aggregate_us_.end()) {
     aggregate_us_.emplace(name, dur_us);
@@ -60,7 +60,7 @@ void Tracer::Record(const char* name, double start_us, double dur_us,
 }
 
 std::vector<std::pair<std::string, double>> Tracer::AggregateSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(aggregate_us_.size());
   for (const auto& [name, us] : aggregate_us_) {
@@ -70,7 +70,7 @@ std::vector<std::pair<std::string, double>> Tracer::AggregateSeconds() const {
 }
 
 Tracer::SpanSnapshot Tracer::AggregateSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return aggregate_us_;
 }
 
@@ -86,18 +86,18 @@ std::vector<std::pair<std::string, double>> Tracer::DeltaSeconds(
 }
 
 double Tracer::SecondsFor(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = aggregate_us_.find(name);
   return it == aggregate_us_.end() ? 0.0 : it->second * 1e-6;
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 std::string Tracer::ChromeTraceJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   for (size_t i = 0; i < events_.size(); ++i) {
@@ -130,7 +130,7 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   aggregate_us_.clear();
   events_.clear();
 }

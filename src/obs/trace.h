@@ -19,12 +19,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gogreen::obs {
 
@@ -94,12 +94,12 @@ class Tracer {
   Tracer();
 
   std::atomic<bool> enabled_{false};
-  bool record_events_ = false;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, double, std::less<>> aggregate_us_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  bool record_events_ GUARDED_BY(mu_) = false;
+  std::map<std::string, double, std::less<>> aggregate_us_ GUARDED_BY(mu_);
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };
 
 /// RAII span. Construct on the stack; the time between construction and

@@ -150,7 +150,7 @@ AdmissionController::AdmissionController(MiningService& service,
 
 void AdmissionController::SetTenantQuota(const std::string& tenant,
                                          const TenantQuota& quota) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Bucket& bucket = buckets_[tenant];
   bucket.quota = quota;
   bucket.quota_set = true;
@@ -178,22 +178,30 @@ Result<fpm::MineResult> AdmissionController::Mine(
     return Dispatch(request, gate, stats_out);
   }
 
-  // Gate 2: circuit breaker for this (fingerprint, support) key.
+  // Gate 2: circuit breaker for this (fingerprint, support) key. The
+  // breaker decision is computed under mu_ and acted on after release, so
+  // DegradeOrShed (which re-enters the store) never runs with mu_ held.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    auto it = breakers_.find(gate.breaker_key);
-    if (it != breakers_.end() && it->second.open) {
-      const Clock::time_point now = Clock::now();
-      if (!it->second.probe_inflight && now >= it->second.open_until) {
-        it->second.probe_inflight = true;
-        gate.probe = true;
-      } else {
-        uint64_t retry_after_ms =
-            std::max<uint64_t>(1, CeilMillis(it->second.open_until - now));
-        lock.unlock();
-        return DegradeOrShed(request, gate, "circuit breaker open",
-                             retry_after_ms, stats_out);
+    bool breaker_open = false;
+    uint64_t retry_after_ms = 1;
+    {
+      MutexLock lock(mu_);
+      auto it = breakers_.find(gate.breaker_key);
+      if (it != breakers_.end() && it->second.open) {
+        const Clock::time_point now = Clock::now();
+        if (!it->second.probe_inflight && now >= it->second.open_until) {
+          it->second.probe_inflight = true;
+          gate.probe = true;
+        } else {
+          breaker_open = true;
+          retry_after_ms =
+              std::max<uint64_t>(1, CeilMillis(it->second.open_until - now));
+        }
       }
+    }
+    if (breaker_open) {
+      return DegradeOrShed(request, gate, "circuit breaker open",
+                           retry_after_ms, stats_out);
     }
   }
   if (gate.probe) {
@@ -209,7 +217,7 @@ Result<fpm::MineResult> AdmissionController::Mine(
     bool denied = false;
     std::string reason;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!failpoint::MaybeFail("admission.quota").ok()) {
         denied = true;
         reason = "tenant quota failure injected";
@@ -235,10 +243,10 @@ Result<fpm::MineResult> AdmissionController::Mine(
     // trip path locks the RunContext wake mutex then mu_, never the
     // reverse.
     ScopedWakeup wakeup(governed, [this] {
-      std::lock_guard<std::mutex> lock(mu_);
-      cv_.notify_all();
+      MutexLock lock(mu_);
+      cv_.NotifyAll();
     });
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!failpoint::MaybeFail("admission.queue").ok()) {
       shed_reason = "admission queue failure injected";
       shed_retry_ms = std::max<uint64_t>(1, ProjectedWaitMsLocked());
@@ -271,9 +279,9 @@ Result<fpm::MineResult> AdmissionController::Mine(
           // context here would invoke the wakeup hook above on this thread
           // while mu_ is held.
           if (Clock::now() >= governed->deadline()) break;
-          cv_.wait_until(lock, governed->deadline());
+          cv_.WaitUntil(mu_, governed->deadline());
         } else {
-          cv_.wait(lock);
+          cv_.Wait(mu_);
         }
       }
       for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
@@ -290,7 +298,7 @@ Result<fpm::MineResult> AdmissionController::Mine(
       }
       // We left the queue front (dispatched or abandoned): whoever is next
       // must re-check.
-      cv_.notify_all();
+      cv_.NotifyAll();
       if (!dispatched) {
         shed_reason = governed != nullptr && governed->stopped()
                           ? "cancelled while queued"
@@ -339,7 +347,7 @@ Result<fpm::MineResult> AdmissionController::Dispatch(
   // gets a governor here).
   TenantQuota quota;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     quota = QuotaForLocked(request.tenant);
   }
   RunContext local_ctx;
@@ -554,13 +562,13 @@ void AdmissionController::ObserveMineSecondsLocked(double seconds,
 }
 
 void AdmissionController::OnMineSuccess(const Gate& gate, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ObserveMineSecondsLocked(seconds, gate.cost_units);
   breakers_.erase(gate.breaker_key);  // Success closes (and forgets).
 }
 
 void AdmissionController::OnMineFailure(const Gate& gate) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Breaker& breaker = breakers_[gate.breaker_key];
   breaker.probe_inflight = false;
   ++breaker.consecutive_failures;
@@ -575,11 +583,11 @@ void AdmissionController::OnMineFailure(const Gate& gate) {
 }
 
 void AdmissionController::ReleaseSlot(double cost_units) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   --active_;
   active_cost_ -= cost_units;
   if (active_cost_ < 0) active_cost_ = 0;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void AdmissionController::EmitAdmissionEvent(const Gate& gate,
@@ -622,18 +630,18 @@ double AdmissionController::CostUnits(uint64_t min_support) const {
 }
 
 void AdmissionController::SeedCostEstimateForTest(double seconds_per_unit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ewma_seconds_per_unit_ = seconds_per_unit;
 }
 
 size_t AdmissionController::QueueDepthForTest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return fifo_.size();
 }
 
 bool AdmissionController::BreakerOpenForTest(const std::string& fingerprint,
                                              uint64_t min_support) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it =
       breakers_.find(fingerprint + "\n" + std::to_string(min_support));
   return it != breakers_.end() && it->second.open;

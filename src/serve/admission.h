@@ -48,11 +48,9 @@
 #define GOGREEN_SERVE_ADMISSION_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -60,6 +58,7 @@
 #include "fpm/miner.h"
 #include "serve/mining_service.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace gogreen::serve {
@@ -195,14 +194,15 @@ class AdmissionController {
   /// Takes one token from `tenant`'s bucket. On denial returns false and
   /// sets `*retry_after_ms` to the refill time of the missing fraction.
   bool TakeTokenLocked(const std::string& tenant, Clock::time_point now,
-                       uint64_t* retry_after_ms);
-  TenantQuota QuotaForLocked(const std::string& tenant) const;
+                       uint64_t* retry_after_ms) REQUIRES(mu_);
+  TenantQuota QuotaForLocked(const std::string& tenant) const REQUIRES(mu_);
 
   /// Projected wait (ms) before a new arrival would start: pending work
   /// ahead of it (queued + active cost units) divided by the slot count,
   /// scaled by the observed seconds-per-unit EWMA.
-  uint64_t ProjectedWaitMsLocked() const;
-  void ObserveMineSecondsLocked(double seconds, double cost_units);
+  uint64_t ProjectedWaitMsLocked() const REQUIRES(mu_);
+  void ObserveMineSecondsLocked(double seconds, double cost_units)
+      REQUIRES(mu_);
 
   void OnMineSuccess(const Gate& gate, double seconds);
   void OnMineFailure(const Gate& gate);
@@ -226,18 +226,22 @@ class AdmissionController {
   /// search. Immutable after construction.
   std::vector<uint64_t> item_supports_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<uint64_t> fifo_;  ///< Waiting tickets, FIFO.
-  uint64_t next_ticket_ = 1;
-  size_t active_ = 0;          ///< Requests currently dispatched.
-  double queued_cost_ = 0.0;   ///< Cost units waiting in fifo_.
-  double active_cost_ = 0.0;   ///< Cost units currently mining.
+  /// One lock for every admission gate. Lock order (DESIGN.md §15): mu_
+  /// is taken after the RunContext wake mutex on the trip path (ScopedWakeup
+  /// hook) and never the reverse; it is never held across a dispatch into
+  /// the service (so it never nests with inflight_mu_ or a shard lock).
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<uint64_t> fifo_ GUARDED_BY(mu_);  ///< Waiting tickets, FIFO.
+  uint64_t next_ticket_ GUARDED_BY(mu_) = 1;
+  size_t active_ GUARDED_BY(mu_) = 0;  ///< Requests currently dispatched.
+  double queued_cost_ GUARDED_BY(mu_) = 0.0;  ///< Cost waiting in fifo_.
+  double active_cost_ GUARDED_BY(mu_) = 0.0;  ///< Cost currently mining.
   /// EWMA of observed mine seconds per cost unit (0 = no history yet:
   /// projected waits are 0 and everything admits).
-  double ewma_seconds_per_unit_ = 0.0;
-  std::unordered_map<std::string, Bucket> buckets_;
-  std::unordered_map<std::string, Breaker> breakers_;
+  double ewma_seconds_per_unit_ GUARDED_BY(mu_) = 0.0;
+  std::unordered_map<std::string, Bucket> buckets_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Breaker> breakers_ GUARDED_BY(mu_);
 };
 
 }  // namespace gogreen::serve

@@ -198,11 +198,12 @@ Result<fpm::MineResult> MiningService::Mine(const fpm::MineRequest& request,
 }
 
 size_t MiningService::CoalesceWaitersForTest() const {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
+  MutexLock lock(inflight_mu_);
   size_t waiters = 0;
   for (const auto& [key, flight] : inflight_) {
-    std::lock_guard<std::mutex> flight_lock(flight->mu);
-    waiters += flight->waiters;
+    InFlight& f = *flight;
+    MutexLock flight_lock(f.mu);
+    waiters += f.waiters;
   }
   return waiters;
 }
@@ -232,7 +233,7 @@ Result<fpm::MineResult> MiningService::MineCoalesced(
     std::shared_ptr<InFlight> flight;
     bool leader = false;
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      MutexLock lock(inflight_mu_);
       std::shared_ptr<InFlight>& slot = inflight_[key];
       if (slot == nullptr) {
         slot = std::make_shared<InFlight>();
@@ -253,20 +254,21 @@ Result<fpm::MineResult> MiningService::MineCoalesced(
       // Retire the flight before publishing: requests arriving from here
       // on start a fresh flight instead of adopting a finished one.
       {
-        std::lock_guard<std::mutex> lock(inflight_mu_);
+        MutexLock lock(inflight_mu_);
         auto it = inflight_.find(key);
         if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
       }
       {
-        std::lock_guard<std::mutex> lock(flight->mu);
-        flight->done = true;
-        flight->ok = outcome.ok();
+        InFlight& f = *flight;
+        MutexLock lock(f.mu);
+        f.done = true;
+        f.ok = outcome.ok();
         if (outcome.ok()) {
-          flight->result = *outcome;
+          f.result = *outcome;
         } else {
-          flight->status = outcome.status();
+          f.status = outcome.status();
         }
-        flight->cv.notify_all();
+        f.cv.NotifyAll();
       }
       return outcome;
     }
@@ -284,32 +286,32 @@ Result<fpm::MineResult> MiningService::MineCoalesced(
       GOGREEN_TRACE_SPAN("serve.coalesce_wait");
       RunContext* governed = request.run_context;
       ScopedWakeup wakeup(governed, [flight] {
-        std::lock_guard<std::mutex> lock(flight->mu);
-        flight->cv.notify_all();
+        MutexLock lock(flight->mu);
+        flight->cv.NotifyAll();
       });
-      std::unique_lock<std::mutex> lock(flight->mu);
-      ++flight->waiters;
-      while (!flight->done &&
-             (governed == nullptr || !governed->stopped())) {
+      InFlight& f = *flight;
+      MutexLock lock(f.mu);
+      ++f.waiters;
+      while (!f.done && (governed == nullptr || !governed->stopped())) {
         if (governed != nullptr && governed->has_deadline()) {
-          if (flight->cv.wait_until(lock, governed->deadline()) ==
+          if (f.cv.WaitUntil(f.mu, governed->deadline()) ==
               std::cv_status::timeout) {
             // Trip the deadline ourselves — without holding flight->mu,
             // because the trip synchronously invokes the wakeup hook
             // above, which takes it.
-            lock.unlock();
+            lock.Unlock();
             governed->PollNow();
-            lock.lock();
+            lock.Lock();
           }
         } else {
-          flight->cv.wait(lock);
+          f.cv.Wait(f.mu);
         }
       }
-      --flight->waiters;
-      if (flight->done) {
-        if (flight->ok) {
+      --f.waiters;
+      if (f.done) {
+        if (f.ok) {
           adopted = true;
-          result = flight->result;
+          result = f.result;
         } else {
           leader_failed = true;
         }

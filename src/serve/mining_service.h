@@ -34,11 +34,9 @@
 #ifndef GOGREEN_SERVE_MINING_SERVICE_H_
 #define GOGREEN_SERVE_MINING_SERVICE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -49,6 +47,7 @@
 #include "fpm/miner.h"
 #include "fpm/transaction_db.h"
 #include "serve/pattern_store.h"
+#include "util/thread_annotations.h"
 #include "util/status.h"
 
 namespace gogreen::serve {
@@ -127,19 +126,19 @@ class MiningService {
   }
 
   /// Followers currently parked on in-flight leaders, across all keys.
-  size_t CoalesceWaitersForTest() const;
+  size_t CoalesceWaitersForTest() const EXCLUDES(inflight_mu_);
 
  private:
   /// One in-flight mine: the leader publishes into `result`/`status` and
   /// flips `done` under `mu`; followers park on `cv` (deadline-aware).
   struct InFlight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    bool ok = false;
-    Status status = Status::OK();
-    fpm::MineResult result;
-    size_t waiters = 0;
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    bool ok GUARDED_BY(mu) = false;
+    Status status GUARDED_BY(mu) = Status::OK();
+    fpm::MineResult result GUARDED_BY(mu);
+    size_t waiters GUARDED_BY(mu) = 0;
   };
 
   /// Single-flight rendezvous around MineRouted: elect a leader per
@@ -170,8 +169,13 @@ class MiningService {
   std::string dataset_id_;
   ServiceOptions options_;
   PatternStore store_;
-  mutable std::mutex inflight_mu_;
-  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  /// Lock order (DESIGN.md §15): inflight_mu_ is only ever taken alone or
+  /// before a flight->mu (leader election, retire); never after one — and
+  /// never together with a PatternStore shard lock (the store is consulted
+  /// strictly before the rendezvous).
+  mutable Mutex inflight_mu_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_
+      GUARDED_BY(inflight_mu_);
   std::function<void()> leader_hold_for_test_;
 };
 

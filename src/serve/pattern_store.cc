@@ -105,15 +105,14 @@ PatternStore::Shard& PatternStore::ShardOf(const StoreKey& key) const {
   return *shards_[hash % shards_.size()];
 }
 
-std::unique_lock<std::mutex> PatternStore::LockShard(
-    const Shard& shard) const {
-  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
+PatternStore::ShardLock::ShardLock(const Shard& shard) : shard_(shard) {
+  if (!shard_.mu.try_lock()) {
     RecordShardContention();
-    lock.lock();
+    shard_.mu.lock();
   }
-  return lock;
 }
+
+PatternStore::ShardLock::~ShardLock() { shard_.mu.unlock(); }
 
 PatternStore::EntryList::iterator PatternStore::FindInShard(
     Shard& shard, const StoreKey& key) {
@@ -144,9 +143,9 @@ bool PatternStore::EvictOneImage(const StoreKey* keep) {
     size_t victim_shard = 0;
     StoreKey victim_key;
     for (size_t i = 0; i < shards_.size(); ++i) {
-      auto lock = LockShard(*shards_[i]);
-      for (auto it = shards_[i]->entries.rbegin();
-           it != shards_[i]->entries.rend(); ++it) {
+      Shard& scan = *shards_[i];
+      ShardLock lock(scan);
+      for (auto it = scan.entries.rbegin(); it != scan.entries.rend(); ++it) {
         if (it->cdb == nullptr) continue;
         if (keep != nullptr && it->key == *keep) continue;
         if (it->stamp < best) {
@@ -162,7 +161,7 @@ bool PatternStore::EvictOneImage(const StoreKey* keep) {
     // Phase 2: re-lock the winner and evict, unless a concurrent op raced
     // the image away — then rescan.
     Shard& shard = *shards_[victim_shard];
-    auto lock = LockShard(shard);
+    ShardLock lock(shard);
     auto it = FindInShard(shard, victim_key);
     if (it == shard.entries.end() || it->cdb == nullptr) continue;
     bytes_.fetch_sub(it->cdb_bytes, std::memory_order_relaxed);
@@ -181,9 +180,9 @@ bool PatternStore::EvictOneEntry(const StoreKey* keep) {
     size_t victim_shard = 0;
     StoreKey victim_key;
     for (size_t i = 0; i < shards_.size(); ++i) {
-      auto lock = LockShard(*shards_[i]);
-      for (auto it = shards_[i]->entries.rbegin();
-           it != shards_[i]->entries.rend(); ++it) {
+      Shard& scan = *shards_[i];
+      ShardLock lock(scan);
+      for (auto it = scan.entries.rbegin(); it != scan.entries.rend(); ++it) {
         if (keep != nullptr && it->key == *keep) continue;
         if (it->stamp < best) {
           best = it->stamp;
@@ -196,7 +195,7 @@ bool PatternStore::EvictOneEntry(const StoreKey* keep) {
     }
     if (!found) return false;
     Shard& shard = *shards_[victim_shard];
-    auto lock = LockShard(shard);
+    ShardLock lock(shard);
     auto it = FindInShard(shard, victim_key);
     if (it == shard.entries.end()) continue;  // Raced away; rescan.
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -229,7 +228,7 @@ bool PatternStore::Put(const StoreKey& key, fpm::PatternSet patterns,
   const size_t cost = PatternSetCost(patterns);
   Shard& shard = ShardOf(key);
   {
-    auto lock = LockShard(shard);
+    ShardLock lock(shard);
     auto existing = FindInShard(shard, key);
     if (existing != shard.entries.end()) DropEntryLocked(shard, existing);
   }
@@ -249,7 +248,7 @@ bool PatternStore::Put(const StoreKey& key, fpm::PatternSet patterns,
   entry.pattern_bytes = cost;
   entry.stamp = NextStamp();
   {
-    auto lock = LockShard(shard);
+    ShardLock lock(shard);
     // A concurrent Put of the same key may have raced in after the drop
     // above; last writer wins.
     auto existing = FindInShard(shard, key);
@@ -266,7 +265,7 @@ void PatternStore::PutCompressed(
   const size_t cost = cdb->MemoryUsage();
   Shard& shard = ShardOf(key);
   {
-    auto lock = LockShard(shard);
+    ShardLock lock(shard);
     auto it = FindInShard(shard, key);
     if (it == shard.entries.end()) return;
     if (it->cdb != nullptr) {
@@ -280,7 +279,7 @@ void PatternStore::PutCompressed(
   }
   if (!ReserveBytes(cost, /*keep=*/&key)) return;
   {
-    auto lock = LockShard(shard);
+    ShardLock lock(shard);
     auto it = FindInShard(shard, key);
     if (it == shard.entries.end() || it->cdb != nullptr) {
       // The entry was evicted (or another thread memoized first) while we
@@ -297,7 +296,7 @@ void PatternStore::PutCompressed(
 
 std::shared_ptr<const fpm::PatternSet> PatternStore::Get(const StoreKey& key) {
   Shard& shard = ShardOf(key);
-  auto lock = LockShard(shard);
+  ShardLock lock(shard);
   auto it = FindInShard(shard, key);
   if (it == shard.entries.end()) return nullptr;
   TouchLocked(shard, it);
@@ -307,7 +306,7 @@ std::shared_ptr<const fpm::PatternSet> PatternStore::Get(const StoreKey& key) {
 std::shared_ptr<const core::CompressedDb> PatternStore::GetCompressed(
     const StoreKey& key) {
   Shard& shard = ShardOf(key);
-  auto lock = LockShard(shard);
+  ShardLock lock(shard);
   auto it = FindInShard(shard, key);
   if (it == shard.entries.end()) return nullptr;
   TouchLocked(shard, it);
@@ -316,7 +315,7 @@ std::shared_ptr<const core::CompressedDb> PatternStore::GetCompressed(
 
 uint64_t PatternStore::NumTransactionsOf(const StoreKey& key) const {
   Shard& shard = ShardOf(key);
-  auto lock = LockShard(shard);
+  ShardLock lock(shard);
   auto it = FindInShard(shard, key);
   return it == shard.entries.end() ? 0 : it->num_transactions;
 }
@@ -324,9 +323,10 @@ uint64_t PatternStore::NumTransactionsOf(const StoreKey& key) const {
 std::vector<core::SeedCandidate> PatternStore::Candidates(
     const std::string& dataset_id, const std::string& fingerprint) const {
   std::vector<core::SeedCandidate> candidates;
-  for (const auto& shard : shards_) {
-    auto lock = LockShard(*shard);
-    for (const Entry& entry : shard->entries) {
+  for (const auto& ptr : shards_) {
+    const Shard& shard = *ptr;
+    ShardLock lock(shard);
+    for (const Entry& entry : shard.entries) {
       if (entry.key.dataset_id != dataset_id ||
           entry.key.constraint_fingerprint != fingerprint) {
         continue;
@@ -343,10 +343,11 @@ std::vector<core::SeedCandidate> PatternStore::Candidates(
 }
 
 void PatternStore::Clear() {
-  for (const auto& shard : shards_) {
-    auto lock = LockShard(*shard);
-    while (!shard->entries.empty()) {
-      DropEntryLocked(*shard, shard->entries.begin());
+  for (const auto& ptr : shards_) {
+    Shard& shard = *ptr;
+    ShardLock lock(shard);
+    while (!shard.entries.empty()) {
+      DropEntryLocked(shard, shard.entries.begin());
     }
   }
   RecordStoreBytes(bytes_in_use());
@@ -354,10 +355,11 @@ void PatternStore::Clear() {
 
 StoreStats PatternStore::stats() const {
   StoreStats stats;
-  for (const auto& shard : shards_) {
-    auto lock = LockShard(*shard);
-    stats.entries += shard->entries.size();
-    for (const Entry& entry : shard->entries) {
+  for (const auto& ptr : shards_) {
+    const Shard& shard = *ptr;
+    ShardLock lock(shard);
+    stats.entries += shard.entries.size();
+    for (const Entry& entry : shard.entries) {
       if (entry.cdb != nullptr) ++stats.compressed_images;
     }
   }
@@ -394,9 +396,10 @@ Status PatternStore::SaveTo(const std::string& dir) const {
   // Snapshot the entries under the shard locks (shared_ptr copies are
   // cheap), then write without holding any lock across file IO.
   std::vector<Entry> snapshot;
-  for (const auto& shard : shards_) {
-    auto lock = LockShard(*shard);
-    for (const Entry& entry : shard->entries) snapshot.push_back(entry);
+  for (const auto& ptr : shards_) {
+    const Shard& shard = *ptr;
+    ShardLock lock(shard);
+    for (const Entry& entry : shard.entries) snapshot.push_back(entry);
   }
   for (const Entry& entry : snapshot) {
     fpm::PatternSetHeader header;

@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +33,7 @@
 #include "core/seed_selection.h"
 #include "fpm/pattern_set.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gogreen::serve {
 
@@ -149,23 +149,46 @@ class PatternStore {
   // Each shard: one mutex over one LRU list (most-recent first).
   using EntryList = std::list<Entry>;
   struct Shard {
-    mutable std::mutex mu;
-    EntryList entries;
+    mutable Mutex mu;
+    EntryList entries GUARDED_BY(mu);
+  };
+
+  /// Scoped shard lock, the only way the store takes a shard mutex.
+  /// Counts `serve.shard_contention` when the lock is not immediately
+  /// available: the miss is recorded inside the constructor's TRY_ACQUIRE
+  /// path, strictly before the blocking lock(), so a miss can never be
+  /// counted while the lock is actually held.
+  class SCOPED_CAPABILITY ShardLock {
+   public:
+    explicit ShardLock(const Shard& shard) ACQUIRE(shard.mu);
+    ~ShardLock() RELEASE();
+    ShardLock(const ShardLock&) = delete;
+    ShardLock& operator=(const ShardLock&) = delete;
+
+   private:
+    const Shard& shard_;
   };
 
   Shard& ShardOf(const StoreKey& key) const;
-  /// Locks a shard, counting `serve.shard_contention` when the lock was
-  /// not immediately available.
-  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
 
-  static EntryList::iterator FindInShard(Shard& shard, const StoreKey& key);
-  void TouchLocked(Shard& shard, EntryList::iterator it);
-  void DropEntryLocked(Shard& shard, EntryList::iterator it);
+  static EntryList::iterator FindInShard(Shard& shard, const StoreKey& key)
+      REQUIRES(shard.mu);
+  void TouchLocked(Shard& shard, EntryList::iterator it) REQUIRES(shard.mu);
+  void DropEntryLocked(Shard& shard, EntryList::iterator it)
+      REQUIRES(shard.mu);
 
   /// Charges `cost` bytes against the global ledger, evicting globally-LRU
   /// victims (images first, then whole entries; `keep` survives) until the
   /// CAS succeeds. Returns false — with nothing charged — when eviction
-  /// cannot make room. Never holds more than one shard lock at a time.
+  /// cannot make room.
+  ///
+  /// Lock-ordering contract (DESIGN.md §15): the ledger `bytes_` is an
+  /// atomic, never a lock, so it is by construction never "held" across a
+  /// shard lock; and the eviction scan below takes one ShardLock at a
+  /// time (lexically scoped per loop iteration — the analyzer cannot name
+  /// a dynamically-indexed shard mutex in EXCLUDES, so the single-lock
+  /// rule is enforced by ShardLock being the only lock path plus the
+  /// negative compile tests).
   bool ReserveBytes(size_t cost, const StoreKey* keep);
   bool EvictOneImage(const StoreKey* keep);
   bool EvictOneEntry(const StoreKey* keep);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "util/env.h"
+#include "util/thread_annotations.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -49,11 +50,11 @@ struct Site {
 std::atomic<bool> g_enabled{false};
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, Site> sites;
-  std::string spec;
+  Mutex mu;
+  std::unordered_map<std::string, Site> sites GUARDED_BY(mu);
+  std::string spec GUARDED_BY(mu);
   // Rolls are deterministic for a fixed spec and call sequence.
-  Random rng{0x90559eef0aULL};
+  Random rng GUARDED_BY(mu){0x90559eef0aULL};
 };
 
 Registry& GetRegistry() {
@@ -63,7 +64,7 @@ Registry& GetRegistry() {
 }
 
 // Applies `spec` to the registry. Caller holds reg.mu.
-void ArmLocked(Registry& reg, const std::string& spec) {
+void ArmLocked(Registry& reg, const std::string& spec) REQUIRES(reg.mu) {
   reg.sites.clear();
   reg.spec.clear();
   size_t pos = 0;
@@ -124,7 +125,7 @@ void InitFromEnvOnce() {
     const std::string spec = GetEnvOrEmpty("GOGREEN_FAILPOINTS");
     if (!spec.empty()) {
       Registry& reg = GetRegistry();
-      std::lock_guard<std::mutex> lock(reg.mu);
+      MutexLock lock(reg.mu);
       ArmLocked(reg, spec);
       GOGREEN_LOG(Info) << "failpoints armed from environment: " << reg.spec;
     }
@@ -141,7 +142,7 @@ bool Enabled() {
 Status MaybeFail(std::string_view site) {
   if (!Enabled()) return Status::OK();
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.sites.find(std::string(site));
   if (it == reg.sites.end()) return Status::OK();
   Site& armed = it->second;
@@ -157,7 +158,7 @@ Status MaybeFail(std::string_view site) {
 void Arm(const std::string& spec) {
   InitFromEnvOnce();
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   ArmLocked(reg, spec);
 }
 
@@ -166,7 +167,7 @@ void Clear() { Arm(""); }
 std::string CurrentSpec() {
   InitFromEnvOnce();
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   return reg.spec;
 }
 
@@ -180,7 +181,7 @@ bool IsKnownSite(std::string_view site) {
 uint64_t HitCount(const std::string& site) {
   InitFromEnvOnce();
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  MutexLock lock(reg.mu);
   const auto it = reg.sites.find(site);
   return it == reg.sites.end() ? 0 : it->second.hits;
 }

@@ -35,7 +35,7 @@ Status RunContext::StopStatus() const {
 void RunContext::SetWakeup(std::function<void()> wakeup) {
   bool fire_now = false;
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     wakeup_ = std::move(wakeup);
     fire_now = wakeup_ != nullptr && stopped();
   }
@@ -48,7 +48,7 @@ void RunContext::NotifyWakeup() {
   // Invoke under wake_mu_: SetWakeup(nullptr) then blocks until the
   // callback returns, which is what makes ScopedWakeup's captures safe to
   // destroy after scope exit. Callbacks must therefore stay tiny.
-  std::lock_guard<std::mutex> lock(wake_mu_);
+  MutexLock lock(wake_mu_);
   if (wakeup_) wakeup_();
 }
 

@@ -31,10 +31,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <utility>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gogreen {
 
@@ -199,8 +199,8 @@ class RunContext {
 
   void NotifyWakeup();
 
-  std::mutex wake_mu_;
-  std::function<void()> wakeup_;  ///< Guarded by wake_mu_.
+  Mutex wake_mu_;
+  std::function<void()> wakeup_ GUARDED_BY(wake_mu_);
 
   std::atomic<uint8_t> reason_{static_cast<uint8_t>(StopReason::kNone)};
   std::atomic<size_t> bytes_{0};

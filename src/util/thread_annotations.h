@@ -1,0 +1,279 @@
+// Clang Thread Safety Analysis vocabulary for the whole tree (DESIGN.md
+// §15). Every mutex in the codebase is a `gogreen::Mutex` (or
+// `SharedMutex`), every guarded field carries `GUARDED_BY`, and every
+// lock-requiring helper carries `REQUIRES` — so a clang++ build with
+// `-Wthread-safety -Wthread-safety-beta -Werror` (the `thread-safety` CI
+// leg, CMake option GOGREEN_THREAD_SAFETY) *proves* the lock discipline at
+// compile time instead of sampling it at runtime the way TSan does.
+//
+// Under GCC (the local toolchain) every attribute expands to nothing, so
+// the wrappers cost exactly one non-virtual call over the std primitives
+// they delegate to.
+//
+// Policy, enforced by gogreen_lint.py:
+//   - raw std::mutex / std::shared_mutex / std::condition_variable are
+//     forbidden everywhere outside this header (rule `raw-mutex`);
+//   - every Mutex member must be referenced by at least one GUARDED_BY /
+//     PT_GUARDED_BY field in the same file (rule `orphan-mutex`);
+//   - every NO_THREAD_SAFETY_ANALYSIS carries a written invariant
+//     explaining why the analyzer cannot model the function.
+
+#ifndef GOGREEN_UTIL_THREAD_ANNOTATIONS_H_
+#define GOGREEN_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define GOGREEN_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define GOGREEN_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) GOGREEN_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define SCOPED_CAPABILITY GOGREEN_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define GUARDED_BY(x) GOGREEN_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x` (the pointer itself is
+/// not).
+#define PT_GUARDED_BY(x) GOGREEN_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities exclusively (or, with a `!`
+/// prefix, must NOT hold them).
+#define REQUIRES(...) \
+  GOGREEN_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities at least in shared mode.
+#define REQUIRES_SHARED(...) \
+  GOGREEN_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively) and does not release it.
+#define ACQUIRE(...) \
+  GOGREEN_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability in shared mode.
+#define ACQUIRE_SHARED(...) \
+  GOGREEN_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive or shared).
+#define RELEASE(...) \
+  GOGREEN_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function releases a shared hold of the capability.
+#define RELEASE_SHARED(...) \
+  GOGREEN_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return
+/// value that means "acquired".
+#define TRY_ACQUIRE(...) \
+  GOGREEN_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock / lock-ordering
+/// guard; see DESIGN.md §15 for the orderings this encodes).
+#define EXCLUDES(...) GOGREEN_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Declares (to the analyzer) that the capability is held at this point;
+/// a runtime assertion backs the claim.
+#define ASSERT_CAPABILITY(x) \
+  GOGREEN_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) GOGREEN_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Turns the analysis off for one function. POLICY: every use carries a
+/// comment starting "Invariant:" explaining why the analyzer cannot model
+/// the function and what actually keeps it safe.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GOGREEN_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace gogreen {
+
+/// Annotated exclusive mutex. Delegates to std::mutex; the capability
+/// attribute is what lets clang track which fields it guards.
+///
+/// Invariant (for the NO_THREAD_SAFETY_ANALYSIS on the bodies below and
+/// in SharedMutex): this is the bottom of the wrapper stack — the bodies
+/// delegate to the unannotated libstdc++ primitives, which the analyzer
+/// cannot see acquire or release anything. The attribute on each
+/// declaration is the ground truth the rest of the tree is checked
+/// against.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() RELEASE() NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) NO_THREAD_SAFETY_ANALYSIS {
+    return mu_.try_lock();
+  }
+
+  /// Tells the analyzer the lock is held on this path (e.g. reached only
+  /// via a caller that holds it through a non-annotatable indirection).
+  /// No runtime check: std::mutex cannot report its owner portably.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+  /// For CondVar, which needs the underlying BasicLockable.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated reader/writer mutex over std::shared_mutex.
+class CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  // Invariant: bottom-of-stack delegation to unannotated std primitives;
+  // see the Mutex class comment.
+  void lock() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() RELEASE() NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) NO_THREAD_SAFETY_ANALYSIS {
+    return mu_.try_lock();
+  }
+
+  void lock_shared() ACQUIRE_SHARED() NO_THREAD_SAFETY_ANALYSIS {
+    mu_.lock_shared();
+  }
+  void unlock_shared() RELEASE_SHARED() NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock_shared();
+  }
+  bool try_lock_shared() TRY_ACQUIRE(true) NO_THREAD_SAFETY_ANALYSIS {
+    return mu_.try_lock_shared();
+  }
+
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock. Relockable: Unlock()/Lock() let a scope drop the
+/// lock across a blocking call (the mining_service follower poll) while
+/// the analyzer still tracks the held/released state.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+  // Invariant: conditional release — `held_` is only false after an
+  // explicit Unlock(), which already told the analyzer the lock was
+  // dropped, so the runtime branch and the analyzer's model agree on
+  // every path even though the analyzer cannot read `held_`.
+  ~MutexLock() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
+    if (held_) mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+  ~ReaderLock() RELEASE() { mu_.unlock_shared(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+  ~WriterLock() RELEASE() { mu_.unlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to gogreen::Mutex. Wait/WaitUntil/WaitFor
+/// require the mutex held on entry and hold it again on return, exactly
+/// like std::condition_variable — the temporary release inside the wait
+/// is invisible to callers and to the analyzer alike.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Invariant: the wait atomically releases `mu` and re-acquires it
+  // before returning; the analyzer cannot model a release-then-reacquire
+  // inside one call, so callers see (correctly) "held before, held
+  // after".
+  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  // Invariant: same release-then-reacquire shape as Wait(Mutex&).
+  //
+  // No predicate overloads on purpose: the analyzer checks lambda bodies
+  // standalone, so a predicate reading a guarded field would be flagged
+  // even though the wait holds the lock when it runs. Callers write the
+  // `while (!cond) cv.Wait(mu);` loop inline, where the analysis sees the
+  // lock correctly.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           std::chrono::time_point<Clock, Duration> deadline)
+      REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         std::chrono::duration<Rep, Period> timeout)
+      REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_THREAD_ANNOTATIONS_H_

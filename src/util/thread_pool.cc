@@ -16,8 +16,8 @@ thread_local ThreadPool* tls_pool = nullptr;
 thread_local size_t tls_worker = 0;
 
 struct GlobalPoolState {
-  std::mutex mu;
-  std::shared_ptr<ThreadPool> pool;
+  Mutex mu;
+  std::shared_ptr<ThreadPool> pool GUARDED_BY(mu);
 };
 
 GlobalPoolState& GlobalState() {
@@ -34,8 +34,8 @@ thread_local std::shared_ptr<ThreadPool> tls_override_pool;
 // requests at the same few thread counts spawns each pool once. Bounded in
 // practice by the distinct counts callers ask for.
 struct OverridePoolCache {
-  std::mutex mu;
-  std::map<size_t, std::shared_ptr<ThreadPool>> pools;
+  Mutex mu;
+  std::map<size_t, std::shared_ptr<ThreadPool>> pools GUARDED_BY(mu);
 };
 
 OverridePoolCache& OverrideCache() {
@@ -46,7 +46,7 @@ OverridePoolCache& OverrideCache() {
 
 std::shared_ptr<ThreadPool> OverridePoolFor(size_t threads) {
   OverridePoolCache& cache = OverrideCache();
-  std::lock_guard<std::mutex> lock(cache.mu);
+  MutexLock lock(cache.mu);
   std::shared_ptr<ThreadPool>& slot = cache.pools[threads];
   if (!slot) slot = std::make_shared<ThreadPool>(threads);
   return slot;
@@ -69,8 +69,8 @@ ThreadPool::ThreadPool(size_t threads) : threads_(threads < 1 ? 1 : threads) {
 ThreadPool::~ThreadPool() {
   stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
-    idle_cv_.notify_all();
+    MutexLock lock(idle_mu_);
+    idle_cv_.NotifyAll();
   }
   for (std::thread& t : workers_) t.join();
   // Drain anything still queued so no WaitGroup is left hanging.
@@ -99,13 +99,14 @@ void ThreadPool::Push(Task task) {
     target = rr.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
-    queues_[target]->dq.push_back(std::move(task));
+    WorkerQueue& q = *queues_[target];
+    MutexLock lock(q.mu);
+    q.dq.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
-    idle_cv_.notify_one();
+    MutexLock lock(idle_mu_);
+    idle_cv_.NotifyOne();
   }
 }
 
@@ -117,7 +118,7 @@ bool ThreadPool::TryGetTask(Task* out) {
   // from the front of the siblings' queues.
   if (is_worker) {
     WorkerQueue& own = *queues_[tls_worker];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(own.mu);
     if (!own.dq.empty()) {
       *out = std::move(own.dq.back());
       own.dq.pop_back();
@@ -128,7 +129,7 @@ bool ThreadPool::TryGetTask(Task* out) {
   const size_t start = is_worker ? tls_worker + 1 : 0;
   for (size_t k = 0; k < n; ++k) {
     WorkerQueue& q = *queues_[(start + k) % n];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (!q.dq.empty()) {
       *out = std::move(q.dq.front());
       q.dq.pop_front();
@@ -148,11 +149,11 @@ void ThreadPool::WorkerLoop(size_t worker) {
       RunTask(std::move(task));
       continue;
     }
-    std::unique_lock<std::mutex> lock(idle_mu_);
-    idle_cv_.wait(lock, [this] {
-      return queued_.load(std::memory_order_acquire) > 0 ||
-             stop_.load(std::memory_order_acquire);
-    });
+    MutexLock lock(idle_mu_);
+    while (queued_.load(std::memory_order_acquire) == 0 &&
+           !stop_.load(std::memory_order_acquire)) {
+      idle_cv_.Wait(idle_mu_);
+    }
     if (stop_.load(std::memory_order_acquire) &&
         queued_.load(std::memory_order_acquire) == 0) {
       return;
@@ -236,7 +237,7 @@ void ThreadPool::ParallelFor(
 std::shared_ptr<ThreadPool> ThreadPool::Global() {
   if (tls_override_pool) return tls_override_pool;
   GlobalPoolState& state = GlobalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   if (!state.pool) {
     state.pool = std::make_shared<ThreadPool>(DefaultThreads());
   }
@@ -248,7 +249,7 @@ void ThreadPool::SetGlobalThreads(size_t threads) {
   const size_t n = threads == 0 ? DefaultThreads() : threads;
   std::shared_ptr<ThreadPool> old;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     if (state.pool && state.pool->threads() == n) return;
     old = std::move(state.pool);
     state.pool = std::make_shared<ThreadPool>(n);
@@ -260,7 +261,7 @@ void ThreadPool::SetGlobalThreads(size_t threads) {
 size_t ThreadPool::GlobalThreads() {
   if (tls_override_pool) return tls_override_pool->threads();
   GlobalPoolState& state = GlobalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return state.pool ? state.pool->threads() : DefaultThreads();
 }
 

@@ -22,15 +22,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace gogreen {
 
@@ -52,7 +52,7 @@ class WaitGroup {
   /// True once every submitted task has finished. Acquires the group's
   /// mutex, so a true return also means the last Done() has fully exited.
   bool Finished() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pending_ == 0;
   }
 
@@ -61,8 +61,11 @@ class WaitGroup {
   /// task exceptions — governed drivers that also want to help-execute use
   /// ThreadPool::WaitFor instead.
   bool WaitFor(std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, timeout, [this] { return pending_ == 0; });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (pending_ != 0) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+    }
     return pending_ == 0;
   }
 
@@ -70,31 +73,43 @@ class WaitGroup {
   friend class ThreadPool;
 
   void Add(size_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_ += n;
   }
 
   void Done() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--pending_ == 0) cv_.notify_all();
+    MutexLock lock(mu_);
+    if (--pending_ == 0) {
+      // PR 2 destruction-race invariant, pinned for the analyzer: the
+      // zero transition happens strictly under mu_, so it is observable
+      // to Finished()/the wait loops only after this final Done() has
+      // released the lock — which is what makes a stack-allocated
+      // WaitGroup (ParallelFor) safe to destroy right after a true
+      // Finished(). If this notify ever moves outside the critical
+      // section, the destruction race comes back.
+      mu_.AssertHeld();
+      cv_.NotifyAll();
+    }
   }
 
   void CaptureException(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!first_error_) first_error_ = std::move(e);
   }
 
   /// Blocks until every task finished; does not execute tasks
   /// (ThreadPool::Wait interleaves this with helping).
   void BlockUntilFinished() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mu_);
+    while (pending_ != 0) cv_.Wait(mu_);
   }
 
   /// Like BlockUntilFinished but gives up at `deadline`; returns Finished().
   bool BlockUntilFinishedUntil(std::chrono::steady_clock::time_point deadline) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_until(lock, deadline, [this] { return pending_ == 0; });
+    MutexLock lock(mu_);
+    while (pending_ != 0) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+    }
     return pending_ == 0;
   }
 
@@ -102,17 +117,17 @@ class WaitGroup {
   void RethrowIfError() {
     std::exception_ptr e;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       e = std::move(first_error_);
       first_error_ = nullptr;
     }
     if (e) std::rethrow_exception(e);
   }
 
-  mutable std::mutex mu_;
-  size_t pending_ = 0;
-  std::condition_variable cv_;
-  std::exception_ptr first_error_;
+  mutable Mutex mu_;
+  size_t pending_ GUARDED_BY(mu_) = 0;
+  CondVar cv_;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
 };
 
 class ThreadPool {
@@ -209,19 +224,28 @@ class ThreadPool {
   };
 
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> dq;
+    Mutex mu;
+    std::deque<Task> dq GUARDED_BY(mu);
   };
 
-  void WorkerLoop(size_t worker);
-  void RunTask(Task task);
-  bool TryGetTask(Task* out);
-  void Push(Task task);
+  /// Lane-exclusivity contract (PR 2): the worker loop holds no lock
+  /// while running a task — queue mutexes cover only the push/pop, and
+  /// idle_mu_ only the sleep — so a task may re-enter Submit()/Wait()
+  /// on its own lane without self-deadlock. REQUIRES(!idle_mu_) pins
+  /// the "no lock across RunTask" half the analyzer can name.
+  void WorkerLoop(size_t worker) REQUIRES(!idle_mu_);
+  void RunTask(Task task) REQUIRES(!idle_mu_);
+  bool TryGetTask(Task* out) REQUIRES(!idle_mu_);
+  void Push(Task task) REQUIRES(!idle_mu_);
 
   const size_t threads_;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;  // One per worker.
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  /// Sleep/wake handshake for idle workers only: the waited-on state
+  /// (queued_, stop_) is atomic, so no field names this mutex as its
+  /// guard — the lock exists to close the check-then-sleep window.
+  // gogreen-lint: allow(orphan-mutex): wait-only mutex pairing idle_cv_
+  Mutex idle_mu_;
+  CondVar idle_cv_;
   std::atomic<size_t> queued_{0};  // Tasks sitting in some queue.
   std::atomic<bool> stop_{false};
   std::vector<std::thread> workers_;

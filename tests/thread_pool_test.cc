@@ -10,14 +10,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "util/run_context.h"
+#include "util/thread_annotations.h"
 
 namespace gogreen {
 namespace {
@@ -30,20 +29,20 @@ class Gate {
  public:
   void Open() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       open_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return open_; });
+    MutexLock lock(mu_);
+    while (!open_) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool open_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool open_ GUARDED_BY(mu_) = false;
 };
 
 TEST(WaitGroupTest, StartsFinished) {
@@ -111,13 +110,13 @@ TEST(ThreadPoolTest, ResultIndependentOfTaskOrdering) {
   // Tasks complete in a scheduler-dependent order, but the set of effects
   // must be exactly the submitted set.
   ThreadPool pool(4);
-  std::mutex mu;
-  std::vector<int> done;
+  Mutex mu;
+  std::vector<int> done;  // Written under mu by tasks; read after Wait().
   WaitGroup wg;
   constexpr int kN = 500;
   for (int i = 0; i < kN; ++i) {
     pool.Submit(&wg, [&, i] {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       done.push_back(i);
     });
   }

@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety-analysis:
+// acquires the same (non-recursive) mutex twice in one scope —
+// self-deadlock at runtime, "acquiring mutex ... that is already held"
+// at compile time.
+//
+// Good twin: good_scoped_acquire.cc
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class State {
+ public:
+  void Update() {
+    gogreen::MutexLock outer(mu_);
+    gogreen::MutexLock inner(mu_);  // BAD: mu_ is already held.
+    ++n_;
+  }
+
+ private:
+  gogreen::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  State s;
+  s.Update();
+  return 0;
+}

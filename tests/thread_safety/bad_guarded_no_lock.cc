@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety-analysis:
+// writes a GUARDED_BY field without holding its mutex.
+//
+// Good twin: good_guarded_with_lock.cc
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++n_; }  // BAD: mu_ not held.
+
+ private:
+  gogreen::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

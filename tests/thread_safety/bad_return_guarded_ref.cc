@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety-analysis:
+// returns a mutable reference to a GUARDED_BY field — the caller would
+// mutate it after the lock is gone.
+//
+// Good twin: good_return_guarded_copy.cc
+
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Box {
+ public:
+  std::string& Value() {
+    gogreen::MutexLock lock(mu_);
+    return value_;  // BAD: reference escapes the critical section.
+  }
+
+ private:
+  gogreen::Mutex mu_;
+  std::string value_ GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  b.Value() += "x";
+  return 0;
+}

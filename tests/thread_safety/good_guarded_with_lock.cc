@@ -1,0 +1,28 @@
+// MUST COMPILE cleanly under -Wthread-safety -Werror=thread-safety-analysis:
+// the guarded field is only touched under MutexLock.
+//
+// Bad twin: bad_guarded_no_lock.cc
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    gogreen::MutexLock lock(mu_);
+    ++n_;
+  }
+
+ private:
+  gogreen::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

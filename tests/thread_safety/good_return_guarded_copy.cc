@@ -1,0 +1,31 @@
+// MUST COMPILE cleanly under -Wthread-safety -Werror=thread-safety-analysis:
+// the guarded field is copied out under the lock instead of leaking a
+// reference past it.
+//
+// Bad twin: bad_return_guarded_ref.cc
+
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Box {
+ public:
+  std::string Value() {
+    gogreen::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  gogreen::Mutex mu_;
+  std::string value_ GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  (void)b.Value();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// MUST COMPILE cleanly under -Wthread-safety -Werror=thread-safety-analysis:
+// the locked helper states its contract with REQUIRES, so the caller holds
+// the mutex exactly once and the helper acquires nothing.
+//
+// Bad twin: bad_double_acquire.cc
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class State {
+ public:
+  void Update() {
+    gogreen::MutexLock lock(mu_);
+    UpdateLocked();
+  }
+
+ private:
+  void UpdateLocked() REQUIRES(mu_) { ++n_; }
+
+  gogreen::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  State s;
+  s.Update();
+  return 0;
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Negative compile tests for the lock-discipline proofs (DESIGN.md §15).
+#
+# Every bad_*.cc in this directory must FAIL to compile under clang's
+# thread-safety analysis — with a diagnostic from the thread-safety
+# group, not some unrelated error — and every good_*.cc (its fixed twin)
+# must compile cleanly. This pins the analysis itself: if a toolchain
+# update or an edit to util/thread_annotations.h silently stopped the
+# attributes from expanding, the bad snippets would start compiling and
+# this test would fail.
+#
+# Requires clang++ (the analysis is clang-only). On hosts without one the
+# test exits 77, which ctest maps to SKIPPED via SKIP_RETURN_CODE.
+#
+# Usage: run_compile_tests.sh <repo_src_dir>   (the directory added with
+# -I so the snippets can include "util/thread_annotations.h")
+
+set -u
+
+SRC_DIR="${1:?usage: run_compile_tests.sh <repo_src_dir>}"
+HERE="$(cd "$(dirname "$0")" && pwd)"
+
+# Resolve a clang++. GOGREEN_CLANGXX overrides; otherwise take clang++ or
+# the newest versioned binary on PATH.
+CLANGXX="${GOGREEN_CLANGXX:-}"
+if [[ -z "${CLANGXX}" ]]; then
+  for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+              clang++-16 clang++-15 clang++-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      CLANGXX="${cand}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANGXX}" ]] || ! command -v "${CLANGXX}" >/dev/null 2>&1; then
+  echo "SKIP: no clang++ on PATH (thread-safety analysis is clang-only)"
+  exit 77
+fi
+echo "using ${CLANGXX}: $("${CLANGXX}" --version | head -n 1)"
+
+FLAGS=(-std=c++20 -fsyntax-only -I "${SRC_DIR}"
+       -Wthread-safety -Wthread-safety-beta -Wthread-safety-reference
+       -Werror)
+
+failures=0
+checked=0
+
+check_bad() {
+  local file="$1" out
+  checked=$((checked + 1))
+  if out=$("${CLANGXX}" "${FLAGS[@]}" "${file}" 2>&1); then
+    echo "FAIL: ${file##*/} compiled but must be rejected"
+    failures=$((failures + 1))
+  elif ! grep -q "thread-safety" <<<"${out}"; then
+    echo "FAIL: ${file##*/} was rejected, but not by the thread-safety" \
+         "analysis:"
+    echo "${out}"
+    failures=$((failures + 1))
+  else
+    echo "ok:   ${file##*/} rejected by the analysis"
+  fi
+}
+
+check_good() {
+  local file="$1" out
+  checked=$((checked + 1))
+  if out=$("${CLANGXX}" "${FLAGS[@]}" "${file}" 2>&1); then
+    echo "ok:   ${file##*/} compiles cleanly"
+  else
+    echo "FAIL: ${file##*/} must compile cleanly but was rejected:"
+    echo "${out}"
+    failures=$((failures + 1))
+  fi
+}
+
+for f in "${HERE}"/bad_*.cc; do check_bad "$f"; done
+for f in "${HERE}"/good_*.cc; do check_good "$f"; done
+
+if [[ ${checked} -lt 6 ]]; then
+  echo "FAIL: expected at least 6 snippets, found ${checked}"
+  failures=$((failures + 1))
+fi
+
+if [[ ${failures} -ne 0 ]]; then
+  echo "${failures} compile-test failure(s)"
+  exit 1
+fi
+echo "all ${checked} thread-safety compile tests passed"

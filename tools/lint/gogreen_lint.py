@@ -25,6 +25,20 @@ cannot express:
                       DESIGN.md metrics table, so the documented inventory
                       is the emitted inventory. Dynamically-built names
                       (non-literal first argument) are out of scope.
+  raw-mutex           No raw std locking primitives (std::mutex,
+                      std::shared_mutex, std::condition_variable,
+                      lock_guard/unique_lock/scoped_lock/shared_lock)
+                      outside src/util/thread_annotations.h — everything
+                      locks through the annotated gogreen::Mutex vocabulary
+                      so the clang thread-safety build (DESIGN.md §15) sees
+                      every acquisition. std::once_flag/call_once are fine.
+  orphan-mutex        Every gogreen::Mutex / SharedMutex member must be
+                      named by at least one GUARDED_BY / PT_GUARDED_BY in
+                      the same file — a mutex that guards nothing is either
+                      dead weight or (worse) guarding state the analyzer
+                      cannot check. Wait-only mutexes (paired with a
+                      CondVar, no guarded payload) carry an inline
+                      suppression explaining the pairing.
 
 A violation can be suppressed for one line with a comment on that line or
 the line above:
@@ -58,6 +72,11 @@ RULE_EXEMPT = {
     "naked-new": {"src/util/arena.h"},
     # MaybeFail's own definition/declaration and the registry itself.
     "failpoint-registry": {"src/util/failpoint.h", "src/util/failpoint.cc"},
+    # The annotated wrappers are the one place raw primitives may live,
+    # and their internal Mutex&/std::mutex members are the vocabulary
+    # itself, not guarded state.
+    "raw-mutex": {"src/util/thread_annotations.h"},
+    "orphan-mutex": {"src/util/thread_annotations.h"},
 }
 
 SUPPRESS_RE = re.compile(r"gogreen-lint:\s*allow\(([a-z-]+)\)")
@@ -79,6 +98,25 @@ ENV_ACCESS_RE = re.compile(r"\b(?:std::)?(?:getenv|secure_getenv|setenv|"
                            r"putenv|unsetenv)\s*\(")
 RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
 NAKED_NEW_RE = re.compile(r"\bnew\b|\bdelete\b")
+
+# Deliberately excludes once_flag/call_once (no capability semantics to
+# annotate) — the rest must go through util/thread_annotations.h.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+
+# A Mutex/SharedMutex *member* declaration (start of line, optionally
+# mutable / namespace-qualified, simple `name;`). References and function
+# parameters (`Mutex& mu`) intentionally do not match. The leading
+# [^\S\n]* (horizontal whitespace only) keeps the match — and therefore
+# the reported line and the one-line suppression window — on the
+# declaration's own line even after comments above it are blanked.
+MUTEX_MEMBER_RE = re.compile(
+    r"^[^\S\n]*(?:mutable\s+)?(?:gogreen::)?(?:Mutex|SharedMutex)[^\S\n]+"
+    r"(\w+)[^\S\n]*;",
+    re.MULTILINE)
+GUARDED_REF_RE = re.compile(r"\b(?:PT_)?GUARDED_BY\(([^)]*)\)")
 
 
 class Violation:
@@ -234,6 +272,31 @@ def check_metric_naming(files, design_text):
     return violations
 
 
+def check_orphan_mutexes(files):
+    """Every Mutex/SharedMutex member must be named by some GUARDED_BY /
+    PT_GUARDED_BY expression in the same file."""
+    violations = []
+    for path, raw_text in files:
+        if path in RULE_EXEMPT.get("orphan-mutex", set()):
+            continue
+        stripped = strip_comments_and_strings(raw_text)
+        guarded_tokens = set()
+        for m in GUARDED_REF_RE.finditer(stripped):
+            guarded_tokens.update(re.findall(r"\w+", m.group(1)))
+        suppressed = suppressed_lines(raw_text, "orphan-mutex")
+        for m in MUTEX_MEMBER_RE.finditer(stripped):
+            name = m.group(1)
+            line = line_of(stripped, m.start())
+            if line in suppressed or name in guarded_tokens:
+                continue
+            violations.append(Violation(
+                path, line, "orphan-mutex",
+                f"mutex '{name}' has no GUARDED_BY/PT_GUARDED_BY field in "
+                "this file (guard something, or suppress with a rationale "
+                "for a wait-only mutex)"))
+    return violations
+
+
 def run_checks(files, registry_text, design_text=""):
     """All rules over (path, text) pairs; returns the violation list."""
     violations = []
@@ -251,8 +314,14 @@ def run_checks(files, registry_text, design_text=""):
             "naked new/delete outside src/util/arena.h "
             "(use make_unique/containers, or suppress for a deliberate "
             "singleton leak)")
+        violations += scan_pattern(
+            path, raw_text, "raw-mutex", RAW_MUTEX_RE,
+            "raw std locking primitive outside "
+            "src/util/thread_annotations.h (use gogreen::Mutex / "
+            "MutexLock / CondVar so the thread-safety build sees it)")
     violations += check_failpoints(files, registry_text)
     violations += check_metric_naming(files, design_text)
+    violations += check_orphan_mutexes(files)
     return violations
 
 
@@ -313,6 +382,31 @@ def self_test():
         ("metric-naming", "src/a.cc",
          "// gogreen-lint: allow(metric-naming): probe instrument\n"
          'reg.GetCounter("io.undocumented");\n', False),
+        ("raw-mutex", "src/a.cc", "std::mutex mu_;\n", True),
+        ("raw-mutex", "src/a.cc", "std::scoped_lock lock(mu_);\n", True),
+        ("raw-mutex", "src/a.cc",
+         "std::condition_variable_any cv_;\n", True),
+        ("raw-mutex", "src/a.cc", "std::call_once(flag_, Init);\n", False),
+        ("raw-mutex", "src/a.cc", "// std::mutex in a comment\n", False),
+        ("raw-mutex", "src/util/thread_annotations.h",
+         "std::mutex mu_;\n", False),
+        ("raw-mutex", "src/a.cc",
+         "// gogreen-lint: allow(raw-mutex): interop with C library\n"
+         "std::mutex mu_;\n", False),
+        ("orphan-mutex", "src/a.cc",
+         "Mutex mu_;\nint n_ GUARDED_BY(mu_) = 0;\n", False),
+        ("orphan-mutex", "src/a.cc", "Mutex mu_;\nint n_ = 0;\n", True),
+        ("orphan-mutex", "src/a.cc",
+         "mutable gogreen::SharedMutex map_mu_;\n"
+         "Table* table_ PT_GUARDED_BY(map_mu_);\n", False),
+        ("orphan-mutex", "src/a.cc",
+         "Mutex a_mu_;\nint n_ GUARDED_BY(b_mu_) = 0;\n", True),
+        ("orphan-mutex", "src/a.cc",
+         "// gogreen-lint: allow(orphan-mutex): wait-only, pairs idle_cv_\n"
+         "Mutex idle_mu_;\n", False),
+        ("orphan-mutex", "src/a.cc", "void Wake(Mutex& mu);\n", False),
+        ("orphan-mutex", "src/util/thread_annotations.h",
+         "Mutex mu_;\n", False),
     ]
     failures = []
     for rule, path, content, expect in cases:
