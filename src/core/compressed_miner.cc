@@ -19,9 +19,9 @@ Result<fpm::MineResult> CompressedMiner::Mine(const CompressedDb& cdb,
   GOGREEN_TRACE_SPAN("run.governor");
   const ThreadPool::ScopedThreads scoped_threads(request.threads);
   RunContext* ctx = request.run_context;
-  SetRunContext(ctx);
+  run_ctx_ = ctx;  // Bound for this call only; the hook below reads it.
   Result<fpm::PatternSet> mined = MineCompressed(cdb, minsup);
-  SetRunContext(nullptr);
+  run_ctx_ = nullptr;
   GOGREEN_ASSIGN_OR_RETURN(
       fpm::MineOutcome outcome,
       fpm::FinishGovernedOutcome(std::move(mined), minsup, ctx));
@@ -36,19 +36,6 @@ Result<fpm::MineResult> CompressedMiner::Mine(const CompressedDb& cdb,
     result.patterns = request.constraints->Filter(result.patterns);
   }
   return result;
-}
-
-Result<fpm::MineOutcome> CompressedMiner::MineCompressedGoverned(
-    const CompressedDb& cdb, uint64_t min_support, RunContext* ctx) {
-  fpm::MineRequest request = fpm::MineRequest::At(min_support);
-  request.run_context = ctx;
-  GOGREEN_ASSIGN_OR_RETURN(fpm::MineResult result, Mine(cdb, request));
-  fpm::MineOutcome outcome;
-  outcome.patterns = std::move(result.patterns);
-  outcome.partial = result.partial;
-  outcome.frontier_support = result.frontier_support;
-  outcome.stop_status = std::move(result.stop_status);
-  return outcome;
 }
 
 std::unique_ptr<CompressedMiner> CreateCompressedMiner(RecycleAlgo algo) {

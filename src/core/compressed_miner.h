@@ -38,19 +38,6 @@ class CompressedMiner {
 
   const fpm::MiningStats& stats() const { return stats_; }
 
-  /// DEPRECATED: attaches a run governor observed by the next
-  /// MineCompressed() call (null detaches). Superseded by
-  /// fpm::MineRequest::run_context; kept so existing callers migrate
-  /// incrementally.
-  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
-
-  /// DEPRECATED: mines under `ctx`'s deadline/budget/cancellation. Thin
-  /// wrapper over the Mine(cdb, request) overload; kept so existing
-  /// callers migrate incrementally.
-  Result<fpm::MineOutcome> MineCompressedGoverned(const CompressedDb& cdb,
-                                                  uint64_t min_support,
-                                                  RunContext* ctx);
-
  protected:
   static Status ValidateArgs(uint64_t min_support) {
     if (min_support == 0) {
@@ -60,6 +47,8 @@ class CompressedMiner {
   }
 
   fpm::MiningStats stats_;
+  /// Governor of the in-flight Mine(cdb, request) call; bound for the span
+  /// of that call only (implementation hooks read it, never write it).
   RunContext* run_ctx_ = nullptr;
 };
 

@@ -80,7 +80,7 @@ Result<fpm::PatternSet> RecycleFpMiner::MineCompressed(
   if (!flist.empty()) {
     const SliceDb sdb = SliceDb::Build(cdb, flist);
     SliceMiningContext base(flist, min_support, &out, &stats_);
-    base.SetRunContext(run_ctx_);
+    base.BindRunContext(run_ctx_);
     std::vector<Rank> prefix;
     const std::vector<WeightedSlice> root = BuildWeightedSlices(sdb);
 
@@ -110,7 +110,7 @@ Result<fpm::PatternSet> RecycleFpMiner::MineCompressed(
           if (!lane_base) {
             lane_base = std::make_unique<SliceMiningContext>(
                 flist, min_support, nullptr, nullptr);
-            lane_base->SetRunContext(run_ctx_);
+            lane_base->BindRunContext(run_ctx_);
           }
           lane_base->SetSinks(&shard->patterns, &shard->stats);
           std::vector<Rank> sub_prefix;

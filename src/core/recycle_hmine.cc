@@ -603,7 +603,7 @@ bool MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
                   fpm::PatternSet* out, fpm::MiningStats* stats,
                   RunContext* run_ctx) {
   SliceMiningContext base(flist, min_support, out, stats);
-  base.SetRunContext(run_ctx);
+  base.BindRunContext(run_ctx);
   const FlatOuts fouts(sdb);
   RecycleHmContext root_ctx(sdb, fouts, &base);
   std::vector<Rank> prefix = prefix_ranks;
@@ -644,7 +644,7 @@ bool MineSlicesHM(const SliceDb& sdb, const fpm::FList& flist,
     if (!slot.ctx) {
       slot.base = std::make_unique<SliceMiningContext>(
           flist, min_support, nullptr, nullptr);
-      slot.base->SetRunContext(run_ctx);
+      slot.base->BindRunContext(run_ctx);
       slot.ctx =
           std::make_unique<RecycleHmContext>(sdb, fouts, slot.base.get());
     }

@@ -207,7 +207,7 @@ Result<fpm::PatternSet> RecycleTpMiner::MineCompressed(
   if (!flist.empty()) {
     const SliceDb sdb = SliceDb::Build(cdb, flist);
     SliceMiningContext base(flist, min_support, &out, &stats_);
-    base.SetRunContext(run_ctx_);
+    base.BindRunContext(run_ctx_);
     RecycleTpContext ctx(&base);
 
     std::vector<Rank> ext(flist.size());
@@ -248,7 +248,7 @@ Result<fpm::PatternSet> RecycleTpMiner::MineCompressed(
         if (!slot.ctx) {
           slot.base = std::make_unique<SliceMiningContext>(
               flist, min_support, nullptr, nullptr);
-          slot.base->SetRunContext(run_ctx_);
+          slot.base->BindRunContext(run_ctx_);
           slot.ctx = std::make_unique<RecycleTpContext>(slot.base.get());
         }
         slot.base->SetSinks(&shard->patterns, &shard->stats);

@@ -89,7 +89,7 @@ class SliceMiningContext {
 
   /// Attaches the run governor; miners sharing this context poll it between
   /// subtrees and charge their scratch against its budget. Null detaches.
-  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
+  void BindRunContext(RunContext* ctx) { run_ctx_ = ctx; }
   RunContext* run_context() const { return run_ctx_; }
 
   /// True when a governed run must stop at the next pattern-set boundary.

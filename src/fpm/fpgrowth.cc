@@ -101,7 +101,7 @@ class FpGrowthContext {
 
   /// Attaches the run governor: Mine() then polls between header ranks and
   /// charges conditional trees against the byte budget. Null detaches.
-  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
+  void BindRunContext(RunContext* ctx) { run_ctx_ = ctx; }
 
   /// Mines `tree` under `prefix`. `to_global[local]` maps the tree's local
   /// rank space back to global F-list ranks (increasing in local rank).
@@ -331,7 +331,7 @@ Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
             const Rank r = static_cast<Rank>(i);
             FpGrowthContext ctx(flist, min_support, &shard->patterns,
                                 &shard->stats);
-            ctx.SetRunContext(run_ctx_);
+            ctx.BindRunContext(run_ctx_);
             std::vector<Rank> prefix;
             return ctx.MineHeaderRank(tree, identity, r, &prefix);
           },
@@ -352,7 +352,7 @@ Result<PatternSet> FpGrowthMiner::Mine(const TransactionDb& db,
     } else {
       std::vector<Rank> prefix;
       FpGrowthContext ctx(flist, min_support, &out, &stats_);
-      ctx.SetRunContext(run_ctx_);
+      ctx.BindRunContext(run_ctx_);
       ctx.Mine(tree, identity, &prefix);
     }
   }

@@ -52,7 +52,7 @@ class HMineContext {
 
   /// Attaches the run governor: Mine() then polls between extensions and
   /// charges suffix buckets against the byte budget. Null detaches.
-  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
+  void BindRunContext(RunContext* ctx) { run_ctx_ = ctx; }
 
   /// One level of H-Mine: counts candidate extensions of `projs` and threads
   /// the suffix links of the frequent ones. Two passes, as in the paper:
@@ -190,7 +190,7 @@ bool MineHM(const RowSource& source, const FList& flist, uint64_t min_support,
     if (!ctx) {
       ctx = std::make_unique<HMineContext<RowSource>>(
           source, flist, min_support, nullptr, nullptr);
-      ctx->SetRunContext(run_ctx);
+      ctx->BindRunContext(run_ctx);
     }
     ctx->SetSinks(&shard->patterns, &shard->stats);
     std::vector<Rank> sub_prefix = prefix;

@@ -100,9 +100,9 @@ Result<MineResult> FrequentPatternMiner::Mine(const TransactionDb& db,
   GOGREEN_TRACE_SPAN("run.governor");
   const ThreadPool::ScopedThreads scoped_threads(request.threads);
   RunContext* ctx = request.run_context;
-  SetRunContext(ctx);
+  run_ctx_ = ctx;  // Bound for this call only; the hook below reads it.
   Result<PatternSet> mined = Mine(db, minsup);
-  SetRunContext(nullptr);
+  run_ctx_ = nullptr;
   GOGREEN_ASSIGN_OR_RETURN(
       MineOutcome outcome,
       FinishGovernedOutcome(std::move(mined), minsup, ctx));
@@ -117,20 +117,6 @@ Result<MineResult> FrequentPatternMiner::Mine(const TransactionDb& db,
     result.patterns = request.constraints->Filter(result.patterns);
   }
   return result;
-}
-
-Result<MineOutcome> FrequentPatternMiner::MineGoverned(const TransactionDb& db,
-                                                       uint64_t min_support,
-                                                       RunContext* ctx) {
-  MineRequest request = MineRequest::At(min_support);
-  request.run_context = ctx;
-  GOGREEN_ASSIGN_OR_RETURN(MineResult result, Mine(db, request));
-  MineOutcome outcome;
-  outcome.patterns = std::move(result.patterns);
-  outcome.partial = result.partial;
-  outcome.frontier_support = result.frontier_support;
-  outcome.stop_status = std::move(result.stop_status);
-  return outcome;
 }
 
 void RecordMiningStats(const MiningStats& stats) {

@@ -61,9 +61,10 @@ Result<MineOutcome> FinishGovernedOutcome(Result<PatternSet> result,
                                           RunContext* ctx);
 
 /// One mining query, in full. This is the single entry shape shared by
-/// FrequentPatternMiner, core::CompressedMiner, core::RecyclingSession, and
-/// serve::MiningService; it subsumes the older Mine/MineGoverned pairs and
-/// the SetRunContext attach/detach dance. All referenced objects are
+/// FrequentPatternMiner, core::CompressedMiner, core::RecyclingSession,
+/// serve::MiningService, and the wire protocol's serialized form
+/// (net/wire.h); the deprecated governed/attach-detach wrappers it
+/// subsumed are gone. All referenced objects are
 /// borrowed: they must outlive the call, and the request itself is a cheap
 /// value (copying it never copies a constraint set or a context).
 struct MineRequest {
@@ -151,18 +152,6 @@ class FrequentPatternMiner {
   /// Counters of the most recent Mine() call.
   const MiningStats& stats() const { return stats_; }
 
-  /// DEPRECATED: attaches a run governor observed by the next Mine() call
-  /// (null detaches). Superseded by MineRequest::run_context, which scopes
-  /// the context to one call instead of leaving it attached; kept so
-  /// existing callers migrate incrementally.
-  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
-
-  /// DEPRECATED: mines under `ctx`'s deadline/budget/cancellation. Thin
-  /// wrapper over the MineRequest overload (which also reports stats);
-  /// kept so existing callers migrate incrementally.
-  Result<MineOutcome> MineGoverned(const TransactionDb& db,
-                                   uint64_t min_support, RunContext* ctx);
-
  protected:
   /// Shared argument validation; implementations call this first.
   static Status ValidateArgs(uint64_t min_support) {
@@ -173,6 +162,8 @@ class FrequentPatternMiner {
   }
 
   MiningStats stats_;
+  /// Governor of the in-flight Mine(db, request) call; bound for the span
+  /// of that call only (implementation hooks read it, never write it).
   RunContext* run_ctx_ = nullptr;
 };
 

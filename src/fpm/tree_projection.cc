@@ -89,7 +89,7 @@ class TpContext {
 
   /// Attaches the run governor: Process() then polls between children and
   /// charges projected child rows against the byte budget. Null detaches.
-  void SetRunContext(RunContext* ctx) { run_ctx_ = ctx; }
+  void BindRunContext(RunContext* ctx) { run_ctx_ = ctx; }
 
   /// Processes one lexicographic-tree node.
   ///  - `ext`: candidate extension items (global ranks, F-list ascending);
@@ -175,7 +175,7 @@ class TpContext {
         [&](MineShard* shard, size_t /*lane*/, size_t i) -> bool {
           TpContext ctx(flist_, min_support_, &shard->patterns,
                         &shard->stats);
-          ctx.SetRunContext(run_ctx_);
+          ctx.BindRunContext(run_ctx_);
           std::vector<Rank> sub_prefix;
           return use_matrix
                      ? ctx.MineMatrixChild(&sub_prefix, ext, matrix, rows, i)
@@ -386,7 +386,7 @@ Result<PatternSet> TreeProjectionMiner::Mine(const TransactionDb& db,
 
     TpContext ctx(flist, min_support, &out, &stats_);
     if (run_ctx_ != nullptr) {
-      ctx.SetRunContext(run_ctx_);
+      ctx.BindRunContext(run_ctx_);
       ctx.ProcessRootGoverned(ext, c1, rows);
     } else if (ParallelMiningEnabled() && ext.size() >= 2 &&
                ext.size() <= kMaxMatrixItems) {

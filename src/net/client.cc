@@ -1,0 +1,97 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/frame.h"
+
+namespace gogreen::net {
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    const Status status = Status::IOError("connect " + path + ": " +
+                                          std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Result<Client> Client::ConnectTcp(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    const Status status =
+        Status::IOError("connect port " + std::to_string(port) + ": " +
+                        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+Result<WireResponse> Client::Call(WireRequest request) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  request.id = ++next_id_;
+  GOGREEN_RETURN_NOT_OK(WriteFrame(fd_, request.ToJson()));
+  std::string payload;
+  GOGREEN_ASSIGN_OR_RETURN(const bool got, ReadFrame(fd_, &payload));
+  if (!got) {
+    return Status::IOError("server closed the connection mid-call");
+  }
+  GOGREEN_ASSIGN_OR_RETURN(WireResponse resp,
+                           WireResponse::FromJson(payload));
+  // id 0 is the server's "request never parsed far enough to have an id"
+  // answer (e.g. bad JSON) — still this call's response on a serial
+  // connection.
+  if (resp.id != 0 && resp.id != request.id) {
+    return Status::Internal(
+        "response id " + std::to_string(resp.id) + " does not match "
+        "request id " + std::to_string(request.id));
+  }
+  return resp;
+}
+
+}  // namespace gogreen::net

@@ -1,0 +1,46 @@
+// Client side of the gogreen wire protocol: connect to a daemon and
+// exchange one request frame for one response frame per Call. Blocking,
+// not thread-safe — one Client per thread (or per `gogreen client`
+// process). Request ids are stamped and checked on the way back, so a
+// desequenced server is reported as an error instead of silently
+// mismatching answers to questions.
+
+#ifndef GOGREEN_NET_CLIENT_H_
+#define GOGREEN_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace gogreen::net {
+
+class Client {
+ public:
+  static Result<Client> ConnectUnix(const std::string& path);
+  /// Loopback only, matching the server's bind.
+  static Result<Client> ConnectTcp(int port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends `request` (id assigned here) and awaits the matching response.
+  /// IOError on a transport failure — including a server that closed the
+  /// connection after a malformed frame — and InvalidArgument when the
+  /// response itself cannot be decoded.
+  Result<WireResponse> Call(WireRequest request);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace gogreen::net
+
+#endif  // GOGREEN_NET_CLIENT_H_

@@ -1,0 +1,194 @@
+#include "net/frame.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gogreen::net {
+
+namespace {
+
+/// recv/send with EINTR retry. MSG_NOSIGNAL keeps a peer that closed
+/// mid-write from killing the process with SIGPIPE.
+ssize_t RecvSome(int fd, char* buf, size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t SendSome(int fd, const char* buf, size_t len) {
+  while (true) {
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+/// Reads exactly `len` bytes. Returns 1 on success, 0 on EOF before the
+/// first byte, -1 on EOF mid-read or error (errno preserved; 0 on EOF).
+int RecvExact(int fd, char* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = RecvSome(fd, buf + got, len - got);
+    if (n == 0) {
+      errno = 0;
+      return got == 0 ? 0 : -1;
+    }
+    if (n < 0) return -1;
+    got += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool ValidUtf8(std::string_view payload) {
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(payload.data());
+  size_t i = 0;
+  const size_t n = payload.size();
+  while (i < n) {
+    const unsigned char c = p[i];
+    if (c < 0x80) {
+      ++i;
+      continue;
+    }
+    size_t len;
+    uint32_t cp;
+    if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      cp = c & 0x1F;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      cp = c & 0x0F;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      cp = c & 0x07;
+    } else {
+      return false;  // Bare continuation byte or 5+/invalid lead byte.
+    }
+    if (i + len > n) return false;
+    for (size_t k = 1; k < len; ++k) {
+      if ((p[i + k] & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (p[i + k] & 0x3F);
+    }
+    // Overlong encodings, UTF-16 surrogates, and out-of-range values are
+    // not UTF-8 even though the byte shapes decode.
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000) || cp > 0x10FFFF ||
+        (cp >= 0xD800 && cp <= 0xDFFF)) {
+      return false;
+    }
+    i += len;
+  }
+  return true;
+}
+
+Status ValidateFramePayload(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("frame payload is empty");
+  }
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+        "-byte frame limit");
+  }
+  if (payload.find('\0') != std::string_view::npos) {
+    return Status::InvalidArgument("frame payload contains a NUL byte");
+  }
+  if (!ValidUtf8(payload)) {
+    return Status::InvalidArgument("frame payload is not valid UTF-8");
+  }
+  return Status::OK();
+}
+
+Result<std::string> EncodeFrame(std::string_view payload) {
+  GOGREEN_RETURN_NOT_OK(ValidateFramePayload(payload));
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((len >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((len >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((len >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(len & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+Result<bool> TryDecodeFrame(std::string_view buffer, std::string* payload,
+                            size_t* consumed) {
+  if (buffer.size() < kFrameHeaderBytes) return false;
+  const unsigned char* h =
+      reinterpret_cast<const unsigned char*>(buffer.data());
+  const uint32_t len = (uint32_t{h[0]} << 24) | (uint32_t{h[1]} << 16) |
+                       (uint32_t{h[2]} << 8) | uint32_t{h[3]};
+  if (len == 0) {
+    return Status::InvalidArgument("frame declares a zero-length payload");
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame declares " + std::to_string(len) + " payload bytes, over "
+        "the " + std::to_string(kMaxFrameBytes) + "-byte frame limit");
+  }
+  if (buffer.size() < kFrameHeaderBytes + len) return false;
+  const std::string_view body = buffer.substr(kFrameHeaderBytes, len);
+  GOGREEN_RETURN_NOT_OK(ValidateFramePayload(body));
+  payload->assign(body);
+  *consumed = kFrameHeaderBytes + len;
+  return true;
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  GOGREEN_ASSIGN_OR_RETURN(const std::string frame, EncodeFrame(payload));
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = SendSome(fd, frame.data() + sent, frame.size() - sent);
+    if (n <= 0) {
+      return Status::IOError(std::string("frame write failed: ") +
+                             (n < 0 ? std::strerror(errno)
+                                    : "connection closed"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<bool> ReadFrame(int fd, std::string* payload) {
+  char header[kFrameHeaderBytes];
+  const int got = RecvExact(fd, header, kFrameHeaderBytes);
+  if (got == 0) return false;  // Clean EOF on a frame boundary.
+  if (got < 0) {
+    return Status::IOError(errno == 0
+                               ? "truncated frame: EOF inside the header"
+                               : std::string("frame read failed: ") +
+                                     std::strerror(errno));
+  }
+  // Decode the declared length through the shared buffer decoder so the
+  // length-validation behavior cannot drift between the two paths.
+  const unsigned char* h = reinterpret_cast<const unsigned char*>(header);
+  const uint32_t len = (uint32_t{h[0]} << 24) | (uint32_t{h[1]} << 16) |
+                       (uint32_t{h[2]} << 8) | uint32_t{h[3]};
+  if (len == 0) {
+    return Status::InvalidArgument("frame declares a zero-length payload");
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame declares " + std::to_string(len) + " payload bytes, over "
+        "the " + std::to_string(kMaxFrameBytes) + "-byte frame limit");
+  }
+  payload->resize(len);
+  const int body = RecvExact(fd, payload->data(), len);
+  if (body <= 0) {
+    return Status::IOError(errno == 0
+                               ? "truncated frame: EOF inside the payload"
+                               : std::string("frame read failed: ") +
+                                     std::strerror(errno));
+  }
+  GOGREEN_RETURN_NOT_OK(ValidateFramePayload(*payload));
+  return true;
+}
+
+}  // namespace gogreen::net

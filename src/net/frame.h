@@ -1,0 +1,76 @@
+// Frame codec of the gogreen wire protocol (DESIGN.md §16).
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// payload bytes. The payload is one UTF-8 JSON document (net/wire.h); the
+// codec enforces the transport-level invariants so the parser above it
+// never sees garbage:
+//
+//   - declared length in [1, kMaxFrameBytes] — a zero or oversized length
+//     is a malformed frame, not a request;
+//   - payload contains no NUL byte and is valid UTF-8.
+//
+// Error contract (tests/net_frame_test.cc): a malformed frame is a typed
+// InvalidArgument. At the buffer level a short frame is simply "need more
+// bytes"; at the socket level an EOF that splits a frame is an IOError
+// ("truncated frame"), while an EOF on a frame boundary is a clean close.
+// Framing errors desynchronize the stream, so connections close after one;
+// payload-level errors (bad JSON in a well-delimited frame) do not — that
+// split is the server's job, not the codec's.
+
+#ifndef GOGREEN_NET_FRAME_H_
+#define GOGREEN_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace gogreen::net {
+
+/// Hard ceiling on one frame's payload. Large enough for any stats dump or
+/// error message the protocol produces; small enough that a corrupt length
+/// prefix cannot make a connection handler allocate gigabytes.
+inline constexpr size_t kMaxFrameBytes = size_t{8} << 20;  // 8 MiB
+
+/// Bytes of the length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// True when `payload` is well-formed UTF-8 (rejects overlong encodings,
+/// surrogate code points, and values above U+10FFFF).
+bool ValidUtf8(std::string_view payload);
+
+/// Validates one payload against the framing invariants (size bound, no
+/// NUL, valid UTF-8). Shared by the encoder and both decoders.
+Status ValidateFramePayload(std::string_view payload);
+
+/// Frames `payload` (header + bytes). InvalidArgument when the payload
+/// violates the framing invariants — the sender's bug is caught before it
+/// desynchronizes a peer.
+Result<std::string> EncodeFrame(std::string_view payload);
+
+/// Attempts to extract one complete frame from the front of `buffer`.
+/// Returns true and fills `*payload` / `*consumed` (header + payload
+/// bytes) when one is present; false (outputs untouched) when the buffer
+/// holds only a prefix; InvalidArgument on a malformed frame (bad length,
+/// NUL, invalid UTF-8) — the caller must then drop the connection, since
+/// the stream position is no longer trustworthy.
+Result<bool> TryDecodeFrame(std::string_view buffer, std::string* payload,
+                            size_t* consumed);
+
+// --- Blocking socket I/O (used by Server and Client). ---
+
+/// Writes one frame to `fd`, handling short writes; never raises SIGPIPE.
+/// InvalidArgument on an invalid payload, IOError on a write failure.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame from `fd`. Returns true and fills `*payload`; false on
+/// a clean EOF at a frame boundary (peer closed); IOError on EOF mid-frame
+/// ("truncated frame") or a read failure; InvalidArgument on a malformed
+/// frame.
+Result<bool> ReadFrame(int fd, std::string* payload);
+
+}  // namespace gogreen::net
+
+#endif  // GOGREEN_NET_FRAME_H_

@@ -1,0 +1,219 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "net/frame.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "serve/wire_service.h"
+
+namespace gogreen::net {
+
+namespace {
+
+obs::Counter* ConnectionsCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("net.connections");
+  return c;
+}
+
+obs::Counter* FramesCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("net.frames");
+  return c;
+}
+
+obs::Counter* FrameErrorsCounter() {
+  static obs::Counter* c =
+      obs::MetricRegistry::Global().GetCounter("net.frame_errors");
+  return c;
+}
+
+Result<int> ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // Stale socket from a previous run.
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const Status status = Status::IOError("bind " + path + ": " +
+                                          std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ListenTcp(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  // Loopback only: the daemon has no authentication, so it never listens
+  // on a routable interface.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const Status status = Status::IOError(
+        "bind port " + std::to_string(port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Server::Server(serve::MiningService& service,
+               serve::AdmissionController* admission, ServerOptions options)
+    : service_(service),
+      admission_(admission),
+      options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  const bool want_unix = !options_.unix_path.empty();
+  const bool want_tcp = options_.tcp_port >= 0;
+  if (want_unix == want_tcp) {
+    return Status::InvalidArgument(
+        "serve needs exactly one of --socket and --port");
+  }
+  GOGREEN_ASSIGN_OR_RETURN(
+      listen_fd_, want_unix ? ListenUnix(options_.unix_path)
+                            : ListenTcp(options_.tcp_port));
+  if (::listen(listen_fd_, static_cast<int>(options_.max_connections)) < 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (want_tcp) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (options_.mine_hold_ms > 0) {
+    const uint64_t hold_ms = options_.mine_hold_ms;
+    service_.SetLeaderHoldForTest([hold_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    });
+  }
+  // max_connections handler lanes + the accept loop; the "+2" keeps one
+  // lane free because ThreadPool spawns threads-1 workers (the last lane
+  // belongs to a Wait()ing caller, which here is only Stop()).
+  pool_ = std::make_unique<ThreadPool>(options_.max_connections + 2);
+  started_ = true;
+  stopping_.store(false, std::memory_order_relaxed);
+  pool_->Submit(&wg_, [this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Wake the accept loop, then half-close every live connection: handlers
+  // mid-request finish and write their response; their next read sees a
+  // clean EOF and the task exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    MutexLock lock(conns_mu_);
+    for (const int fd : conns_) ::shutdown(fd, SHUT_RD);
+  }
+  pool_->Wait(&wg_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  started_ = false;
+}
+
+void Server::Register(int fd) {
+  MutexLock lock(conns_mu_);
+  conns_.push_back(fd);
+}
+
+void Server::Unregister(int fd) {
+  MutexLock lock(conns_mu_);
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i] == fd) {
+      conns_[i] = conns_.back();
+      conns_.pop_back();
+      break;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener shut down (Stop) or unrecoverable.
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    ConnectionsCounter()->Add(1);
+    Register(fd);
+    pool_->Submit(&wg_, [this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  serve::WireSession session(service_, admission_);
+  std::string payload;
+  while (true) {
+    const Result<bool> got = ReadFrame(fd, &payload);
+    if (!got.ok()) {
+      FrameErrorsCounter()->Add(1);
+      if (got.status().code() == StatusCode::kInvalidArgument) {
+        // Malformed frame: the stream position is untrustworthy. One
+        // best-effort typed error, then close.
+        const WireResponse err = MakeErrorResponse(0, got.status());
+        (void)WriteFrame(fd, err.ToJson());
+      }
+      break;
+    }
+    if (!got.value()) break;  // Clean EOF: peer (or Stop) closed.
+    FramesCounter()->Add(1);
+    const Result<WireRequest> request = WireRequest::FromJson(payload);
+    WireResponse resp;
+    if (request.ok()) {
+      resp = session.Handle(request.value());
+    } else {
+      // Well-framed but invalid payload: typed error, connection lives.
+      resp = MakeErrorResponse(0, request.status());
+    }
+    if (!WriteFrame(fd, resp.ToJson()).ok()) break;
+  }
+  Unregister(fd);
+  ::close(fd);
+}
+
+}  // namespace gogreen::net

@@ -1,0 +1,102 @@
+// The gogreen daemon: serves the wire protocol (net/wire.h) for one
+// MiningService over a unix socket or loopback TCP.
+//
+// Concurrency model: no raw threads — the server owns a ThreadPool and
+// submits one long-running accept-loop task plus one task per accepted
+// connection. Each connection task owns a serve::WireSession (sticky
+// tenant, last-mine stats) and loops read-frame → handle → write-frame.
+// The pool is sized max_connections + 2, so up to max_connections
+// handlers mine concurrently while the accept loop keeps its own lane;
+// further connections queue in the pool — admission-by-backpressure at
+// the transport, before AdmissionController sees a request.
+//
+// Graceful shutdown (Stop): new accepts stop, every open connection gets
+// SHUT_RD — a handler mid-mine finishes, writes its response, then reads
+// a clean EOF and exits — and Stop blocks until the pool drains. In-
+// flight leaders are never abandoned: their followers (possibly on other
+// connections) still get the coalesced result.
+//
+// Error discipline mirrors the frame codec's contract: a malformed frame
+// desynchronizes the byte stream, so the handler sends one best-effort
+// error response and closes; a well-framed but invalid payload (bad
+// JSON, unknown field, unknown verb, wrong version) gets a typed error
+// response and the connection lives on.
+//
+// Counters (DESIGN.md §12): net.connections, net.frames,
+// net.frame_errors.
+
+#ifndef GOGREEN_NET_SERVER_H_
+#define GOGREEN_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/mining_service.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace gogreen::net {
+
+struct ServerOptions {
+  /// Exactly one of unix_path / tcp_port must be set.
+  std::string unix_path;  ///< Unix-domain socket path ("" = use TCP).
+  int tcp_port = -1;      ///< Loopback TCP port (0 = kernel-assigned).
+  size_t max_connections = 8;
+  /// Test/CI seam: before mining, a leader holds this long in the
+  /// single-flight rendezvous window, so concurrently launched identical
+  /// clients deterministically coalesce. 0 = no hold (production).
+  uint64_t mine_hold_ms = 0;
+};
+
+class Server {
+ public:
+  /// `admission` may be null (requests bypass admission control).
+  /// Borrowed; both must outlive the server.
+  Server(serve::MiningService& service,
+         serve::AdmissionController* admission, ServerOptions options);
+  ~Server();  // Stop()s if still running.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts accepting. InvalidArgument on a bad
+  /// options combination, IOError on a socket failure.
+  Status Start();
+
+  /// Graceful shutdown; see the file comment. Idempotent, and safe to
+  /// call from a signal-watching loop while handlers are mid-mine.
+  void Stop();
+
+  /// The bound TCP port (tcp_port resolved when 0 was asked). 0 when
+  /// serving a unix socket.
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Registers/unregisters a live connection fd so Stop() can SHUT_RD it.
+  void Register(int fd);
+  void Unregister(int fd);
+
+  serve::MiningService& service_;
+  serve::AdmissionController* admission_;
+  const ServerOptions options_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  WaitGroup wg_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  Mutex conns_mu_;
+  std::vector<int> conns_ GUARDED_BY(conns_mu_);
+};
+
+}  // namespace gogreen::net
+
+#endif  // GOGREEN_NET_SERVER_H_

@@ -1,0 +1,465 @@
+#include "net/wire.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace gogreen::net {
+
+namespace {
+
+// --- Encoding helpers. -----------------------------------------------------
+
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (const char ch : value) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out->append(buf);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+class JsonWriter {
+ public:
+  void String(const char* key, const std::string& value) {
+    Key(key);
+    AppendJsonString(&out_, value);
+  }
+  void Uint(const char* key, uint64_t value) {
+    Key(key);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    out_.append(buf);
+  }
+  void Int(const char* key, int value) { Uint(key, uint64_t(value)); }
+  void Double(const char* key, double value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out_.append(buf);
+  }
+  void Bool(const char* key, bool value) {
+    Key(key);
+    out_.append(value ? "true" : "false");
+  }
+  std::string Finish() && { return std::move(out_) + "}"; }
+
+ private:
+  void Key(const char* key) {
+    out_.append(out_.empty() ? "{" : ",");
+    AppendJsonString(&out_, key);
+    out_.push_back(':');
+  }
+  std::string out_;
+};
+
+// --- Strict flat-object parser. --------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool } kind = Kind::kString;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses `{"key": value, ...}` with string/number/bool values only.
+  /// Duplicate keys and nested containers are malformed.
+  Status Parse(std::map<std::string, JsonValue>* out) {
+    SkipSpace();
+    if (!Consume('{')) return Malformed("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return Trailing();
+    while (true) {
+      std::string key;
+      GOGREEN_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Malformed("expected ':' after key");
+      SkipSpace();
+      JsonValue value;
+      GOGREEN_RETURN_NOT_OK(ParseValue(&value));
+      if (!out->emplace(key, std::move(value)).second) {
+        return Status::InvalidArgument("malformed request: duplicate key '" +
+                                       key + "'");
+      }
+      SkipSpace();
+      if (Consume(',')) {
+        SkipSpace();
+        continue;
+      }
+      if (Consume('}')) return Trailing();
+      return Malformed("expected ',' or '}'");
+    }
+  }
+
+ private:
+  Status Malformed(const std::string& what) const {
+    return Status::InvalidArgument("malformed request: " + what +
+                                   " at byte " + std::to_string(pos_));
+  }
+  Status Trailing() {
+    SkipSpace();
+    if (pos_ != text_.size()) return Malformed("trailing bytes after object");
+    return Status::OK();
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Malformed("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return Status::OK();
+      if (ch != '\\') {
+        out->push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Malformed("short \\u escape");
+          char* end = nullptr;
+          const std::string hex = text_.substr(pos_, 4);
+          const long cp = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) return Malformed("bad \\u escape");
+          pos_ += 4;
+          // The writer only emits \u for control characters; reject
+          // anything that would need surrogate-pair reassembly.
+          if (cp >= 0x80) return Malformed("unsupported \\u escape");
+          out->push_back(static_cast<char>(cp));
+          break;
+        }
+        default:
+          return Malformed("unknown escape");
+      }
+    }
+    return Malformed("unterminated string");
+  }
+  Status ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Malformed("expected a value");
+    const char ch = text_[pos_];
+    if (ch == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (ch == 't' || ch == 'f') {
+      const char* word = ch == 't' ? "true" : "false";
+      const size_t len = ch == 't' ? 4 : 5;
+      if (text_.compare(pos_, len, word) != 0) {
+        return Malformed("expected a literal");
+      }
+      pos_ += len;
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = ch == 't';
+      return Status::OK();
+    }
+    if (ch == '-' || (ch >= '0' && ch <= '9')) {
+      const char* begin = text_.c_str() + pos_;
+      char* end = nullptr;
+      out->num = std::strtod(begin, &end);
+      if (end == begin || !std::isfinite(out->num)) {
+        return Malformed("bad number");
+      }
+      pos_ += static_cast<size_t>(end - begin);
+      out->kind = JsonValue::Kind::kNumber;
+      return Status::OK();
+    }
+    // Flat protocol: no nested objects/arrays, no null.
+    return Malformed("unsupported value (only strings, numbers, booleans)");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Pulls typed fields out of the parsed map, erasing consumed keys so the
+/// caller can reject whatever is left over by name.
+class FieldReader {
+ public:
+  explicit FieldReader(std::map<std::string, JsonValue>* fields)
+      : fields_(fields) {}
+
+  Status String(const char* key, std::string* out) {
+    return Take(key, JsonValue::Kind::kString,
+                [&](const JsonValue& v) { *out = v.str; });
+  }
+  Status Uint(const char* key, uint64_t* out) {
+    return Take(key, JsonValue::Kind::kNumber, [&](const JsonValue& v) {
+      *out = v.num < 0 ? 0 : static_cast<uint64_t>(v.num);
+    });
+  }
+  Status Int(const char* key, int* out) {
+    return Take(key, JsonValue::Kind::kNumber,
+                [&](const JsonValue& v) { *out = static_cast<int>(v.num); });
+  }
+  Status Double(const char* key, double* out) {
+    return Take(key, JsonValue::Kind::kNumber,
+                [&](const JsonValue& v) { *out = v.num; });
+  }
+  Status Bool(const char* key, bool* out) {
+    return Take(key, JsonValue::Kind::kBool,
+                [&](const JsonValue& v) { *out = v.boolean; });
+  }
+
+  /// After all known fields are consumed: anything left is an unknown
+  /// field, rejected by name (fail closed — see the header comment).
+  Status RejectUnknown(const char* message_kind) const {
+    if (fields_->empty()) return Status::OK();
+    return Status::InvalidArgument(std::string("unknown ") + message_kind +
+                                   " field '" + fields_->begin()->first +
+                                   "'");
+  }
+
+ private:
+  template <typename Fn>
+  Status Take(const char* key, JsonValue::Kind kind, Fn assign) {
+    auto it = fields_->find(key);
+    if (it == fields_->end()) return Status::OK();  // optional, keep default
+    if (it->second.kind != kind) {
+      return Status::InvalidArgument(std::string("field '") + key +
+                                     "' has the wrong type");
+    }
+    assign(it->second);
+    fields_->erase(it);
+    return Status::OK();
+  }
+
+  std::map<std::string, JsonValue>* fields_;
+};
+
+Status CheckVersion(int v) {
+  if (v != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(v) + " (this peer "
+        "speaks v" + std::to_string(kProtocolVersion) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kMine:
+      return "mine";
+    case Verb::kStats:
+      return "stats";
+    case Verb::kMetrics:
+      return "metrics";
+    case Verb::kStore:
+      return "store";
+    case Verb::kPing:
+      return "ping";
+    case Verb::kTenant:
+      return "tenant";
+  }
+  return "ping";
+}
+
+Status ParseVerb(const std::string& name, Verb* verb) {
+  for (Verb candidate : {Verb::kMine, Verb::kStats, Verb::kMetrics,
+                         Verb::kStore, Verb::kPing, Verb::kTenant}) {
+    if (name == VerbName(candidate)) {
+      *verb = candidate;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown verb '" + name + "'");
+}
+
+std::string WireRequest::ToJson() const {
+  JsonWriter w;
+  w.Int("v", v);
+  w.Uint("id", id);
+  w.String("verb", VerbName(verb));
+  if (support > 0.0) w.Double("support", support);
+  if (deadline_ms > 0) w.Uint("deadline_ms", deadline_ms);
+  if (budget_mb > 0) w.Uint("budget_mb", budget_mb);
+  if (threads > 0) w.Uint("threads", threads);
+  if (!tenant.empty()) w.String("tenant", tenant);
+  return std::move(w).Finish();
+}
+
+Result<WireRequest> WireRequest::FromJson(const std::string& json) {
+  std::map<std::string, JsonValue> fields;
+  GOGREEN_RETURN_NOT_OK(JsonParser(json).Parse(&fields));
+  WireRequest req;
+  FieldReader r(&fields);
+  GOGREEN_RETURN_NOT_OK(r.Int("v", &req.v));
+  GOGREEN_RETURN_NOT_OK(r.Uint("id", &req.id));
+  std::string verb = "ping";
+  GOGREEN_RETURN_NOT_OK(r.String("verb", &verb));
+  GOGREEN_RETURN_NOT_OK(r.Double("support", &req.support));
+  GOGREEN_RETURN_NOT_OK(r.Uint("deadline_ms", &req.deadline_ms));
+  GOGREEN_RETURN_NOT_OK(r.Uint("budget_mb", &req.budget_mb));
+  GOGREEN_RETURN_NOT_OK(r.Uint("threads", &req.threads));
+  GOGREEN_RETURN_NOT_OK(r.String("tenant", &req.tenant));
+  GOGREEN_RETURN_NOT_OK(r.RejectUnknown("request"));
+  GOGREEN_RETURN_NOT_OK(CheckVersion(req.v));
+  GOGREEN_RETURN_NOT_OK(ParseVerb(verb, &req.verb));
+  return req;
+}
+
+std::string WireResponse::ToJson() const {
+  JsonWriter w;
+  w.Int("v", v);
+  w.Uint("id", id);
+  w.String("outcome", OutcomeLabel(outcome, error_code));
+  if (!error.empty()) w.String("error", error);
+  if (!route.empty()) w.String("route", route);
+  if (min_support > 0) w.Uint("min_support", min_support);
+  if (seed_support > 0) w.Uint("seed_support", seed_support);
+  if (patterns > 0) w.Uint("patterns", patterns);
+  if (partial) w.Bool("partial", partial);
+  if (frontier_support > 0) w.Uint("frontier_support", frontier_support);
+  if (coalesced) w.Bool("coalesced", coalesced);
+  if (degraded) w.Bool("degraded", degraded);
+  if (shed) w.Bool("shed", shed);
+  if (retry_after_ms > 0) w.Uint("retry_after_ms", retry_after_ms);
+  if (seconds > 0.0) w.Double("seconds", seconds);
+  if (compress_seconds > 0.0) w.Double("compress_seconds", compress_seconds);
+  if (compression_ratio > 0.0) {
+    w.Double("compression_ratio", compression_ratio);
+  }
+  if (bytes_peak > 0) w.Uint("bytes_peak", bytes_peak);
+  if (threads > 0) w.Uint("threads", threads);
+  if (evictions > 0) w.Uint("evictions", evictions);
+  if (request_id > 0) w.Uint("request_id", request_id);
+  if (queued_ms > 0) w.Uint("queued_ms", queued_ms);
+  if (!tenant.empty()) w.String("tenant", tenant);
+  if (!body.empty()) w.String("body", body);
+  return std::move(w).Finish();
+}
+
+Result<WireResponse> WireResponse::FromJson(const std::string& json) {
+  std::map<std::string, JsonValue> fields;
+  GOGREEN_RETURN_NOT_OK(JsonParser(json).Parse(&fields));
+  WireResponse resp;
+  FieldReader r(&fields);
+  GOGREEN_RETURN_NOT_OK(r.Int("v", &resp.v));
+  GOGREEN_RETURN_NOT_OK(r.Uint("id", &resp.id));
+  std::string outcome = "ok";
+  GOGREEN_RETURN_NOT_OK(r.String("outcome", &outcome));
+  GOGREEN_RETURN_NOT_OK(r.String("error", &resp.error));
+  GOGREEN_RETURN_NOT_OK(r.String("route", &resp.route));
+  GOGREEN_RETURN_NOT_OK(r.Uint("min_support", &resp.min_support));
+  GOGREEN_RETURN_NOT_OK(r.Uint("seed_support", &resp.seed_support));
+  GOGREEN_RETURN_NOT_OK(r.Uint("patterns", &resp.patterns));
+  GOGREEN_RETURN_NOT_OK(r.Bool("partial", &resp.partial));
+  GOGREEN_RETURN_NOT_OK(r.Uint("frontier_support", &resp.frontier_support));
+  GOGREEN_RETURN_NOT_OK(r.Bool("coalesced", &resp.coalesced));
+  GOGREEN_RETURN_NOT_OK(r.Bool("degraded", &resp.degraded));
+  GOGREEN_RETURN_NOT_OK(r.Bool("shed", &resp.shed));
+  GOGREEN_RETURN_NOT_OK(r.Uint("retry_after_ms", &resp.retry_after_ms));
+  GOGREEN_RETURN_NOT_OK(r.Double("seconds", &resp.seconds));
+  GOGREEN_RETURN_NOT_OK(r.Double("compress_seconds", &resp.compress_seconds));
+  GOGREEN_RETURN_NOT_OK(
+      r.Double("compression_ratio", &resp.compression_ratio));
+  GOGREEN_RETURN_NOT_OK(r.Uint("bytes_peak", &resp.bytes_peak));
+  GOGREEN_RETURN_NOT_OK(r.Uint("threads", &resp.threads));
+  GOGREEN_RETURN_NOT_OK(r.Uint("evictions", &resp.evictions));
+  GOGREEN_RETURN_NOT_OK(r.Uint("request_id", &resp.request_id));
+  GOGREEN_RETURN_NOT_OK(r.Uint("queued_ms", &resp.queued_ms));
+  GOGREEN_RETURN_NOT_OK(r.String("tenant", &resp.tenant));
+  GOGREEN_RETURN_NOT_OK(r.String("body", &resp.body));
+  GOGREEN_RETURN_NOT_OK(r.RejectUnknown("response"));
+  GOGREEN_RETURN_NOT_OK(CheckVersion(resp.v));
+  if (!ParseOutcomeLabel(outcome, &resp.outcome, &resp.error_code)) {
+    return Status::InvalidArgument("unknown outcome label '" + outcome + "'");
+  }
+  return resp;
+}
+
+Status WireResponse::ToStatus() const {
+  switch (outcome) {
+    case Outcome::kOk:
+    case Outcome::kPartial:
+    case Outcome::kDegraded:
+      return Status::OK();
+    case Outcome::kShed:
+      return Status::ResourceExhausted(
+          error.empty() ? "request shed" : error);
+    case Outcome::kError:
+      return Status(error_code == StatusCode::kOk ? StatusCode::kInternal
+                                                  : error_code,
+                    error.empty() ? "remote error" : error);
+  }
+  return Status::OK();
+}
+
+WireResponse MakeErrorResponse(uint64_t id, const Status& status) {
+  WireResponse resp;
+  resp.id = id;
+  if (status.code() == StatusCode::kResourceExhausted) {
+    resp.outcome = Outcome::kShed;
+    resp.shed = true;
+  } else {
+    resp.outcome = Outcome::kError;
+    resp.error_code = status.code();
+  }
+  resp.error = status.message();
+  return resp;
+}
+
+}  // namespace gogreen::net

@@ -1,0 +1,114 @@
+// Wire messages of the gogreen protocol (DESIGN.md §16).
+//
+// One request frame carries one WireRequest; the server answers with one
+// WireResponse frame carrying the same `id`. The payload is a single flat
+// JSON object — string, number, and boolean values only, no nesting — so
+// the codec stays hand-written and auditable. Parsing is fail-closed: an
+// unknown key is an InvalidArgument naming the key, not a silent skip, so
+// a field added by a newer peer can never be dropped on the floor. Adding
+// a field therefore bumps kProtocolVersion, and a server rejects requests
+// whose `v` it does not speak.
+//
+// This request/response pair IS the mining API's public surface: the
+// session REPL, the daemon, and the client CLI all speak it (the session
+// in-process, the others over a socket), and the `outcome` field is the
+// one place the ok/partial/degraded/shed/error vocabulary of
+// util/status_codes.h crosses a process boundary.
+
+#ifndef GOGREEN_NET_WIRE_H_
+#define GOGREEN_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+#include "util/status_codes.h"
+
+namespace gogreen::net {
+
+/// Protocol revision. Bump whenever a field is added or its meaning
+/// changes; peers reject versions they do not speak (fail closed).
+inline constexpr int kProtocolVersion = 1;
+
+/// What the client asks the daemon to do.
+enum class Verb {
+  kMine,     // run one governed mine at `support`
+  kStats,    // return the last-mine stats line in `body`
+  kMetrics,  // return the process metrics snapshot (Prometheus) in `body`
+  kStore,    // return the PatternStore summary line in `body`
+  kPing,     // liveness probe; echoes ok
+  kTenant,   // bind this connection to `tenant` for subsequent requests
+};
+
+const char* VerbName(Verb verb);
+Status ParseVerb(const std::string& name, Verb* verb);
+
+/// One request frame. Absent optional fields keep their zero defaults and
+/// are omitted from the encoded JSON.
+struct WireRequest {
+  int v = kProtocolVersion;
+  uint64_t id = 0;  // echoed in the response; correlation only
+  Verb verb = Verb::kPing;
+
+  // mine: threshold — a value < 1.0 is a fraction of the database size,
+  // >= 1.0 an absolute count (same rule the CLI and session use).
+  double support = 0.0;
+  uint64_t deadline_ms = 0;  // 0 = no deadline
+  uint64_t budget_mb = 0;    // 0 = no byte budget
+  uint64_t threads = 0;      // 0 = server default
+  std::string tenant;        // tenant verb: the principal to bind
+
+  std::string ToJson() const;
+  static Result<WireRequest> FromJson(const std::string& json);
+};
+
+/// One response frame. `outcome` carries the typed result vocabulary; on
+/// "error:<Code>" outcomes, `error` holds the human-readable message and
+/// the code rides inside the outcome label itself.
+struct WireResponse {
+  int v = kProtocolVersion;
+  uint64_t id = 0;
+  Outcome outcome = Outcome::kOk;
+  StatusCode error_code = StatusCode::kOk;
+  std::string error;  // message; only meaningful when outcome == kError
+
+  // mine results (mirrors serve::ServeStats).
+  std::string route;
+  uint64_t min_support = 0;
+  uint64_t seed_support = 0;
+  uint64_t patterns = 0;  // count; pattern bytes stay in the PatternStore
+  bool partial = false;
+  uint64_t frontier_support = 0;
+  bool coalesced = false;
+  bool degraded = false;
+  bool shed = false;
+  uint64_t retry_after_ms = 0;
+  double seconds = 0.0;
+  double compress_seconds = 0.0;
+  double compression_ratio = 0.0;
+  uint64_t bytes_peak = 0;
+  uint64_t threads = 0;
+  uint64_t evictions = 0;
+  uint64_t request_id = 0;  // obs::RequestLog id stamped on the request
+  uint64_t queued_ms = 0;
+  std::string tenant;
+
+  // stats / store verbs: the formatted text the client prints verbatim.
+  std::string body;
+
+  std::string ToJson() const;
+  static Result<WireResponse> FromJson(const std::string& json);
+
+  /// Projects an error/shed outcome back onto a Status so in-process
+  /// callers (the session REPL) keep their exact pre-wire error handling.
+  /// Ok/partial/degraded outcomes project to OK.
+  Status ToStatus() const;
+};
+
+/// Builds the error response for `request` (id echoed when the request
+/// parsed far enough to have one).
+WireResponse MakeErrorResponse(uint64_t id, const Status& status);
+
+}  // namespace gogreen::net
+
+#endif  // GOGREEN_NET_WIRE_H_

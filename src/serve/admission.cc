@@ -9,6 +9,7 @@
 #include "obs/request_log.h"
 #include "util/failpoint.h"
 #include "util/run_context.h"
+#include "util/status_codes.h"
 
 namespace gogreen::serve {
 
@@ -331,8 +332,7 @@ Result<fpm::MineResult> AdmissionController::Dispatch(
     stats.tenant = request.tenant;
     stats.queued_ms = gate.queued_ms;
     stats.seconds = gate.timer.ElapsedSeconds();
-    stats.outcome =
-        std::string("error:") + StatusCodeToString(inject.code());
+    stats.outcome = OutcomeLabel(Outcome::kError, inject.code());
     ErrorsCounter()->Add(1);
     EmitAdmissionEvent(gate, std::move(stats), stats_out);
     return inject;
@@ -455,7 +455,7 @@ Result<fpm::MineResult> AdmissionController::TryServeDegraded(
   stats.partial = partial;
   stats.frontier_support = partial ? seed_support : gate.min_support;
   stats.patterns_returned = patterns.size();
-  stats.outcome = "degraded";
+  stats.outcome = OutcomeLabel(Outcome::kDegraded);
   stats.seconds = gate.timer.ElapsedSeconds();
 
   fpm::MineResult result;
@@ -485,7 +485,7 @@ Result<fpm::MineResult> AdmissionController::Shed(
   stats.queued_ms = gate.queued_ms;
   stats.shed = true;
   stats.retry_after_ms = retry_after_ms;
-  stats.outcome = "shed";
+  stats.outcome = OutcomeLabel(Outcome::kShed);
   stats.seconds = gate.timer.ElapsedSeconds();
   ShedCounter()->Add(1);
   EmitAdmissionEvent(gate, std::move(stats), stats_out);

@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/run_context.h"
+#include "util/status_codes.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -186,11 +187,11 @@ Result<fpm::MineResult> MiningService::Mine(const fpm::MineRequest& request,
     stats.partial = outcome->partial;
     stats.frontier_support = outcome->frontier_support;
     stats.patterns_returned = outcome->patterns.size();
-    stats.outcome = outcome->partial ? "partial" : "ok";
-  } else {
-    stats.outcome = std::string("error:") +
-                    StatusCodeToString(outcome.status().code());
   }
+  stats.outcome = OutcomeLabel(
+      ClassifyOutcome(outcome.status(), stats.partial, stats.degraded,
+                      stats.shed),
+      outcome.status().code());
   RecordRoute(stats, outcome.ok());
   obs::RequestLog::Global().Record(BuildEvent(rctx, stats));
   if (stats_out != nullptr) *stats_out = stats;

@@ -6,9 +6,8 @@
 #include <sstream>
 #include <string>
 
-#include "obs/export.h"
 #include "serve/admission.h"
-#include "util/run_context.h"
+#include "serve/wire_service.h"
 
 namespace gogreen::serve {
 
@@ -29,12 +28,13 @@ constexpr const char* kHelp =
     "  help            this list\n"
     "  quit            end the session\n";
 
-/// Sticky per-session knobs applied to every subsequent mine.
+/// Sticky per-session knobs stamped onto every subsequent mine request.
+/// The tenant binding, by contrast, lives on the other side of the
+/// executor (per-connection state — see WireSession).
 struct Knobs {
-  size_t threads = 0;
+  uint64_t threads = 0;
   uint64_t deadline_ms = 0;
   uint64_t budget_mb = 0;
-  std::string tenant;
 };
 
 Result<uint64_t> ParseCount(const std::string& word, const char* what) {
@@ -49,8 +49,10 @@ Result<uint64_t> ParseCount(const std::string& word, const char* what) {
   return static_cast<uint64_t>(v);
 }
 
-Result<uint64_t> ParseSupport(const std::string& word,
-                              size_t num_transactions) {
+/// The client-side half of support parsing: the word must be a positive
+/// number. The fraction-vs-absolute resolution needs the database size,
+/// so it happens on the serving side (WireSession::HandleMine).
+Result<double> ParseSupport(const std::string& word) {
   char* end = nullptr;
   errno = 0;
   const double raw = std::strtod(word.c_str(), &end);
@@ -59,95 +61,56 @@ Result<uint64_t> ParseSupport(const std::string& word,
     return Status::InvalidArgument("mine expects a positive support, got '" +
                                    word + "'");
   }
-  if (raw < 1.0) return fpm::AbsoluteSupport(raw, num_transactions);
-  return static_cast<uint64_t>(raw);
+  return raw;
 }
 
-Status DoMine(MiningService& service, AdmissionController* admission,
-              const Knobs& knobs, const std::string& arg, std::ostream& out,
-              SessionSummary* summary, ServeStats* last) {
-  GOGREEN_ASSIGN_OR_RETURN(
-      const uint64_t minsup,
-      ParseSupport(arg, service.db().NumTransactions()));
-  RunContext ctx;
-  fpm::MineRequest request = fpm::MineRequest::At(minsup);
+Status DoMine(const WireExecutor& executor, const Knobs& knobs,
+              uint64_t request_id, const std::string& arg, std::ostream& out,
+              SessionSummary* summary) {
+  GOGREEN_ASSIGN_OR_RETURN(const double support, ParseSupport(arg));
+  net::WireRequest request;
+  request.id = request_id;
+  request.verb = net::Verb::kMine;
+  request.support = support;
   request.threads = knobs.threads;
-  request.tenant = knobs.tenant;
-  if (knobs.deadline_ms > 0 || knobs.budget_mb > 0) {
-    if (knobs.deadline_ms > 0) {
-      ctx.SetDeadlineAfterMillis(static_cast<int64_t>(knobs.deadline_ms));
-    }
-    if (knobs.budget_mb > 0) {
-      ctx.SetMemoryBudget(static_cast<size_t>(knobs.budget_mb) << 20);
-    }
-    request.run_context = &ctx;
-  }
-  ServeStats stats;
-  GOGREEN_ASSIGN_OR_RETURN(const fpm::MineResult result,
-                           admission != nullptr
-                               ? admission->Mine(request, &stats)
-                               : service.Mine(request, &stats));
+  request.deadline_ms = knobs.deadline_ms;
+  request.budget_mb = knobs.budget_mb;
+  GOGREEN_ASSIGN_OR_RETURN(const net::WireResponse resp, executor(request));
+  GOGREEN_RETURN_NOT_OK(resp.ToStatus());
   ++summary->mines;
-  if (result.partial) ++summary->partials;
-  *last = stats;
-  out << "mined support=" << minsup
-      << " route=" << core::SeedRouteName(stats.route)
-      << " seed=" << stats.seed_support
-      << " patterns=" << result.patterns.size()
-      << " seconds=" << stats.seconds
-      << " partial=" << (result.partial ? 1 : 0);
-  if (result.partial) out << " frontier=" << result.frontier_support;
-  out << "\n";
+  if (resp.partial) ++summary->partials;
+  out << FormatMineLine(resp);
   return Status::OK();
 }
 
-void PrintStats(const ServeStats& stats, std::ostream& out) {
-  out << "last: route=" << core::SeedRouteName(stats.route)
-      << " seed=" << stats.seed_support
-      << " patterns=" << stats.patterns_returned
-      << " seconds=" << stats.seconds
-      << " compress_seconds=" << stats.compress_seconds
-      << " ratio=" << stats.compression_ratio
-      << " partial=" << (stats.partial ? 1 : 0)
-      // Appended fields only (scripts grep the prefix above): the wide-
-      // event view of the same request.
-      << " request=" << stats.request_id
-      << " threads=" << stats.threads
-      << " bytes_peak=" << stats.bytes_peak
-      << " evictions=" << stats.evictions
-      << " outcome=" << (stats.outcome.empty() ? "none" : stats.outcome)
-      << " coalesced=" << (stats.coalesced ? 1 : 0)
-      << " tenant=" << (stats.tenant.empty() ? "-" : stats.tenant)
-      << " queued_ms=" << stats.queued_ms
-      << " degraded=" << (stats.degraded ? 1 : 0)
-      << " shed=" << (stats.shed ? 1 : 0)
-      << "\n";
-}
-
-void PrintStore(const PatternStore& store, std::ostream& out) {
-  const StoreStats stats = store.stats();
-  out << "store: entries=" << stats.entries
-      << " images=" << stats.compressed_images
-      << " bytes=" << stats.bytes_in_use << "/" << stats.byte_budget
-      << " evictions=" << stats.evictions
-      << " image_evictions=" << stats.image_evictions << "\n";
+/// Sends a body-producing verb (stats/metrics/store) and prints the body.
+Status DoBodyVerb(const WireExecutor& executor, net::Verb verb,
+                  uint64_t request_id, std::ostream& out) {
+  net::WireRequest request;
+  request.id = request_id;
+  request.verb = verb;
+  GOGREEN_ASSIGN_OR_RETURN(const net::WireResponse resp, executor(request));
+  GOGREEN_RETURN_NOT_OK(resp.ToStatus());
+  out << resp.body;
+  return Status::OK();
 }
 
 /// One command line. Returns OK on success; errors are fatal only in
 /// strict mode (the caller decides).
-Status RunCommand(MiningService& service, AdmissionController* admission,
-                  Knobs* knobs, const std::string& verb,
+Status RunCommand(const WireExecutor& executor,
+                  const SaveLoadHandler& save_load, Knobs* knobs,
+                  uint64_t request_id, const std::string& verb,
                   const std::string& arg, std::ostream& out,
-                  SessionSummary* summary, ServeStats* last) {
+                  SessionSummary* summary) {
   if (verb == "mine") {
-    return DoMine(service, admission, *knobs, arg, out, summary, last);
+    return DoMine(executor, *knobs, request_id, arg, out, summary);
   }
   if (verb == "threads") {
     GOGREEN_ASSIGN_OR_RETURN(const uint64_t n, ParseCount(arg, "threads"));
     if (n > 1024) {
       return Status::InvalidArgument("threads must be <= 1024");
     }
-    knobs->threads = static_cast<size_t>(n);
+    knobs->threads = n;
     out << "threads=" << n << "\n";
     return Status::OK();
   }
@@ -162,37 +125,33 @@ Status RunCommand(MiningService& service, AdmissionController* admission,
     return Status::OK();
   }
   if (verb == "tenant") {
-    knobs->tenant = arg;  // Empty arg resets to the anonymous tenant.
+    net::WireRequest request;
+    request.id = request_id;
+    request.verb = net::Verb::kTenant;
+    request.tenant = arg;  // Empty arg resets to the anonymous tenant.
+    GOGREEN_ASSIGN_OR_RETURN(const net::WireResponse resp, executor(request));
+    GOGREEN_RETURN_NOT_OK(resp.ToStatus());
     out << "tenant=" << (arg.empty() ? "-" : arg) << "\n";
     return Status::OK();
   }
   if (verb == "stats") {
-    PrintStats(*last, out);
-    return Status::OK();
+    return DoBodyVerb(executor, net::Verb::kStats, request_id, out);
   }
   if (verb == "\\stats") {
-    out << obs::MetricsProm();
-    return Status::OK();
+    return DoBodyVerb(executor, net::Verb::kMetrics, request_id, out);
   }
   if (verb == "store") {
-    PrintStore(service.store(), out);
-    return Status::OK();
+    return DoBodyVerb(executor, net::Verb::kStore, request_id, out);
   }
-  if (verb == "save") {
-    if (arg.empty()) return Status::InvalidArgument("save expects a dir");
-    GOGREEN_RETURN_NOT_OK(service.store().SaveTo(arg));
-    out << "saved " << service.store().stats().entries << " entries to "
-        << arg << "\n";
-    return Status::OK();
-  }
-  if (verb == "load") {
-    if (arg.empty()) return Status::InvalidArgument("load expects a dir");
-    size_t skipped = 0;
-    GOGREEN_RETURN_NOT_OK(service.store().LoadFrom(arg, &skipped));
-    out << "loaded store from " << arg << " ("
-        << service.store().stats().entries << " entries, " << skipped
-        << " skipped)\n";
-    return Status::OK();
+  if (verb == "save" || verb == "load") {
+    if (arg.empty()) {
+      return Status::InvalidArgument(verb + " expects a dir");
+    }
+    if (save_load == nullptr) {
+      return Status::InvalidArgument(
+          verb + " is local-only (the store lives in the daemon's process)");
+    }
+    return save_load(verb, arg, out);
   }
   if (verb == "help") {
     out << kHelp;
@@ -204,16 +163,13 @@ Status RunCommand(MiningService& service, AdmissionController* admission,
 
 }  // namespace
 
-Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
-                                  std::ostream& out,
-                                  const SessionConfig& config) {
+Result<SessionSummary> RunWireSession(const WireExecutor& executor,
+                                      const SaveLoadHandler& save_load,
+                                      std::istream& in, std::ostream& out,
+                                      const SessionConfig& config) {
   SessionSummary summary;
   Knobs knobs;
-  knobs.tenant = config.tenant;
-  // Per-session "most recent mine" stats for the `stats` verb: Mine()
-  // returns stats by value, so this single-driver snapshot is race-free
-  // even when other sessions share the service.
-  ServeStats last;
+  uint64_t next_request_id = 0;
   std::string line;
   if (config.interactive) out << "gogreen> " << std::flush;
   while (std::getline(in, line)) {
@@ -224,8 +180,9 @@ Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
     if (!verb.empty() && verb[0] != '#') {
       if (verb == "quit" || verb == "exit") break;
       ++summary.commands;
-      const Status status = RunCommand(service, config.admission, &knobs,
-                                       verb, arg, out, &summary, &last);
+      const Status status =
+          RunCommand(executor, save_load, &knobs, ++next_request_id, verb,
+                     arg, out, &summary);
       if (!status.ok()) {
         if (!config.interactive) return status;
         ++summary.errors;
@@ -236,6 +193,37 @@ Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
   }
   if (config.interactive) out << "\n";
   return summary;
+}
+
+Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
+                                  std::ostream& out,
+                                  const SessionConfig& config) {
+  // The in-process executor: the same WireSession a daemon connection
+  // would own, minus the socket — requests and responses never serialize.
+  // (The differential test round-trips them through JSON to prove the
+  // encoding is faithful.)
+  WireSession wire(service, config.admission, config.tenant);
+  const WireExecutor executor =
+      [&wire](const net::WireRequest& request) -> Result<net::WireResponse> {
+    return wire.Handle(request);
+  };
+  const SaveLoadHandler save_load =
+      [&service](const std::string& verb, const std::string& dir,
+                 std::ostream& sink) -> Status {
+    if (verb == "save") {
+      GOGREEN_RETURN_NOT_OK(service.store().SaveTo(dir));
+      sink << "saved " << service.store().stats().entries << " entries to "
+           << dir << "\n";
+      return Status::OK();
+    }
+    size_t skipped = 0;
+    GOGREEN_RETURN_NOT_OK(service.store().LoadFrom(dir, &skipped));
+    sink << "loaded store from " << dir << " ("
+         << service.store().stats().entries << " entries, " << skipped
+         << " skipped)\n";
+    return Status::OK();
+  };
+  return RunWireSession(executor, save_load, in, out, config);
 }
 
 }  // namespace gogreen::serve

@@ -1,8 +1,10 @@
-// Interactive / scripted driver for a MiningService: the `gogreen session`
-// REPL. Reads one command per line and answers against a persistent
-// pattern store, so a support sweep in one session exercises every route
-// (scratch, recycle, filter-down, exact hit) the way the paper's
-// interactive-mining story describes.
+// Interactive / scripted driver for the wire protocol: the `gogreen
+// session` REPL and the `gogreen client` script mode are the SAME loop —
+// RunWireSession — differing only in the executor that answers each
+// net::WireRequest. The session runs an in-process WireSession; the
+// client sends frames to a daemon. Either way a support sweep exercises
+// every route (scratch, recycle, filter-down, exact hit) the way the
+// paper's interactive-mining story describes.
 //
 // Commands (blank lines and '#' comments are skipped):
 //   mine <s>        mine at support <s> (fraction < 1.0, else absolute)
@@ -13,8 +15,8 @@
 //   stats           route/timing of the most recent mine
 //   \stats          process-wide metrics (Prometheus text format)
 //   store           pattern-store contents and byte accounting
-//   save <dir>      persist the store as pattern files
-//   load <dir>      load pattern files into the store
+//   save <dir>      persist the store as pattern files (local session only)
+//   load <dir>      load pattern files into the store (local session only)
 //   help            command list
 //   quit            end the session
 
@@ -22,9 +24,11 @@
 #define GOGREEN_SERVE_SESSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
+#include "net/wire.h"
 #include "serve/mining_service.h"
 #include "util/status.h"
 
@@ -53,9 +57,31 @@ struct SessionSummary {
   uint64_t errors = 0;    ///< Failed commands (interactive mode only).
 };
 
-/// Runs commands from `in` against `service`, writing results to `out`.
-/// Returns the summary, or the first error in strict (non-interactive)
-/// mode.
+/// Answers one wire request. The in-process form wraps WireSession; the
+/// network form sends a frame and awaits the reply. A non-OK result is a
+/// transport failure (the request never got an answer); application
+/// failures come back inside the response's outcome.
+using WireExecutor =
+    std::function<Result<net::WireResponse>(const net::WireRequest&)>;
+
+/// Handles the store-persistence verbs ("save"/"load"), which touch the
+/// local filesystem and therefore never cross the wire. Null when the
+/// executor is remote — the verbs then fail with a typed error.
+using SaveLoadHandler = std::function<Status(
+    const std::string& verb, const std::string& dir, std::ostream& out)>;
+
+/// The command loop shared by `gogreen session` and `gogreen client`:
+/// reads one command per line from `in`, answers each through `executor`,
+/// writes results to `out`. Returns the summary, or the first error in
+/// strict (non-interactive) mode.
+Result<SessionSummary> RunWireSession(const WireExecutor& executor,
+                                      const SaveLoadHandler& save_load,
+                                      std::istream& in, std::ostream& out,
+                                      const SessionConfig& config = {});
+
+/// The in-process session: RunWireSession over a WireSession bound to
+/// `service` (and `config.admission`, when set). save/load hit
+/// `service.store()` directly.
 Result<SessionSummary> RunSession(MiningService& service, std::istream& in,
                                   std::ostream& out,
                                   const SessionConfig& config = {});

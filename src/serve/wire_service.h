@@ -1,0 +1,62 @@
+// The wire protocol's server side: one WireSession turns net::WireRequest
+// frames into net::WireResponse frames against a MiningService (and,
+// optionally, its AdmissionController front door).
+//
+// A WireSession is the unit of client state — one per network connection
+// (the daemon) or one per REPL (the session driver). It carries exactly
+// two things between requests: the sticky tenant bound by the `tenant`
+// verb, and the last mine's ServeStats for the `stats` verb. Everything
+// else is per-request. It is NOT thread-safe; connections each own one.
+//
+// The Format* helpers render the human-readable lines the session REPL
+// has always printed. They live here — next to the handler — so the
+// in-process REPL and the remote `gogreen client` print byte-identical
+// output from the same response.
+
+#ifndef GOGREEN_SERVE_WIRE_SERVICE_H_
+#define GOGREEN_SERVE_WIRE_SERVICE_H_
+
+#include <string>
+
+#include "net/wire.h"
+#include "serve/admission.h"
+#include "serve/mining_service.h"
+
+namespace gogreen::serve {
+
+/// Renders "mined support=... route=... seed=... patterns=... seconds=...
+/// partial=...[ frontier=...]\n" from a mine response.
+std::string FormatMineLine(const net::WireResponse& resp);
+
+/// Renders the "last: route=..." stats line from a ServeStats snapshot.
+std::string FormatStatsLine(const ServeStats& stats);
+
+/// Renders the "store: entries=..." summary line.
+std::string FormatStoreLine(const PatternStore& store);
+
+class WireSession {
+ public:
+  /// `admission` may be null (requests go straight to the service).
+  /// `tenant` is the initial binding, as if a `tenant` verb had run.
+  WireSession(MiningService& service, AdmissionController* admission,
+              std::string tenant = "");
+
+  /// Answers one request. Never throws, never crashes on bad input: every
+  /// failure comes back as an error-outcome response with the request's
+  /// id echoed.
+  net::WireResponse Handle(const net::WireRequest& request);
+
+ private:
+  net::WireResponse HandleMine(const net::WireRequest& request);
+
+  MiningService& service_;
+  AdmissionController* admission_;
+  std::string tenant_;
+  /// Most recent mine's stats (success or not-admitted alike keep the
+  /// previous snapshot — only a completed mine updates it).
+  ServeStats last_;
+};
+
+}  // namespace gogreen::serve
+
+#endif  // GOGREEN_SERVE_WIRE_SERVICE_H_

@@ -1,0 +1,115 @@
+#include "util/status_codes.h"
+
+#include <array>
+#include <utility>
+
+namespace gogreen {
+
+const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kPartial:
+      return "partial";
+    case Outcome::kDegraded:
+      return "degraded";
+    case Outcome::kShed:
+      return "shed";
+    case Outcome::kError:
+      return "error";
+  }
+  return "error";
+}
+
+std::string OutcomeLabel(Outcome outcome, StatusCode error_code) {
+  if (outcome != Outcome::kError) return OutcomeName(outcome);
+  return std::string("error:") + StatusCodeToString(error_code);
+}
+
+bool ParseOutcomeLabel(const std::string& label, Outcome* outcome,
+                       StatusCode* error_code) {
+  if (label == "ok") {
+    *outcome = Outcome::kOk;
+    *error_code = StatusCode::kOk;
+    return true;
+  }
+  if (label == "partial") {
+    *outcome = Outcome::kPartial;
+    *error_code = StatusCode::kOk;
+    return true;
+  }
+  if (label == "degraded") {
+    *outcome = Outcome::kDegraded;
+    *error_code = StatusCode::kOk;
+    return true;
+  }
+  if (label == "shed") {
+    *outcome = Outcome::kShed;
+    *error_code = StatusCode::kOk;
+    return true;
+  }
+  if (label.rfind("error", 0) == 0 &&
+      (label.size() == 5 || label[5] == ':')) {
+    *outcome = Outcome::kError;
+    *error_code = label.size() > 6 ? StatusCodeFromString(label.substr(6))
+                                   : StatusCode::kInternal;
+    return true;
+  }
+  return false;
+}
+
+StatusCode StatusCodeFromString(const std::string& name) {
+  static constexpr std::array<StatusCode, 10> kCodes = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kIOError,      StatusCode::kNotFound,
+      StatusCode::kOutOfRange,   StatusCode::kResourceExhausted,
+      StatusCode::kInternal,     StatusCode::kNotImplemented,
+      StatusCode::kCancelled,    StatusCode::kDeadlineExceeded,
+  };
+  for (const StatusCode code : kCodes) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+Outcome ClassifyOutcome(const Status& status, bool partial, bool degraded,
+                        bool shed) {
+  if (shed) return Outcome::kShed;
+  if (!status.ok()) return Outcome::kError;
+  if (degraded) return Outcome::kDegraded;
+  if (partial) return Outcome::kPartial;
+  return Outcome::kOk;
+}
+
+int ExitCodeForStatus(const Status& status, bool data_error, bool partial) {
+  if (status.ok()) return partial ? kExitPartial : kExitOk;
+  if (data_error) return kExitData;
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return kExitUsage;
+    case StatusCode::kIOError:
+    case StatusCode::kNotFound:
+      return kExitIo;
+    default:
+      return kExitInternal;
+  }
+}
+
+int ExitCodeForOutcome(Outcome outcome, StatusCode error_code) {
+  switch (outcome) {
+    case Outcome::kOk:
+    case Outcome::kDegraded:  // An answer was served, just flagged stale.
+      return kExitOk;
+    case Outcome::kPartial:
+    case Outcome::kShed:  // EX_TEMPFAIL: retrying later can succeed.
+      return kExitPartial;
+    case Outcome::kError:
+      return ExitCodeForStatus(Status(error_code == StatusCode::kOk
+                                          ? StatusCode::kInternal
+                                          : error_code,
+                                      "wire error"));
+  }
+  return kExitInternal;
+}
+
+}  // namespace gogreen

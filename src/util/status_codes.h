@@ -1,0 +1,87 @@
+// The one Status ↔ sysexits ↔ wire-outcome mapping (DESIGN.md §16).
+//
+// Three views of "how did this request end" used to live in three places:
+// the CLI's sysexits switch (gogreen_cli.cc), the serving layer's outcome
+// strings (ServeStats::outcome, the wide-event `outcome` field), and the
+// session REPL's exit-code decisions. They are the same five-way
+// classification:
+//
+//   ok        — complete answer
+//   partial   — governor stopped the run early; exact at the frontier
+//   degraded  — admission served a stale/frontier store entry instead of
+//               mining (DESIGN.md §14)
+//   shed      — admission rejected the request (retry-after hint attached)
+//   error:<C> — typed failure, <C> a StatusCode name
+//
+// This header owns that classification: the typed `Outcome` enum, its
+// canonical wire labels, the parse back from a label, and the sysexits
+// projection. CLI, session driver, daemon, and client all include it, so a
+// new outcome (or a changed exit code) is one edit.
+
+#ifndef GOGREEN_UTIL_STATUS_CODES_H_
+#define GOGREEN_UTIL_STATUS_CODES_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace gogreen {
+
+// Process exit codes, sysexits.h where one fits (see the table in
+// tools/gogreen_cli.cc's file comment).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 64;     ///< EX_USAGE: bad command line.
+inline constexpr int kExitData = 65;      ///< EX_DATAERR: malformed input.
+inline constexpr int kExitInternal = 70;  ///< EX_SOFTWARE.
+inline constexpr int kExitIo = 74;        ///< EX_IOERR.
+inline constexpr int kExitPartial = 75;   ///< EX_TEMPFAIL: partial result.
+
+/// Typed request outcome shared by ServeStats, the wide-event schema, the
+/// wire protocol, and exit-code decisions.
+enum class Outcome {
+  kOk = 0,
+  kPartial,
+  kDegraded,
+  kShed,
+  kError,
+};
+
+/// Canonical label: "ok" | "partial" | "degraded" | "shed" | "error".
+const char* OutcomeName(Outcome outcome);
+
+/// The wire/wide-event form: OutcomeName, except kError renders as
+/// "error:<Code>" ("error:IOError"). These are exactly the strings
+/// ServeStats::outcome has always carried.
+std::string OutcomeLabel(Outcome outcome,
+                         StatusCode error_code = StatusCode::kOk);
+
+/// Inverse of OutcomeLabel. Returns false (outputs untouched) on an
+/// unrecognized label; "error" with an unknown code parses as kInternal.
+bool ParseOutcomeLabel(const std::string& label, Outcome* outcome,
+                       StatusCode* error_code);
+
+/// Inverse of StatusCodeToString; unrecognized names map to kInternal (the
+/// conservative reading of an error we cannot classify).
+StatusCode StatusCodeFromString(const std::string& name);
+
+/// Classifies a finished request. `status` is the terminal Status,
+/// `partial`/`degraded`/`shed` the ServeStats flags. A shed request carries
+/// a non-OK status but is its own outcome, not an error.
+Outcome ClassifyOutcome(const Status& status, bool partial, bool degraded,
+                        bool shed);
+
+/// The sysexits projection of a terminal Status. `data_error` routes an
+/// InvalidArgument to EX_DATAERR (malformed file content, not a bad
+/// command line); `partial` turns an OK into EX_TEMPFAIL.
+int ExitCodeForStatus(const Status& status, bool data_error = false,
+                      bool partial = false);
+
+/// The sysexits projection of a wire outcome, as `gogreen client` reports
+/// it: ok/degraded exit 0 (an answer was served), partial/shed exit
+/// EX_TEMPFAIL (retry relaxes or retries), error projects its StatusCode.
+int ExitCodeForOutcome(Outcome outcome,
+                       StatusCode error_code = StatusCode::kOk);
+
+}  // namespace gogreen
+
+#endif  // GOGREEN_UTIL_STATUS_CODES_H_

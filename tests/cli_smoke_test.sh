@@ -145,4 +145,48 @@ expect_exit 64 "$BIN" session -i "$DIR/data.dat" --script "$DIR/bad_session.txt"
 expect_exit 64 "$BIN" session -i "$DIR/data.dat" --store-mb 0  # bad budget
 expect_exit 74 "$BIN" session -i /nonexistent.dat --script "$DIR/session.txt"
 
+# daemon mode: serve on a unix socket, drive it with the client, then
+# shut down gracefully (SIGTERM drains and persists the store)
+SOCK="$DIR/gg.sock"
+SERVE_OUT="$DIR/serve.out"
+"$BIN" serve -i "$DIR/data.dat" --socket "$SOCK" --store-dir "$DIR/dstore" \
+    > "$SERVE_OUT" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || fail "serve: socket never appeared"
+
+"$BIN" client --socket "$SOCK" --ping | grep -q "pong" || fail "client ping"
+"$BIN" client --socket "$SOCK" --mine 0.05 | grep -q "route=none" \
+    || fail "client scratch mine"
+"$BIN" client --socket "$SOCK" --mine 0.05 | grep -q "route=exact" \
+    || fail "client exact hit"
+
+# the client script mode is the same command language as `session`,
+# including the sticky tenant; save/load stay local-only over the wire
+printf 'mine 0.02\nstats\nstore\n' > "$DIR/client.txt"
+CLIENT_OUT="$DIR/client.out"
+"$BIN" client --socket "$SOCK" --tenant acme --script "$DIR/client.txt" \
+    > "$CLIENT_OUT" || fail "client script"
+grep -q "route=recycle" "$CLIENT_OUT" || fail "client: no recycle route"
+grep -q "tenant=acme" "$CLIENT_OUT" || fail "client: tenant not sticky"
+grep -q "store: entries=" "$CLIENT_OUT" || fail "client: no store line"
+grep -q "client: 3 commands, 1 mines" "$CLIENT_OUT" || fail "client summary"
+printf 'save /tmp/nope\n' > "$DIR/client_save.txt"
+expect_exit 64 "$BIN" client --socket "$SOCK" --script "$DIR/client_save.txt"
+
+# process metrics over the wire: the daemon's serve.* counters are visible
+"$BIN" client --socket "$SOCK" --stats | grep -q "gogreen_serve_requests" \
+    || fail "client stats"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || fail "serve: nonzero exit on SIGTERM"
+grep -q "serving" "$SERVE_OUT" || fail "serve: no serving line"
+grep -q "drained and stopped" "$SERVE_OUT" || fail "serve: no drain line"
+grep -q "store: saved" "$SERVE_OUT" || fail "serve: store not persisted"
+ls "$DIR/dstore"/*.gpat >/dev/null 2>&1 || fail "serve: no pattern files"
+if [ -S "$SOCK" ]; then fail "serve: socket not unlinked"; fi
+
+# a dead socket is a clean IO error, not a hang or a crash
+expect_exit 74 "$BIN" client --socket "$SOCK" --ping
+
 echo "cli smoke test passed"

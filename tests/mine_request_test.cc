@@ -1,7 +1,7 @@
 // Tests for the unified MineRequest/MineResult API: effective-support
-// resolution, equivalence with the legacy entry points it subsumes
-// (Mine/MineGoverned, MineCompressed/MineCompressedGoverned, the recycler's
-// support- and constraint-shaped calls), and per-request thread counts.
+// resolution, equivalence with the remaining shape-specific entry points
+// (Mine(db, minsup), MineCompressed, the recycler's support- and
+// constraint-shaped calls), and per-request thread counts.
 
 #include <gtest/gtest.h>
 
@@ -113,16 +113,20 @@ TEST(MineRequestTest, UnifiedMineAppliesConstraints) {
   }
 }
 
-TEST(MineRequestTest, UnifiedMineMatchesMineGovernedWhenCancelled) {
+TEST(MineRequestTest, GovernedMineIsDeterministicWhenCancelled) {
   const TransactionDb db = testutil::RandomDb(23, 300, 40, 6.0);
 
-  RunContext legacy_ctx;
-  legacy_ctx.RequestCancel();
-  auto legacy =
-      fpm::CreateMiner(fpm::MinerKind::kHMine)->MineGoverned(db, 15,
-                                                             &legacy_ctx);
-  ASSERT_TRUE(legacy.ok());
-  ASSERT_TRUE(legacy->partial);
+  // Two identical pre-cancelled governed runs must agree exactly: the
+  // partial-result frontier is a deterministic property of the request,
+  // not of scheduling.
+  RunContext first_ctx;
+  first_ctx.RequestCancel();
+  MineRequest first_request = MineRequest::At(15);
+  first_request.run_context = &first_ctx;
+  auto first = fpm::CreateMiner(fpm::MinerKind::kHMine)->Mine(db,
+                                                              first_request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->partial);
 
   RunContext ctx;
   ctx.RequestCancel();
@@ -131,10 +135,10 @@ TEST(MineRequestTest, UnifiedMineMatchesMineGovernedWhenCancelled) {
   auto unified = fpm::CreateMiner(fpm::MinerKind::kHMine)->Mine(db, request);
   ASSERT_TRUE(unified.ok());
   EXPECT_TRUE(unified->partial);
-  EXPECT_EQ(unified->frontier_support, legacy->frontier_support);
+  EXPECT_EQ(unified->frontier_support, first->frontier_support);
   EXPECT_EQ(unified->stop_status.code(), StatusCode::kCancelled);
-  ExpectIdentical(legacy->patterns, unified->patterns,
-                  "governed unified vs MineGoverned");
+  ExpectIdentical(first->patterns, unified->patterns,
+                  "repeated governed unified mine");
 }
 
 TEST(MineRequestTest, ThreadsFieldIsLocalToTheRequestAndExact) {

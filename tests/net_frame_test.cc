@@ -1,0 +1,283 @@
+// Malformed-frame and wire-message tests (DESIGN.md §16): the codec must
+// turn every flavor of bad input — truncated, oversized, NUL-bearing,
+// invalid-UTF-8 frames; bad JSON, unknown fields, wrong versions — into a
+// typed error, never a crash, and the split between "close the
+// connection" (framing errors) and "answer with an error" (payload
+// errors) must match the contract in net/frame.h.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/wire.h"
+#include "util/status_codes.h"
+
+namespace gogreen::net {
+namespace {
+
+std::string Framed(const std::string& payload) {
+  auto frame = EncodeFrame(payload);
+  EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+  return frame.value();
+}
+
+/// A frame whose header declares `declared` payload bytes over `body`.
+std::string RawFrame(uint32_t declared, const std::string& body) {
+  std::string frame;
+  frame.push_back(static_cast<char>((declared >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((declared >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((declared >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(declared & 0xFF));
+  frame.append(body);
+  return frame;
+}
+
+TEST(NetFrameTest, RoundTrip) {
+  const std::string payload = "{\"v\":1,\"verb\":\"ping\"}";
+  std::string decoded;
+  size_t consumed = 0;
+  auto got = TryDecodeFrame(Framed(payload), &decoded, &consumed);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got.value());
+  EXPECT_EQ(decoded, payload);
+  EXPECT_EQ(consumed, kFrameHeaderBytes + payload.size());
+}
+
+TEST(NetFrameTest, ShortBufferNeedsMoreBytes) {
+  const std::string frame = Framed("{\"v\":1}");
+  // Every strict prefix — including a split header — is "need more",
+  // never an error: short reads are normal on a stream.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    SCOPED_TRACE(len);
+    std::string decoded;
+    size_t consumed = 0;
+    auto got = TryDecodeFrame(frame.substr(0, len), &decoded, &consumed);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_FALSE(got.value());
+  }
+}
+
+TEST(NetFrameTest, MalformedFrameTable) {
+  struct Case {
+    const char* name;
+    std::string frame;
+  };
+  const std::vector<Case> cases = {
+      {"zero length", RawFrame(0, "")},
+      {"oversized length",
+       RawFrame(static_cast<uint32_t>(kMaxFrameBytes) + 1, "x")},
+      {"giant length", RawFrame(0xFFFFFFFFu, "x")},
+      {"NUL in payload", RawFrame(3, std::string("a\0b", 3))},
+      {"bare continuation byte", RawFrame(1, "\x80")},
+      {"truncated UTF-8 sequence", RawFrame(2, "a\xC3")},
+      {"overlong encoding", RawFrame(2, "\xC0\xAF")},
+      {"UTF-16 surrogate", RawFrame(3, "\xED\xA0\x80")},
+      {"beyond U+10FFFF", RawFrame(4, "\xF4\x90\x80\x80")},
+      {"invalid lead byte", RawFrame(1, "\xFF")},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::string decoded;
+    size_t consumed = 0;
+    auto got = TryDecodeFrame(c.frame, &decoded, &consumed);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetFrameTest, EncoderRejectsInvalidPayloads) {
+  EXPECT_EQ(EncodeFrame("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(EncodeFrame(std::string_view("a\0b", 3)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EncodeFrame("bad \x80 utf8").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EncodeFrame(std::string(kMaxFrameBytes + 1, 'a')).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetFrameTest, SocketRoundTripAndCleanEof) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = "{\"v\":1,\"verb\":\"ping\",\"id\":7}";
+  ASSERT_TRUE(WriteFrame(fds[0], payload).ok());
+  std::string got;
+  auto read = ReadFrame(fds[1], &got);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read.value());
+  EXPECT_EQ(got, payload);
+
+  // Peer closes on a frame boundary: clean EOF, not an error.
+  ::close(fds[0]);
+  read = ReadFrame(fds[1], &got);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE(read.value());
+  ::close(fds[1]);
+}
+
+TEST(NetFrameTest, SocketTruncationIsIoError) {
+  // EOF inside the header.
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::string frame = Framed("{\"v\":1}");
+    ASSERT_EQ(::send(fds[0], frame.data(), 2, 0), 2);
+    ::close(fds[0]);
+    std::string got;
+    auto read = ReadFrame(fds[1], &got);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+    ::close(fds[1]);
+  }
+  // EOF inside the payload.
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::string frame = Framed("{\"v\":1}");
+    const size_t partial = kFrameHeaderBytes + 3;
+    ASSERT_EQ(::send(fds[0], frame.data(), partial, 0),
+              static_cast<ssize_t>(partial));
+    ::close(fds[0]);
+    std::string got;
+    auto read = ReadFrame(fds[1], &got);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+    ::close(fds[1]);
+  }
+}
+
+TEST(NetWireTest, RequestRoundTrip) {
+  WireRequest req;
+  req.id = 42;
+  req.verb = Verb::kMine;
+  req.support = 0.125;
+  req.deadline_ms = 250;
+  req.budget_mb = 32;
+  req.threads = 4;
+  auto parsed = WireRequest::FromJson(req.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, 42u);
+  EXPECT_EQ(parsed->verb, Verb::kMine);
+  EXPECT_EQ(parsed->support, 0.125);
+  EXPECT_EQ(parsed->deadline_ms, 250u);
+  EXPECT_EQ(parsed->budget_mb, 32u);
+  EXPECT_EQ(parsed->threads, 4u);
+}
+
+TEST(NetWireTest, ResponseRoundTrip) {
+  WireResponse resp;
+  resp.id = 9;
+  resp.outcome = Outcome::kPartial;
+  resp.route = "recycle";
+  resp.min_support = 12;
+  resp.seed_support = 20;
+  resp.patterns = 321;
+  resp.partial = true;
+  resp.frontier_support = 15;
+  resp.coalesced = true;
+  resp.seconds = 0.5;
+  resp.request_id = 77;
+  resp.tenant = "acme";
+  auto parsed = WireResponse::FromJson(resp.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, 9u);
+  EXPECT_EQ(parsed->outcome, Outcome::kPartial);
+  EXPECT_EQ(parsed->route, "recycle");
+  EXPECT_EQ(parsed->min_support, 12u);
+  EXPECT_EQ(parsed->patterns, 321u);
+  EXPECT_TRUE(parsed->partial);
+  EXPECT_EQ(parsed->frontier_support, 15u);
+  EXPECT_TRUE(parsed->coalesced);
+  EXPECT_EQ(parsed->seconds, 0.5);
+  EXPECT_EQ(parsed->request_id, 77u);
+  EXPECT_EQ(parsed->tenant, "acme");
+}
+
+TEST(NetWireTest, ErrorOutcomeCarriesTypedStatus) {
+  WireResponse resp = MakeErrorResponse(
+      3, Status::IOError("disk on fire"));
+  EXPECT_EQ(resp.outcome, Outcome::kError);
+  auto parsed = WireResponse::FromJson(resp.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Status back = parsed->ToStatus();
+  EXPECT_EQ(back.code(), StatusCode::kIOError);
+  EXPECT_EQ(back.message(), "disk on fire");
+
+  // ResourceExhausted is a shed, its own outcome — not an error.
+  WireResponse shed = MakeErrorResponse(
+      4, Status::ResourceExhausted("over quota; retry-after-ms=5"));
+  EXPECT_EQ(shed.outcome, Outcome::kShed);
+  EXPECT_TRUE(shed.shed);
+  auto shed_parsed = WireResponse::FromJson(shed.ToJson());
+  ASSERT_TRUE(shed_parsed.ok());
+  EXPECT_EQ(shed_parsed->ToStatus().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NetWireTest, MalformedPayloadTable) {
+  struct Case {
+    const char* name;
+    const char* json;
+  };
+  const std::vector<Case> cases = {
+      {"not an object", "42"},
+      {"bare garbage", "hello"},
+      {"unterminated object", "{\"v\":1"},
+      {"unterminated string", "{\"verb\":\"min"},
+      {"trailing bytes", "{\"v\":1}x"},
+      {"duplicate key", "{\"v\":1,\"v\":1}"},
+      {"nested object", "{\"v\":1,\"deep\":{}}"},
+      {"array value", "{\"v\":1,\"items\":[1]}"},
+      {"null value", "{\"v\":1,\"verb\":null}"},
+      {"unknown field", "{\"v\":1,\"verb\":\"ping\",\"surprise\":1}"},
+      {"wrong type", "{\"v\":1,\"verb\":7}"},
+      {"unknown verb", "{\"v\":1,\"verb\":\"fly\"}"},
+      {"unsupported version", "{\"v\":2,\"verb\":\"ping\"}"},
+      {"bad escape", "{\"verb\":\"\\q\"}"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    auto parsed = WireRequest::FromJson(c.json);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Unknown fields are rejected BY NAME, so a fail-closed peer can say
+  // what it did not understand.
+  auto parsed = WireRequest::FromJson(
+      "{\"v\":1,\"verb\":\"ping\",\"surprise\":1}");
+  EXPECT_NE(parsed.status().message().find("surprise"), std::string::npos);
+}
+
+TEST(NetWireTest, StringEscapesRoundTrip) {
+  WireRequest req;
+  req.verb = Verb::kTenant;
+  req.tenant = "a\"b\\c\nd\te";
+  auto parsed = WireRequest::FromJson(req.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->tenant, req.tenant);
+}
+
+TEST(NetWireTest, OutcomeLabelsRoundTrip) {
+  for (Outcome outcome : {Outcome::kOk, Outcome::kPartial, Outcome::kDegraded,
+                          Outcome::kShed}) {
+    SCOPED_TRACE(OutcomeName(outcome));
+    Outcome back;
+    StatusCode code;
+    ASSERT_TRUE(ParseOutcomeLabel(OutcomeLabel(outcome), &back, &code));
+    EXPECT_EQ(back, outcome);
+  }
+  Outcome back;
+  StatusCode code;
+  ASSERT_TRUE(ParseOutcomeLabel(
+      OutcomeLabel(Outcome::kError, StatusCode::kDeadlineExceeded), &back,
+      &code));
+  EXPECT_EQ(back, Outcome::kError);
+  EXPECT_EQ(code, StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(ParseOutcomeLabel("sideways", &back, &code));
+}
+
+}  // namespace
+}  // namespace gogreen::net

@@ -30,7 +30,7 @@ using core::CompressionStrategy;
 using core::CompressorOptions;
 using core::MatcherKind;
 using core::RecycleAlgo;
-using fpm::MineOutcome;
+using fpm::MineResult;
 using fpm::MinerKind;
 using fpm::PatternSet;
 using fpm::TransactionDb;
@@ -56,9 +56,27 @@ PatternSet Oracle(const TransactionDb& db, uint64_t minsup) {
   return std::move(result).value();
 }
 
+/// Unified-API spelling of a governed run: one MineRequest carrying the
+/// governor (the old MineGoverned wrapper is gone).
+Result<MineResult> Governed(fpm::FrequentPatternMiner& miner,
+                            const TransactionDb& db, uint64_t minsup,
+                            RunContext* ctx) {
+  fpm::MineRequest request = fpm::MineRequest::At(minsup);
+  request.run_context = ctx;
+  return miner.Mine(db, request);
+}
+
+Result<MineResult> Governed(core::CompressedMiner& miner,
+                            const CompressedDb& cdb, uint64_t minsup,
+                            RunContext* ctx) {
+  fpm::MineRequest request = fpm::MineRequest::At(minsup);
+  request.run_context = ctx;
+  return miner.Mine(cdb, request);
+}
+
 /// The governed partial-result contract: patterns == the complete frequent
 /// set at outcome.frontier_support.
-void ExpectExactAtFrontier(const TransactionDb& db, MineOutcome outcome,
+void ExpectExactAtFrontier(const TransactionDb& db, MineResult outcome,
                            const char* what) {
   ASSERT_TRUE(outcome.partial) << what;
   ASSERT_FALSE(outcome.stop_status.ok()) << what;
@@ -147,7 +165,7 @@ TEST(GovernedMineTest, PreCancelledRunIsPartialWithSoundFrontier) {
     SCOPED_TRACE(miner->name());
     RunContext ctx;
     ctx.RequestCancel();
-    auto outcome = miner->MineGoverned(db, 3, &ctx);
+    auto outcome = Governed(*miner, db, 3, &ctx);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     EXPECT_TRUE(outcome->partial);
     EXPECT_EQ(outcome->stop_status.code(), StatusCode::kCancelled);
@@ -162,7 +180,7 @@ TEST(GovernedMineTest, ExpiredDeadlineIsPartialDeterministically) {
     SCOPED_TRACE(miner->name());
     RunContext ctx;
     ctx.SetDeadlineAfterMillis(0);
-    auto outcome = miner->MineGoverned(db, 3, &ctx);
+    auto outcome = Governed(*miner, db, 3, &ctx);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     EXPECT_TRUE(outcome->partial);
     EXPECT_EQ(outcome->stop_status.code(), StatusCode::kDeadlineExceeded);
@@ -178,7 +196,7 @@ TEST(GovernedMineTest, GenerousGovernorLeavesRunComplete) {
     auto miner = fpm::CreateMiner(kind);
     SCOPED_TRACE(miner->name());
     RunContext ctx;  // No deadline, no budget: must not change the result.
-    auto outcome = miner->MineGoverned(db, minsup, &ctx);
+    auto outcome = Governed(*miner, db, minsup, &ctx);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     EXPECT_FALSE(outcome->partial);
     EXPECT_TRUE(outcome->stop_status.ok());
@@ -199,14 +217,14 @@ void BudgetPartialCase(MinerKind kind, const TransactionDb& db,
   SCOPED_TRACE(miner->name());
 
   RunContext probe;
-  auto full = miner->MineGoverned(db, minsup, &probe);
+  auto full = Governed(*miner, db, minsup, &probe);
   ASSERT_TRUE(full.ok()) << full.status().ToString();
   ASSERT_FALSE(full->partial);
   ASSERT_GT(probe.bytes_peak(), 0u);
 
   RunContext ctx;
   ctx.SetMemoryBudget(std::max<size_t>(1, probe.bytes_peak() / 2));
-  auto outcome = miner->MineGoverned(db, minsup, &ctx);
+  auto outcome = Governed(*miner, db, minsup, &ctx);
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   ASSERT_TRUE(outcome->partial);
   EXPECT_EQ(outcome->stop_status.code(), StatusCode::kResourceExhausted);
@@ -228,13 +246,13 @@ TEST(GovernedMineTest, MemoryBudgetPartialKeepsFrequentHead) {
   const TransactionDb db = RandomDb(12, 500, 60, 9);
   auto miner = fpm::CreateMiner(MinerKind::kHMine);
   RunContext probe;
-  auto full = miner->MineGoverned(db, 3, &probe);
+  auto full = Governed(*miner, db, 3, &probe);
   ASSERT_TRUE(full.ok());
   ASSERT_GT(probe.bytes_peak(), 0u);
 
   RunContext ctx;
   ctx.SetMemoryBudget(probe.bytes_peak() - 1);
-  auto outcome = miner->MineGoverned(db, 3, &ctx);
+  auto outcome = Governed(*miner, db, 3, &ctx);
   ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
   ASSERT_TRUE(outcome->partial);
   EXPECT_GT(outcome->patterns.size(), 0u);
@@ -258,14 +276,14 @@ TEST(GovernedRecycleTest, BudgetYieldsExactPartialSetOverCompressedDb) {
     SCOPED_TRACE(miner->name());
 
     RunContext probe;
-    auto full = miner->MineCompressedGoverned(*cdb, 3, &probe);
+    auto full = Governed(*miner, *cdb, 3, &probe);
     ASSERT_TRUE(full.ok()) << full.status().ToString();
     ASSERT_FALSE(full->partial);
     ASSERT_GT(probe.bytes_peak(), 0u);
 
     RunContext ctx;
     ctx.SetMemoryBudget(std::max<size_t>(1, probe.bytes_peak() / 2));
-    auto outcome = miner->MineCompressedGoverned(*cdb, 3, &ctx);
+    auto outcome = Governed(*miner, *cdb, 3, &ctx);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     ASSERT_TRUE(outcome->partial);
     EXPECT_EQ(outcome->stop_status.code(), StatusCode::kResourceExhausted);
@@ -284,7 +302,7 @@ TEST(GovernedRecycleTest, PreCancelledRecycleIsPartial) {
     SCOPED_TRACE(miner->name());
     RunContext ctx;
     ctx.RequestCancel();
-    auto outcome = miner->MineCompressedGoverned(*cdb, 3, &ctx);
+    auto outcome = Governed(*miner, *cdb, 3, &ctx);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     EXPECT_TRUE(outcome->partial);
     EXPECT_EQ(outcome->stop_status.code(), StatusCode::kCancelled);
@@ -326,7 +344,7 @@ TEST(GovernedMineTest, PartialRunFlushesRunMetrics) {
   auto miner = fpm::CreateMiner(MinerKind::kHMine);
   RunContext ctx;
   ctx.RequestCancel();
-  auto outcome = miner->MineGoverned(db, 3, &ctx);
+  auto outcome = Governed(*miner, db, 3, &ctx);
   ASSERT_TRUE(outcome.ok());
   ASSERT_TRUE(outcome->partial);
   const auto after = obs::MetricRegistry::Global().Snapshot();

@@ -10,6 +10,14 @@
 //   gogreen session  -i data.dat [--script cmds.txt] [--store-dir dir]
 //                    (interactive REPL on a tty; batch mode otherwise —
 //                    see serve/session.h for the command language)
+//   gogreen serve    -i data.dat (--socket path | --port n) [--store-dir d]
+//                    (multi-tenant daemon speaking the framed wire
+//                    protocol of net/wire.h; SIGINT/SIGTERM drain
+//                    gracefully and persist the store)
+//   gogreen client   (--socket path | --port n) [--mine s | --ping |
+//                    --stats | --store | --script cmds.txt]
+//                    (one-shot queries or the session command language,
+//                    executed against a daemon instead of in-process)
 //
 // Every subcommand also accepts the observability flags:
 //   --metrics-json <path>   write a counters/gauges/histograms/spans JSON
@@ -37,6 +45,8 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +55,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/compressed_miner.h"
@@ -57,13 +68,18 @@
 #include "fpm/pattern_io.h"
 #include "fpm/rules.h"
 #include "fpm/summarize.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "obs/export.h"
 #include "obs/request_log.h"
 #include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/mining_service.h"
 #include "serve/session.h"
+#include "serve/wire_service.h"
 #include "util/run_context.h"
+#include "util/status_codes.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -73,14 +89,9 @@ using gogreen::Result;
 using gogreen::Status;
 using gogreen::StatusCode;
 using gogreen::Timer;
-
-// Exit codes (sysexits where one fits; see the file comment).
-constexpr int kExitOk = 0;
-constexpr int kExitUsage = 64;
-constexpr int kExitData = 65;
-constexpr int kExitInternal = 70;
-constexpr int kExitIo = 74;
-constexpr int kExitPartial = 75;
+// Exit codes and the Status -> sysexits mapping live in
+// util/status_codes.h, shared with the session driver and `client`.
+using gogreen::kExitUsage;
 
 /// Set when an input file opened fine but its *content* was malformed, so
 /// the InvalidArgument maps to EX_DATAERR rather than EX_USAGE.
@@ -167,17 +178,7 @@ class Args {
 };
 
 int ExitCodeFor(const Status& status) {
-  if (status.ok()) return g_partial ? kExitPartial : kExitOk;
-  if (g_data_error) return kExitData;
-  switch (status.code()) {
-    case StatusCode::kInvalidArgument:
-      return kExitUsage;
-    case StatusCode::kIOError:
-    case StatusCode::kNotFound:
-      return kExitIo;
-    default:
-      return kExitInternal;
-  }
+  return gogreen::ExitCodeForStatus(status, g_data_error, g_partial);
 }
 
 int Fail(const Status& status) {
@@ -188,7 +189,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: gogreen <mine|recycle|compress|rules|summary|"
-               "generate|stats|session> [flags]\n"
+               "generate|stats|session|serve|client> [flags]\n"
                "  mine     -i data.dat -s <frac|count> [-a apriori|eclat|"
                "h-mine|fp-growth|tree-projection] [-o patterns.{bin,txt}]\n"
                "  recycle  -i data.dat -p patterns.bin -s <frac|count> "
@@ -206,6 +207,16 @@ int Usage() {
                "            bounded wait queue, per-tenant token buckets,\n"
                "            degraded serves under overload; see DESIGN.md\n"
                "            §14)\n"
+               "  serve    -i data.dat (--socket path | --port n)\n"
+               "           [--store-dir d] [--max-connections n]\n"
+               "           [--hold-ms n] [+ session's service/admission\n"
+               "           flags]; daemon for the wire protocol (DESIGN.md\n"
+               "           §16), drains gracefully on SIGINT/SIGTERM\n"
+               "  client   (--socket path | --port n) [--tenant name]\n"
+               "           [--mine s [--deadline-ms n] [--budget-mb n]\n"
+               "           [--request-threads n] | --ping | --stats |\n"
+               "           --store | --script cmds.txt]; exit code is the\n"
+               "           wire outcome's sysexits projection\n"
                "observability flags (any subcommand):\n"
                "  --metrics-json <path>  write metric/span snapshot JSON\n"
                "  --stats-json <path>    alias of --metrics-json\n"
@@ -483,7 +494,16 @@ Status CmdStats(const Args& args) {
   return Status::OK();
 }
 
-Status CmdSession(const Args& args) {
+/// The serving stack `session` and `serve` share: the MiningService, its
+/// optional AdmissionController front door, and the store directory it
+/// loads on start / persists on exit.
+struct ServiceSetup {
+  std::unique_ptr<gogreen::serve::MiningService> service;
+  std::unique_ptr<gogreen::serve::AdmissionController> admission;
+  std::string store_dir;
+};
+
+Result<ServiceSetup> BuildService(const Args& args) {
   GOGREEN_ASSIGN_OR_RETURN(auto db, LoadDb(args));
 
   gogreen::serve::ServiceOptions options;
@@ -500,26 +520,26 @@ Status CmdSession(const Args& args) {
   std::string dataset_id = args.Get("dataset-id");
   if (dataset_id.empty()) dataset_id = args.Get("i");
 
-  gogreen::serve::MiningService service(std::move(db), dataset_id, options);
+  ServiceSetup setup;
+  setup.service = std::make_unique<gogreen::serve::MiningService>(
+      std::move(db), dataset_id, options);
 
-  const std::string store_dir = args.Get("store-dir");
-  if (!store_dir.empty()) {
+  setup.store_dir = args.Get("store-dir");
+  if (!setup.store_dir.empty()) {
     // A missing or empty directory just means a cold store.
     size_t skipped = 0;
-    const Status loaded = service.store().LoadFrom(store_dir, &skipped);
+    const Status loaded =
+        setup.service->store().LoadFrom(setup.store_dir, &skipped);
     if (loaded.ok()) {
       std::printf("store: loaded %zu entries from %s (%zu skipped)\n",
-                  service.store().stats().entries, store_dir.c_str(),
-                  skipped);
+                  setup.service->store().stats().entries,
+                  setup.store_dir.c_str(), skipped);
     }
   }
 
-  gogreen::serve::SessionConfig config;
-  config.tenant = args.Get("tenant");
   // Admission control is opt-in: arming either flag puts the bounded
   // queue, tenant quotas, breaker, and degraded serves in front of every
-  // mine this session issues.
-  std::unique_ptr<gogreen::serve::AdmissionController> admission;
+  // mine served.
   if (args.Has("max-queue") || args.Has("quota-qps")) {
     gogreen::serve::AdmissionOptions admission_options;
     GOGREEN_ASSIGN_OR_RETURN(const uint64_t max_queue,
@@ -531,10 +551,29 @@ Status CmdSession(const Args& args) {
       return Status::InvalidArgument("--quota-qps must be >= 0");
     }
     admission_options.default_quota.qps = quota_qps;
-    admission = std::make_unique<gogreen::serve::AdmissionController>(
-        service, admission_options);
-    config.admission = admission.get();
+    setup.admission = std::make_unique<gogreen::serve::AdmissionController>(
+        *setup.service, admission_options);
   }
+  return setup;
+}
+
+/// Persists the store on the way out (session end / daemon shutdown).
+Status SaveStore(gogreen::serve::MiningService& service,
+                 const std::string& store_dir) {
+  if (store_dir.empty()) return Status::OK();
+  GOGREEN_RETURN_NOT_OK(service.store().SaveTo(store_dir));
+  std::printf("store: saved %zu entries to %s\n",
+              service.store().stats().entries, store_dir.c_str());
+  return Status::OK();
+}
+
+Status CmdSession(const Args& args) {
+  GOGREEN_ASSIGN_OR_RETURN(ServiceSetup setup, BuildService(args));
+  gogreen::serve::MiningService& service = *setup.service;
+
+  gogreen::serve::SessionConfig config;
+  config.tenant = args.Get("tenant");
+  config.admission = setup.admission.get();
   Result<gogreen::serve::SessionSummary> summary =
       Status::Internal("session did not run");
   const std::string script = args.Get("script");
@@ -551,12 +590,166 @@ Status CmdSession(const Args& args) {
   }
   GOGREEN_RETURN_NOT_OK(summary.status());
 
-  if (!store_dir.empty()) {
-    GOGREEN_RETURN_NOT_OK(service.store().SaveTo(store_dir));
-    std::printf("store: saved %zu entries to %s\n",
-                service.store().stats().entries, store_dir.c_str());
-  }
+  GOGREEN_RETURN_NOT_OK(SaveStore(service, setup.store_dir));
   std::printf("session: %llu commands, %llu mines (%llu partial, %llu "
+              "errors)\n",
+              static_cast<unsigned long long>(summary->commands),
+              static_cast<unsigned long long>(summary->mines),
+              static_cast<unsigned long long>(summary->partials),
+              static_cast<unsigned long long>(summary->errors));
+  if (summary->partials > 0) g_partial = true;
+  return Status::OK();
+}
+
+/// SIGINT/SIGTERM flag for `serve`: the handler only sets a flag; the
+/// serving loop polls it and runs the graceful drain outside signal
+/// context.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void RequestShutdown(int /*signo*/) { g_shutdown_requested = 1; }
+
+Status CmdServe(const Args& args) {
+  GOGREEN_ASSIGN_OR_RETURN(ServiceSetup setup, BuildService(args));
+  gogreen::serve::MiningService& service = *setup.service;
+
+  gogreen::net::ServerOptions options;
+  options.unix_path = args.Get("socket");
+  if (args.Has("port")) {
+    GOGREEN_ASSIGN_OR_RETURN(const uint64_t port, args.GetInt("port", 0));
+    if (port > 65535) {
+      return Status::InvalidArgument("--port must be <= 65535");
+    }
+    options.tcp_port = static_cast<int>(port);
+  }
+  GOGREEN_ASSIGN_OR_RETURN(const uint64_t max_connections,
+                           args.GetInt("max-connections", 8));
+  if (max_connections < 1 || max_connections > 64) {
+    return Status::InvalidArgument(
+        "--max-connections must be between 1 and 64");
+  }
+  options.max_connections = static_cast<size_t>(max_connections);
+  GOGREEN_ASSIGN_OR_RETURN(options.mine_hold_ms, args.GetInt("hold-ms", 0));
+
+  gogreen::net::Server server(service, setup.admission.get(), options);
+  GOGREEN_RETURN_NOT_OK(server.Start());
+  if (!options.unix_path.empty()) {
+    std::printf("serving %s on %s\n", service.dataset_id().c_str(),
+                options.unix_path.c_str());
+  } else {
+    std::printf("serving %s on port %d\n", service.dataset_id().c_str(),
+                server.port());
+  }
+  std::fflush(stdout);
+
+  g_shutdown_requested = 0;
+  std::signal(SIGINT, RequestShutdown);
+  std::signal(SIGTERM, RequestShutdown);
+  while (g_shutdown_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  server.Stop();  // Drains in-flight requests before returning.
+  GOGREEN_RETURN_NOT_OK(SaveStore(service, setup.store_dir));
+  std::printf("serve: drained and stopped\n");
+  return Status::OK();
+}
+
+/// Exit code chosen by `client` from the wire outcome (see
+/// ExitCodeForOutcome); -1 while no one-shot response has decided one.
+int g_exit_override = -1;
+
+Status CmdClient(const Args& args) {
+  Result<gogreen::net::Client> connected =
+      Status::InvalidArgument("client needs one of --socket and --port");
+  const std::string socket_path = args.Get("socket");
+  if (!socket_path.empty()) {
+    connected = gogreen::net::Client::ConnectUnix(socket_path);
+  } else if (args.Has("port")) {
+    GOGREEN_ASSIGN_OR_RETURN(const uint64_t port, args.GetInt("port", 0));
+    connected = gogreen::net::Client::ConnectTcp(static_cast<int>(port));
+  }
+  GOGREEN_RETURN_NOT_OK(connected.status());
+  gogreen::net::Client& client = connected.value();
+
+  // Bind the connection's tenant before anything else runs under it.
+  if (args.Has("tenant")) {
+    gogreen::net::WireRequest bind;
+    bind.verb = gogreen::net::Verb::kTenant;
+    bind.tenant = args.Get("tenant");
+    GOGREEN_ASSIGN_OR_RETURN(const auto bound, client.Call(bind));
+    GOGREEN_RETURN_NOT_OK(bound.ToStatus());
+  }
+
+  // One-shot verbs: exactly one request, exit code from the outcome.
+  const bool one_shot = args.Has("mine") || args.Has("ping") ||
+                        args.Has("stats") || args.Has("store");
+  if (one_shot) {
+    gogreen::net::WireRequest request;
+    if (args.Has("mine")) {
+      request.verb = gogreen::net::Verb::kMine;
+      GOGREEN_ASSIGN_OR_RETURN(request.support,
+                               args.GetDouble("mine", 0.0));
+      GOGREEN_ASSIGN_OR_RETURN(request.deadline_ms,
+                               args.GetInt("deadline-ms", 0));
+      GOGREEN_ASSIGN_OR_RETURN(request.budget_mb,
+                               args.GetInt("budget-mb", 0));
+      GOGREEN_ASSIGN_OR_RETURN(request.threads,
+                               args.GetInt("request-threads", 0));
+    } else if (args.Has("ping")) {
+      request.verb = gogreen::net::Verb::kPing;
+    } else if (args.Has("stats")) {
+      // The daemon-wide metrics snapshot (the REPL's `\stats` view).
+      request.verb = gogreen::net::Verb::kMetrics;
+    } else {
+      request.verb = gogreen::net::Verb::kStore;
+    }
+    GOGREEN_ASSIGN_OR_RETURN(const auto resp, client.Call(request));
+    const Status outcome_status = resp.ToStatus();
+    if (!outcome_status.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   outcome_status.ToString().c_str());
+      if (resp.retry_after_ms > 0) {
+        std::fprintf(stderr, "retry-after-ms: %llu\n",
+                     static_cast<unsigned long long>(resp.retry_after_ms));
+      }
+    } else if (request.verb == gogreen::net::Verb::kMine) {
+      std::fputs(gogreen::serve::FormatMineLine(resp).c_str(), stdout);
+    } else if (request.verb == gogreen::net::Verb::kPing) {
+      std::printf("pong\n");
+    } else {
+      std::fputs(resp.body.c_str(), stdout);
+    }
+    g_exit_override =
+        gogreen::ExitCodeForOutcome(resp.outcome, resp.error_code);
+    return Status::OK();
+  }
+
+  // Script / interactive mode: the session command language, executed
+  // remotely. save/load stay local-only and fail with a typed error.
+  gogreen::serve::SessionConfig config;
+  const gogreen::serve::WireExecutor executor =
+      [&client](const gogreen::net::WireRequest& request) {
+        return client.Call(request);
+      };
+  Result<gogreen::serve::SessionSummary> summary =
+      Status::Internal("client session did not run");
+  const std::string script = args.Get("script");
+  if (!script.empty()) {
+    std::ifstream in(script);
+    if (!in.is_open()) {
+      return Status::IOError("cannot open script: " + script);
+    }
+    summary = gogreen::serve::RunWireSession(executor, nullptr, in,
+                                             std::cout, config);
+  } else {
+    config.interactive = ::isatty(STDIN_FILENO) != 0;
+    summary = gogreen::serve::RunWireSession(executor, nullptr, std::cin,
+                                             std::cout, config);
+  }
+  GOGREEN_RETURN_NOT_OK(summary.status());
+  std::printf("client: %llu commands, %llu mines (%llu partial, %llu "
               "errors)\n",
               static_cast<unsigned long long>(summary->commands),
               static_cast<unsigned long long>(summary->mines),
@@ -638,11 +831,18 @@ int main(int argc, char** argv) {
     status = CmdStats(args);
   } else if (cmd == "session") {
     status = CmdSession(args);
+  } else if (cmd == "serve") {
+    status = CmdServe(args);
+  } else if (cmd == "client") {
+    status = CmdClient(args);
   } else {
     return Usage();
   }
 
   int rc = status.ok() ? ExitCodeFor(status) : Fail(status);
+  // A one-shot `client` call answers with a wire outcome; its sysexits
+  // projection wins over the (OK) command status.
+  if (status.ok() && g_exit_override >= 0) rc = g_exit_override;
   if (!metrics_path.empty()) {
     const Status w = gogreen::obs::WriteMetricsJson(metrics_path);
     if (!w.ok()) {

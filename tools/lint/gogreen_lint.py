@@ -32,6 +32,12 @@ cannot express:
                       locks through the annotated gogreen::Mutex vocabulary
                       so the clang thread-safety build (DESIGN.md §15) sees
                       every acquisition. std::once_flag/call_once are fine.
+  deprecated-api      The deleted pre-MineRequest entry points
+                      (MineGoverned, MineCompressedGoverned, SetRunContext)
+                      must not reappear under their old names — one query
+                      is one fpm::MineRequest; governors ride in
+                      MineRequest::run_context (internal helpers that bind
+                      a context spell it BindRunContext).
   orphan-mutex        Every gogreen::Mutex / SharedMutex member must be
                       named by at least one GUARDED_BY / PT_GUARDED_BY in
                       the same file — a mutex that guards nothing is either
@@ -96,6 +102,8 @@ BACKTICK_RE = re.compile(r"`([^`]+)`")
 
 ENV_ACCESS_RE = re.compile(r"\b(?:std::)?(?:getenv|secure_getenv|setenv|"
                            r"putenv|unsetenv)\s*\(")
+DEPRECATED_API_RE = re.compile(
+    r"\b(?:MineGoverned|MineCompressedGoverned|SetRunContext)\b")
 RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
 NAKED_NEW_RE = re.compile(r"\bnew\b|\bdelete\b")
 
@@ -319,6 +327,11 @@ def run_checks(files, registry_text, design_text=""):
             "raw std locking primitive outside "
             "src/util/thread_annotations.h (use gogreen::Mutex / "
             "MutexLock / CondVar so the thread-safety build sees it)")
+        violations += scan_pattern(
+            path, raw_text, "deprecated-api", DEPRECATED_API_RE,
+            "deleted pre-MineRequest API name (use the unified "
+            "fpm::MineRequest entry point; context-binding helpers are "
+            "spelled BindRunContext)")
     violations += check_failpoints(files, registry_text)
     violations += check_metric_naming(files, design_text)
     violations += check_orphan_mutexes(files)
@@ -382,6 +395,18 @@ def self_test():
         ("metric-naming", "src/a.cc",
          "// gogreen-lint: allow(metric-naming): probe instrument\n"
          'reg.GetCounter("io.undocumented");\n', False),
+        ("deprecated-api", "src/a.cc",
+         "auto out = miner->MineGoverned(db, 3, &ctx);\n", True),
+        ("deprecated-api", "src/a.cc",
+         "miner.SetRunContext(&ctx);\n", True),
+        ("deprecated-api", "src/a.cc",
+         "auto out = m->MineCompressedGoverned(cdb, 3, &ctx);\n", True),
+        ("deprecated-api", "src/a.cc",
+         "ctx.BindRunContext(run_ctx_);\n", False),
+        ("deprecated-api", "src/a.cc",
+         "// SetRunContext in a comment\n", False),
+        ("deprecated-api", "src/a.cc",
+         "ctx->SetRequestId(id);\n", False),
         ("raw-mutex", "src/a.cc", "std::mutex mu_;\n", True),
         ("raw-mutex", "src/a.cc", "std::scoped_lock lock(mu_);\n", True),
         ("raw-mutex", "src/a.cc",
